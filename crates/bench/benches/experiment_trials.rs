@@ -1,0 +1,107 @@
+//! Criterion: the cost of one Monte-Carlo trial of each headline
+//! experiment — what the figure-regeneration binaries pay per sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splice_core::slices::{Splicing, SplicingConfig};
+use splice_sim::failure::FailureModel;
+use splice_topology::sprint::sprint;
+
+/// One Figure-3-style trial: build slices, fail links, evaluate all k.
+fn bench_reliability_trial(c: &mut Criterion) {
+    let g = sprint().graph();
+    let cfg = SplicingConfig::degree_based(10, 0.0, 3.0);
+    c.bench_function("fig3_one_trial_sprint", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let sp = Splicing::build(&g, &cfg, seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mask = FailureModel::IidLinks { p: 0.05 }.sample(&g, &mut rng);
+            let mut acc = 0usize;
+            for k in [1usize, 2, 3, 4, 5, 10] {
+                acc += sp.disconnected_pairs(k, &mask);
+            }
+            acc
+        });
+    });
+}
+
+/// Spliced reachability for one destination (the inner loop of Figure 3).
+fn bench_reachability(c: &mut Criterion) {
+    let g = sprint().graph();
+    let sp = Splicing::build(&g, &SplicingConfig::degree_based(10, 0.0, 3.0), 3);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mask = FailureModel::IidLinks { p: 0.05 }.sample(&g, &mut rng);
+    c.bench_function("spliced_reachability_one_dst_k10", |b| {
+        b.iter(|| sp.reachable_to(splice_graph::NodeId(0), 10, &mask));
+    });
+}
+
+/// Union-graph reachability (the paper's accounting) for one destination.
+fn bench_union_reachability(c: &mut Criterion) {
+    let g = sprint().graph();
+    let sp = Splicing::build(&g, &SplicingConfig::degree_based(10, 0.0, 3.0), 3);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mask = FailureModel::IidLinks { p: 0.05 }.sample(&g, &mut rng);
+    c.bench_function("union_reachability_one_dst_k10", |b| {
+        b.iter(|| sp.union_reachable_to(splice_graph::NodeId(0), 10, &mask));
+    });
+}
+
+/// Coverage-aware construction vs the independent baseline.
+fn bench_coverage_aware_build(c: &mut Criterion) {
+    let g = sprint().graph();
+    let cfg = splice_core::coverage::CoverageConfig {
+        base: SplicingConfig::degree_based(5, 0.0, 3.0),
+        penalty: 1.0,
+    };
+    c.bench_function("coverage_aware_build_sprint_k5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            splice_core::coverage::build_coverage_aware(&g, &cfg, seed)
+        });
+    });
+}
+
+/// One k-best BGP convergence on an internet-like AS graph.
+fn bench_bgp_convergence(c: &mut Criterion) {
+    let g = splice_bgp::asgraph::AsGraph::internet_like(4, 12, 40, 7);
+    c.bench_function("bgp_converge_56as_k3", |b| {
+        b.iter(|| splice_bgp::bgp_sim::BgpSim::converge(&g, splice_bgp::asgraph::AsId(20), 3));
+    });
+}
+
+/// One convergence-dynamics timeline + downtime integral.
+fn bench_dynamics_timeline(c: &mut Criterion) {
+    let topo = sprint();
+    let g = topo.graph();
+    let lat = topo.latencies();
+    let w = g.base_weights();
+    let cfg = splice_routing::dynamics::DynamicsConfig::default();
+    c.bench_function("dynamics_downtime_one_link_sprint", |b| {
+        b.iter(|| {
+            let tl = splice_routing::dynamics::failure_timeline(
+                &g,
+                &lat,
+                &w,
+                splice_graph::EdgeId(10),
+                &cfg,
+            );
+            splice_routing::dynamics::downtime_pair_ms(&g, &tl)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_reliability_trial,
+    bench_reachability,
+    bench_union_reachability,
+    bench_coverage_aware_build,
+    bench_bgp_convergence,
+    bench_dynamics_timeline
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion: the graph substrate's primitives on the Sprint topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_graph::maxflow::edge_connectivity_st;
+use splice_graph::mincut::min_cut_links;
+use splice_graph::traversal::disconnected_pairs;
+use splice_graph::{dijkstra, EdgeMask, NodeId};
+use splice_topology::sprint::sprint;
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let g = sprint().graph();
+    let w = g.base_weights();
+    c.bench_function("dijkstra_sprint", |b| {
+        b.iter(|| dijkstra(&g, NodeId(0), &w));
+    });
+    c.bench_function("dijkstra_all_destinations_sprint", |b| {
+        b.iter(|| splice_graph::dijkstra::all_destinations(&g, &w));
+    });
+}
+
+fn bench_mincut(c: &mut Criterion) {
+    let g = sprint().graph();
+    c.bench_function("stoer_wagner_sprint", |b| {
+        b.iter(|| min_cut_links(&g));
+    });
+}
+
+fn bench_maxflow(c: &mut Criterion) {
+    let g = sprint().graph();
+    c.bench_function("edge_connectivity_st_sprint", |b| {
+        b.iter(|| edge_connectivity_st(&g, NodeId(0), NodeId(47)));
+    });
+}
+
+fn bench_components(c: &mut Criterion) {
+    let g = sprint().graph();
+    let mut mask = EdgeMask::all_up(g.edge_count());
+    for i in (0..g.edge_count()).step_by(7) {
+        mask.fail(splice_graph::EdgeId(i as u32));
+    }
+    c.bench_function("disconnected_pairs_sprint", |b| {
+        b.iter(|| disconnected_pairs(&g, &mask));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dijkstra,
+    bench_mincut,
+    bench_maxflow,
+    bench_components
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion: slice construction cost — the control-plane work of path
+//! splicing (§4.2 claims linear growth in k; this measures the constant).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splice_core::slices::{Splicing, SplicingConfig};
+use splice_topology::sprint::sprint;
+
+fn bench_slice_construction(c: &mut Criterion) {
+    let g = sprint().graph();
+    let mut group = c.benchmark_group("slice_construction_sprint");
+    group.sample_size(20);
+    for k in [1usize, 2, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let cfg = SplicingConfig::degree_based(k, 0.0, 3.0);
+            b.iter(|| Splicing::build(&g, &cfg, 42));
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_convergence(c: &mut Criterion) {
+    let g = sprint().graph();
+    let mut group = c.benchmark_group("multitopology_converge_sprint");
+    group.sample_size(10);
+    for k in [1usize, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let cfg = SplicingConfig::degree_based(k, 0.0, 3.0);
+            let sp = Splicing::build(&g, &cfg, 42);
+            let weights: Vec<Vec<f64>> = sp.slices().iter().map(|s| s.weights.clone()).collect();
+            b.iter(|| splice_routing::MultiTopology::converge(&g, weights.clone()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_slice_construction,
+    bench_protocol_convergence
+);
+criterion_main!(benches);

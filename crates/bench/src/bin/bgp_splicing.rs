@@ -1,0 +1,53 @@
+//! §5 extension: interdomain path splicing. BGP's decision process keeps
+//! the k best valley-free routes per destination; the forwarding bits
+//! select among them. We measure AS-level reliability under inter-AS link
+//! failures, before any reconvergence.
+//!
+//! ```text
+//! cargo run --release -p splice-bench --bin bgp_splicing
+//! ```
+
+use splice_bench::{banner, BenchArgs};
+use splice_bgp::asgraph::{AsGraph, AsId};
+use splice_bgp::splice_bgp::bgp_reliability;
+use splice_sim::output::{render_table, write_text};
+
+fn main() {
+    let args = BenchArgs::parse(200);
+    banner(&format!(
+        "§5 — spliced BGP reliability, internet-like AS graph, {} trials",
+        args.trials
+    ));
+
+    let g = AsGraph::internet_like(4, 12, 40, args.seed);
+    println!(
+        "AS graph: {} ASes, {} inter-AS links (4 tier-1, 12 mid, 40 stubs)",
+        g.as_count(),
+        g.link_count()
+    );
+
+    let ks = [1usize, 2, 3];
+    let ps: Vec<f64> = (1..=5).map(|i| i as f64 * 0.02).collect();
+    // Average over several destinations for stability.
+    let dests = [AsId(0), AsId(6), AsId(30), AsId(50)];
+    let mut rows = Vec::new();
+    for &p in &ps {
+        let mut cells = vec![format!("{p:.2}")];
+        for &k in &ks {
+            let mut acc = 0.0;
+            for &d in &dests {
+                let pts = bgp_reliability(&g, d, &[k], &[p], args.trials / dests.len(), args.seed);
+                acc += pts[0].disconnected;
+            }
+            cells.push(format!("{:.4}", acc / dests.len() as f64));
+        }
+        rows.push(cells);
+    }
+    let table = render_table(&["p", "k=1", "k=2", "k=3"], &rows);
+    println!("{table}");
+    println!("claim: installing k best BGP routes sharply cuts AS-level disconnection");
+
+    let path = args.artifact("bgp_splicing.txt");
+    write_text(&path, &table).expect("write table");
+    println!("wrote {}", path.display());
+}

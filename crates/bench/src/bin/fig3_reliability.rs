@@ -1,0 +1,78 @@
+//! Figure 3: reliability curves on the Sprint topology with degree-based
+//! `Weight(0, 3)` perturbations, k ∈ {1, 2, 3, 4, 5, 10}, plus the
+//! best-possible curve of the underlying graph.
+//!
+//! ```text
+//! cargo run --release -p splice-bench --bin fig3_reliability
+//! cargo run --release -p splice-bench --bin fig3_reliability -- --topology geant
+//! ```
+
+use splice_bench::{banner, BenchArgs};
+use splice_sim::output::{render_table, series_to_csv, write_text};
+use splice_sim::reliability::{reliability_experiment, ReliabilityConfig};
+
+fn main() {
+    let args = BenchArgs::parse(250);
+    let topo = args.topology();
+    let g = topo.graph();
+    banner(&format!(
+        "Figure 3 — reliability, {} ({} nodes / {} links), degree-based Weight(0,3), {} trials",
+        topo.name,
+        topo.node_count(),
+        topo.link_count(),
+        args.trials
+    ));
+
+    let mut cfg = ReliabilityConfig::figure3(args.trials, args.seed);
+    cfg.semantics = args.splice_semantics();
+    println!(
+        "semantics: {} (use --semantics directed for forwarding-exact accounting)",
+        args.semantics
+    );
+    let out = reliability_experiment(&g, &cfg);
+
+    let mut series = out.curves.clone();
+    series.push(out.best_possible.clone());
+
+    // Terminal table: p vs each curve.
+    let headers: Vec<String> = std::iter::once("p".to_string())
+        .chain(series.iter().map(|s| s.label.clone()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = series[0]
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, _))| {
+            std::iter::once(format!("{p:.3}"))
+                .chain(series.iter().map(|s| format!("{:.4}", s.points[i].1)))
+                .collect()
+        })
+        .collect();
+    println!("{}", render_table(&header_refs, &rows));
+
+    // Headline check: k=10 vs best possible at p = 0.05.
+    let k10 = out.for_k(10).expect("k=10 evaluated");
+    let at = |s: &splice_sim::stats::Series| s.y_at(0.05).unwrap_or(f64::NAN);
+    println!(
+        "At p=0.05: k=1 {:.4} | k=5 {:.4} | k=10 {:.4} | best possible {:.4}",
+        at(out.for_k(1).unwrap()),
+        at(out.for_k(5).unwrap()),
+        at(k10),
+        at(&out.best_possible),
+    );
+
+    let csv = series_to_csv(&series);
+    let path = args.artifact(&format!(
+        "fig3_reliability_{}_{}.csv",
+        topo.name, args.semantics
+    ));
+    write_text(&path, &csv).expect("write CSV");
+    println!("wrote {}", path.display());
+    let json_path = args.artifact(&format!(
+        "fig3_reliability_{}_{}.json",
+        topo.name, args.semantics
+    ));
+    splice_sim::output::write_json(&json_path, &series).expect("write JSON");
+    println!("wrote {}", json_path.display());
+}

@@ -1,0 +1,70 @@
+//! Figure 4: end-system recovery on Sprint. For every broken default
+//! path, the end host retries with coin-toss-randomized forwarding bits
+//! (20-hop header, switch probability 0.5), up to 5 trials.
+//!
+//! ```text
+//! cargo run --release -p splice-bench --bin fig4_end_system_recovery
+//! ```
+
+use splice_bench::{banner, BenchArgs};
+use splice_sim::output::{render_table, series_to_csv, write_text};
+use splice_sim::recovery::{recovery_experiment, RecoveryConfig};
+
+fn main() {
+    let args = BenchArgs::parse(100);
+    let topo = args.topology();
+    let g = topo.graph();
+    banner(&format!(
+        "Figure 4 — end-system recovery, {} topology, {} trials",
+        topo.name, args.trials
+    ));
+
+    let mut cfg = RecoveryConfig::figure4(args.trials, args.seed);
+    cfg.semantics = args.splice_semantics();
+    let out = recovery_experiment(&g, &topo.latencies(), &cfg);
+
+    let mut series = vec![out.no_splicing.clone()];
+    for (rec, rel) in out.recovery.iter().zip(&out.reliability) {
+        series.push(rec.clone());
+        series.push(rel.clone());
+    }
+
+    let headers: Vec<String> = std::iter::once("p".to_string())
+        .chain(series.iter().map(|s| s.label.clone()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = series[0]
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, _))| {
+            std::iter::once(format!("{p:.3}"))
+                .chain(series.iter().map(|s| format!("{:.4}", s.points[i].1)))
+                .collect()
+        })
+        .collect();
+    println!("{}", render_table(&header_refs, &rows));
+
+    banner("§4.3 aggregates (end-system)");
+    for st in &out.stats {
+        println!(
+            "k={}: attempts {} | recovered {} ({:.1}%) | avg trials {:.2} | latency stretch {:.2} | hop stretch {:.2} | loop fraction {:.4}",
+            st.k,
+            st.attempts,
+            st.recovered,
+            100.0 * st.recovered as f64 / st.attempts.max(1) as f64,
+            st.avg_trials,
+            st.avg_latency_stretch,
+            st.avg_hop_stretch,
+            st.loop_fraction,
+        );
+    }
+
+    let csv = series_to_csv(&series);
+    let path = args.artifact(&format!(
+        "fig4_end_system_recovery_{}_{}.csv",
+        topo.name, args.semantics
+    ));
+    write_text(&path, &csv).expect("write CSV");
+    println!("wrote {}", path.display());
+}

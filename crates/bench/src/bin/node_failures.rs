@@ -1,0 +1,55 @@
+//! Extension: reliability under *node* failures (router outages) rather
+//! than link failures — pairs involving the failed router are excluded;
+//! the question is whether survivors stay connected.
+//!
+//! ```text
+//! cargo run --release -p splice-bench --bin node_failures
+//! ```
+
+use splice_bench::{banner, BenchArgs};
+use splice_core::slices::SplicingConfig;
+use splice_sim::node_failures::{node_failure_experiment, NodeFailureConfig};
+use splice_sim::output::{render_table, series_to_csv, write_text};
+
+fn main() {
+    let args = BenchArgs::parse(200);
+    let topo = args.topology();
+    let g = topo.graph();
+    banner(&format!(
+        "Extension — node-failure reliability, {} topology, {} trials",
+        topo.name, args.trials
+    ));
+
+    let cfg = NodeFailureConfig {
+        ks: vec![1, 2, 3, 5, 10],
+        ps: (1..=10).map(|i| i as f64 * 0.01).collect(),
+        trials: args.trials,
+        splicing: SplicingConfig::degree_based(10, 0.0, 3.0),
+        semantics: args.splice_semantics(),
+        seed: args.seed,
+    };
+    let out = node_failure_experiment(&g, &cfg);
+
+    let mut series = out.curves.clone();
+    series.push(out.best_possible.clone());
+    let headers: Vec<String> = std::iter::once("p".to_string())
+        .chain(series.iter().map(|s| s.label.clone()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = series[0]
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, _))| {
+            std::iter::once(format!("{p:.2}"))
+                .chain(series.iter().map(|s| format!("{:.4}", s.points[i].1)))
+                .collect()
+        })
+        .collect();
+    println!("{}", render_table(&header_refs, &rows));
+
+    let csv = series_to_csv(&series);
+    let path = args.artifact(&format!("node_failures_{}.csv", topo.name));
+    write_text(&path, &csv).expect("write CSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,91 @@
+//! Ablation (§3.1.1): perturbation strategy and `Weight(a, b)` range —
+//! how the choice the paper settled on (degree-based `Weight(0, 3)`)
+//! compares with uniform perturbations and other ranges, on both
+//! reliability and stretch.
+//!
+//! ```text
+//! cargo run --release -p splice-bench --bin perturbation_ablation
+//! ```
+
+use splice_bench::{banner, BenchArgs};
+use splice_core::slices::SplicingConfig;
+use splice_sim::output::{render_table, write_text};
+use splice_sim::reliability::{reliability_experiment, ReliabilityConfig};
+use splice_sim::stretch_exp::{slice_stretch_experiment, worst_slice_p99};
+
+fn main() {
+    let args = BenchArgs::parse(120);
+    let topo = args.topology();
+    let g = topo.graph();
+    banner(&format!(
+        "Ablation — perturbation strategies, {} topology, k=5, {} trials",
+        topo.name, args.trials
+    ));
+
+    let variants: Vec<(&str, SplicingConfig)> = vec![
+        (
+            "degree Weight(0,1)",
+            SplicingConfig::degree_based(5, 0.0, 1.0),
+        ),
+        (
+            "degree Weight(0,3)",
+            SplicingConfig::degree_based(5, 0.0, 3.0),
+        ),
+        (
+            "degree Weight(0,5)",
+            SplicingConfig::degree_based(5, 0.0, 5.0),
+        ),
+        (
+            "degree Weight(1,3)",
+            SplicingConfig::degree_based(5, 1.0, 3.0),
+        ),
+        ("uniform(1)", SplicingConfig::uniform(5, 1.0)),
+        ("uniform(3)", SplicingConfig::uniform(5, 3.0)),
+    ];
+
+    let ps = vec![0.02, 0.05, 0.08];
+    let mut rows = Vec::new();
+    for (name, scfg) in variants {
+        let rel = reliability_experiment(
+            &g,
+            &ReliabilityConfig {
+                ks: vec![5],
+                ps: ps.clone(),
+                trials: args.trials,
+                splicing: scfg.clone(),
+                semantics: Default::default(),
+                seed: args.seed,
+            },
+        );
+        let disc_at = |p: f64| rel.curves[0].y_at(p).unwrap();
+        let stats = slice_stretch_experiment(
+            &g,
+            &topo.latencies(),
+            &scfg,
+            &[args.seed, args.seed + 1, args.seed + 2],
+        );
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.4}", disc_at(0.02)),
+            format!("{:.4}", disc_at(0.05)),
+            format!("{:.4}", disc_at(0.08)),
+            format!("{:.3}", worst_slice_p99(&stats)),
+        ]);
+    }
+    let table = render_table(
+        &[
+            "perturbation",
+            "disc@p=.02",
+            "disc@p=.05",
+            "disc@p=.08",
+            "worst p99 stretch",
+        ],
+        &rows,
+    );
+    println!("{table}");
+    println!("trade-off: stronger perturbations buy reliability but cost stretch");
+
+    let path = args.artifact(&format!("perturbation_ablation_{}.txt", topo.name));
+    write_text(&path, &table).expect("write table");
+    println!("wrote {}", path.display());
+}

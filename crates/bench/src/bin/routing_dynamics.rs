@@ -1,0 +1,65 @@
+//! §6 extension: transient downtime during protocol convergence, with
+//! and without splicing. For every single-link failure we model
+//! detection, LSA flooding at real link latencies, and staggered SPF
+//! installs; pairs are walked over the mixed old/new tables and
+//! pair-downtime (pair·ms) integrated over the episode.
+//!
+//! ```text
+//! cargo run --release -p splice-bench --bin routing_dynamics
+//! ```
+
+use splice_bench::{banner, BenchArgs};
+use splice_core::slices::SplicingConfig;
+use splice_routing::dynamics::DynamicsConfig;
+use splice_sim::dynamics_exp::downtime_sweep;
+use splice_sim::output::{render_table, write_text};
+
+fn main() {
+    let args = BenchArgs::parse(0);
+    let topo = args.topology();
+    let g = topo.graph();
+    banner(&format!(
+        "§6 — transient downtime during convergence, {} topology",
+        topo.name
+    ));
+    println!("timing: 50 ms detection, 100 ms SPF hold, LSAs at link latency + 1 ms/hop\n");
+
+    let dyncfg = DynamicsConfig::default();
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 3, 5, 10] {
+        let sweep = downtime_sweep(
+            &g,
+            &topo.latencies(),
+            &SplicingConfig::degree_based(k, 0.0, 3.0),
+            &dyncfg,
+            args.seed,
+        );
+        let plain: f64 = sweep.iter().map(|&(_, p, _)| p).sum::<f64>() / sweep.len() as f64;
+        let spliced: f64 = sweep.iter().map(|&(_, _, s)| s).sum::<f64>() / sweep.len() as f64;
+        let worst = sweep.iter().map(|&(_, _, s)| s).fold(0.0f64, f64::max);
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.0}", plain),
+            format!("{:.0}", spliced),
+            format!("{:.1}x", plain / spliced.max(1e-9)),
+            format!("{:.0}", worst),
+        ]);
+    }
+    let table = render_table(
+        &[
+            "k",
+            "downtime plain (pair*ms)",
+            "downtime spliced",
+            "reduction",
+            "worst link (spliced)",
+        ],
+        &rows,
+    );
+    println!("{table}");
+    println!("splicing deflects onto stale alternate slices during the window, cutting the");
+    println!("transient blackhole/micro-loop cost — §6's 'routing can react more slowly'.");
+
+    let path = args.artifact(&format!("routing_dynamics_{}.txt", topo.name));
+    write_text(&path, &table).expect("write table");
+    println!("wrote {}", path.display());
+}

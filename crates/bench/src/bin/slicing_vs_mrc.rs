@@ -1,0 +1,129 @@
+//! §5 extension: random perturbations vs engineered backup
+//! configurations (MRC, the paper's citation \[11\]). MRC guarantees
+//! single-failure recovery by isolating every link in some
+//! configuration; splicing gets diversity for free from randomness. Who
+//! gives more reliability per slice?
+//!
+//! ```text
+//! cargo run --release -p splice-bench --bin slicing_vs_mrc
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splice_bench::{banner, BenchArgs};
+use splice_core::mrc::{build_mrc, mrc_assignment, protected_fraction};
+use splice_core::prelude::*;
+use splice_core::slices::SplicingConfig;
+use splice_graph::EdgeMask;
+use splice_sim::failure::FailureModel;
+use splice_sim::output::{render_table, write_text};
+
+fn main() {
+    let args = BenchArgs::parse(250);
+    let topo = args.topology();
+    let g = topo.graph();
+    banner(&format!(
+        "Ablation — random slicing vs MRC configurations, {} topology, {} trials",
+        topo.name, args.trials
+    ));
+
+    let n = g.node_count();
+    let pairs = (n * (n - 1)) as f64;
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let nr = NetworkRecovery::default();
+
+    let mut rows = Vec::new();
+    for k in [3usize, 5, 8] {
+        let protected = protected_fraction(&mrc_assignment(&g, k - 1));
+        let mrc = build_mrc(&g, k);
+
+        // Single-failure recovery coverage: fraction of (pair, failed
+        // link on the pair's default path) cases deflection delivers.
+        let coverage = |sp: &Splicing, rng: &mut StdRng| -> f64 {
+            let (mut cases, mut ok) = (0usize, 0usize);
+            for e in g.edge_ids() {
+                let mask = EdgeMask::from_failed(g.edge_count(), &[e]);
+                for t in g.nodes() {
+                    for s in g.nodes() {
+                        if s == t {
+                            continue;
+                        }
+                        // Does the default path use e?
+                        let mut at = s;
+                        let mut uses = false;
+                        while at != t {
+                            let Some((next, pe)) = sp.next_hop(0, at, t) else {
+                                break;
+                            };
+                            if pe == e {
+                                uses = true;
+                                break;
+                            }
+                            at = next;
+                        }
+                        if !uses {
+                            continue;
+                        }
+                        cases += 1;
+                        if nr.forward(sp, &mask, s, t, 0, rng).is_delivered() {
+                            ok += 1;
+                        }
+                    }
+                }
+            }
+            ok as f64 / cases.max(1) as f64
+        };
+
+        // Multi-failure reliability (union semantics), p = 0.05, common
+        // random failures.
+        let reliability = |sp: &Splicing| -> f64 {
+            let mut total = 0.0;
+            for trial in 0..args.trials as u64 {
+                let mut r = StdRng::seed_from_u64(args.seed + trial);
+                let mask = FailureModel::IidLinks { p: 0.05 }.sample(&g, &mut r);
+                total += sp.union_disconnected_pairs(k, &mask) as f64 / pairs;
+            }
+            total / args.trials as f64
+        };
+
+        for (name, sp) in [
+            (
+                "random degree(0,3)",
+                Splicing::build(&g, &SplicingConfig::degree_based(k, 0.0, 3.0), args.seed),
+            ),
+            ("MRC configs", mrc),
+        ] {
+            rows.push(vec![
+                k.to_string(),
+                name.to_string(),
+                if name == "MRC configs" {
+                    format!("{:.0}%", 100.0 * protected)
+                } else {
+                    "-".to_string()
+                },
+                format!("{:.1}%", 100.0 * coverage(&sp, &mut rng)),
+                format!("{:.4}", reliability(&sp)),
+            ]);
+        }
+    }
+    let table = render_table(
+        &[
+            "k",
+            "construction",
+            "links protected",
+            "single-failure recovery",
+            "disc @ p=.05 (union)",
+        ],
+        &rows,
+    );
+    println!("{table}");
+    println!("engineered configurations dominate per slice once k is large enough to protect");
+    println!("every link — exactly the §5 conjecture that coverage-conscious schemes 'achieve");
+    println!("more reliability with fewer slices'. What random perturbation buys instead is");
+    println!("zero computation, zero coordination, and per-pair path diversity beyond what");
+    println!("failure protection needs (multipath, load spreading).");
+
+    let path = args.artifact(&format!("slicing_vs_mrc_{}.txt", topo.name));
+    write_text(&path, &table).expect("write table");
+    println!("wrote {}", path.display());
+}

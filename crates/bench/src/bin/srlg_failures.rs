@@ -1,0 +1,80 @@
+//! Extension: shared-risk link groups. Real outages are correlated — a
+//! conduit cut at a PoP takes every fiber leaving it. We model one SRLG
+//! per PoP (its incident links) and compare splicing's reliability under
+//! correlated failures against independent failures with the *same
+//! expected number of failed links*.
+//!
+//! ```text
+//! cargo run --release -p splice-bench --bin srlg_failures
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splice_bench::{banner, BenchArgs};
+use splice_core::slices::{Splicing, SplicingConfig};
+use splice_sim::failure::FailureModel;
+use splice_sim::output::{render_table, write_text};
+
+fn main() {
+    let args = BenchArgs::parse(300);
+    let topo = args.topology();
+    let g = topo.graph();
+    banner(&format!(
+        "Extension — correlated (SRLG) vs independent failures, {} topology, {} trials",
+        topo.name, args.trials
+    ));
+
+    // One SRLG per PoP: all its incident links share the conduit.
+    let groups: Vec<Vec<splice_graph::EdgeId>> = g
+        .nodes()
+        .map(|n| g.neighbors(n).iter().map(|&(_, e)| e).collect())
+        .collect();
+    // A group failure downs deg(n) links; match expected failed links:
+    // E[iid] = p_link * m; E[srlg] ≈ p_group * sum(deg) = p_group * 2m
+    // (links counted by both endpoint groups overlap, so this slightly
+    // overshoots; the comparison is qualitative).
+    let n = g.node_count();
+    let pairs = (n * (n - 1)) as f64;
+    let splicing = Splicing::build(&g, &SplicingConfig::degree_based(10, 0.0, 3.0), args.seed);
+
+    let mut rows = Vec::new();
+    for &p_link in &[0.02f64, 0.05, 0.08] {
+        let p_group = p_link / 2.0;
+        let mut acc = [[0.0f64; 3]; 2]; // [model][k index] for k in {1,5,10}
+        for trial in 0..args.trials as u64 {
+            let mut rng = StdRng::seed_from_u64(args.seed + trial);
+            let iid = FailureModel::IidLinks { p: p_link }.sample(&g, &mut rng);
+            let srlg = FailureModel::Srlg {
+                groups: groups.clone(),
+                p: p_group,
+            }
+            .sample(&g, &mut rng);
+            for (mi, mask) in [&iid, &srlg].into_iter().enumerate() {
+                for (ki, &k) in [1usize, 5, 10].iter().enumerate() {
+                    acc[mi][ki] += splicing.union_disconnected_pairs(k, mask) as f64 / pairs;
+                }
+            }
+        }
+        let t = args.trials as f64;
+        for (mi, name) in ["independent", "SRLG (PoP conduits)"].iter().enumerate() {
+            rows.push(vec![
+                format!("{p_link}"),
+                name.to_string(),
+                format!("{:.4}", acc[mi][0] / t),
+                format!("{:.4}", acc[mi][1] / t),
+                format!("{:.4}", acc[mi][2] / t),
+            ]);
+        }
+    }
+    let table = render_table(
+        &["p (link-equivalent)", "failure model", "k=1", "k=5", "k=10"],
+        &rows,
+    );
+    println!("{table}");
+    println!("correlated conduit cuts behave like node failures: splicing still closes most");
+    println!("of the k=1 shortfall, but the irreducible (cut-induced) floor sits higher.");
+
+    let path = args.artifact(&format!("srlg_failures_{}.txt", topo.name));
+    write_text(&path, &table).expect("write table");
+    println!("wrote {}", path.display());
+}

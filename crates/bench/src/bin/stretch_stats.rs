@@ -1,0 +1,86 @@
+//! §4.3's stretch numbers: per-slice path-stretch distributions (the
+//! paper: "in any particular slice, 99% of all paths in each tree have
+//! stretch of less than 2.6") and recovered-path stretch (≈1.3× latency,
+//! +50% hops for end-system recovery; ≈1.33× and +55% for network-based).
+//!
+//! ```text
+//! cargo run --release -p splice-bench --bin stretch_stats
+//! ```
+
+use splice_bench::{banner, BenchArgs};
+use splice_core::slices::SplicingConfig;
+use splice_sim::output::{render_table, write_text};
+use splice_sim::recovery::{recovery_experiment, RecoveryConfig};
+use splice_sim::stretch_exp::{slice_stretch_experiment, worst_slice_p99};
+
+fn main() {
+    let args = BenchArgs::parse(60);
+    let topo = args.topology();
+    let g = topo.graph();
+    let latencies = topo.latencies();
+
+    banner(&format!(
+        "§4.3 — per-slice stretch, {} topology, degree-based Weight(0,3)",
+        topo.name
+    ));
+    let template = SplicingConfig::degree_based(10, 0.0, 3.0);
+    let seeds: Vec<u64> = (0..10).map(|i| args.seed + i).collect();
+    let stats = slice_stretch_experiment(&g, &latencies, &template, &seeds);
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            vec![
+                if i == 0 {
+                    "0 (base)".to_string()
+                } else {
+                    i.to_string()
+                },
+                format!("{:.3}", s.mean),
+                format!("{:.3}", s.p50),
+                format!("{:.3}", s.p95),
+                format!("{:.3}", s.p99),
+                format!("{:.3}", s.max),
+            ]
+        })
+        .collect();
+    let table = render_table(&["slice", "mean", "p50", "p95", "p99", "max"], &rows);
+    println!("{table}");
+    println!(
+        "worst per-slice p99 stretch: {:.3}  (paper: < 2.6)",
+        worst_slice_p99(&stats)
+    );
+
+    banner("§4.3 — recovered-path stretch");
+    let es = recovery_experiment(
+        &g,
+        &latencies,
+        &RecoveryConfig::figure4(args.trials, args.seed),
+    );
+    let nb = recovery_experiment(
+        &g,
+        &latencies,
+        &RecoveryConfig::figure5(args.trials, args.seed),
+    );
+    let mut out = String::new();
+    for (name, curves) in [("end-system", &es), ("network-based", &nb)] {
+        for st in &curves.stats {
+            let line = format!(
+                "{name} k={}: avg trials {:.2} | latency stretch {:.3} (paper ~{}) | hop stretch {:.3} (paper ~{})\n",
+                st.k,
+                st.avg_trials,
+                st.avg_latency_stretch,
+                if name == "end-system" { "1.30" } else { "1.33" },
+                st.avg_hop_stretch,
+                if name == "end-system" { "1.50" } else { "1.55" },
+            );
+            print!("{line}");
+            out.push_str(&line);
+        }
+    }
+
+    out.push_str(&table);
+    let path = args.artifact(&format!("stretch_stats_{}.txt", topo.name));
+    write_text(&path, &out).expect("write stats");
+    println!("wrote {}", path.display());
+}

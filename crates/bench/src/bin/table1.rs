@@ -1,0 +1,43 @@
+//! Table 1: the paper's summary of results, assembled from fresh runs of
+//! the reliability, recovery, and loop experiments.
+//!
+//! ```text
+//! cargo run --release -p splice-bench --bin table1
+//! ```
+
+use splice_bench::{banner, BenchArgs};
+use splice_sim::loops::{loop_experiment, LoopConfig};
+use splice_sim::output::write_text;
+use splice_sim::recovery::{recovery_experiment, RecoveryConfig};
+use splice_sim::reliability::{reliability_experiment, ReliabilityConfig};
+use splice_sim::summary::Table1;
+
+fn main() {
+    let args = BenchArgs::parse(100);
+    let topo = args.topology();
+    let g = topo.graph();
+    banner(&format!(
+        "Table 1 — summary of results, {} topology, {} trials per experiment",
+        topo.name, args.trials
+    ));
+
+    let reliability =
+        reliability_experiment(&g, &ReliabilityConfig::figure3(args.trials, args.seed));
+    let recovery = recovery_experiment(
+        &g,
+        &topo.latencies(),
+        &RecoveryConfig::figure4(args.trials, args.seed + 1),
+    );
+    let loops = loop_experiment(
+        &g,
+        &LoopConfig::paper(vec![2, 5, 10], args.trials, args.seed + 2),
+    );
+
+    let t1 = Table1::assemble(&reliability, &recovery, &loops);
+    let rendered = t1.render();
+    println!("{rendered}");
+
+    let path = args.artifact(&format!("table1_{}.txt", topo.name));
+    write_text(&path, &rendered).expect("write table");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,46 @@
+//! Theorem B.1: the Chebyshev concentration bound on perturbed path
+//! lengths, validated empirically on the topology's real shortest paths.
+//!
+//! ```text
+//! cargo run --release -p splice-bench --bin theorem_b1
+//! ```
+
+use splice_bench::{banner, BenchArgs};
+use splice_sim::output::{render_table, write_text};
+use splice_sim::theory::theorem_b1_experiment;
+
+fn main() {
+    let args = BenchArgs::parse(20000);
+    let topo = args.topology();
+    let g = topo.graph();
+    banner(&format!(
+        "Theorem B.1 — perturbed path-length concentration, {} topology, {} samples per r",
+        topo.name, args.trials
+    ));
+
+    let rs = [1.2, 1.5, 2.0, 3.0, 5.0, 8.0];
+    let mut all_rows = Vec::new();
+    for &c in &[0.25, 0.5, 0.75] {
+        let rows = theorem_b1_experiment(&g, c, &rs, args.trials, args.seed);
+        for row in rows {
+            all_rows.push(vec![
+                format!("{c}"),
+                format!("{}", row.r),
+                format!("{:.5}", row.bound),
+                format!("{:.5}", row.observed),
+                if row.observed <= row.bound {
+                    "ok"
+                } else {
+                    "VIOLATED"
+                }
+                .to_string(),
+            ]);
+        }
+    }
+    let table = render_table(&["c", "r", "bound 1/r^2", "observed", "check"], &all_rows);
+    println!("{table}");
+
+    let path = args.artifact(&format!("theorem_b1_{}.txt", topo.name));
+    write_text(&path, &table).expect("write table");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,161 @@
+//! # splice-bench
+//!
+//! The benchmark harness: one binary per figure/table of the paper, plus
+//! Criterion micro-benchmarks of the primitives.
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Figure 3 (reliability) | `fig3_reliability` |
+//! | Figure 4 (end-system recovery) | `fig4_end_system_recovery` |
+//! | Figure 5 (network-based recovery) | `fig5_network_recovery` |
+//! | Table 1 (summary) | `table1` |
+//! | §4.3 stretch/trials numbers | `stretch_stats` |
+//! | §4.4 loop frequencies | `loop_stats` |
+//! | Theorem A.1 scaling | `scaling_lognslices` |
+//! | Theorem B.1 concentration | `theorem_b1` |
+//! | §4.2 linear cost vs diversity | `state_vs_diversity` |
+//! | §5 TE interaction (extension) | `te_load_balance` |
+//! | §5 multipath capacity (extension) | `capacity_multipath` |
+//! | §5 interdomain splicing (extension) | `bgp_splicing` |
+//! | loop-handling ablation | `loopfree_ablation` |
+//! | perturbation ablation | `perturbation_ablation` |
+//!
+//! Every binary accepts `--trials N` (Monte-Carlo trials; defaults keep a
+//! laptop run in seconds), `--seed N`, `--topology sprint|geant|abilene`,
+//! and `--out DIR` (default `results/`). Output goes to stdout as a table
+//! and to `DIR/<name>.csv` / `<name>.json` for plotting.
+
+use splice_topology::{abilene::abilene, geant::geant, sprint::sprint, Topology};
+use std::path::PathBuf;
+
+/// Common command-line options for experiment binaries.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Monte-Carlo trials.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Base topology name.
+    pub topology: String,
+    /// Output directory for CSV/JSON artifacts.
+    pub out: PathBuf,
+    /// Spliced-path semantics: "union" (the paper's accounting) or
+    /// "directed" (operationally exact forwarding reachability).
+    pub semantics: String,
+}
+
+impl BenchArgs {
+    /// Parse from `std::env::args`, with a per-binary default trial count.
+    ///
+    /// Exits the process with a usage message on malformed input.
+    pub fn parse(default_trials: usize) -> BenchArgs {
+        let mut args = BenchArgs {
+            trials: default_trials,
+            seed: 20080817, // SIGCOMM 2008's opening day
+            topology: "sprint".into(),
+            out: PathBuf::from("results"),
+            semantics: "union".into(),
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let need_value = |i: usize| {
+                argv.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("missing value for {}", argv[i]);
+                    std::process::exit(2);
+                })
+            };
+            match argv[i].as_str() {
+                "--trials" => {
+                    args.trials = need_value(i).parse().unwrap_or_else(|e| {
+                        eprintln!("bad --trials: {e}");
+                        std::process::exit(2);
+                    });
+                    i += 2;
+                }
+                "--seed" => {
+                    args.seed = need_value(i).parse().unwrap_or_else(|e| {
+                        eprintln!("bad --seed: {e}");
+                        std::process::exit(2);
+                    });
+                    i += 2;
+                }
+                "--topology" => {
+                    args.topology = need_value(i).clone();
+                    i += 2;
+                }
+                "--out" => {
+                    args.out = PathBuf::from(need_value(i));
+                    i += 2;
+                }
+                "--semantics" => {
+                    args.semantics = need_value(i).clone();
+                    if args.semantics != "union" && args.semantics != "directed" {
+                        eprintln!("--semantics must be union or directed");
+                        std::process::exit(2);
+                    }
+                    i += 2;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--trials N] [--seed N] [--topology sprint|geant|abilene] [--out DIR] [--semantics union|directed]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other:?} (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+
+    /// Resolve the selected base topology.
+    pub fn topology(&self) -> Topology {
+        load_topology(&self.topology)
+    }
+
+    /// Output path for an artifact of this run.
+    pub fn artifact(&self, name: &str) -> PathBuf {
+        self.out.join(name)
+    }
+
+    /// The selected splice-path semantics as the simulator's enum.
+    pub fn splice_semantics(&self) -> splice_sim::reliability::SpliceSemantics {
+        match self.semantics.as_str() {
+            "directed" => splice_sim::reliability::SpliceSemantics::Directed,
+            _ => splice_sim::reliability::SpliceSemantics::UnionGraph,
+        }
+    }
+}
+
+/// Load a named built-in topology.
+pub fn load_topology(name: &str) -> Topology {
+    match name {
+        "sprint" => sprint(),
+        "geant" => geant(),
+        "abilene" => abilene(),
+        other => {
+            eprintln!("unknown topology {other:?}; expected sprint|geant|abilene");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Print a section header for binary output.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topologies_resolve() {
+        assert_eq!(load_topology("sprint").node_count(), 52);
+        assert_eq!(load_topology("geant").node_count(), 23);
+        assert_eq!(load_topology("abilene").node_count(), 11);
+    }
+}

@@ -1,0 +1,274 @@
+//! AS-level topologies with business relationships.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An autonomous-system identifier (dense index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct AsId(pub u32);
+
+impl AsId {
+    /// As a `usize` for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A neighbor's business relationship, from the local AS's perspective.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Relationship {
+    /// The neighbor pays us for transit.
+    Customer,
+    /// Settlement-free peer.
+    Peer,
+    /// We pay the neighbor for transit.
+    Provider,
+}
+
+/// An inter-AS link id (dense index over undirected AS adjacencies).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct AsLinkId(pub u32);
+
+impl AsLinkId {
+    /// As a `usize` for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An AS graph with per-edge relationships.
+#[derive(Clone, Debug, Default)]
+pub struct AsGraph {
+    n: usize,
+    /// `(a, b)` with `a` the customer when the relationship is transit;
+    /// for peering the order is arbitrary.
+    links: Vec<(AsId, AsId, LinkKind)>,
+    /// adjacency\[a\] = (neighbor, relationship from a's view, link id).
+    adjacency: Vec<Vec<(AsId, Relationship, AsLinkId)>>,
+}
+
+/// Undirected link annotation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LinkKind {
+    /// First endpoint is the customer of the second.
+    Transit,
+    /// Settlement-free peering.
+    Peering,
+}
+
+impl AsGraph {
+    /// An empty graph over `n` ASes.
+    pub fn new(n: usize) -> AsGraph {
+        AsGraph {
+            n,
+            links: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of ASes.
+    pub fn as_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of inter-AS links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All AS ids.
+    pub fn ases(&self) -> impl Iterator<Item = AsId> + '_ {
+        (0..self.n as u32).map(AsId)
+    }
+
+    /// Add a transit link: `customer` buys from `provider`.
+    pub fn add_transit(&mut self, customer: AsId, provider: AsId) -> AsLinkId {
+        assert_ne!(customer, provider, "self-transit rejected");
+        let id = AsLinkId(self.links.len() as u32);
+        self.links.push((customer, provider, LinkKind::Transit));
+        self.adjacency[customer.index()].push((provider, Relationship::Provider, id));
+        self.adjacency[provider.index()].push((customer, Relationship::Customer, id));
+        id
+    }
+
+    /// Add a settlement-free peering link.
+    pub fn add_peering(&mut self, a: AsId, b: AsId) -> AsLinkId {
+        assert_ne!(a, b, "self-peering rejected");
+        let id = AsLinkId(self.links.len() as u32);
+        self.links.push((a, b, LinkKind::Peering));
+        self.adjacency[a.index()].push((b, Relationship::Peer, id));
+        self.adjacency[b.index()].push((a, Relationship::Peer, id));
+        id
+    }
+
+    /// Neighbors of `a` with relationships from `a`'s perspective.
+    pub fn neighbors(&self, a: AsId) -> &[(AsId, Relationship, AsLinkId)] {
+        &self.adjacency[a.index()]
+    }
+
+    /// Generate an internet-like hierarchy:
+    ///
+    /// * `t1` tier-1 ASes, fully meshed with peering;
+    /// * `mid` mid-tier ASes, each buying transit from 2 tier-1s (or all,
+    ///   if fewer exist) and peering with one other random mid;
+    /// * `stub` stub ASes, each buying transit from 2 random mids.
+    pub fn internet_like(t1: usize, mid: usize, stub: usize, seed: u64) -> AsGraph {
+        assert!(t1 >= 1 && mid >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = t1 + mid + stub;
+        let mut g = AsGraph::new(n);
+        // Tier-1 clique.
+        for a in 0..t1 as u32 {
+            for b in (a + 1)..t1 as u32 {
+                g.add_peering(AsId(a), AsId(b));
+            }
+        }
+        // Mid tier: multihomed to tier-1.
+        let t1_ids: Vec<u32> = (0..t1 as u32).collect();
+        for m in t1 as u32..(t1 + mid) as u32 {
+            let mut providers = t1_ids.clone();
+            providers.shuffle(&mut rng);
+            for &p in providers.iter().take(2.min(t1)) {
+                g.add_transit(AsId(m), AsId(p));
+            }
+        }
+        // Mid-tier peering ring-ish: each mid peers with one random other.
+        if mid >= 2 {
+            for m in t1 as u32..(t1 + mid) as u32 {
+                let other = loop {
+                    let o = rng.gen_range(t1 as u32..(t1 + mid) as u32);
+                    if o != m {
+                        break o;
+                    }
+                };
+                // Avoid duplicate peerings in either direction.
+                let exists = g.adjacency[m as usize]
+                    .iter()
+                    .any(|&(nbr, rel, _)| nbr == AsId(other) && rel == Relationship::Peer);
+                if !exists {
+                    g.add_peering(AsId(m), AsId(other));
+                }
+            }
+        }
+        // Stubs: multihomed to mids.
+        let mid_ids: Vec<u32> = (t1 as u32..(t1 + mid) as u32).collect();
+        for s in (t1 + mid) as u32..n as u32 {
+            let mut providers = mid_ids.clone();
+            providers.shuffle(&mut rng);
+            for &p in providers.iter().take(2.min(mid)) {
+                g.add_transit(AsId(s), AsId(p));
+            }
+        }
+        g
+    }
+
+    /// Whether an AS path is valley-free under this graph's relationships:
+    /// uphill (customer→provider) segments, at most one peer step, then
+    /// downhill (provider→customer) only.
+    pub fn is_valley_free(&self, path: &[AsId]) -> bool {
+        // 0 = climbing, 1 = peered, 2 = descending.
+        let mut phase = 0u8;
+        for w in path.windows(2) {
+            let rel = self.adjacency[w[0].index()]
+                .iter()
+                .find(|&&(nbr, _, _)| nbr == w[1])
+                .map(|&(_, rel, _)| rel);
+            let Some(rel) = rel else {
+                return false; // not even a link
+            };
+            match rel {
+                Relationship::Provider => {
+                    // climbing is only allowed before any peer/descent
+                    if phase != 0 {
+                        return false;
+                    }
+                }
+                Relationship::Peer => {
+                    if phase >= 1 {
+                        return false;
+                    }
+                    phase = 1;
+                }
+                Relationship::Customer => {
+                    phase = 2;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transit_link_views() {
+        let mut g = AsGraph::new(2);
+        g.add_transit(AsId(0), AsId(1));
+        assert_eq!(g.neighbors(AsId(0))[0].1, Relationship::Provider);
+        assert_eq!(g.neighbors(AsId(1))[0].1, Relationship::Customer);
+    }
+
+    #[test]
+    fn peering_is_symmetric() {
+        let mut g = AsGraph::new(2);
+        g.add_peering(AsId(0), AsId(1));
+        assert_eq!(g.neighbors(AsId(0))[0].1, Relationship::Peer);
+        assert_eq!(g.neighbors(AsId(1))[0].1, Relationship::Peer);
+    }
+
+    #[test]
+    fn internet_like_shape() {
+        let g = AsGraph::internet_like(3, 6, 12, 1);
+        assert_eq!(g.as_count(), 21);
+        // Tier-1 clique: 3 peering links; mids: 2 transit each; stubs: 2 each.
+        assert!(g.link_count() >= 3 + 12 + 24);
+        // Stubs have no customers.
+        for s in 9..21u32 {
+            assert!(g
+                .neighbors(AsId(s))
+                .iter()
+                .all(|&(_, rel, _)| rel != Relationship::Customer));
+        }
+    }
+
+    #[test]
+    fn valley_free_checks() {
+        // 0 <- 1 <- 2 (2 customer of 1, 1 customer of 0), 0 peers 3, 3 <- 4.
+        let mut g = AsGraph::new(5);
+        g.add_transit(AsId(1), AsId(0));
+        g.add_transit(AsId(2), AsId(1));
+        g.add_peering(AsId(0), AsId(3));
+        g.add_transit(AsId(4), AsId(3));
+        // climb-climb-peer-descend: valid.
+        assert!(g.is_valley_free(&[AsId(2), AsId(1), AsId(0), AsId(3), AsId(4)]));
+        // descend then climb: a valley.
+        assert!(!g.is_valley_free(&[AsId(0), AsId(1), AsId(0)]));
+        let mut g2 = AsGraph::new(3);
+        g2.add_transit(AsId(1), AsId(0));
+        g2.add_transit(AsId(1), AsId(2));
+        // 0 -> 1 (descend to customer) -> 2 (climb to provider): valley!
+        assert!(!g2.is_valley_free(&[AsId(0), AsId(1), AsId(2)]));
+        // non-adjacent hop
+        assert!(!g2.is_valley_free(&[AsId(0), AsId(2)]));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = AsGraph::internet_like(2, 4, 8, 9);
+        let b = AsGraph::internet_like(2, 4, 8, 9);
+        assert_eq!(a.link_count(), b.link_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-transit")]
+    fn self_links_rejected() {
+        let mut g = AsGraph::new(1);
+        g.add_transit(AsId(0), AsId(0));
+    }
+}

@@ -1,0 +1,231 @@
+//! A deterministic path-vector simulation with k-best route selection.
+//!
+//! For one destination at a time (the paper's spliced BGP installs k
+//! routes *per destination*), the simulator runs rounds: every AS
+//! recomputes its k best next-hop-distinct routes from its neighbors'
+//! advertised best routes, under Gao–Rexford export rules, until a
+//! fixpoint. Gao–Rexford policies guarantee convergence; the k-best
+//! generalization keeps the same preference lattice, so rounds are
+//! bounded by the network diameter times the preference depth.
+
+use crate::asgraph::{AsGraph, AsId};
+use crate::routes::Route;
+
+/// The converged k-best routing state for one destination.
+#[derive(Clone, Debug)]
+pub struct BgpSim {
+    /// Destination AS.
+    pub dest: AsId,
+    /// `ribs[a]` = up to k routes at AS `a`, best first.
+    pub ribs: Vec<Vec<Route>>,
+    /// Rounds needed to converge.
+    pub rounds: usize,
+}
+
+impl BgpSim {
+    /// Converge k-best routing toward `dest`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or convergence needs more than `4·n` rounds
+    /// (which would indicate a policy-oscillation bug).
+    pub fn converge(g: &AsGraph, dest: AsId, k: usize) -> BgpSim {
+        assert!(k >= 1, "need at least one route per destination");
+        let n = g.as_count();
+        let mut ribs: Vec<Vec<Route>> = vec![Vec::new(); n];
+        ribs[dest.index()].push(Route::origin());
+
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            assert!(
+                rounds <= 4 * n + 8,
+                "path-vector failed to converge — policy oscillation?"
+            );
+            let mut changed = false;
+            // Deterministic order: AS 0..n recompute from current ribs.
+            for a in g.ases() {
+                if a == dest {
+                    continue;
+                }
+                let mut candidates: Vec<Route> = Vec::new();
+                for &(nbr, rel, link) in g.neighbors(a) {
+                    // The neighbor advertises its *best* route (classic BGP:
+                    // one announcement per peer), if export policy allows.
+                    let Some(best) = ribs[nbr.index()].first() else {
+                        continue;
+                    };
+                    // Export decision is made by the neighbor; `rel` is our
+                    // view, so the neighbor's view of us is the inverse.
+                    let their_view = match rel {
+                        crate::asgraph::Relationship::Customer => {
+                            crate::asgraph::Relationship::Provider
+                        }
+                        crate::asgraph::Relationship::Provider => {
+                            crate::asgraph::Relationship::Customer
+                        }
+                        crate::asgraph::Relationship::Peer => crate::asgraph::Relationship::Peer,
+                    };
+                    if !best.exportable_to(their_view) {
+                        continue;
+                    }
+                    if best.contains(a) || best.next_hop() == Some(a) {
+                        continue; // loop prevention
+                    }
+                    let mut path = Vec::with_capacity(best.len() + 1);
+                    path.push(nbr);
+                    path.extend_from_slice(&best.path);
+                    if path.contains(&a) {
+                        continue;
+                    }
+                    candidates.push(Route {
+                        path,
+                        learned_from: Some(rel),
+                        via: Some(link),
+                    });
+                }
+                candidates.sort_by(|x, y| x.compare(y));
+                // k best with distinct next hops.
+                let mut selected: Vec<Route> = Vec::with_capacity(k);
+                for c in candidates {
+                    if selected.len() >= k {
+                        break;
+                    }
+                    if selected.iter().all(|s| s.next_hop() != c.next_hop()) {
+                        selected.push(c);
+                    }
+                }
+                if selected != ribs[a.index()] {
+                    ribs[a.index()] = selected;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        BgpSim { dest, ribs, rounds }
+    }
+
+    /// The best route at `a`, if any.
+    pub fn best(&self, a: AsId) -> Option<&Route> {
+        self.ribs[a.index()].first()
+    }
+
+    /// Number of routes installed at `a`.
+    pub fn route_count(&self, a: AsId) -> usize {
+        self.ribs[a.index()].len()
+    }
+
+    /// Fraction of ASes (other than the destination) with at least one
+    /// route.
+    pub fn coverage(&self, g: &AsGraph) -> f64 {
+        let n = g.as_count();
+        let have = g
+            .ases()
+            .filter(|&a| a != self.dest && !self.ribs[a.index()].is_empty())
+            .count();
+        have as f64 / (n - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asgraph::Relationship;
+
+    /// 0 is a tier-1; 1 and 2 are its customers; 3 buys from both 1 and 2.
+    fn diamond() -> AsGraph {
+        let mut g = AsGraph::new(4);
+        g.add_transit(AsId(1), AsId(0));
+        g.add_transit(AsId(2), AsId(0));
+        g.add_transit(AsId(3), AsId(1));
+        g.add_transit(AsId(3), AsId(2));
+        g
+    }
+
+    #[test]
+    fn everyone_learns_the_destination() {
+        let g = diamond();
+        let sim = BgpSim::converge(&g, AsId(0), 1);
+        assert_eq!(sim.coverage(&g), 1.0);
+        // 3 reaches 0 via its lower-id provider 1.
+        let best = sim.best(AsId(3)).unwrap();
+        assert_eq!(best.path, vec![AsId(1), AsId(0)]);
+        assert_eq!(best.learned_from, Some(Relationship::Provider));
+    }
+
+    #[test]
+    fn k_best_installs_distinct_next_hops() {
+        let g = diamond();
+        let sim = BgpSim::converge(&g, AsId(0), 2);
+        assert_eq!(sim.route_count(AsId(3)), 2);
+        let hops: Vec<_> = sim.ribs[3].iter().map(|r| r.next_hop().unwrap()).collect();
+        assert_eq!(hops, vec![AsId(1), AsId(2)]);
+    }
+
+    #[test]
+    fn all_paths_are_valley_free() {
+        let g = AsGraph::internet_like(3, 6, 12, 4);
+        for dest in g.ases() {
+            let sim = BgpSim::converge(&g, dest, 3);
+            for a in g.ases() {
+                for r in &sim.ribs[a.index()] {
+                    // Full path from a: a, then r.path.
+                    let mut full = vec![a];
+                    full.extend_from_slice(&r.path);
+                    assert!(
+                        g.is_valley_free(&full),
+                        "valley in route {full:?} toward {dest:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn customer_routes_preferred_over_peer() {
+        // dest 2 is customer of 1; 1 peers with 0; 2 also buys from 0.
+        let mut g = AsGraph::new(3);
+        g.add_peering(AsId(0), AsId(1));
+        g.add_transit(AsId(2), AsId(1));
+        g.add_transit(AsId(2), AsId(0));
+        let sim = BgpSim::converge(&g, AsId(2), 1);
+        // AS 0 hears 2 directly (customer) and could hear via peer 1 --
+        // customer route must win.
+        let best = sim.best(AsId(0)).unwrap();
+        assert_eq!(best.learned_from, Some(Relationship::Customer));
+        assert_eq!(best.path, vec![AsId(2)]);
+    }
+
+    #[test]
+    fn peer_routes_not_re_exported_to_peers() {
+        // 0 -peer- 1 -peer- 2; dest = 0. Valley-free forbids 2 learning 0
+        // through two consecutive peering hops.
+        let mut g = AsGraph::new(3);
+        g.add_peering(AsId(0), AsId(1));
+        g.add_peering(AsId(1), AsId(2));
+        let sim = BgpSim::converge(&g, AsId(0), 1);
+        assert!(sim.best(AsId(1)).is_some());
+        assert!(sim.best(AsId(2)).is_none(), "peer route leaked to a peer");
+    }
+
+    #[test]
+    fn coverage_full_on_internet_like() {
+        let g = AsGraph::internet_like(3, 5, 10, 7);
+        let sim = BgpSim::converge(&g, AsId(17), 2);
+        assert_eq!(sim.coverage(&g), 1.0, "hierarchy guarantees reachability");
+        assert!(sim.rounds <= 4 * g.as_count() + 8);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = AsGraph::internet_like(3, 5, 10, 7);
+        let a = BgpSim::converge(&g, AsId(2), 3);
+        let b = BgpSim::converge(&g, AsId(2), 3);
+        assert_eq!(a.ribs.len(), b.ribs.len());
+        for (x, y) in a.ribs.iter().zip(&b.ribs) {
+            assert_eq!(x, y);
+        }
+    }
+}

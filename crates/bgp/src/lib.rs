@@ -1,0 +1,34 @@
+//! # splice-bgp
+//!
+//! Interdomain path splicing (§5 "Extensions to interdomain routing").
+//!
+//! The paper sketches a "spliced BGP": BGP routers already hold multiple
+//! routes per destination; modify the decision process to select the
+//! **k best** routes and install them in k forwarding tables, then let
+//! the forwarding bits pick among them — multiple interdomain paths with
+//! *no* extra router-to-router communication (contrast MIRO).
+//!
+//! This crate builds that system over a policy-annotated AS graph:
+//!
+//! * [`asgraph`] — AS-level topology with Gao–Rexford business
+//!   relationships (customer/provider/peer) and an internet-like
+//!   hierarchy generator (tier-1 clique, mid-tier providers, stubs).
+//! * [`routes`] — routes, the standard BGP preference order
+//!   (customer > peer > provider, then shortest AS path, then lowest
+//!   neighbor id) and valley-free export rules.
+//! * [`bgp_sim`] — a deterministic path-vector simulation to convergence,
+//!   generalized to keep the k best next-hop-distinct routes per
+//!   destination.
+//! * [`splice_bgp`] — the splicing layer: per-destination successor
+//!   graphs over the k installed routes, and the AS-level reliability
+//!   experiment (fail inter-AS links, measure who still reaches the
+//!   destination *without* waiting for reconvergence).
+
+pub mod asgraph;
+pub mod bgp_sim;
+pub mod routes;
+pub mod splice_bgp;
+
+pub use asgraph::{AsGraph, AsId, Relationship};
+pub use bgp_sim::BgpSim;
+pub use routes::Route;

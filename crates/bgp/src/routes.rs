@@ -1,0 +1,150 @@
+//! BGP routes, preference, and export policy.
+
+use crate::asgraph::{AsId, AsLinkId, Relationship};
+use std::cmp::Ordering;
+
+/// One route toward a destination AS.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// AS path, starting with the next hop and ending at the destination.
+    /// Empty for the destination's own (origin) route.
+    pub path: Vec<AsId>,
+    /// Relationship through which the route was learned (`None` for the
+    /// origin route at the destination itself).
+    pub learned_from: Option<Relationship>,
+    /// The inter-AS link to the next hop (`None` for the origin route).
+    pub via: Option<AsLinkId>,
+}
+
+impl Route {
+    /// The destination's own route to itself.
+    pub fn origin() -> Route {
+        Route {
+            path: Vec::new(),
+            learned_from: None,
+            via: None,
+        }
+    }
+
+    /// Next-hop AS, if any.
+    pub fn next_hop(&self) -> Option<AsId> {
+        self.path.first().copied()
+    }
+
+    /// AS-path length.
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// True for the origin route.
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+
+    /// Numeric preference class: customer 0 < peer 1 < provider 2 (lower
+    /// preferred), matching local-pref practice under Gao–Rexford.
+    fn pref_class(&self) -> u8 {
+        match self.learned_from {
+            None => 0, // origin beats everything
+            Some(Relationship::Customer) => 0,
+            Some(Relationship::Peer) => 1,
+            Some(Relationship::Provider) => 2,
+        }
+    }
+
+    /// Total order: preference class, then path length, then next-hop id —
+    /// the deterministic tie-break the simulator relies on.
+    pub fn compare(&self, other: &Route) -> Ordering {
+        self.pref_class()
+            .cmp(&other.pref_class())
+            .then(self.len().cmp(&other.len()))
+            .then_with(|| self.next_hop().cmp(&other.next_hop()))
+    }
+
+    /// Export rule (Gao–Rexford): a route may be advertised to a neighbor
+    /// of kind `to` iff it was learned from a customer (or originated
+    /// here), *or* the neighbor is a customer (customers get everything).
+    pub fn exportable_to(&self, to: Relationship) -> bool {
+        match to {
+            Relationship::Customer => true,
+            Relationship::Peer | Relationship::Provider => {
+                matches!(self.learned_from, None | Some(Relationship::Customer))
+            }
+        }
+    }
+
+    /// Whether the path visits `a` (loop prevention).
+    pub fn contains(&self, a: AsId) -> bool {
+        self.path.contains(&a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(rel: Relationship, path: &[u32]) -> Route {
+        Route {
+            path: path.iter().map(|&i| AsId(i)).collect(),
+            learned_from: Some(rel),
+            via: Some(AsLinkId(0)),
+        }
+    }
+
+    #[test]
+    fn customer_beats_shorter_peer() {
+        let c = route(Relationship::Customer, &[1, 2, 3]);
+        let p = route(Relationship::Peer, &[4]);
+        assert_eq!(c.compare(&p), Ordering::Less);
+    }
+
+    #[test]
+    fn same_class_prefers_shorter() {
+        let a = route(Relationship::Peer, &[1, 2]);
+        let b = route(Relationship::Peer, &[3]);
+        assert_eq!(b.compare(&a), Ordering::Less);
+    }
+
+    #[test]
+    fn tie_breaks_on_next_hop() {
+        let a = route(Relationship::Provider, &[2, 9]);
+        let b = route(Relationship::Provider, &[5, 9]);
+        assert_eq!(a.compare(&b), Ordering::Less);
+    }
+
+    #[test]
+    fn origin_wins() {
+        let o = Route::origin();
+        let c = route(Relationship::Customer, &[1]);
+        assert_eq!(o.compare(&c), Ordering::Less);
+        assert!(o.is_empty());
+        assert_eq!(o.next_hop(), None);
+    }
+
+    #[test]
+    fn export_rules() {
+        let from_customer = route(Relationship::Customer, &[1]);
+        let from_peer = route(Relationship::Peer, &[1]);
+        let from_provider = route(Relationship::Provider, &[1]);
+        // Customer routes go everywhere.
+        assert!(from_customer.exportable_to(Relationship::Customer));
+        assert!(from_customer.exportable_to(Relationship::Peer));
+        assert!(from_customer.exportable_to(Relationship::Provider));
+        // Peer/provider routes only go to customers.
+        assert!(from_peer.exportable_to(Relationship::Customer));
+        assert!(!from_peer.exportable_to(Relationship::Peer));
+        assert!(!from_peer.exportable_to(Relationship::Provider));
+        assert!(from_provider.exportable_to(Relationship::Customer));
+        assert!(!from_provider.exportable_to(Relationship::Provider));
+        // Origin routes are advertised to everyone.
+        assert!(Route::origin().exportable_to(Relationship::Provider));
+        assert!(Route::origin().exportable_to(Relationship::Peer));
+    }
+
+    #[test]
+    fn loop_detection() {
+        let r = route(Relationship::Customer, &[1, 2, 3]);
+        assert!(r.contains(AsId(2)));
+        assert!(!r.contains(AsId(7)));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the interdomain substrate: on arbitrary
+//! AS hierarchies, every computed route must respect Gao–Rexford, the
+//! preference order, and the k-best structure.
+
+use proptest::prelude::*;
+use splice_bgp::asgraph::{AsGraph, AsId, Relationship};
+use splice_bgp::bgp_sim::BgpSim;
+
+/// Strategy: a random internet-like hierarchy.
+fn arb_as_graph() -> impl Strategy<Value = AsGraph> {
+    (1usize..=3, 2usize..=5, 0usize..=10, any::<u64>())
+        .prop_map(|(t1, mid, stub, seed)| AsGraph::internet_like(t1, mid, stub, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every route at every AS toward every destination is valley-free
+    /// and loop-free.
+    #[test]
+    fn routes_are_valley_free_and_loop_free(g in arb_as_graph(), k in 1usize..=4) {
+        for dest in g.ases() {
+            let sim = BgpSim::converge(&g, dest, k);
+            for a in g.ases() {
+                for r in &sim.ribs[a.index()] {
+                    let mut full = vec![a];
+                    full.extend_from_slice(&r.path);
+                    prop_assert!(g.is_valley_free(&full), "valley: {full:?}");
+                    // Loop-free: no AS repeats.
+                    let mut seen = std::collections::HashSet::new();
+                    prop_assert!(full.iter().all(|x| seen.insert(*x)), "loop: {full:?}");
+                    // Route terminates at the destination.
+                    prop_assert_eq!(*full.last().unwrap(), dest);
+                }
+            }
+        }
+    }
+
+    /// Installed routes are sorted by preference and next-hop distinct.
+    #[test]
+    fn ribs_sorted_and_next_hop_distinct(g in arb_as_graph(), k in 1usize..=4) {
+        let dest = AsId(0);
+        let sim = BgpSim::converge(&g, dest, k);
+        for a in g.ases() {
+            let rib = &sim.ribs[a.index()];
+            prop_assert!(rib.len() <= k.max(1));
+            for w in rib.windows(2) {
+                prop_assert_ne!(
+                    w[0].compare(&w[1]),
+                    std::cmp::Ordering::Greater,
+                    "rib out of order"
+                );
+            }
+            let mut hops = std::collections::HashSet::new();
+            for r in rib.iter().filter(|r| !r.is_empty()) {
+                prop_assert!(hops.insert(r.next_hop()), "duplicate next hop");
+            }
+        }
+    }
+
+    /// A hierarchy (every non-tier-1 AS has a provider) gives full
+    /// coverage, and the best route at a customer is never worse than
+    /// reaching through that customer's own provider chain implies.
+    #[test]
+    fn full_coverage_and_k_monotone(g in arb_as_graph()) {
+        let dest = AsId(g.as_count() as u32 - 1);
+        let one = BgpSim::converge(&g, dest, 1);
+        let three = BgpSim::converge(&g, dest, 3);
+        prop_assert_eq!(one.coverage(&g), 1.0);
+        for a in g.ases() {
+            // More allowed routes never lose the best one.
+            prop_assert_eq!(
+                one.best(a).map(|r| r.path.clone()),
+                three.best(a).map(|r| r.path.clone()),
+                "k changed the best route at {:?}",
+                a
+            );
+            prop_assert!(three.route_count(a) >= one.route_count(a));
+        }
+    }
+
+    /// No route learned from a peer or provider is ever re-exported to a
+    /// peer or provider (checked structurally: any two consecutive
+    /// non-customer relationships going "down then up" would be a valley,
+    /// already covered; here we check the export rule directly on ribs).
+    #[test]
+    fn no_peer_or_provider_route_reaches_another_peer(g in arb_as_graph()) {
+        let dest = AsId(0);
+        let sim = BgpSim::converge(&g, dest, 2);
+        for a in g.ases() {
+            for r in &sim.ribs[a.index()] {
+                let Some(nh) = r.next_hop() else { continue };
+                // If we learned this from a peer or provider, the neighbor
+                // must have had a customer (or origin) route: its own path
+                // suffix must descend only.
+                if matches!(
+                    r.learned_from,
+                    Some(Relationship::Peer) | Some(Relationship::Provider)
+                ) {
+                    let mut suffix = vec![nh];
+                    suffix.extend_from_slice(&r.path[1..]);
+                    // Valley-free of the suffix with phase forced to
+                    // "descending or peer once": equivalent to checking the
+                    // suffix itself is valley-free starting at the neighbor.
+                    prop_assert!(g.is_valley_free(&suffix));
+                }
+            }
+        }
+    }
+}

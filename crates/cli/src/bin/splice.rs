@@ -1,0 +1,319 @@
+//! The `splice` command-line tool.
+//!
+//! ```text
+//! splice <command> [flags]
+//!
+//! commands:
+//!   info         topology statistics (nodes, links, degrees, min cut)
+//!   route        forward a packet and print the hop-by-hop trace
+//!   recover      break links and run end-system or network recovery
+//!   reliability  quick Monte-Carlo disconnection numbers
+//!   slices       per-slice stretch statistics
+//! ```
+//!
+//! Run `splice help` for the full flag list.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splice_cli::{resolve_failures, resolve_node, resolve_topology, Flags};
+use splice_core::prelude::*;
+use splice_core::slices::SplicingConfig;
+use splice_core::stretch::{per_slice_stretch, StretchStats};
+use splice_graph::mincut::min_cut_links;
+
+use splice_sim::reliability::{reliability_experiment, ReliabilityConfig, SpliceSemantics};
+use splice_topology::Topology;
+
+const HELP: &str = "\
+splice — path splicing on ISP topologies
+
+usage: splice <command> [flags]
+
+commands:
+  info         topology statistics (nodes, links, degrees, min cut)
+  route        forward a packet and print the hop-by-hop trace
+  recover      break links and run recovery
+  reliability  quick Monte-Carlo disconnection numbers
+  slices       per-slice stretch statistics
+  help         this message
+
+common flags:
+  --topology sprint|geant|abilene   built-in topology (default sprint)
+  --file PATH                       edge-list topology file instead
+  --k N                             number of slices (default 5)
+  --seed N                          RNG seed (default 1)
+  --fail A-B                        fail the named link (repeatable)
+  --fail-edge ID                    fail a link by edge id (repeatable)
+
+route/recover flags:
+  --src NAME --dst NAME             endpoints (required)
+  --slice N                         pin to one slice (route; default 0)
+  --scheme end-system|network       recovery scheme (default end-system)
+  --trials N                        recovery trials (default 5)
+
+reliability flags:
+  --k 1,5,10                        slice counts (comma list)
+  --p 0.02,0.05,0.1                 failure probabilities (comma list)
+  --trials N                        Monte-Carlo trials (default 200)
+  --semantics union|directed        spliced-path accounting (default union)
+";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().map(String::as_str) else {
+        eprint!("{HELP}");
+        std::process::exit(2);
+    };
+    let flags = match Flags::parse(&argv[1..]) {
+        Ok(f) => f,
+        Err(e) => fail(&e),
+    };
+    let result = match command {
+        "info" => cmd_info(&flags),
+        "route" => cmd_route(&flags),
+        "recover" => cmd_recover(&flags),
+        "reliability" => cmd_reliability(&flags),
+        "slices" => cmd_slices(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (try `splice help`)")),
+    };
+    if let Err(e) = result {
+        fail(&e);
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("splice: {msg}");
+    std::process::exit(2);
+}
+
+fn build(topo: &Topology, flags: &Flags) -> Result<(splice_graph::Graph, Splicing), String> {
+    let k: usize = flags.get_parsed("k", 5)?;
+    if k == 0 {
+        return Err("--k must be at least 1".into());
+    }
+    let seed: u64 = flags.get_parsed("seed", 1)?;
+    let g = topo.graph();
+    let splicing = Splicing::build(&g, &SplicingConfig::degree_based(k, 0.0, 3.0), seed);
+    Ok((g, splicing))
+}
+
+fn cmd_info(flags: &Flags) -> Result<(), String> {
+    let topo = resolve_topology(flags)?;
+    let g = topo.graph();
+    println!("topology : {}", topo.name);
+    println!("nodes    : {}", g.node_count());
+    println!("links    : {}", g.edge_count());
+    println!(
+        "degrees  : min {} / avg {:.2} / max {}",
+        g.min_degree(),
+        2.0 * g.edge_count() as f64 / g.node_count() as f64,
+        g.max_degree()
+    );
+    if let Some(cut) = min_cut_links(&g) {
+        println!("min cut  : {cut} link(s)");
+    }
+    let mask = resolve_failures(&topo, flags)?;
+    if mask.failed_count() > 0 {
+        let disc = splice_graph::traversal::disconnected_pairs(&g, &mask);
+        let n = g.node_count();
+        println!(
+            "with {} failed link(s): {} of {} ordered pairs disconnected",
+            mask.failed_count(),
+            disc,
+            n * (n - 1)
+        );
+    }
+    let hubs: Vec<String> = {
+        let mut by_degree: Vec<_> = g.nodes().map(|u| (g.degree(u), u)).collect();
+        by_degree.sort_by_key(|&(d, _)| std::cmp::Reverse(d));
+        by_degree
+            .iter()
+            .take(5)
+            .map(|&(d, u)| format!("{} ({d})", topo.node_name(u)))
+            .collect()
+    };
+    println!("hubs     : {}", hubs.join(", "));
+    Ok(())
+}
+
+fn trace_names(topo: &Topology, trace: &Trace) -> String {
+    trace
+        .steps
+        .iter()
+        .map(|s| format!("{}[s{}]", topo.node_name(s.node), s.slice))
+        .chain(std::iter::once(topo.node_name(trace.last).to_string()))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+fn cmd_route(flags: &Flags) -> Result<(), String> {
+    let topo = resolve_topology(flags)?;
+    let (g, splicing) = build(&topo, flags)?;
+    let src = resolve_node(&topo, flags.get("src").ok_or("--src required")?)?;
+    let dst = resolve_node(&topo, flags.get("dst").ok_or("--dst required")?)?;
+    let mask = resolve_failures(&topo, flags)?;
+    let slice: usize = flags.get_parsed("slice", 0)?;
+    if slice >= splicing.k() {
+        return Err(format!(
+            "--slice {slice} out of range (k = {})",
+            splicing.k()
+        ));
+    }
+    let fwd = Forwarder::new(&splicing, &g, &mask);
+    let out = fwd.forward(
+        src,
+        dst,
+        ForwardingBits::stay_in_slice(slice, splicing.k()),
+        &ForwarderOptions::default(),
+    );
+    match out {
+        ForwardingOutcome::Delivered(trace) => {
+            println!("delivered in {} hops via slice {slice}", trace.hop_count());
+            println!("{}", trace_names(&topo, &trace));
+            println!(
+                "latency {:.2} ms ({}x the base shortest path)",
+                trace.length(&topo.latencies()),
+                {
+                    let spt = splice_graph::dijkstra(&g, dst, &g.base_weights());
+                    let base = spt
+                        .path_from(src)
+                        .map(|p| p.length(&topo.latencies()))
+                        .unwrap_or(f64::NAN);
+                    format!("{:.2}", trace.length(&topo.latencies()) / base)
+                }
+            );
+        }
+        ForwardingOutcome::LinkDown { trace, slice } => {
+            println!(
+                "dropped at {} — slice {slice}'s next hop link is down",
+                topo.node_name(trace.last)
+            );
+            println!("(try `splice recover` with the same flags)");
+        }
+        other => println!("not delivered: {other:?}"),
+    }
+    Ok(())
+}
+
+fn cmd_recover(flags: &Flags) -> Result<(), String> {
+    let topo = resolve_topology(flags)?;
+    let (g, splicing) = build(&topo, flags)?;
+    let src = resolve_node(&topo, flags.get("src").ok_or("--src required")?)?;
+    let dst = resolve_node(&topo, flags.get("dst").ok_or("--dst required")?)?;
+    let mask = resolve_failures(&topo, flags)?;
+    if mask.failed_count() == 0 {
+        return Err("recovery needs at least one --fail".into());
+    }
+    let seed: u64 = flags.get_parsed("seed", 1)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    match flags.get("scheme").unwrap_or("end-system") {
+        "end-system" => {
+            let trials: usize = flags.get_parsed("trials", 5)?;
+            let fwd = Forwarder::new(&splicing, &g, &mask);
+            let rec = EndSystemRecovery {
+                max_trials: trials,
+                ..Default::default()
+            };
+            let out = rec.recover(&fwd, src, dst, 0, &ForwarderOptions::default(), &mut rng);
+            if out.recovered {
+                let trace = out.delivery.unwrap();
+                println!(
+                    "recovered in {} trial(s); {} hops, {} slice switch(es)",
+                    out.trials,
+                    trace.hop_count(),
+                    trace.slice_switches()
+                );
+                println!("{}", trace_names(&topo, &trace));
+            } else {
+                println!("not recovered within {trials} trials");
+            }
+        }
+        "network" => {
+            let nr = NetworkRecovery::default();
+            let out = nr.forward(&splicing, &mask, src, dst, 0, &mut rng);
+            match out {
+                ForwardingOutcome::Delivered(trace) => {
+                    println!(
+                        "delivered with in-network deflection; {} hops, {} slice switch(es)",
+                        trace.hop_count(),
+                        trace.slice_switches()
+                    );
+                    println!("{}", trace_names(&topo, &trace));
+                }
+                other => println!("not delivered: {other:?}"),
+            }
+        }
+        other => return Err(format!("unknown --scheme {other:?}")),
+    }
+    Ok(())
+}
+
+fn cmd_reliability(flags: &Flags) -> Result<(), String> {
+    let topo = resolve_topology(flags)?;
+    let g = topo.graph();
+    let ks: Vec<usize> = flags.get_list("k", vec![1, 5, 10])?;
+    let ps: Vec<f64> = flags.get_list("p", vec![0.05])?;
+    let trials: usize = flags.get_parsed("trials", 200)?;
+    let seed: u64 = flags.get_parsed("seed", 1)?;
+    let semantics = match flags.get("semantics").unwrap_or("union") {
+        "directed" => SpliceSemantics::Directed,
+        _ => SpliceSemantics::UnionGraph,
+    };
+    let kmax = *ks.iter().max().ok_or("--k list empty")?;
+    if ps.is_empty() {
+        return Err("--p list empty".into());
+    }
+    let cfg = ReliabilityConfig {
+        ks: ks.clone(),
+        ps: ps.clone(),
+        trials,
+        splicing: SplicingConfig::degree_based(kmax.max(1), 0.0, 3.0),
+        semantics,
+        seed,
+    };
+    let out = reliability_experiment(&g, &cfg);
+    println!(
+        "{}: fraction of pairs disconnected ({trials} trials, {:?}):",
+        topo.name, semantics
+    );
+    print!("  {:<8}", "p");
+    for curve in &out.curves {
+        print!("{:<18}", curve.label);
+    }
+    println!("{:<14}", "best possible");
+    for (pi, &p) in ps.iter().enumerate() {
+        print!("  {p:<8}");
+        for curve in &out.curves {
+            print!("{:<18.4}", curve.points[pi].1);
+        }
+        println!("{:<14.4}", out.best_possible.points[pi].1);
+    }
+    Ok(())
+}
+
+fn cmd_slices(flags: &Flags) -> Result<(), String> {
+    let topo = resolve_topology(flags)?;
+    let (g, splicing) = build(&topo, flags)?;
+    let latencies = topo.latencies();
+    let per_slice = per_slice_stretch(&splicing, &g, &latencies);
+    println!("{}: per-slice path stretch over all pairs:", topo.name);
+    println!("  slice   mean    p99     max");
+    for (i, samples) in per_slice.into_iter().enumerate() {
+        let st = StretchStats::from_samples(samples).ok_or("no samples")?;
+        println!("  {:<6}  {:.3}   {:.3}   {:.3}", i, st.mean, st.p99, st.max);
+    }
+    let diversity: usize = g
+        .nodes()
+        .map(|t| splicing.diversity_toward(t, splicing.k()))
+        .sum();
+    let n = g.node_count();
+    println!(
+        "mean next-hop diversity: {:.2} per (node, destination)",
+        diversity as f64 / (n * (n - 1)) as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,236 @@
+//! # splice-cli
+//!
+//! The `splice` command-line tool: explore path splicing on built-in or
+//! user-supplied topologies without writing Rust.
+//!
+//! ```text
+//! splice info   --topology sprint
+//! splice route  --topology geant --src pt --dst se --k 5 --fail pt-es
+//! splice recover --topology sprint --src Seattle --dst "New York" --k 5 \
+//!                --fail Seattle-Denver --scheme end-system
+//! splice reliability --topology sprint --k 1,5,10 --p 0.05 --trials 300
+//! ```
+//!
+//! Topologies can also be loaded from edge-list files via
+//! `--file path.topo` (see `splice_topology::parse`).
+
+use splice_graph::{EdgeId, EdgeMask, NodeId};
+use splice_topology::{parse, Topology};
+use std::collections::HashMap;
+
+/// A parsed command line: flag → values (flags may repeat).
+#[derive(Clone, Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, Vec<String>>,
+}
+
+impl Flags {
+    /// Parse `--flag value` pairs; repeated flags accumulate.
+    ///
+    /// Returns an error message on a flag with no value or a stray
+    /// positional argument.
+    pub fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut values: HashMap<String, Vec<String>> = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = &args[i];
+            if !flag.starts_with("--") {
+                return Err(format!("unexpected positional argument {flag:?}"));
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value for {flag}"))?;
+            values
+                .entry(flag.trim_start_matches("--").to_string())
+                .or_default()
+                .push(value.clone());
+            i += 2;
+        }
+        Ok(Flags { values })
+    }
+
+    /// Last value of a flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// All values of a repeatable flag.
+    pub fn get_all(&self, name: &str) -> &[String] {
+        self.values.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// A flag parsed as `T`, with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{name}: {v:?}")),
+        }
+    }
+
+    /// A comma-separated list flag parsed as `Vec<T>`.
+    pub fn get_list<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: Vec<T>,
+    ) -> Result<Vec<T>, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .split(',')
+                .map(|x| {
+                    x.trim()
+                        .parse()
+                        .map_err(|_| format!("bad value in --{name}: {x:?}"))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Resolve the topology from `--topology name` or `--file path`.
+pub fn resolve_topology(flags: &Flags) -> Result<Topology, String> {
+    if let Some(path) = flags.get("file") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("file");
+        return parse::parse_edge_list(name, &text).map_err(|e| e.to_string());
+    }
+    match flags.get("topology").unwrap_or("sprint") {
+        "sprint" => Ok(splice_topology::sprint::sprint()),
+        "geant" => Ok(splice_topology::geant::geant()),
+        "abilene" => Ok(splice_topology::abilene::abilene()),
+        other => Err(format!(
+            "unknown topology {other:?}; expected sprint|geant|abilene or --file"
+        )),
+    }
+}
+
+/// Resolve a node by name (exact, then case-insensitive).
+pub fn resolve_node(topo: &Topology, name: &str) -> Result<NodeId, String> {
+    if let Some(id) = topo.node_by_name(name) {
+        return Ok(id);
+    }
+    let lower = name.to_lowercase();
+    topo.nodes
+        .iter()
+        .position(|n| n.name.to_lowercase() == lower)
+        .map(|i| NodeId(i as u32))
+        .ok_or_else(|| format!("no node named {name:?} in {}", topo.name))
+}
+
+/// Parse repeated `--fail a-b` flags into a failure mask.
+pub fn resolve_failures(topo: &Topology, flags: &Flags) -> Result<EdgeMask, String> {
+    let g = topo.graph();
+    let mut mask = EdgeMask::all_up(g.edge_count());
+    for spec in flags.get_all("fail") {
+        let (a, b) = spec
+            .split_once('-')
+            .ok_or_else(|| format!("--fail expects a-b, got {spec:?}"))?;
+        let (na, nb) = (resolve_node(topo, a.trim())?, resolve_node(topo, b.trim())?);
+        let e = g
+            .find_edge(na, nb)
+            .ok_or_else(|| format!("no link {a} - {b} in {}", topo.name))?;
+        mask.fail(e);
+    }
+    // Also accept --fail-edge <id> for scripted use.
+    for spec in flags.get_all("fail-edge") {
+        let id: u32 = spec
+            .parse()
+            .map_err(|_| format!("bad --fail-edge {spec:?}"))?;
+        if (id as usize) >= g.edge_count() {
+            return Err(format!("edge id {id} out of range"));
+        }
+        mask.fail(EdgeId(id));
+    }
+    Ok(mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(s: &[&str]) -> Flags {
+        Flags::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let f = flags(&["--k", "5", "--fail", "a-b", "--fail", "c-d"]);
+        assert_eq!(f.get("k"), Some("5"));
+        assert_eq!(f.get_all("fail"), &["a-b".to_string(), "c-d".to_string()]);
+        assert_eq!(f.get_parsed::<usize>("k", 1).unwrap(), 5);
+        assert_eq!(f.get_parsed::<usize>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn flag_errors() {
+        assert!(Flags::parse(&["--k".to_string()]).is_err());
+        assert!(Flags::parse(&["stray".to_string()]).is_err());
+        let f = flags(&["--k", "abc"]);
+        assert!(f.get_parsed::<usize>("k", 1).is_err());
+    }
+
+    #[test]
+    fn list_flags() {
+        let f = flags(&["--k", "1,3, 5"]);
+        assert_eq!(f.get_list::<usize>("k", vec![]).unwrap(), vec![1, 3, 5]);
+        assert_eq!(
+            f.get_list::<usize>("p", vec![9]).unwrap(),
+            vec![9],
+            "default when absent"
+        );
+    }
+
+    #[test]
+    fn topology_resolution() {
+        let f = flags(&["--topology", "geant"]);
+        assert_eq!(resolve_topology(&f).unwrap().node_count(), 23);
+        let f = flags(&["--topology", "nope"]);
+        assert!(resolve_topology(&f).is_err());
+        let f = flags(&[]);
+        assert_eq!(resolve_topology(&f).unwrap().name, "sprint");
+    }
+
+    #[test]
+    fn node_resolution_case_insensitive() {
+        let topo = splice_topology::sprint::sprint();
+        assert!(resolve_node(&topo, "Seattle").is_ok());
+        assert!(resolve_node(&topo, "seattle").is_ok());
+        assert!(resolve_node(&topo, "Atlantis").is_err());
+    }
+
+    #[test]
+    fn failure_specs() {
+        let topo = splice_topology::abilene::abilene();
+        let f = flags(&["--fail", "Seattle-Denver"]);
+        let mask = resolve_failures(&topo, &f).unwrap();
+        assert_eq!(mask.failed_count(), 1);
+        let f = flags(&["--fail", "Seattle+Denver"]);
+        assert!(resolve_failures(&topo, &f).is_err());
+        let f = flags(&["--fail", "Seattle-Miami"]);
+        assert!(resolve_failures(&topo, &f).is_err(), "no such link");
+        let f = flags(&["--fail-edge", "0"]);
+        assert_eq!(resolve_failures(&topo, &f).unwrap().failed_count(), 1);
+        let f = flags(&["--fail-edge", "999"]);
+        assert!(resolve_failures(&topo, &f).is_err());
+    }
+
+    #[test]
+    fn file_topology() {
+        let dir = std::env::temp_dir().join("splice-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.topo");
+        std::fs::write(&path, "a b 1.0\nb c 2.0\n").unwrap();
+        let f = flags(&["--file", path.to_str().unwrap()]);
+        let topo = resolve_topology(&f).unwrap();
+        assert_eq!(topo.node_count(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,162 @@
+//! Integration tests driving the compiled `splice` binary end to end.
+
+use std::process::{Command, Output};
+
+fn splice(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_splice"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_and_no_args() {
+    let out = splice(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("usage: splice"));
+    let out = splice(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage: splice"));
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = splice(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn info_reports_paper_counts() {
+    let out = splice(&["info", "--topology", "sprint"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("nodes    : 52"));
+    assert!(text.contains("links    : 84"));
+    assert!(text.contains("min cut"));
+}
+
+#[test]
+fn route_prints_a_trace() {
+    let out = splice(&["route", "--topology", "geant", "--src", "pt", "--dst", "se"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("delivered in"));
+    assert!(text.contains("pt[s0]"));
+}
+
+#[test]
+fn route_detects_failed_link() {
+    let out = splice(&[
+        "route",
+        "--topology",
+        "abilene",
+        "--src",
+        "Seattle",
+        "--dst",
+        "New York",
+        "--fail",
+        "Seattle-Denver",
+    ]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("dropped at Seattle"));
+}
+
+#[test]
+fn recover_routes_around_failure() {
+    let out = splice(&[
+        "recover",
+        "--topology",
+        "abilene",
+        "--src",
+        "Seattle",
+        "--dst",
+        "New York",
+        "--fail",
+        "Seattle-Denver",
+        "--seed",
+        "3",
+        "--k",
+        "5",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("recovered in"));
+}
+
+#[test]
+fn recover_requires_a_failure() {
+    let out = splice(&[
+        "recover",
+        "--topology",
+        "abilene",
+        "--src",
+        "Seattle",
+        "--dst",
+        "Denver",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--fail"));
+}
+
+#[test]
+fn reliability_prints_all_curves() {
+    let out = splice(&[
+        "reliability",
+        "--topology",
+        "abilene",
+        "--k",
+        "1,3",
+        "--trials",
+        "20",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("k = 1"));
+    assert!(text.contains("k = 3"));
+    assert!(text.contains("best possible"));
+}
+
+#[test]
+fn slices_prints_stretch_table() {
+    let out = splice(&["slices", "--topology", "abilene", "--k", "3"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("per-slice path stretch"));
+    assert!(text.contains("next-hop diversity"));
+}
+
+#[test]
+fn bad_flags_fail_cleanly() {
+    for args in [
+        vec!["route", "--topology", "sprint"],     // missing src/dst
+        vec!["info", "--topology", "atlantis"],    // unknown topology
+        vec!["route", "--src"],                    // dangling flag
+        vec!["info", "--fail", "Nowhere-Chicago"], // unknown node
+    ] {
+        let out = splice(&args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        assert!(!stderr(&out).is_empty());
+    }
+}
+
+#[test]
+fn file_topology_roundtrip() {
+    let dir = std::env::temp_dir().join("splice-cli-int");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("square.topo");
+    std::fs::write(&path, "a b 1\nb c 1\nc d 1\nd a 1\n").unwrap();
+    let out = splice(&["info", "--file", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("nodes    : 4"));
+    assert!(text.contains("min cut  : 2"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,258 @@
+//! Link-weight perturbations (§3.1.1).
+//!
+//! Every slice is the shortest-path forest of a *perturbed* weight vector:
+//!
+//! ```text
+//! L'(i,j) = L(i,j) + Weight(a,b,i,j) · Random(0, L(i,j))
+//! ```
+//!
+//! The perturbed weight is always at least the original (`Random ≥ 0`), so
+//! slice paths can be longer but never shorter than true shortest paths —
+//! this is what bounds stretch (§2, Appendix B).
+//!
+//! Two `Weight()` functions from the paper:
+//!
+//! * [`Uniform`] — `Weight` is the same constant for every link.
+//! * [`DegreeBased`] — `Weight(a,b,i,j) = f_ab(degree(i) + degree(j))`, a
+//!   linear map of the degree sum into `[a, b]`: links touching hubs are
+//!   perturbed harder, discouraging many shortest paths from sharing the
+//!   same hub link. Figure 3 uses `Weight(0, 3)`.
+//!
+//! Plus the range perturbation of Theorem A.1 ([`TheoremA1`]), which draws
+//! the whole weight uniformly from `(L, 2·D·k·L)`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use splice_graph::Graph;
+
+/// A strategy producing one perturbed weight vector per call.
+///
+/// Implementations must be deterministic given the RNG state, so that a
+/// seeded experiment is exactly reproducible.
+pub trait Perturbation {
+    /// Produce a perturbed weight vector for `g` (length = edge count).
+    fn perturb(&self, g: &Graph, rng: &mut StdRng) -> Vec<f64>;
+
+    /// A short human-readable label for experiment output.
+    fn label(&self) -> String;
+}
+
+/// Uniform perturbation: `Weight(a,b,i,j) = strength` for every link, so
+/// `L' = L + strength · U(0, L)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Uniform {
+    /// The constant multiplier applied to `U(0, L)`.
+    pub strength: f64,
+}
+
+impl Uniform {
+    /// A uniform perturbation with the given strength (must be ≥ 0).
+    pub fn new(strength: f64) -> Self {
+        assert!(strength >= 0.0 && strength.is_finite());
+        Uniform { strength }
+    }
+}
+
+impl Perturbation for Uniform {
+    fn perturb(&self, g: &Graph, rng: &mut StdRng) -> Vec<f64> {
+        g.edges()
+            .iter()
+            .map(|e| e.weight + self.strength * rng.gen_range(0.0..e.weight))
+            .collect()
+    }
+
+    fn label(&self) -> String {
+        format!("uniform({})", self.strength)
+    }
+}
+
+/// Degree-based perturbation: `Weight(a, b, i, j) = f_ab(deg(i) + deg(j))`
+/// where `f_ab` maps the observed degree-sum range linearly onto `[a, b]`.
+///
+/// With `a = 0, b = 3` (the paper's Figure 3 setting), the lightest-degree
+/// link keeps its weight exactly, while a link between the two biggest
+/// hubs can up to quadruple.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeBased {
+    /// `Weight` at the minimum degree sum.
+    pub a: f64,
+    /// `Weight` at the maximum degree sum.
+    pub b: f64,
+}
+
+impl DegreeBased {
+    /// The paper's `Weight(a, b)` with `a <= b`, both finite and ≥ 0.
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(a >= 0.0 && b >= a && b.is_finite());
+        DegreeBased { a, b }
+    }
+
+    /// The multiplier for an edge with the given degree sum, given the
+    /// topology-wide degree-sum range.
+    fn weight_for(&self, degree_sum: usize, lo: usize, hi: usize) -> f64 {
+        if hi == lo {
+            // Regular graph: f_ab degenerates to the midpoint.
+            return (self.a + self.b) / 2.0;
+        }
+        let t = (degree_sum - lo) as f64 / (hi - lo) as f64;
+        self.a + t * (self.b - self.a)
+    }
+}
+
+impl Perturbation for DegreeBased {
+    fn perturb(&self, g: &Graph, rng: &mut StdRng) -> Vec<f64> {
+        let (lo, hi) = g.degree_sum_range();
+        g.edges()
+            .iter()
+            .map(|e| {
+                let dsum = g.degree(e.u) + g.degree(e.v);
+                let w = self.weight_for(dsum, lo, hi);
+                e.weight + w * rng.gen_range(0.0..e.weight)
+            })
+            .collect()
+    }
+
+    fn label(&self) -> String {
+        format!("degree({},{})", self.a, self.b)
+    }
+}
+
+/// Theorem A.1's perturbation: each weight drawn uniformly from
+/// `(L, 2·D·k·L)` where `D` is the allowed stretch and `k` the slice
+/// count. Used by the scaling experiments, not the headline figures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TheoremA1 {
+    /// Maximum allowable stretch `D ≥ 1`.
+    pub d: f64,
+    /// Number of slices `k ≥ 1`.
+    pub k: usize,
+}
+
+impl Perturbation for TheoremA1 {
+    fn perturb(&self, g: &Graph, rng: &mut StdRng) -> Vec<f64> {
+        assert!(self.d >= 1.0 && self.k >= 1);
+        let hi = 2.0 * self.d * self.k as f64;
+        g.edges()
+            .iter()
+            .map(|e| rng.gen_range(e.weight..(hi * e.weight)))
+            .collect()
+    }
+
+    fn label(&self) -> String {
+        format!("thmA1(D={},k={})", self.d, self.k)
+    }
+}
+
+/// Boxed perturbation so configs can hold any strategy.
+pub type BoxedPerturbation = Box<dyn Perturbation + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use splice_graph::graph::from_edges;
+
+    fn star_plus_path() -> Graph {
+        // hub 0 with 3 leaves, plus a path 1-2: mixed degrees.
+        from_edges(4, &[(0, 1, 2.0), (0, 2, 2.0), (0, 3, 2.0), (1, 2, 2.0)])
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let g = star_plus_path();
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Uniform::new(3.0);
+        for _ in 0..50 {
+            let w = p.perturb(&g, &mut rng);
+            for (i, e) in g.edges().iter().enumerate() {
+                assert!(w[i] >= e.weight, "never below original");
+                assert!(w[i] < e.weight * (1.0 + 3.0), "bounded by (1+strength)L");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_strength_is_identity() {
+        let g = star_plus_path();
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = Uniform::new(0.0).perturb(&g, &mut rng);
+        assert_eq!(w, g.base_weights());
+    }
+
+    #[test]
+    fn degree_based_bounds_and_ordering() {
+        let g = star_plus_path();
+        // degree sums: (0,1)=3+2=5? degrees: 0:3, 1:2, 2:2, 3:1.
+        // edges: 0-1 sum 5, 0-2 sum 5, 0-3 sum 4, 1-2 sum 4.
+        let (lo, hi) = g.degree_sum_range();
+        assert_eq!((lo, hi), (4, 5));
+        let p = DegreeBased::new(0.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Statistically, hub-hub links get perturbed more.
+        let (mut hub_excess, mut tail_excess) = (0.0, 0.0);
+        for _ in 0..500 {
+            let w = p.perturb(&g, &mut rng);
+            hub_excess += w[0] - 2.0; // edge 0-1, degree sum 5 (max -> Weight=3)
+            tail_excess += w[2] - 2.0; // edge 0-3, degree sum 4 (min -> Weight=0)
+        }
+        assert_eq!(
+            tail_excess, 0.0,
+            "Weight(0,·) at min degree sum is exactly 0"
+        );
+        assert!(hub_excess > 100.0, "hub links perturbed substantially");
+    }
+
+    #[test]
+    fn degree_based_regular_graph_uses_midpoint() {
+        let ring = from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        let p = DegreeBased::new(1.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = p.perturb(&ring, &mut rng);
+        // All multipliers are 2.0; L' in [L, 3L).
+        for (i, e) in ring.edges().iter().enumerate() {
+            assert!(w[i] >= e.weight && w[i] < 3.0 * e.weight);
+        }
+    }
+
+    #[test]
+    fn theorem_a1_range() {
+        let g = star_plus_path();
+        let p = TheoremA1 { d: 2.0, k: 3 };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let w = p.perturb(&g, &mut rng);
+            for (i, e) in g.edges().iter().enumerate() {
+                assert!(w[i] > e.weight);
+                assert!(w[i] < 12.0 * e.weight);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let g = star_plus_path();
+        let p = DegreeBased::new(0.0, 3.0);
+        let w1 = p.perturb(&g, &mut StdRng::seed_from_u64(99));
+        let w2 = p.perturb(&g, &mut StdRng::seed_from_u64(99));
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Uniform::new(1.5).label(), "uniform(1.5)");
+        assert_eq!(DegreeBased::new(0.0, 3.0).label(), "degree(0,3)");
+        assert_eq!(TheoremA1 { d: 2.0, k: 4 }.label(), "thmA1(D=2,k=4)");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_strength_rejected() {
+        Uniform::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_degree_range_rejected() {
+        DegreeBased::new(3.0, 1.0);
+    }
+}

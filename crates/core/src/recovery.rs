@@ -1,0 +1,619 @@
+//! Failure recovery by changing forwarding bits (§3.2, §4.3).
+//!
+//! Two families, matching the paper's evaluation:
+//!
+//! * [`EndSystemRecovery`] — network-agnostic: the end system notices the
+//!   path is dead and retries with freshly randomized forwarding bits
+//!   ("a coin is tossed for every hop in the shim header; if the result
+//!   is a head, a different slice is selected for that hop"), up to five
+//!   trials (§4.3, Figure 4).
+//! * [`NetworkRecovery`] — a router adjacent to the failure deflects the
+//!   packet into an alternate slice whose next hop is still connected
+//!   (§4.3, Figure 5).
+//!
+//! [`HeaderStrategy`] also provides the alternatives §4.4/§5 sketch:
+//! first-hop-biased flipping, never-revisit-a-slice (provably free of
+//! persistent loops), and bounded slice switches.
+
+use crate::forwarding::{Forwarder, ForwarderOptions, ForwardingOutcome, Trace, TraceStep};
+use crate::header::ForwardingBits;
+use crate::slices::Splicing;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use splice_graph::{EdgeMask, NodeId};
+use std::collections::HashSet;
+
+/// How an end system randomizes a fresh header for a recovery trial.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HeaderStrategy {
+    /// The paper's scheme: per hop, with probability `flip_prob`, replace
+    /// the base slice with a uniformly chosen *different* slice.
+    Bernoulli {
+        /// Per-hop switch probability (the paper uses 0.5).
+        flip_prob: f64,
+    },
+    /// §5's suggestion: flip early hops with higher probability (failures
+    /// near the source are re-routed around sooner). The flip probability
+    /// decays linearly from `flip_prob` at hop 0 to 0 at the last hop.
+    FirstHopBiased {
+        /// Flip probability at the first hop.
+        flip_prob: f64,
+    },
+    /// §4.4's loop-free scheme: the slice sequence never returns to a
+    /// slice it has left, so no persistent forwarding loop can form.
+    NoRevisit {
+        /// Probability of moving to a fresh slice at each hop.
+        flip_prob: f64,
+    },
+    /// §4.4's other mitigation: at most `max_switches` slice changes.
+    BoundedSwitches {
+        /// Per-hop switch probability while switches remain.
+        flip_prob: f64,
+        /// Hard cap on slice changes along the path.
+        max_switches: usize,
+    },
+}
+
+impl HeaderStrategy {
+    /// Generate the per-hop slice choices for one recovery trial,
+    /// starting from `base_slice` (the slice of the failed path).
+    pub fn generate_hops(
+        &self,
+        base_slice: usize,
+        hops: usize,
+        k: usize,
+        rng: &mut StdRng,
+    ) -> Vec<u8> {
+        assert!(base_slice < k);
+        if k == 1 {
+            return vec![0; hops];
+        }
+        let other = |cur: usize, rng: &mut StdRng| -> usize {
+            let r = rng.gen_range(0..k - 1);
+            if r >= cur {
+                r + 1
+            } else {
+                r
+            }
+        };
+        match *self {
+            HeaderStrategy::Bernoulli { flip_prob } => (0..hops)
+                .map(|_| {
+                    if rng.gen_bool(flip_prob) {
+                        other(base_slice, rng) as u8
+                    } else {
+                        base_slice as u8
+                    }
+                })
+                .collect(),
+            HeaderStrategy::FirstHopBiased { flip_prob } => (0..hops)
+                .map(|i| {
+                    let p = flip_prob * (hops - i) as f64 / hops as f64;
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        other(base_slice, rng) as u8
+                    } else {
+                        base_slice as u8
+                    }
+                })
+                .collect(),
+            HeaderStrategy::NoRevisit { flip_prob } => {
+                let mut used: HashSet<usize> = HashSet::from([base_slice]);
+                let mut current = base_slice;
+                (0..hops)
+                    .map(|_| {
+                        if rng.gen_bool(flip_prob) {
+                            let fresh: Vec<usize> = (0..k).filter(|s| !used.contains(s)).collect();
+                            if let Some(&next) = fresh.as_slice().choose(rng) {
+                                used.insert(next);
+                                current = next;
+                            }
+                        }
+                        current as u8
+                    })
+                    .collect()
+            }
+            HeaderStrategy::BoundedSwitches {
+                flip_prob,
+                max_switches,
+            } => {
+                let mut current = base_slice;
+                let mut switches = 0;
+                (0..hops)
+                    .map(|_| {
+                        if switches < max_switches && rng.gen_bool(flip_prob) {
+                            current = other(current, rng);
+                            switches += 1;
+                        }
+                        current as u8
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// [`Self::generate_hops`] packed into a wire header.
+    pub fn generate(
+        &self,
+        base_slice: usize,
+        hops: usize,
+        k: usize,
+        rng: &mut StdRng,
+    ) -> ForwardingBits {
+        ForwardingBits::from_hops(&self.generate_hops(base_slice, hops, k, rng), k)
+    }
+}
+
+/// Result of a (multi-trial) recovery attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryOutcome {
+    /// Whether any trial delivered the packet.
+    pub recovered: bool,
+    /// Trials attempted (= the successful trial's index when recovered).
+    pub trials: usize,
+    /// The successful trace, when recovered.
+    pub delivery: Option<Trace>,
+    /// Loop lengths observed across *all* trial traces (§4.4's metric).
+    pub loops_seen: Vec<usize>,
+}
+
+/// End-system recovery (§4.3, Figure 4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EndSystemRecovery {
+    /// Trial budget; the paper deems a path recoverable within 5 trials
+    /// ("these trials could be run in parallel").
+    pub max_trials: usize,
+    /// Hops encoded per header; the paper uses 20.
+    pub header_hops: usize,
+    /// Header randomization scheme.
+    pub strategy: HeaderStrategy,
+}
+
+impl Default for EndSystemRecovery {
+    fn default() -> Self {
+        EndSystemRecovery {
+            max_trials: 5,
+            header_hops: 20,
+            strategy: HeaderStrategy::Bernoulli { flip_prob: 0.5 },
+        }
+    }
+}
+
+impl EndSystemRecovery {
+    /// Attempt recovery of the `(src, dst)` flow whose `base_slice` path
+    /// failed: up to `max_trials` independent random headers.
+    pub fn recover(
+        &self,
+        fwd: &Forwarder<'_>,
+        src: NodeId,
+        dst: NodeId,
+        base_slice: usize,
+        opts: &ForwarderOptions,
+        rng: &mut StdRng,
+    ) -> RecoveryOutcome {
+        let k = fwd.k();
+        let mut loops_seen = Vec::new();
+        for trial in 1..=self.max_trials {
+            let header = self.strategy.generate(base_slice, self.header_hops, k, rng);
+            let out = fwd.forward(src, dst, header, opts);
+            loops_seen.extend(out.trace().loop_lengths());
+            if let ForwardingOutcome::Delivered(trace) = out {
+                return RecoveryOutcome {
+                    recovered: true,
+                    trials: trial,
+                    delivery: Some(trace),
+                    loops_seen,
+                };
+            }
+        }
+        RecoveryOutcome {
+            recovered: false,
+            trials: self.max_trials,
+            delivery: None,
+            loops_seen,
+        }
+    }
+}
+
+/// Recovery with §5's compressed counter header: the end system retries
+/// with counter values 1, 2, … — each value deterministically deflects
+/// the packet at its first hops. No randomness, one u32 of header state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterRecovery {
+    /// Trial budget (counter values tried, starting at 1).
+    pub max_trials: usize,
+}
+
+impl Default for CounterRecovery {
+    fn default() -> Self {
+        CounterRecovery { max_trials: 5 }
+    }
+}
+
+impl CounterRecovery {
+    /// Attempt recovery of `(src, dst)` by sweeping counter values.
+    pub fn recover(
+        &self,
+        fwd: &Forwarder<'_>,
+        src: NodeId,
+        dst: NodeId,
+        opts: &ForwarderOptions,
+    ) -> RecoveryOutcome {
+        let mut loops_seen = Vec::new();
+        for trial in 1..=self.max_trials {
+            let header = crate::header::CounterHeader::new(trial as u32);
+            let out = fwd.forward_counter(src, dst, header, opts);
+            loops_seen.extend(out.trace().loop_lengths());
+            if let ForwardingOutcome::Delivered(trace) = out {
+                return RecoveryOutcome {
+                    recovered: true,
+                    trials: trial,
+                    delivery: Some(trace),
+                    loops_seen,
+                };
+            }
+        }
+        RecoveryOutcome {
+            recovered: false,
+            trials: self.max_trials,
+            delivery: None,
+            loops_seen,
+        }
+    }
+}
+
+/// How network-based recovery picks the alternate slice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SliceSelection {
+    /// Deterministic: the lowest-numbered slice with a live next hop.
+    #[default]
+    FirstAlternate,
+    /// Uniformly random among slices with a live next hop.
+    Random,
+}
+
+/// Network-based recovery (§4.3, Figure 5): "when a router x receives
+/// packets destined to d with next-hop y and discovers that link (x, y)
+/// has failed, it finds in its forwarding table an alternate slice with a
+/// connected next-hop for d (if one exists)".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkRecovery {
+    /// Alternate-slice choice rule.
+    pub selection: SliceSelection,
+    /// Hop budget.
+    pub ttl: usize,
+}
+
+impl Default for NetworkRecovery {
+    fn default() -> Self {
+        NetworkRecovery {
+            selection: SliceSelection::FirstAlternate,
+            ttl: 64,
+        }
+    }
+}
+
+impl NetworkRecovery {
+    /// Walk a packet from `src` toward `dst`, starting in `initial_slice`,
+    /// deflecting at dead links. Returns the forwarding outcome; the paper
+    /// counts the pair recoverable iff this delivers.
+    pub fn forward(
+        &self,
+        splicing: &Splicing,
+        mask: &EdgeMask,
+        src: NodeId,
+        dst: NodeId,
+        initial_slice: usize,
+        rng: &mut StdRng,
+    ) -> ForwardingOutcome {
+        let k = splicing.k();
+        assert!(initial_slice < k);
+        let mut slice = initial_slice;
+        let mut at = src;
+        let mut steps = Vec::new();
+        // Deterministic selection ⇒ (node, slice) revisit proves a loop.
+        let mut seen: HashSet<(NodeId, usize)> = HashSet::new();
+
+        while at != dst {
+            if self.selection == SliceSelection::FirstAlternate && !seen.insert((at, slice)) {
+                return ForwardingOutcome::PersistentLoop(Trace {
+                    src,
+                    dst,
+                    steps,
+                    last: at,
+                });
+            }
+            let usable = |s: usize| {
+                splicing
+                    .next_hop(s, at, dst)
+                    .filter(|&(_, e)| mask.is_up(e))
+            };
+            let chosen = match usable(slice) {
+                Some(hop) => Some((slice, hop)),
+                None => {
+                    // Local deflection: find an alternate slice whose next
+                    // hop is still connected.
+                    let mut candidates: Vec<usize> = (0..k)
+                        .filter(|&s| s != slice && usable(s).is_some())
+                        .collect();
+                    match self.selection {
+                        SliceSelection::FirstAlternate => {}
+                        SliceSelection::Random => candidates.shuffle(rng),
+                    }
+                    candidates
+                        .first()
+                        .map(|&s| (s, usable(s).expect("candidate is usable")))
+                }
+            };
+            let Some((new_slice, (next, edge))) = chosen else {
+                return ForwardingOutcome::DeadEnd(Trace {
+                    src,
+                    dst,
+                    steps,
+                    last: at,
+                });
+            };
+            slice = new_slice;
+            steps.push(TraceStep {
+                node: at,
+                slice,
+                edge,
+            });
+            at = next;
+            if steps.len() > self.ttl {
+                return ForwardingOutcome::TtlExceeded(Trace {
+                    src,
+                    dst,
+                    steps,
+                    last: at,
+                });
+            }
+        }
+        ForwardingOutcome::Delivered(Trace {
+            src,
+            dst,
+            steps,
+            last: at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slices::SplicingConfig;
+    use rand::SeedableRng;
+    use splice_graph::EdgeId;
+    use splice_topology::abilene::abilene;
+
+    fn setup(k: usize) -> (splice_graph::Graph, Splicing) {
+        let g = abilene().graph();
+        // Seed 3 makes the perturbed slices diverge at Seattle (node 0), so
+        // failing slice 0's first hop leaves a recoverable alternative.
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(k, 0.0, 3.0), 3);
+        (g, sp)
+    }
+
+    #[test]
+    fn bernoulli_hops_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let strat = HeaderStrategy::Bernoulli { flip_prob: 0.5 };
+        let mut switched = 0usize;
+        let total = 200 * 20;
+        for _ in 0..200 {
+            let hops = strat.generate_hops(0, 20, 4, &mut rng);
+            switched += hops.iter().filter(|&&h| h != 0).count();
+            for &h in &hops {
+                assert!(h < 4);
+            }
+        }
+        let frac = switched as f64 / total as f64;
+        assert!((0.45..0.55).contains(&frac), "switch fraction {frac}");
+    }
+
+    #[test]
+    fn first_hop_biased_front_loads_switches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strat = HeaderStrategy::FirstHopBiased { flip_prob: 0.8 };
+        let (mut front, mut back) = (0usize, 0usize);
+        for _ in 0..500 {
+            let hops = strat.generate_hops(0, 20, 3, &mut rng);
+            front += hops[..5].iter().filter(|&&h| h != 0).count();
+            back += hops[15..].iter().filter(|&&h| h != 0).count();
+        }
+        assert!(front > back * 2, "front {front} vs back {back}");
+    }
+
+    #[test]
+    fn no_revisit_never_returns_to_left_slice() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strat = HeaderStrategy::NoRevisit { flip_prob: 0.7 };
+        for _ in 0..300 {
+            let hops = strat.generate_hops(1, 20, 5, &mut rng);
+            // Once a slice value is abandoned, it must not reappear.
+            let mut seen_and_left: HashSet<u8> = HashSet::new();
+            let mut current = hops[0];
+            for &h in &hops[1..] {
+                if h != current {
+                    seen_and_left.insert(current);
+                    assert!(
+                        !seen_and_left.contains(&h),
+                        "revisited slice {h} in {hops:?}"
+                    );
+                    current = h;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_switches_respects_cap() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let strat = HeaderStrategy::BoundedSwitches {
+            flip_prob: 0.9,
+            max_switches: 2,
+        };
+        for _ in 0..300 {
+            let hops = strat.generate_hops(0, 20, 4, &mut rng);
+            let switches = hops.windows(2).filter(|w| w[0] != w[1]).count();
+            assert!(switches <= 2, "{switches} switches in {hops:?}");
+        }
+    }
+
+    #[test]
+    fn k1_headers_are_all_base() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hops = HeaderStrategy::Bernoulli { flip_prob: 0.5 }.generate_hops(0, 20, 1, &mut rng);
+        assert!(hops.iter().all(|&h| h == 0));
+    }
+
+    #[test]
+    fn end_system_recovers_single_failure() {
+        let (g, sp) = setup(5);
+        // Break slice 0's first hop for (0 -> 10).
+        let (_, edge) = sp.next_hop(0, NodeId(0), NodeId(10)).unwrap();
+        let mask = EdgeMask::from_failed(g.edge_count(), &[edge]);
+        let fwd = Forwarder::new(&sp, &g, &mask);
+        let mut rng = StdRng::seed_from_u64(6);
+        let rec = EndSystemRecovery::default();
+        let out = rec.recover(
+            &fwd,
+            NodeId(0),
+            NodeId(10),
+            0,
+            &ForwarderOptions::default(),
+            &mut rng,
+        );
+        assert!(out.recovered, "recovery failed: {out:?}");
+        assert!(out.trials <= 5);
+        let t = out.delivery.unwrap();
+        assert_eq!(t.last, NodeId(10));
+        // The delivered walk must avoid the failed edge.
+        assert!(t.steps.iter().all(|s| s.edge != edge));
+    }
+
+    #[test]
+    fn end_system_cannot_recover_with_one_slice() {
+        let (g, sp) = setup(1);
+        let (_, edge) = sp.next_hop(0, NodeId(0), NodeId(10)).unwrap();
+        let mask = EdgeMask::from_failed(g.edge_count(), &[edge]);
+        let fwd = Forwarder::new(&sp, &g, &mask);
+        let mut rng = StdRng::seed_from_u64(7);
+        let rec = EndSystemRecovery::default();
+        let out = rec.recover(
+            &fwd,
+            NodeId(0),
+            NodeId(10),
+            0,
+            &ForwarderOptions::default(),
+            &mut rng,
+        );
+        assert!(!out.recovered, "k=1 has no alternate paths");
+        assert_eq!(out.trials, 5);
+    }
+
+    #[test]
+    fn network_recovery_deflects_around_failure() {
+        let (g, sp) = setup(5);
+        let (_, edge) = sp.next_hop(0, NodeId(0), NodeId(10)).unwrap();
+        let mask = EdgeMask::from_failed(g.edge_count(), &[edge]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let nr = NetworkRecovery::default();
+        let out = nr.forward(&sp, &mask, NodeId(0), NodeId(10), 0, &mut rng);
+        assert!(out.is_delivered(), "{out:?}");
+        assert!(out.trace().steps.iter().all(|s| s.edge != edge));
+    }
+
+    #[test]
+    fn network_recovery_random_mode_also_delivers() {
+        let (g, sp) = setup(5);
+        let (_, edge) = sp.next_hop(0, NodeId(0), NodeId(10)).unwrap();
+        let mask = EdgeMask::from_failed(g.edge_count(), &[edge]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let nr = NetworkRecovery {
+            selection: SliceSelection::Random,
+            ttl: 64,
+        };
+        let out = nr.forward(&sp, &mask, NodeId(0), NodeId(10), 0, &mut rng);
+        assert!(out.is_delivered(), "{out:?}");
+    }
+
+    #[test]
+    fn network_recovery_dead_end_on_cut() {
+        // Cut node 0 off entirely: every incident edge failed.
+        let (g, sp) = setup(3);
+        let incident: Vec<EdgeId> = g.neighbors(NodeId(0)).iter().map(|&(_, e)| e).collect();
+        let mask = EdgeMask::from_failed(g.edge_count(), &incident);
+        let mut rng = StdRng::seed_from_u64(10);
+        let out = NetworkRecovery::default().forward(&sp, &mask, NodeId(0), NodeId(5), 0, &mut rng);
+        assert!(matches!(out, ForwardingOutcome::DeadEnd(_)), "{out:?}");
+    }
+
+    #[test]
+    fn network_recovery_clean_path_is_untouched() {
+        let (g, sp) = setup(4);
+        let mask = EdgeMask::all_up(g.edge_count());
+        let mut rng = StdRng::seed_from_u64(11);
+        let out = NetworkRecovery::default().forward(&sp, &mask, NodeId(1), NodeId(8), 0, &mut rng);
+        let ForwardingOutcome::Delivered(trace) = out else {
+            panic!()
+        };
+        assert!(
+            trace.steps.iter().all(|s| s.slice == 0),
+            "no deflection without failure"
+        );
+    }
+
+    #[test]
+    fn counter_recovery_finds_alternates() {
+        let (g, sp) = setup(5);
+        // Fail the hash-slice first hop for a pair, then sweep counters.
+        let (s, t) = (NodeId(0), NodeId(10));
+        let hash_slice = crate::hash::slice_for_flow(s, t, sp.k());
+        let (_, edge) = sp.next_hop(hash_slice, s, t).unwrap();
+        let mask = EdgeMask::from_failed(g.edge_count(), &[edge]);
+        let fwd = Forwarder::new(&sp, &g, &mask);
+        let out = CounterRecovery::default().recover(&fwd, s, t, &ForwarderOptions::default());
+        assert!(out.recovered, "{out:?}");
+        let tr = out.delivery.unwrap();
+        assert!(tr.steps.iter().all(|st| st.edge != edge));
+    }
+
+    #[test]
+    fn counter_recovery_fails_across_cut() {
+        let (g, sp) = setup(5);
+        let incident: Vec<EdgeId> = g.neighbors(NodeId(0)).iter().map(|&(_, e)| e).collect();
+        let mask = EdgeMask::from_failed(g.edge_count(), &incident);
+        let fwd = Forwarder::new(&sp, &g, &mask);
+        let out = CounterRecovery { max_trials: 8 }.recover(
+            &fwd,
+            NodeId(0),
+            NodeId(5),
+            &ForwarderOptions::default(),
+        );
+        assert!(!out.recovered);
+        assert_eq!(out.trials, 8);
+    }
+
+    #[test]
+    fn recovery_outcome_records_loops() {
+        let (g, sp) = setup(5);
+        let (_, edge) = sp.next_hop(0, NodeId(0), NodeId(10)).unwrap();
+        let mask = EdgeMask::from_failed(g.edge_count(), &[edge]);
+        let fwd = Forwarder::new(&sp, &g, &mask);
+        let mut rng = StdRng::seed_from_u64(12);
+        // Run many recoveries; loops_seen must be consistent (possibly empty,
+        // but the field is always well-formed: lengths >= 2).
+        for _ in 0..50 {
+            let out = EndSystemRecovery::default().recover(
+                &fwd,
+                NodeId(0),
+                NodeId(10),
+                0,
+                &ForwarderOptions::default(),
+                &mut rng,
+            );
+            assert!(out.loops_seen.iter().all(|&l| l >= 2));
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Slice construction: k routing instances over one topology (§3.1).
+//!
+//! A [`Slice`] is one converged routing instance — a perturbed weight
+//! vector and the forwarding tables it induces. A [`Splicing`] is the set
+//! of `k` slices a deployment runs. By convention (matching the paper's
+//! "k = 1 (normal)" baseline) slice 0 uses the *unperturbed* base weights,
+//! so a single-slice splicing is exactly ordinary shortest-path routing;
+//! slices 1..k are independently perturbed.
+
+use crate::perturb::{DegreeBased, Perturbation, TheoremA1, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splice_graph::traversal::reverse_reachable;
+use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
+use splice_routing::spf::spf_from_weights;
+use splice_routing::RoutingTables;
+
+/// Which perturbation strategy a config uses (a closed enum so configs
+/// stay `Clone + Send + Sync` and trivially serializable in results).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PerturbationKind {
+    /// Constant `Weight` for all links.
+    Uniform(Uniform),
+    /// The paper's degree-based `Weight(a, b)`.
+    DegreeBased(DegreeBased),
+    /// Theorem A.1's full-range redraw.
+    TheoremA1(TheoremA1),
+}
+
+impl Perturbation for PerturbationKind {
+    fn perturb(&self, g: &Graph, rng: &mut StdRng) -> Vec<f64> {
+        match self {
+            PerturbationKind::Uniform(p) => p.perturb(g, rng),
+            PerturbationKind::DegreeBased(p) => p.perturb(g, rng),
+            PerturbationKind::TheoremA1(p) => p.perturb(g, rng),
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            PerturbationKind::Uniform(p) => p.label(),
+            PerturbationKind::DegreeBased(p) => p.label(),
+            PerturbationKind::TheoremA1(p) => p.label(),
+        }
+    }
+}
+
+/// Configuration for building a [`Splicing`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SplicingConfig {
+    /// Number of slices `k ≥ 1`.
+    pub k: usize,
+    /// Perturbation applied to slices 1..k (slice 0 stays base when
+    /// `include_base_slice`).
+    pub perturbation: PerturbationKind,
+    /// Keep slice 0 unperturbed (the paper's baseline convention).
+    pub include_base_slice: bool,
+}
+
+impl SplicingConfig {
+    /// The paper's headline configuration: degree-based `Weight(a, b)`.
+    pub fn degree_based(k: usize, a: f64, b: f64) -> Self {
+        SplicingConfig {
+            k,
+            perturbation: PerturbationKind::DegreeBased(DegreeBased::new(a, b)),
+            include_base_slice: true,
+        }
+    }
+
+    /// Uniform perturbation with the given strength.
+    pub fn uniform(k: usize, strength: f64) -> Self {
+        SplicingConfig {
+            k,
+            perturbation: PerturbationKind::Uniform(Uniform::new(strength)),
+            include_base_slice: true,
+        }
+    }
+}
+
+/// One routing slice: a weight vector and the tables it induces.
+#[derive(Clone, Debug)]
+pub struct Slice {
+    /// Slice index (0 = base slice when configured).
+    pub id: usize,
+    /// The perturbed (or base) weight vector.
+    pub weights: Vec<f64>,
+    /// Converged forwarding tables for every router.
+    pub tables: RoutingTables,
+}
+
+/// A full splicing deployment: `k` slices over one graph.
+#[derive(Clone, Debug)]
+pub struct Splicing {
+    slices: Vec<Slice>,
+}
+
+impl Splicing {
+    /// Assemble a deployment from pre-built slices (used by alternative
+    /// constructions such as [`crate::coverage::build_coverage_aware`]).
+    ///
+    /// # Panics
+    /// Panics if `slices` is empty or slice ids are not `0..k` in order.
+    pub fn from_slices(slices: Vec<Slice>) -> Splicing {
+        assert!(!slices.is_empty(), "need at least one slice");
+        for (i, s) in slices.iter().enumerate() {
+            assert_eq!(s.id, i, "slice ids must be dense and ordered");
+        }
+        Splicing { slices }
+    }
+
+    /// Build `cfg.k` slices over `g`, deterministically from `seed`.
+    ///
+    /// Each perturbed slice draws from its own seeded RNG stream, so
+    /// changing `k` does not change the weights of lower-numbered slices —
+    /// the property the paper's incremental-k reliability methodology
+    /// needs ("we fail the same set of links for different values of k").
+    ///
+    /// # Panics
+    /// Panics if `cfg.k == 0`.
+    pub fn build(g: &Graph, cfg: &SplicingConfig, seed: u64) -> Splicing {
+        assert!(cfg.k >= 1, "need at least one slice");
+        let mut slices = Vec::with_capacity(cfg.k);
+        for id in 0..cfg.k {
+            let weights = if id == 0 && cfg.include_base_slice {
+                g.base_weights()
+            } else {
+                // Distinct, independent stream per slice.
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(id as u64 + 1)),
+                );
+                cfg.perturbation.perturb(g, &mut rng)
+            };
+            let tables = spf_from_weights(g, &weights);
+            slices.push(Slice {
+                id,
+                weights,
+                tables,
+            });
+        }
+        Splicing { slices }
+    }
+
+    /// Build a deployment from explicit per-slice weight vectors — for
+    /// callers whose slices come from something other than random
+    /// perturbation (e.g. overlay routing metrics, §5's "combine overlay
+    /// networks that use independent metrics").
+    pub fn from_weight_vectors(g: &Graph, weight_vectors: Vec<Vec<f64>>) -> Splicing {
+        assert!(!weight_vectors.is_empty(), "need at least one slice");
+        let slices = weight_vectors
+            .into_iter()
+            .enumerate()
+            .map(|(id, weights)| {
+                assert_eq!(weights.len(), g.edge_count(), "slice {id} weight length");
+                let tables = spf_from_weights(g, &weights);
+                Slice {
+                    id,
+                    weights,
+                    tables,
+                }
+            })
+            .collect();
+        Splicing { slices }
+    }
+
+    /// Number of slices.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// A deployment consisting of just the first `k` slices. Because slice
+    /// weights are independent of `k`, this is exactly what building with
+    /// a smaller `k` would have produced — the incremental-k methodology's
+    /// workhorse.
+    pub fn prefix(&self, k: usize) -> Splicing {
+        assert!(k >= 1 && k <= self.k());
+        Splicing {
+            slices: self.slices[..k].to_vec(),
+        }
+    }
+
+    /// The slices, index-aligned with slice ids.
+    #[inline]
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// Next hop and outgoing edge of `node` toward `dst` in `slice`.
+    #[inline]
+    pub fn next_hop(&self, slice: usize, node: NodeId, dst: NodeId) -> Option<(NodeId, EdgeId)> {
+        let fib = self.slices[slice].tables.fib(node);
+        fib.entries[dst.index()]
+    }
+
+    /// Successor sets toward `dst` using the first `k_prefix` slices,
+    /// skipping next hops whose outgoing link is failed in `mask`:
+    /// `succ[u]` = distinct usable next hops of `u`.
+    ///
+    /// This directed structure *is* the spliced graph for destination
+    /// `dst` — union of the `k` trees rooted at `dst` (§4.2).
+    pub fn successors_toward(
+        &self,
+        dst: NodeId,
+        k_prefix: usize,
+        mask: &EdgeMask,
+    ) -> Vec<Vec<NodeId>> {
+        assert!(k_prefix >= 1 && k_prefix <= self.k());
+        let n = self.slices[0].tables.fibs.len();
+        let mut succ: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for slice in &self.slices[..k_prefix] {
+            for (u, s) in succ.iter_mut().enumerate() {
+                if let Some((nh, e)) = slice.tables.fib(NodeId(u as u32)).entries[dst.index()] {
+                    if mask.is_up(e) && !s.contains(&nh) {
+                        s.push(nh);
+                    }
+                }
+            }
+        }
+        succ
+    }
+
+    /// Which nodes can still deliver to `dst` through *some* sequence of
+    /// slice choices, using the first `k_prefix` slices under `mask`.
+    pub fn reachable_to(&self, dst: NodeId, k_prefix: usize, mask: &EdgeMask) -> Vec<bool> {
+        let succ = self.successors_toward(dst, k_prefix, mask);
+        reverse_reachable(&succ, dst)
+    }
+
+    /// Count ordered `(s, t)` pairs (s ≠ t) that splicing with the first
+    /// `k_prefix` slices *cannot* connect under `mask` — the quantity
+    /// Figure 3 plots (before normalization). Uses the *directed*
+    /// (operationally exact) semantics; see [`Self::union_disconnected_pairs`]
+    /// for the paper's union-graph accounting.
+    pub fn disconnected_pairs(&self, k_prefix: usize, mask: &EdgeMask) -> usize {
+        let n = self.slices[0].tables.fibs.len();
+        let mut disconnected = 0;
+        for t in 0..n as u32 {
+            let reach = self.reachable_to(NodeId(t), k_prefix, mask);
+            disconnected += reach.iter().filter(|&&r| !r).count();
+            // `reach[t]` is always true and t==t is not a pair, so the
+            // count above is exactly over s != t.
+        }
+        disconnected
+    }
+
+    /// Which nodes are connected to `dst` in the **undirected union** of
+    /// the first `k_prefix` trees rooted at `dst`, minus failed edges.
+    ///
+    /// This is the spliced-graph formulation the paper's §4.2 and
+    /// Theorem A.1 analyze ("taking the union of k link-perturbed
+    /// shortest-path trees", "the connectivity of H"): tree edges form an
+    /// undirected subgraph whose connectivity is compared against the
+    /// full graph's. It upper-bounds what hop-by-hop forwarding can
+    /// achieve (see [`Self::reachable_to`] for the directed semantics).
+    pub fn union_reachable_to(&self, dst: NodeId, k_prefix: usize, mask: &EdgeMask) -> Vec<bool> {
+        assert!(k_prefix >= 1 && k_prefix <= self.k());
+        let n = self.slices[0].tables.fibs.len();
+        // Adjacency restricted to surviving union-tree edges.
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for slice in &self.slices[..k_prefix] {
+            for u in 0..n {
+                if let Some((parent, e)) = slice.tables.fib(NodeId(u as u32)).entries[dst.index()] {
+                    if mask.is_up(e) {
+                        adj[u].push(parent);
+                        adj[parent.index()].push(NodeId(u as u32));
+                    }
+                }
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[dst.index()] = true;
+        queue.push_back(dst);
+        while let Some(v) = queue.pop_front() {
+            for &w in &adj[v.index()] {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        seen
+    }
+
+    /// [`Self::disconnected_pairs`] under the paper's undirected
+    /// union-graph semantics.
+    pub fn union_disconnected_pairs(&self, k_prefix: usize, mask: &EdgeMask) -> usize {
+        let n = self.slices[0].tables.fibs.len();
+        let mut disconnected = 0;
+        for t in 0..n as u32 {
+            let reach = self.union_reachable_to(NodeId(t), k_prefix, mask);
+            disconnected += reach.iter().filter(|&&r| !r).count();
+        }
+        disconnected
+    }
+
+    /// The set of physical edges used by any of the first `k_prefix`
+    /// slices' trees toward any destination — the "spliced graph" of
+    /// §4.2's union formulation, as an edge indicator.
+    pub fn union_edges(&self, k_prefix: usize) -> Vec<bool> {
+        let m = self.slices[0].weights.len();
+        let n = self.slices[0].tables.fibs.len();
+        let mut used = vec![false; m];
+        for slice in &self.slices[..k_prefix] {
+            for fib in &slice.tables.fibs {
+                for entry in fib.entries.iter().flatten() {
+                    used[entry.1.index()] = true;
+                }
+            }
+        }
+        let _ = n;
+        used
+    }
+
+    /// Number of *distinct* simple paths is exponential to enumerate; as a
+    /// tractable diversity proxy, count the distinct (node, next-hop)
+    /// pairs toward `dst` across the first `k_prefix` slices.
+    pub fn diversity_toward(&self, dst: NodeId, k_prefix: usize) -> usize {
+        let mask = EdgeMask::all_up(self.slices[0].weights.len());
+        self.successors_toward(dst, k_prefix, &mask)
+            .iter()
+            .map(|s| s.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_graph::graph::from_edges;
+    use splice_topology::abilene::abilene;
+
+    fn diamond() -> Graph {
+        from_edges(4, &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 2.0), (2, 3, 2.0)])
+    }
+
+    #[test]
+    fn slice_zero_is_plain_shortest_paths() {
+        let g = diamond();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(3, 0.0, 3.0), 1);
+        assert_eq!(sp.slices()[0].weights, g.base_weights());
+        assert_eq!(
+            sp.next_hop(0, NodeId(0), NodeId(3)).map(|(n, _)| n),
+            Some(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn k_grows_monotonically_in_reachability() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(5, 0.0, 3.0), 7);
+        // Fail a couple of links; more slices can only help.
+        let mask = EdgeMask::from_failed(g.edge_count(), &[EdgeId(0), EdgeId(5)]);
+        let mut last = usize::MAX;
+        for k in 1..=5 {
+            let d = sp.disconnected_pairs(k, &mask);
+            assert!(d <= last, "k={k}: {d} > {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn prefix_slices_stable_under_larger_k() {
+        // Slice i's weights must not depend on k (incremental methodology).
+        let g = abilene().graph();
+        let cfg3 = SplicingConfig::degree_based(3, 0.0, 3.0);
+        let cfg5 = SplicingConfig::degree_based(5, 0.0, 3.0);
+        let s3 = Splicing::build(&g, &cfg3, 42);
+        let s5 = Splicing::build(&g, &cfg5, 42);
+        for i in 0..3 {
+            assert_eq!(s3.slices()[i].weights, s5.slices()[i].weights);
+        }
+    }
+
+    #[test]
+    fn no_failures_everyone_reaches() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(2, 0.0, 3.0), 3);
+        let mask = EdgeMask::all_up(g.edge_count());
+        assert_eq!(sp.disconnected_pairs(1, &mask), 0);
+        assert_eq!(sp.disconnected_pairs(2, &mask), 0);
+    }
+
+    #[test]
+    fn splicing_beats_single_slice_on_diamond() {
+        let g = diamond();
+        // Uniform strength 3 gives slice 1 a decent chance of routing 0->3
+        // via 2; find a seed where the slices differ, then kill slice 0's
+        // path and verify splicing still delivers.
+        let cfg = SplicingConfig::uniform(4, 3.0);
+        // Seed chosen so at least one perturbed slice routes 0 -> 3 via 2.
+        let sp = Splicing::build(&g, &cfg, 0);
+        // Fail edge 0 (0-1). Slice 0's next hop from 0 is gone.
+        let mask = EdgeMask::from_failed(4, &[EdgeId(0)]);
+        let reach = sp.reachable_to(NodeId(3), 4, &mask);
+        assert!(
+            reach[0],
+            "0 should reach 3 via the 0-2-3 segment in some slice"
+        );
+    }
+
+    #[test]
+    fn successors_respect_mask() {
+        let g = diamond();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(1, 0.0, 3.0), 1);
+        let up = EdgeMask::all_up(4);
+        let succ = sp.successors_toward(NodeId(3), 1, &up);
+        assert_eq!(succ[0], vec![NodeId(1)]);
+        let down = EdgeMask::from_failed(4, &[EdgeId(0)]);
+        let succ2 = sp.successors_toward(NodeId(3), 1, &down);
+        assert!(succ2[0].is_empty(), "failed out-edge removes the successor");
+    }
+
+    #[test]
+    fn union_edges_superset_of_slice0_tree() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(3, 0.0, 3.0), 9);
+        let u1: usize = sp.union_edges(1).iter().filter(|&&b| b).count();
+        let u3: usize = sp.union_edges(3).iter().filter(|&&b| b).count();
+        assert!(u3 >= u1);
+        assert!(u3 <= g.edge_count());
+    }
+
+    #[test]
+    fn diversity_grows_with_k() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(5, 0.0, 3.0), 5);
+        let d1 = sp.diversity_toward(NodeId(0), 1);
+        let d5 = sp.diversity_toward(NodeId(0), 5);
+        assert!(d5 > d1, "expected diversity growth: {d1} -> {d5}");
+        // With one slice every node has exactly one next hop (n-1 pairs).
+        assert_eq!(d1, g.node_count() - 1);
+    }
+
+    #[test]
+    fn union_reachability_is_superset_of_directed() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(5, 0.0, 3.0), 7);
+        let mask = EdgeMask::from_failed(g.edge_count(), &[EdgeId(1), EdgeId(6), EdgeId(9)]);
+        for t in g.nodes() {
+            let directed = sp.reachable_to(t, 5, &mask);
+            let union = sp.union_reachable_to(t, 5, &mask);
+            for i in 0..g.node_count() {
+                assert!(
+                    !directed[i] || union[i],
+                    "directed reaches {i} toward {t:?} but union does not"
+                );
+            }
+        }
+        assert!(sp.union_disconnected_pairs(5, &mask) <= sp.disconnected_pairs(5, &mask));
+    }
+
+    #[test]
+    fn union_disconnection_monotone_in_k() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(5, 0.0, 3.0), 7);
+        let mask = EdgeMask::from_failed(g.edge_count(), &[EdgeId(0), EdgeId(5)]);
+        let mut last = usize::MAX;
+        for k in 1..=5 {
+            let d = sp.union_disconnected_pairs(k, &mask);
+            assert!(d <= last);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn union_no_failures_fully_connected() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(2, 0.0, 3.0), 1);
+        let mask = EdgeMask::all_up(g.edge_count());
+        assert_eq!(sp.union_disconnected_pairs(1, &mask), 0);
+    }
+
+    #[test]
+    fn seeds_change_slices() {
+        let g = abilene().graph();
+        let cfg = SplicingConfig::degree_based(2, 0.0, 3.0);
+        let a = Splicing::build(&g, &cfg, 1);
+        let b = Splicing::build(&g, &cfg, 2);
+        assert_ne!(a.slices()[1].weights, b.slices()[1].weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn zero_k_rejected() {
+        let g = diamond();
+        Splicing::build(&g, &SplicingConfig::degree_based(0, 0.0, 3.0), 1);
+    }
+}

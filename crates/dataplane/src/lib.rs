@@ -1,0 +1,28 @@
+//! # splice-dataplane
+//!
+//! A packet-level data plane for path splicing.
+//!
+//! `splice-core` forwards abstract "packets" (just `(src, dst, header)`
+//! triples); this crate runs the same Algorithm 1 over *wire-encoded*
+//! packets and router objects, the way the paper's §3.2 describes the
+//! mechanism deploying: a shim header between the network and transport
+//! headers, routers that read and shift the forwarding bits, and legacy
+//! routers that ignore the shim entirely and forward on the destination
+//! address.
+//!
+//! * [`packet`] — the wire format: a compact IPv4-like network header, the
+//!   splicing shim, and an opaque payload (`bytes`-backed).
+//! * [`router`] — one router: k FIBs plus the per-packet pipeline
+//!   (parse → pick slice → look up → TTL → re-serialize). Routers can be
+//!   configured splicing-capable or legacy, and with local network-based
+//!   recovery on or off.
+//! * [`network`] — a simulated network of routers and links with failure
+//!   injection (including mid-flight flaps) and full delivery traces.
+
+pub mod network;
+pub mod packet;
+pub mod router;
+
+pub use network::{DeliveryReport, LinkEvent, RouterStats, SimNetwork};
+pub use packet::{Packet, SPLICE_PROTO};
+pub use router::{Router, RouterAction, RouterConfig};

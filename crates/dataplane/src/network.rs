@@ -1,0 +1,440 @@
+//! A simulated network of routers with failure injection.
+//!
+//! [`SimNetwork`] wires one [`Router`] per topology node and moves packets
+//! hop by hop, accumulating per-link latency and a full trace. Links can
+//! be failed up front or flapped mid-flight ([`LinkEvent`]), reproducing
+//! the fault-injection style of the smoltcp examples this workspace's
+//! coding guides recommend.
+
+use crate::packet::Packet;
+use crate::router::{DropReason, Router, RouterAction, RouterConfig};
+use splice_core::slices::Splicing;
+use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
+
+/// A scheduled link state change during a packet's flight:
+/// before hop `at_hop` is processed, the link goes down or up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkEvent {
+    /// Hop index before which the event fires (0 = before the first hop).
+    pub at_hop: usize,
+    /// Affected link.
+    pub edge: EdgeId,
+    /// New state: `true` = up, `false` = down.
+    pub up: bool,
+}
+
+/// The result of injecting one packet.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeliveryReport {
+    /// Whether the packet reached its destination.
+    pub delivered: bool,
+    /// Nodes visited, starting at the source.
+    pub path: Vec<NodeId>,
+    /// Slice used at each hop.
+    pub slices: Vec<usize>,
+    /// Sum of link latencies along the walk (ms).
+    pub latency_ms: f64,
+    /// Drop reason when not delivered.
+    pub drop: Option<DropReason>,
+    /// The packet as it arrived (payload intact, bits consumed), when
+    /// delivered.
+    pub final_packet: Option<Packet>,
+}
+
+/// Per-router operational counters, accumulated across injected packets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Packets this router forwarded onward.
+    pub forwarded: u64,
+    /// Packets delivered to this router as destination.
+    pub delivered: u64,
+    /// Packets dropped here (any reason).
+    pub dropped: u64,
+    /// Forwards where local recovery deflected the packet into an
+    /// alternate slice because its chosen next-hop link was down.
+    pub deflections: u64,
+}
+
+/// A network of splicing routers over one topology.
+pub struct SimNetwork {
+    routers: Vec<Router>,
+    graph: Graph,
+    latencies: Vec<f64>,
+    link_state: EdgeMask,
+    stats: Vec<RouterStats>,
+}
+
+impl SimNetwork {
+    /// Build a network: one router per node, FIBs from `splicing`,
+    /// identical `config` everywhere. `latencies` is per-edge one-way
+    /// delay in ms (pass the graph's base weights when latency is not
+    /// under study).
+    pub fn new(
+        graph: Graph,
+        splicing: &Splicing,
+        latencies: Vec<f64>,
+        config: RouterConfig,
+    ) -> SimNetwork {
+        assert_eq!(latencies.len(), graph.edge_count());
+        let routers = graph
+            .nodes()
+            .map(|n| Router::from_splicing(n, splicing, config))
+            .collect();
+        let link_state = EdgeMask::all_up(graph.edge_count());
+        let stats = vec![RouterStats::default(); graph.node_count()];
+        SimNetwork {
+            routers,
+            graph,
+            latencies,
+            link_state,
+            stats,
+        }
+    }
+
+    /// Build with per-router configs (e.g. a partial deployment where only
+    /// some routers speak splicing).
+    pub fn with_router_configs(
+        graph: Graph,
+        splicing: &Splicing,
+        latencies: Vec<f64>,
+        configs: &[RouterConfig],
+    ) -> SimNetwork {
+        assert_eq!(configs.len(), graph.node_count());
+        let routers = graph
+            .nodes()
+            .map(|n| Router::from_splicing(n, splicing, configs[n.index()]))
+            .collect();
+        let link_state = EdgeMask::all_up(graph.edge_count());
+        let stats = vec![RouterStats::default(); graph.node_count()];
+        SimNetwork {
+            routers,
+            graph,
+            latencies,
+            link_state,
+            stats,
+        }
+    }
+
+    /// Per-router operational counters accumulated so far.
+    pub fn stats(&self) -> &[RouterStats] {
+        &self.stats
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats
+            .iter_mut()
+            .for_each(|s| *s = RouterStats::default());
+    }
+
+    /// Take a link down.
+    pub fn fail_link(&mut self, e: EdgeId) {
+        self.link_state.fail(e);
+    }
+
+    /// Bring a link back up.
+    pub fn restore_link(&mut self, e: EdgeId) {
+        self.link_state.restore(e);
+    }
+
+    /// Current link state.
+    pub fn link_state(&self) -> &EdgeMask {
+        &self.link_state
+    }
+
+    /// The topology this network runs on.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Inject `packet` at its source and walk it to completion.
+    pub fn inject(&mut self, packet: Packet) -> DeliveryReport {
+        self.inject_with_events(packet, &[])
+    }
+
+    /// Inject with scheduled mid-flight link events.
+    pub fn inject_with_events(&mut self, packet: Packet, events: &[LinkEvent]) -> DeliveryReport {
+        let mut at = packet.src;
+        let mut current_slice = 0usize;
+        let mut path = vec![at];
+        let mut slices = Vec::new();
+        let mut latency_ms = 0.0;
+        let mut pkt = packet;
+        let mut hop = 0usize;
+
+        loop {
+            for ev in events.iter().filter(|ev| ev.at_hop == hop) {
+                if ev.up {
+                    self.link_state.restore(ev.edge);
+                } else {
+                    self.link_state.fail(ev.edge);
+                }
+            }
+            let action = self.routers[at.index()].process(pkt, current_slice, &self.link_state);
+            match action {
+                RouterAction::Deliver(p) => {
+                    self.stats[at.index()].delivered += 1;
+                    return DeliveryReport {
+                        delivered: true,
+                        path,
+                        slices,
+                        latency_ms,
+                        drop: None,
+                        final_packet: Some(p),
+                    };
+                }
+                RouterAction::Drop(reason) => {
+                    self.stats[at.index()].dropped += 1;
+                    return DeliveryReport {
+                        delivered: false,
+                        path,
+                        slices,
+                        latency_ms,
+                        drop: Some(reason),
+                        final_packet: None,
+                    };
+                }
+                RouterAction::Forward {
+                    edge,
+                    next,
+                    packet: p,
+                    slice,
+                    deflected,
+                } => {
+                    debug_assert!(self.link_state.is_up(edge));
+                    self.stats[at.index()].forwarded += 1;
+                    if deflected {
+                        self.stats[at.index()].deflections += 1;
+                    }
+                    latency_ms += self.latencies[edge.index()];
+                    slices.push(slice);
+                    current_slice = slice;
+                    at = next;
+                    path.push(at);
+                    pkt = p;
+                    hop += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use splice_core::header::ForwardingBits;
+    use splice_core::prelude::*;
+    use splice_topology::abilene::abilene;
+
+    fn setup(recovery: bool) -> (splice_topology::Topology, Splicing, SimNetwork) {
+        let topo = abilene();
+        let g = topo.graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(4, 0.0, 3.0), 3);
+        let net = SimNetwork::new(
+            g.clone(),
+            &sp,
+            topo.latencies(),
+            RouterConfig {
+                splicing_enabled: true,
+                network_recovery: recovery,
+            },
+        );
+        (topo, sp, net)
+    }
+
+    fn spliced(src: u32, dst: u32, k: usize) -> Packet {
+        Packet::spliced(
+            NodeId(src),
+            NodeId(dst),
+            64,
+            ForwardingBits::stay_in_slice(0, k),
+            Bytes::from_static(b"payload"),
+        )
+    }
+
+    #[test]
+    fn delivers_end_to_end_with_latency() {
+        let (_, sp, mut net) = setup(false);
+        let report = net.inject(spliced(0, 10, sp.k()));
+        assert!(report.delivered);
+        assert_eq!(report.path[0], NodeId(0));
+        assert_eq!(*report.path.last().unwrap(), NodeId(10));
+        assert!(report.latency_ms > 0.0);
+        assert_eq!(
+            report.final_packet.unwrap().payload,
+            Bytes::from_static(b"payload")
+        );
+    }
+
+    #[test]
+    fn wire_walk_matches_abstract_forwarder() {
+        // The packet-level network and splice-core's abstract Forwarder
+        // must trace identical paths for identical headers.
+        let (topo, sp, mut net) = setup(false);
+        let g = topo.graph();
+        let mask = EdgeMask::all_up(g.edge_count());
+        let fwd = Forwarder::new(&sp, &g, &mask);
+        for (s, t) in [(0u32, 10u32), (3, 8), (7, 2), (10, 0)] {
+            let report = net.inject(spliced(s, t, sp.k()));
+            let abstract_out = fwd.forward(
+                NodeId(s),
+                NodeId(t),
+                ForwardingBits::stay_in_slice(0, sp.k()),
+                &ForwarderOptions::default(),
+            );
+            let trace = match abstract_out {
+                ForwardingOutcome::Delivered(tr) => tr,
+                other => panic!("abstract forwarder failed: {other:?}"),
+            };
+            let abstract_path: Vec<NodeId> = std::iter::once(NodeId(s))
+                .chain(trace.steps.iter().skip(1).map(|st| st.node))
+                .chain(std::iter::once(NodeId(t)))
+                .collect();
+            assert_eq!(report.path, abstract_path, "paths diverge for {s}->{t}");
+        }
+    }
+
+    #[test]
+    fn failed_link_drops_without_recovery() {
+        let (_, sp, mut net) = setup(false);
+        let (_, edge) = sp.next_hop(0, NodeId(0), NodeId(10)).unwrap();
+        net.fail_link(edge);
+        let report = net.inject(spliced(0, 10, sp.k()));
+        assert!(!report.delivered);
+        assert_eq!(report.drop, Some(DropReason::LinkDown));
+    }
+
+    #[test]
+    fn network_recovery_reroutes_packets() {
+        let (_, sp, mut net) = setup(true);
+        let (_, edge) = sp.next_hop(0, NodeId(0), NodeId(10)).unwrap();
+        net.fail_link(edge);
+        let report = net.inject(spliced(0, 10, sp.k()));
+        assert!(report.delivered, "{report:?}");
+        assert!(report.slices.iter().any(|&s| s != 0), "must have deflected");
+    }
+
+    #[test]
+    fn mid_flight_failure_and_restore() {
+        let (_, sp, mut net) = setup(true);
+        // Walk the slice-0 path 0 -> 10 and pick a hop whose router has an
+        // alternate-slice next hop, then kill the slice-0 link right when
+        // the packet arrives there: local recovery must deflect and deliver.
+        let report0 = net.inject(spliced(0, 10, sp.k()));
+        assert!(report0.delivered);
+        let dst = NodeId(10);
+        let deflectable = report0.path[..report0.path.len() - 1]
+            .iter()
+            .enumerate()
+            .find_map(|(hop, &u)| {
+                let (nh0, e0) = sp.next_hop(0, u, dst)?;
+                let diverges =
+                    (1..sp.k()).any(|s| sp.next_hop(s, u, dst).is_some_and(|(nh, _)| nh != nh0));
+                diverges.then_some((hop, e0))
+            });
+        let (hop, edge) = deflectable.expect("some hop on the path must be deflectable");
+        let events = [LinkEvent {
+            at_hop: hop,
+            edge,
+            up: false,
+        }];
+        let report = net.inject_with_events(spliced(0, 10, sp.k()), &events);
+        assert!(report.delivered, "{report:?}");
+        assert!(report.slices.iter().any(|&s| s != 0), "must have deflected");
+        // The network keeps the late state: restore works.
+        net.restore_link(edge);
+        assert!(net.link_state().is_up(edge));
+    }
+
+    #[test]
+    fn ttl_limits_hops() {
+        let (_, sp, mut net) = setup(false);
+        let mut p = spliced(0, 10, sp.k());
+        p.ttl = 1;
+        let report = net.inject(p);
+        assert!(!report.delivered);
+        assert_eq!(report.drop, Some(DropReason::TtlExpired));
+        assert!(report.path.len() <= 3);
+    }
+
+    #[test]
+    fn partial_deployment_still_delivers() {
+        // Half the routers are legacy: spliced packets still flow, they
+        // just get less path choice (the §3.2 incremental story).
+        let topo = abilene();
+        let g = topo.graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(4, 0.0, 3.0), 3);
+        let configs: Vec<RouterConfig> = (0..g.node_count())
+            .map(|i| RouterConfig {
+                splicing_enabled: i % 2 == 0,
+                network_recovery: false,
+            })
+            .collect();
+        let mut net = SimNetwork::with_router_configs(g, &sp, topo.latencies(), &configs);
+        let report = net.inject(spliced(0, 10, sp.k()));
+        assert!(report.delivered, "{report:?}");
+    }
+
+    #[test]
+    fn stats_account_for_every_hop() {
+        let (_, sp, mut net) = setup(true);
+        let report = net.inject(spliced(0, 10, sp.k()));
+        assert!(report.delivered);
+        let stats = net.stats();
+        let forwarded: u64 = stats.iter().map(|s| s.forwarded).sum();
+        assert_eq!(forwarded as usize, report.path.len() - 1);
+        assert_eq!(stats[10].delivered, 1);
+        assert_eq!(stats.iter().map(|s| s.dropped).sum::<u64>(), 0);
+        // A drop lands on the right router.
+        let (_, edge) = sp.next_hop(0, NodeId(0), NodeId(10)).unwrap();
+        net.fail_link(edge);
+        net.reset_stats();
+        // With recovery on, the first router deflects instead of dropping;
+        // force a drop by cutting node 0 off entirely.
+        let g = net.graph().clone();
+        for &(_, e) in g.neighbors(NodeId(0)) {
+            net.fail_link(e);
+        }
+        let report = net.inject(spliced(0, 10, sp.k()));
+        assert!(!report.delivered);
+        assert_eq!(net.stats()[0].dropped, 1);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let (_, sp, mut net) = setup(false);
+        net.inject(spliced(0, 10, sp.k()));
+        assert!(net.stats().iter().any(|s| s.forwarded > 0));
+        net.reset_stats();
+        assert!(net.stats().iter().all(|s| *s == RouterStats::default()));
+    }
+
+    #[test]
+    fn deflections_show_as_slice_switches() {
+        let (_, sp, mut net) = setup(true);
+        let (_, edge) = sp.next_hop(0, NodeId(0), NodeId(10)).unwrap();
+        net.fail_link(edge);
+        let report = net.inject(spliced(0, 10, sp.k()));
+        assert!(report.delivered);
+        let deflections: u64 = net.stats().iter().map(|s| s.deflections).sum();
+        assert!(deflections >= 1, "the deflection must be counted");
+        assert!(net.stats()[0].deflections >= 1, "it happened at the source");
+    }
+
+    #[test]
+    fn latency_is_sum_of_link_latencies() {
+        let (topo, sp, mut net) = setup(false);
+        let g = topo.graph();
+        let report = net.inject(spliced(0, 3, sp.k()));
+        assert!(report.delivered);
+        // Recompute: walk the path edges and sum latencies.
+        let lat = topo.latencies();
+        let mut expect = 0.0;
+        for w in report.path.windows(2) {
+            let e = g.find_edge(w[0], w[1]).unwrap();
+            expect += lat[e.index()];
+        }
+        assert!((report.latency_ms - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,278 @@
+//! Wire formats: network header, splicing shim, payload.
+//!
+//! The network header is a compact IPv4 stand-in (the simulator routes on
+//! node ids, not real prefixes):
+//!
+//! ```text
+//! offset  field
+//! 0       version (0x1)
+//! 1       protocol (0x99 = splicing shim follows; anything else = payload)
+//! 2       ttl
+//! 3       flags (reserved)
+//! 4..8    src node id (big endian)
+//! 8..12   dst node id (big endian)
+//! 12..14  total length (big endian)
+//! ```
+//!
+//! When `protocol == SPLICE_PROTO`, a 20-byte shim follows, carrying the
+//! inner protocol and the forwarding bits exactly as
+//! [`ForwardingBits::to_bytes`] lays them out. Routers that do not speak
+//! splicing just skip to the destination lookup — the incremental
+//! deployment property §3.2 calls out.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use splice_core::header::ForwardingBits;
+use splice_graph::NodeId;
+
+/// Protocol number marking "splicing shim follows".
+pub const SPLICE_PROTO: u8 = 0x99;
+
+/// Wire version implemented by this crate.
+pub const WIRE_VERSION: u8 = 0x1;
+
+/// Network-header length in bytes.
+pub const NET_HEADER_LEN: usize = 14;
+
+/// Shim length in bytes: inner protocol + reserved + 18 bits-bytes.
+pub const SHIM_LEN: usize = 20;
+
+/// A parsed packet.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Packet {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Hops remaining.
+    pub ttl: u8,
+    /// The splicing shim, when present.
+    pub shim: Option<Shim>,
+    /// Inner protocol when no shim is present.
+    pub protocol: u8,
+    /// Opaque payload.
+    pub payload: Bytes,
+}
+
+/// The splicing shim: forwarding bits plus the tunneled inner protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Shim {
+    /// Protocol of the payload behind the shim.
+    pub inner_protocol: u8,
+    /// The forwarding bits.
+    pub bits: ForwardingBits,
+}
+
+/// Why a packet failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PacketError {
+    /// Fewer bytes than a network header.
+    Truncated,
+    /// Unknown wire version.
+    BadVersion(u8),
+    /// Length field disagrees with the buffer.
+    BadLength {
+        /// Length the header claims.
+        claimed: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// Shim flagged but missing or malformed.
+    BadShim,
+}
+
+impl Packet {
+    /// Build a spliced data packet.
+    pub fn spliced(
+        src: NodeId,
+        dst: NodeId,
+        ttl: u8,
+        bits: ForwardingBits,
+        payload: Bytes,
+    ) -> Packet {
+        Packet {
+            src,
+            dst,
+            ttl,
+            shim: Some(Shim {
+                inner_protocol: 0x06, // "TCP" behind the shim
+                bits,
+            }),
+            protocol: SPLICE_PROTO,
+            payload,
+        }
+    }
+
+    /// Build a legacy (shim-less) packet.
+    pub fn plain(src: NodeId, dst: NodeId, ttl: u8, payload: Bytes) -> Packet {
+        Packet {
+            src,
+            dst,
+            ttl,
+            shim: None,
+            protocol: 0x06,
+            payload,
+        }
+    }
+
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let shim_len = if self.shim.is_some() { SHIM_LEN } else { 0 };
+        let total = NET_HEADER_LEN + shim_len + self.payload.len();
+        let mut buf = BytesMut::with_capacity(total);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(if self.shim.is_some() {
+            SPLICE_PROTO
+        } else {
+            self.protocol
+        });
+        buf.put_u8(self.ttl);
+        buf.put_u8(0);
+        buf.put_u32(self.src.0);
+        buf.put_u32(self.dst.0);
+        buf.put_u16(total as u16);
+        if let Some(shim) = &self.shim {
+            buf.put_u8(shim.inner_protocol);
+            buf.put_u8(0);
+            buf.put_slice(&shim.bits.to_bytes());
+        }
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parse wire bytes.
+    pub fn decode(bytes: &Bytes) -> Result<Packet, PacketError> {
+        if bytes.len() < NET_HEADER_LEN {
+            return Err(PacketError::Truncated);
+        }
+        let version = bytes[0];
+        if version != WIRE_VERSION {
+            return Err(PacketError::BadVersion(version));
+        }
+        let protocol = bytes[1];
+        let ttl = bytes[2];
+        let src = NodeId(u32::from_be_bytes(bytes[4..8].try_into().expect("4 bytes")));
+        let dst = NodeId(u32::from_be_bytes(
+            bytes[8..12].try_into().expect("4 bytes"),
+        ));
+        let claimed = u16::from_be_bytes(bytes[12..14].try_into().expect("2 bytes")) as usize;
+        if claimed != bytes.len() {
+            return Err(PacketError::BadLength {
+                claimed,
+                actual: bytes.len(),
+            });
+        }
+        let (shim, payload_start) = if protocol == SPLICE_PROTO {
+            if bytes.len() < NET_HEADER_LEN + SHIM_LEN {
+                return Err(PacketError::BadShim);
+            }
+            let inner_protocol = bytes[NET_HEADER_LEN];
+            let bits =
+                ForwardingBits::from_bytes(&bytes[NET_HEADER_LEN + 2..NET_HEADER_LEN + SHIM_LEN])
+                    .ok_or(PacketError::BadShim)?;
+            (
+                Some(Shim {
+                    inner_protocol,
+                    bits,
+                }),
+                NET_HEADER_LEN + SHIM_LEN,
+            )
+        } else {
+            (None, NET_HEADER_LEN)
+        };
+        Ok(Packet {
+            src,
+            dst,
+            ttl,
+            shim,
+            protocol,
+            payload: bytes.slice(payload_start..),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits() -> ForwardingBits {
+        ForwardingBits::from_hops(&[1, 0, 2, 3], 4)
+    }
+
+    #[test]
+    fn spliced_roundtrip() {
+        let p = Packet::spliced(
+            NodeId(3),
+            NodeId(9),
+            64,
+            bits(),
+            Bytes::from_static(b"hello"),
+        );
+        let wire = p.encode();
+        let q = Packet::decode(&wire).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.shim.unwrap().bits, bits());
+        assert_eq!(&q.payload[..], b"hello");
+    }
+
+    #[test]
+    fn plain_roundtrip() {
+        let p = Packet::plain(NodeId(1), NodeId(2), 32, Bytes::from_static(b"data"));
+        let wire = p.encode();
+        assert_eq!(wire.len(), NET_HEADER_LEN + 4);
+        let q = Packet::decode(&wire).unwrap();
+        assert_eq!(p, q);
+        assert!(q.shim.is_none());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let short = Bytes::from_static(&[1, 2, 3]);
+        assert_eq!(Packet::decode(&short), Err(PacketError::Truncated));
+    }
+
+    #[test]
+    fn version_checked() {
+        let p = Packet::plain(NodeId(1), NodeId(2), 32, Bytes::new());
+        let mut raw = p.encode().to_vec();
+        raw[0] = 7;
+        assert_eq!(
+            Packet::decode(&Bytes::from(raw)),
+            Err(PacketError::BadVersion(7))
+        );
+    }
+
+    #[test]
+    fn length_field_checked() {
+        let p = Packet::plain(NodeId(1), NodeId(2), 32, Bytes::from_static(b"xy"));
+        let mut raw = p.encode().to_vec();
+        raw.push(0); // extra byte not covered by length
+        assert!(matches!(
+            Packet::decode(&Bytes::from(raw)),
+            Err(PacketError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_shim_rejected() {
+        let p = Packet::spliced(NodeId(1), NodeId(2), 32, bits(), Bytes::new());
+        let mut raw = p.encode().to_vec();
+        raw[NET_HEADER_LEN + 2] = 200; // bits_per_hop byte -> invalid (> 8)
+        assert_eq!(Packet::decode(&Bytes::from(raw)), Err(PacketError::BadShim));
+    }
+
+    #[test]
+    fn shim_flag_without_shim_rejected() {
+        let p = Packet::plain(NodeId(1), NodeId(2), 32, Bytes::new());
+        let mut raw = p.encode().to_vec();
+        raw[1] = SPLICE_PROTO; // claims a shim that is not there
+                               // Fix the length byte so only the shim check can fail.
+        assert_eq!(Packet::decode(&Bytes::from(raw)), Err(PacketError::BadShim));
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let p = Packet::spliced(NodeId(0), NodeId(1), 1, bits(), Bytes::new());
+        let q = Packet::decode(&p.encode()).unwrap();
+        assert!(q.payload.is_empty());
+    }
+}

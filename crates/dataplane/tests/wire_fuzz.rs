@@ -1,0 +1,69 @@
+//! Property/fuzz tests for the wire formats: the decoder must never
+//! panic, and valid packets must round-trip exactly.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use splice_core::header::ForwardingBits;
+use splice_dataplane::packet::{Packet, NET_HEADER_LEN, SHIM_LEN};
+use splice_graph::NodeId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Packet::decode(&Bytes::from(bytes));
+    }
+
+    /// Valid spliced packets round-trip byte-exactly.
+    #[test]
+    fn spliced_roundtrip(src in any::<u32>(), dst in any::<u32>(), ttl in any::<u8>(),
+                         hops in proptest::collection::vec(0u8..4, 0..20),
+                         payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let bits = ForwardingBits::from_hops(&hops, 4);
+        let p = Packet::spliced(NodeId(src), NodeId(dst), ttl, bits, Bytes::from(payload));
+        let wire = p.encode();
+        prop_assert_eq!(wire.len(), NET_HEADER_LEN + SHIM_LEN + p.payload.len());
+        let q = Packet::decode(&wire).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// Valid plain packets round-trip byte-exactly.
+    #[test]
+    fn plain_roundtrip(src in any::<u32>(), dst in any::<u32>(), ttl in any::<u8>(),
+                       payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let p = Packet::plain(NodeId(src), NodeId(dst), ttl, Bytes::from(payload));
+        let q = Packet::decode(&p.encode()).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// Single-byte corruption is either detected or yields another
+    /// well-formed packet — never a panic, never a misparse beyond the
+    /// buffer.
+    #[test]
+    fn single_byte_corruption_is_safe(pos in 0usize..40, val in any::<u8>(),
+                                      hops in proptest::collection::vec(0u8..4, 1..10)) {
+        let bits = ForwardingBits::from_hops(&hops, 4);
+        let p = Packet::spliced(NodeId(1), NodeId(2), 9, bits, Bytes::from_static(b"abcdef"));
+        let mut raw = p.encode().to_vec();
+        let pos = pos % raw.len();
+        raw[pos] = val;
+        let _ = Packet::decode(&Bytes::from(raw));
+    }
+
+    /// Truncation at any point is rejected or parses within bounds.
+    #[test]
+    fn truncation_is_safe(cut in 0usize..40) {
+        let bits = ForwardingBits::from_hops(&[1, 2, 3], 4);
+        let p = Packet::spliced(NodeId(1), NodeId(2), 9, bits, Bytes::from_static(b"payload"));
+        let raw = p.encode();
+        let cut = cut % (raw.len() + 1);
+        let truncated = raw.slice(..cut);
+        // Either an error (usual) or, if the length field happens to
+        // match, a consistent packet.
+        if let Ok(q) = Packet::decode(&truncated) {
+            prop_assert!(q.payload.len() <= truncated.len());
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Bellman–Ford single-source shortest paths.
+//!
+//! Used as an independent oracle for property-testing Dijkstra (the two
+//! must agree on distances for positive weights) and available to callers
+//! who need to sanity-check externally supplied weight vectors.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::mask::EdgeMask;
+
+/// Distances from `root` to every node under `weights`, by Bellman–Ford
+/// relaxation over the undirected edge set. Unreachable nodes get
+/// `INFINITY`.
+///
+/// Runs in O(N·M); intended for tests and validation, not the hot path.
+pub fn bellman_ford(g: &Graph, root: NodeId, weights: &[f64]) -> Vec<f64> {
+    bellman_ford_masked(g, root, weights, None)
+}
+
+/// [`bellman_ford`] with an optional failure mask.
+pub fn bellman_ford_masked(
+    g: &Graph,
+    root: NodeId,
+    weights: &[f64],
+    mask: Option<&EdgeMask>,
+) -> Vec<f64> {
+    assert_eq!(weights.len(), g.edge_count());
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[root.index()] = 0.0;
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for (i, e) in g.edges().iter().enumerate() {
+            if let Some(m) = mask {
+                if m.is_failed(crate::ids::EdgeId(i as u32)) {
+                    continue;
+                }
+            }
+            let w = weights[i];
+            let (du, dv) = (dist[e.u.index()], dist[e.v.index()]);
+            if du + w < dv {
+                dist[e.v.index()] = du + w;
+                changed = true;
+            }
+            if dv + w < dist[e.u.index()] {
+                dist[e.u.index()] = dv + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use crate::graph::from_edges;
+    use crate::ids::EdgeId;
+
+    #[test]
+    fn matches_dijkstra_on_diamond() {
+        let g = from_edges(4, &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 2.0), (2, 3, 2.0)]);
+        let w = g.base_weights();
+        let bf = bellman_ford(&g, NodeId(0), &w);
+        let dj = dijkstra(&g, NodeId(0), &w);
+        for (a, b) in bf.iter().zip(&dj.dist) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = from_edges(3, &[(0, 1, 1.0)]);
+        let d = bellman_ford(&g, NodeId(0), &g.base_weights());
+        assert_eq!(d[2], f64::INFINITY);
+    }
+
+    #[test]
+    fn respects_mask() {
+        let g = from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let mask = EdgeMask::from_failed(2, &[EdgeId(1)]);
+        let d = bellman_ford_masked(&g, NodeId(0), &g.base_weights(), Some(&mask));
+        assert_eq!(d[1], 1.0);
+        assert_eq!(d[2], f64::INFINITY);
+    }
+}

@@ -1,0 +1,227 @@
+//! Dijkstra's algorithm producing destination-rooted shortest-path trees.
+//!
+//! Because the graph is undirected, a tree computed *from* the root equals
+//! the tree of shortest paths *toward* the root, which is exactly the FIB a
+//! link-state router installs for that destination. The weight vector is a
+//! parameter so that each splicing slice can run the same topology under
+//! its own perturbed weights.
+//!
+//! Ties are broken deterministically by preferring the lower-numbered
+//! parent node (and then lower edge id), so that two runs over identical
+//! inputs produce identical trees — a requirement for reproducible
+//! Monte-Carlo experiments with common random numbers.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+use crate::mask::EdgeMask;
+use crate::spt::Spt;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry: min-heap by distance, tie-broken by node id.
+#[derive(Copy, Clone, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap semantics on BinaryHeap (a max-heap).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are never NaN")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Compute the shortest-path tree rooted at `root` under `weights`.
+///
+/// `weights` must have one positive, finite entry per edge, indexed by
+/// [`EdgeId`]. All links are considered up; see [`dijkstra_masked`] for
+/// failure scenarios.
+///
+/// # Panics
+/// Panics if `weights.len() != g.edge_count()` or a used weight is not
+/// positive/finite (debug assertions).
+pub fn dijkstra(g: &Graph, root: NodeId, weights: &[f64]) -> Spt {
+    dijkstra_inner(g, root, weights, None)
+}
+
+/// Like [`dijkstra`], but edges failed in `mask` are skipped entirely.
+pub fn dijkstra_masked(g: &Graph, root: NodeId, weights: &[f64], mask: &EdgeMask) -> Spt {
+    dijkstra_inner(g, root, weights, Some(mask))
+}
+
+fn dijkstra_inner(g: &Graph, root: NodeId, weights: &[f64], mask: Option<&EdgeMask>) -> Spt {
+    assert_eq!(
+        weights.len(),
+        g.edge_count(),
+        "weight vector length must equal edge count"
+    );
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+
+    dist[root.index()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: root,
+    });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if settled[u.index()] {
+            continue;
+        }
+        settled[u.index()] = true;
+        for &(v, e) in g.neighbors(u) {
+            if let Some(m) = mask {
+                if m.is_failed(e) {
+                    continue;
+                }
+            }
+            if settled[v.index()] {
+                continue;
+            }
+            let w = weights[e.index()];
+            debug_assert!(w.is_finite() && w > 0.0, "bad weight {w} on {e:?}");
+            let nd = d + w;
+            let better = match nd.partial_cmp(&dist[v.index()]).expect("no NaN") {
+                Ordering::Less => true,
+                // Deterministic tie-break: prefer the lower parent node id,
+                // then the lower edge id.
+                Ordering::Equal => match parent[v.index()] {
+                    Some((pu, pe)) => (u, e) < (pu, pe),
+                    None => true,
+                },
+                Ordering::Greater => false,
+            };
+            if better {
+                dist[v.index()] = nd;
+                parent[v.index()] = Some((u, e));
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+
+    Spt { root, dist, parent }
+}
+
+/// Compute one SPT per destination: `result[t.index()]` is the tree rooted
+/// at `t`. This is exactly the state one routing-protocol instance (one
+/// slice) installs across the network.
+pub fn all_destinations(g: &Graph, weights: &[f64]) -> Vec<Spt> {
+    g.nodes().map(|t| dijkstra(g, t, weights)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+
+    /// The classic diamond: two routes 0->3, lengths 3 (via 1) and 4 (via 2).
+    fn diamond() -> Graph {
+        from_edges(4, &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 2.0), (2, 3, 2.0)])
+    }
+
+    #[test]
+    fn picks_shorter_route() {
+        let g = diamond();
+        let spt = dijkstra(&g, NodeId(3), &g.base_weights());
+        assert_eq!(spt.distance(NodeId(0)), 3.0);
+        assert_eq!(spt.next_hop(NodeId(0)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn alternate_weights_change_route() {
+        let g = diamond();
+        // Inflate the 1-3 link: now via 2 is shorter.
+        let w = vec![1.0, 10.0, 2.0, 2.0];
+        let spt = dijkstra(&g, NodeId(3), &w);
+        assert_eq!(spt.distance(NodeId(0)), 4.0);
+        assert_eq!(spt.next_hop(NodeId(0)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn masked_edge_is_avoided() {
+        let g = diamond();
+        let mut mask = EdgeMask::all_up(g.edge_count());
+        mask.fail(EdgeId(1)); // kill 1-3
+        let spt = dijkstra_masked(&g, NodeId(3), &g.base_weights(), &mask);
+        assert_eq!(spt.next_hop(NodeId(0)), Some(NodeId(2)));
+        assert_eq!(spt.distance(NodeId(0)), 4.0);
+    }
+
+    #[test]
+    fn disconnection_under_mask() {
+        let g = from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let mut mask = EdgeMask::all_up(2);
+        mask.fail(EdgeId(1));
+        let spt = dijkstra_masked(&g, NodeId(2), &g.base_weights(), &mask);
+        assert!(!spt.reaches(NodeId(0)));
+        assert!(!spt.reaches(NodeId(1)));
+        assert!(spt.reaches(NodeId(2)));
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Two equal-length routes 0->1->3 and 0->2->3; parent of 3 must be
+        // the lower node id (1) every time.
+        let g = from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)]);
+        for _ in 0..10 {
+            let spt = dijkstra(&g, NodeId(0), &g.base_weights());
+            assert_eq!(spt.next_hop(NodeId(3)), Some(NodeId(1)));
+        }
+    }
+
+    #[test]
+    fn parallel_edges_use_cheapest() {
+        let g = from_edges(2, &[(0, 1, 5.0), (0, 1, 1.0)]);
+        let spt = dijkstra(&g, NodeId(1), &g.base_weights());
+        assert_eq!(spt.distance(NodeId(0)), 1.0);
+        assert_eq!(spt.next_edge(NodeId(0)), Some(EdgeId(1)));
+    }
+
+    #[test]
+    fn all_destinations_gives_n_trees() {
+        let g = diamond();
+        let trees = all_destinations(&g, &g.base_weights());
+        assert_eq!(trees.len(), 4);
+        for (i, t) in trees.iter().enumerate() {
+            assert_eq!(t.root, NodeId(i as u32));
+            assert_eq!(t.distance(t.root), 0.0);
+        }
+    }
+
+    #[test]
+    fn spt_distances_satisfy_triangle_property() {
+        // For every tree edge (u -> parent p via e): dist[u] = dist[p] + w(e).
+        let g = diamond();
+        let w = g.base_weights();
+        let spt = dijkstra(&g, NodeId(0), &w);
+        for u in g.nodes() {
+            if let Some((p, e)) = spt.parent[u.index()] {
+                let expect = spt.dist[p.index()] + w[e.index()];
+                assert!((spt.dist[u.index()] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weight vector length")]
+    fn wrong_weight_length_panics() {
+        let g = diamond();
+        dijkstra(&g, NodeId(0), &[1.0]);
+    }
+}

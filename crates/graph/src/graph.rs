@@ -1,0 +1,370 @@
+//! The weighted undirected multigraph at the heart of the workspace.
+//!
+//! A [`Graph`] is immutable once built (use [`GraphBuilder`] to construct
+//! one). Immutability is deliberate: path splicing runs *many* routing
+//! instances and *many* Monte-Carlo failure trials over one topology, so the
+//! topology is shared read-only across threads while weights
+//! (`&[f64]` indexed by [`EdgeId`]) and failures ([`EdgeMask`]) vary
+//! per-slice and per-trial.
+//!
+//! [`EdgeMask`]: crate::EdgeMask
+
+use crate::ids::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An undirected edge: two endpoints and a default (unperturbed) weight.
+///
+/// The stored weight is the *base* link weight `L(i,j)` from the paper;
+/// perturbed slices supply their own weight vectors and never mutate this.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// First endpoint (the one passed first to [`GraphBuilder::add_edge`]).
+    pub u: NodeId,
+    /// Second endpoint.
+    pub v: NodeId,
+    /// Base link weight `L(u,v)`; must be positive and finite.
+    pub weight: f64,
+}
+
+impl Edge {
+    /// The endpoint opposite `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.u {
+            self.v
+        } else if n == self.v {
+            self.u
+        } else {
+            panic!("node {n:?} is not an endpoint of edge {self:?}");
+        }
+    }
+
+    /// Whether `n` is one of this edge's endpoints.
+    #[inline]
+    pub fn touches(&self, n: NodeId) -> bool {
+        n == self.u || n == self.v
+    }
+}
+
+/// A weighted undirected multigraph with dense node/edge ids.
+///
+/// Parallel edges and explicit weights are supported because ISP topologies
+/// (e.g. Rocketfuel-inferred maps) contain both. Self-loops are rejected at
+/// build time — they are meaningless for routing and would create trivial
+/// forwarding loops.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Graph {
+    node_count: usize,
+    edges: Vec<Edge>,
+    /// adjacency\[u\] = (neighbor, edge id) pairs, in edge-insertion order.
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids, `n0..n(N-1)`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids, `e0..e(M-1)`.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// All edges, indexable by [`EdgeId::index`].
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// `(neighbor, edge)` pairs incident to `n`, in insertion order.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adjacency[n.index()]
+    }
+
+    /// Degree of `n` (counting parallel edges separately, as the paper's
+    /// degree-based perturbation does — a node with two parallel links to a
+    /// hub is "more connected" than one with a single link).
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adjacency[n.index()].len()
+    }
+
+    /// Maximum degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count)
+            .map(|i| self.adjacency[i].len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes (0 for an empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.node_count)
+            .map(|i| self.adjacency[i].len())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The base weight vector, one entry per edge, indexed by [`EdgeId`].
+    ///
+    /// This is the `L(i,j)` vector that perturbation strategies start from.
+    pub fn base_weights(&self) -> Vec<f64> {
+        self.edges.iter().map(|e| e.weight).collect()
+    }
+
+    /// Look up an edge id connecting `u` and `v`, if any. With parallel
+    /// edges, returns the first by insertion order.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.adjacency
+            .get(u.index())?
+            .iter()
+            .find(|(n, _)| *n == v)
+            .map(|(_, e)| *e)
+    }
+
+    /// Sum of `degree(u) + degree(v)` extremes: the minimum and maximum
+    /// degree-sum over all edges. The paper's degree-based perturbation maps
+    /// this range linearly onto `[a, b]`.
+    pub fn degree_sum_range(&self) -> (usize, usize) {
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for e in &self.edges {
+            let s = self.degree(e.u) + self.degree(e.v);
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        if self.edges.is_empty() {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+/// Builder for [`Graph`]. Nodes are added implicitly (`with_nodes`) or by
+/// growing to the largest referenced id; edges are validated as they are
+/// added.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-declare `n` nodes with ids `0..n`.
+    pub fn with_nodes(mut self, n: usize) -> Self {
+        self.node_count = self.node_count.max(n);
+        self
+    }
+
+    /// Declare nodes so that `id` is valid.
+    pub fn ensure_node(&mut self, id: NodeId) {
+        self.node_count = self.node_count.max(id.index() + 1);
+    }
+
+    /// Add an undirected edge with base weight `weight`.
+    ///
+    /// # Panics
+    /// Panics on self-loops and on non-finite or non-positive weights; both
+    /// are topology-file bugs we want to surface immediately.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> EdgeId {
+        assert!(u != v, "self-loop on {u:?} rejected");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "edge weight must be positive and finite, got {weight}"
+        );
+        self.ensure_node(u);
+        self.ensure_node(v);
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { u, v, weight });
+        id
+    }
+
+    /// Convenience: add an edge by raw indices with weight 1.0.
+    pub fn add_unit_edge(&mut self, u: u32, v: u32) -> EdgeId {
+        self.add_edge(NodeId(u), NodeId(v), 1.0)
+    }
+
+    /// Finish building; computes adjacency lists.
+    pub fn build(self) -> Graph {
+        let mut adjacency = vec![Vec::new(); self.node_count];
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            adjacency[e.u.index()].push((e.v, id));
+            adjacency[e.v.index()].push((e.u, id));
+        }
+        Graph {
+            node_count: self.node_count,
+            edges: self.edges,
+            adjacency,
+        }
+    }
+}
+
+/// Build a graph from `(u, v, weight)` triples over `n` nodes.
+///
+/// Convenience for tests and topology construction.
+pub fn from_edges(n: usize, edges: &[(u32, u32, f64)]) -> Graph {
+    let mut b = GraphBuilder::new().with_nodes(n);
+    for &(u, v, w) in edges {
+        b.add_edge(NodeId(u), NodeId(v), w);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)])
+    }
+
+    #[test]
+    fn counts_and_iterators() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.nodes().count(), 3);
+        assert_eq!(g.edge_ids().count(), 3);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = triangle();
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            assert!(g
+                .neighbors(edge.u)
+                .iter()
+                .any(|&(n, id)| n == edge.v && id == e));
+            assert!(g
+                .neighbors(edge.v)
+                .iter()
+                .any(|&(n, id)| n == edge.u && id == e));
+        }
+    }
+
+    #[test]
+    fn degrees() {
+        let g = triangle();
+        for n in g.nodes() {
+            assert_eq!(g.degree(n), 2);
+        }
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_allowed_and_counted() {
+        let g = from_edges(2, &[(0, 1, 1.0), (0, 1, 5.0)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(NodeId(0)), 2);
+        // find_edge returns the first parallel edge.
+        assert_eq!(g.find_edge(NodeId(0), NodeId(1)), Some(EdgeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let mut b = GraphBuilder::new().with_nodes(1);
+        b.add_edge(NodeId(0), NodeId(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_weight_rejected() {
+        let mut b = GraphBuilder::new().with_nodes(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn nan_weight_rejected() {
+        let mut b = GraphBuilder::new().with_nodes(2);
+        b.add_edge(NodeId(0), NodeId(1), f64::NAN);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let g = triangle();
+        let e = g.edge(EdgeId(0));
+        assert_eq!(e.other(NodeId(0)), NodeId(1));
+        assert_eq!(e.other(NodeId(1)), NodeId(0));
+        assert!(e.touches(NodeId(0)));
+        assert!(!e.touches(NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        let g = triangle();
+        g.edge(EdgeId(0)).other(NodeId(2));
+    }
+
+    #[test]
+    fn base_weights_match_insertion() {
+        let g = triangle();
+        assert_eq!(g.base_weights(), vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn degree_sum_range_triangle() {
+        let g = triangle();
+        assert_eq!(g.degree_sum_range(), (4, 4));
+    }
+
+    #[test]
+    fn degree_sum_range_star() {
+        // star: center degree 3, leaves degree 1 -> all edges sum to 4.
+        let g = from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)]);
+        assert_eq!(g.degree_sum_range(), (4, 4));
+        // path: 0-1-2 -> sums are 3 (end edges).
+        let p = from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        assert_eq!(p.degree_sum_range(), (3, 3));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.degree_sum_range(), (0, 0));
+    }
+
+    #[test]
+    fn implicit_node_growth() {
+        let g = from_edges(0, &[(0, 5, 1.0)]);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.degree(NodeId(3)), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Dense integer identifiers for nodes and edges.
+//!
+//! Both identifiers are plain `u32` indices into the owning [`Graph`]'s
+//! storage, wrapped in newtypes so they cannot be confused with each other
+//! or with raw loop counters. Algorithms throughout the workspace index
+//! per-node and per-edge arrays with these, so they must stay dense.
+//!
+//! [`Graph`]: crate::Graph
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (router / PoP) within a [`Graph`](crate::Graph).
+///
+/// Node ids are assigned contiguously from zero in insertion order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an undirected edge (link) within a [`Graph`](crate::Graph).
+///
+/// Edge ids are assigned contiguously from zero in insertion order. A
+/// weight vector `&[f64]` indexed by `EdgeId::index` fully describes one
+/// routing slice's view of the topology.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize`, for indexing per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize`, for indexing per-edge arrays (weight vectors,
+    /// failure masks).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(format!("{n:?}"), "n7");
+        assert_eq!(format!("{n}"), "7");
+        assert_eq!(NodeId::from(7u32), n);
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId(3);
+        assert_eq!(e.index(), 3);
+        assert_eq!(format!("{e:?}"), "e3");
+        assert_eq!(format!("{e}"), "3");
+        assert_eq!(EdgeId::from(3u32), e);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(9));
+    }
+}

@@ -1,0 +1,168 @@
+//! Edge failure masks.
+//!
+//! A Monte-Carlo failure trial fails each link independently with
+//! probability `p` (paper §4.1). Representing the failed set as a bitset
+//! lets every algorithm skip failed links with one load and keeps trials
+//! allocation-free after setup. The mask marks **failed** edges: a set bit
+//! means the link is down.
+
+use crate::ids::EdgeId;
+use serde::{Deserialize, Serialize};
+
+/// A bitset over edge ids marking failed links.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeMask {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl EdgeMask {
+    /// A mask over `len` edges with every link up.
+    pub fn all_up(len: usize) -> Self {
+        EdgeMask {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of edges this mask covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the mask covers zero edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mark edge `e` failed.
+    #[inline]
+    pub fn fail(&mut self, e: EdgeId) {
+        debug_assert!(e.index() < self.len);
+        self.bits[e.index() / 64] |= 1 << (e.index() % 64);
+    }
+
+    /// Mark edge `e` up again.
+    #[inline]
+    pub fn restore(&mut self, e: EdgeId) {
+        debug_assert!(e.index() < self.len);
+        self.bits[e.index() / 64] &= !(1 << (e.index() % 64));
+    }
+
+    /// Whether edge `e` is failed.
+    #[inline]
+    pub fn is_failed(&self, e: EdgeId) -> bool {
+        self.bits[e.index() / 64] >> (e.index() % 64) & 1 == 1
+    }
+
+    /// Whether edge `e` is up.
+    #[inline]
+    pub fn is_up(&self, e: EdgeId) -> bool {
+        !self.is_failed(e)
+    }
+
+    /// Number of failed edges.
+    pub fn failed_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clear all failures.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Iterate over failed edge ids in increasing order.
+    pub fn failed_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.bits.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(EdgeId((wi * 64 + b) as u32))
+                }
+            })
+        })
+    }
+
+    /// Build a mask from an explicit list of failed edges.
+    pub fn from_failed(len: usize, failed: &[EdgeId]) -> Self {
+        let mut m = Self::all_up(len);
+        for &e in failed {
+            m.fail(e);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_mask_is_all_up() {
+        let m = EdgeMask::all_up(100);
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.failed_count(), 0);
+        assert!((0..100).all(|i| m.is_up(EdgeId(i))));
+    }
+
+    #[test]
+    fn fail_and_restore() {
+        let mut m = EdgeMask::all_up(70);
+        m.fail(EdgeId(0));
+        m.fail(EdgeId(63));
+        m.fail(EdgeId(64));
+        m.fail(EdgeId(69));
+        assert_eq!(m.failed_count(), 4);
+        assert!(m.is_failed(EdgeId(63)));
+        assert!(m.is_failed(EdgeId(64)));
+        m.restore(EdgeId(63));
+        assert!(m.is_up(EdgeId(63)));
+        assert_eq!(m.failed_count(), 3);
+    }
+
+    #[test]
+    fn failed_edges_iteration_order() {
+        let mut m = EdgeMask::all_up(130);
+        for id in [5u32, 64, 129, 0] {
+            m.fail(EdgeId(id));
+        }
+        let ids: Vec<u32> = m.failed_edges().map(|e| e.0).collect();
+        assert_eq!(ids, vec![0, 5, 64, 129]);
+    }
+
+    #[test]
+    fn from_failed_matches_manual() {
+        let m = EdgeMask::from_failed(10, &[EdgeId(2), EdgeId(7)]);
+        assert!(m.is_failed(EdgeId(2)));
+        assert!(m.is_failed(EdgeId(7)));
+        assert_eq!(m.failed_count(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = EdgeMask::from_failed(10, &[EdgeId(1), EdgeId(9)]);
+        m.clear();
+        assert_eq!(m.failed_count(), 0);
+    }
+
+    #[test]
+    fn double_fail_is_idempotent() {
+        let mut m = EdgeMask::all_up(8);
+        m.fail(EdgeId(3));
+        m.fail(EdgeId(3));
+        assert_eq!(m.failed_count(), 1);
+    }
+
+    #[test]
+    fn empty_mask() {
+        let m = EdgeMask::all_up(0);
+        assert!(m.is_empty());
+        assert_eq!(m.failed_edges().count(), 0);
+    }
+}

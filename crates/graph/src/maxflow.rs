@@ -1,0 +1,242 @@
+//! Dinic's maximum-flow algorithm, specialized for unit-capacity edge
+//! connectivity.
+//!
+//! Path splicing's theory (Appendix A) relates the connectivity achieved by
+//! a union of `k` perturbed trees to the edge connectivity `χ` of the
+//! underlying graph. We measure both with max-flow: each undirected edge
+//! becomes a pair of directed arcs of capacity 1, and the s–t max flow
+//! equals the number of edge-disjoint s–t paths (Menger's theorem).
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// A directed flow network with residual arcs.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    /// Per-arc: (to, capacity remaining). Arc `i^1` is the reverse of `i`.
+    to: Vec<u32>,
+    cap: Vec<i64>,
+    /// head[u] = arc indices leaving u.
+    head: Vec<Vec<u32>>,
+}
+
+impl FlowNetwork {
+    /// An empty network over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
+    }
+
+    /// Add a directed arc `u -> v` with capacity `c` (plus a zero-capacity
+    /// residual reverse arc).
+    pub fn add_arc(&mut self, u: usize, v: usize, c: i64) {
+        let id = self.to.len() as u32;
+        self.to.push(v as u32);
+        self.cap.push(c);
+        self.head[u].push(id);
+        self.to.push(u as u32);
+        self.cap.push(0);
+        self.head[v].push(id + 1);
+    }
+
+    /// Add an undirected unit edge: capacity 1 in both directions.
+    pub fn add_undirected_unit(&mut self, u: usize, v: usize) {
+        // Two arcs each with their own residuals keeps Menger's theorem
+        // exact for undirected graphs.
+        self.add_arc(u, v, 1);
+        self.add_arc(v, u, 1);
+    }
+
+    fn bfs_levels(&self, s: usize, t: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1i32; self.head.len()];
+        let mut q = VecDeque::new();
+        level[s] = 0;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &a in &self.head[u] {
+                let v = self.to[a as usize] as usize;
+                if self.cap[a as usize] > 0 && level[v] < 0 {
+                    level[v] = level[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        if level[t] >= 0 {
+            Some(level)
+        } else {
+            None
+        }
+    }
+
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        pushed: i64,
+        level: &[i32],
+        iter: &mut [usize],
+    ) -> i64 {
+        if u == t {
+            return pushed;
+        }
+        while iter[u] < self.head[u].len() {
+            let a = self.head[u][iter[u]] as usize;
+            let v = self.to[a] as usize;
+            if self.cap[a] > 0 && level[v] == level[u] + 1 {
+                let d = self.dfs_push(v, t, pushed.min(self.cap[a]), level, iter);
+                if d > 0 {
+                    self.cap[a] -= d;
+                    self.cap[a ^ 1] += d;
+                    return d;
+                }
+            }
+            iter[u] += 1;
+        }
+        0
+    }
+
+    /// Maximum flow from `s` to `t`. Consumes residual capacity; call on a
+    /// fresh network per query.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        assert_ne!(s, t, "max flow requires distinct endpoints");
+        let mut flow = 0;
+        while let Some(level) = self.bfs_levels(s, t) {
+            let mut iter = vec![0usize; self.head.len()];
+            loop {
+                let f = self.dfs_push(s, t, i64::MAX, &level, &mut iter);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+}
+
+/// Number of edge-disjoint paths between `s` and `t` in the undirected
+/// graph (its s–t edge connectivity), by unit-capacity max flow.
+pub fn edge_connectivity_st(g: &Graph, s: NodeId, t: NodeId) -> usize {
+    if s == t {
+        return usize::MAX; // conventionally infinite
+    }
+    let mut net = FlowNetwork::new(g.node_count());
+    for e in g.edges() {
+        net.add_undirected_unit(e.u.index(), e.v.index());
+    }
+    net.max_flow(s.index(), t.index()) as usize
+}
+
+/// Global edge connectivity: min over t ≠ s0 of s–t connectivity, with s0
+/// fixed (a standard reduction — the global min cut separates s0 from
+/// someone).
+pub fn global_edge_connectivity(g: &Graph) -> usize {
+    let n = g.node_count();
+    if n < 2 {
+        return 0;
+    }
+    let s0 = NodeId(0);
+    (1..n as u32)
+        .map(|t| edge_connectivity_st(g, s0, NodeId(t)))
+        .min()
+        .unwrap_or(0)
+}
+
+/// Edge connectivity of a directed successor structure (as produced by a
+/// spliced FIB) from `s` toward `target`: the number of arc-disjoint paths.
+pub fn succ_connectivity(succ: &[Vec<NodeId>], s: NodeId, target: NodeId) -> usize {
+    if s == target {
+        return usize::MAX;
+    }
+    let mut net = FlowNetwork::new(succ.len());
+    for (u, outs) in succ.iter().enumerate() {
+        for &v in outs {
+            net.add_arc(u, v.index(), 1);
+        }
+    }
+    net.max_flow(s.index(), target.index()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+
+    #[test]
+    fn single_path_has_connectivity_one() {
+        let g = from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        assert_eq!(edge_connectivity_st(&g, NodeId(0), NodeId(2)), 1);
+    }
+
+    #[test]
+    fn ring_has_connectivity_two() {
+        let g = from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        assert_eq!(edge_connectivity_st(&g, NodeId(0), NodeId(2)), 2);
+        assert_eq!(global_edge_connectivity(&g), 2);
+    }
+
+    #[test]
+    fn complete_graph_connectivity() {
+        // K5: global edge connectivity = 4.
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v, 1.0));
+            }
+        }
+        let g = from_edges(5, &edges);
+        assert_eq!(global_edge_connectivity(&g), 4);
+    }
+
+    #[test]
+    fn disconnected_graph_zero() {
+        let g = from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        assert_eq!(edge_connectivity_st(&g, NodeId(0), NodeId(2)), 0);
+        assert_eq!(global_edge_connectivity(&g), 0);
+    }
+
+    #[test]
+    fn parallel_edges_add_capacity() {
+        let g = from_edges(2, &[(0, 1, 1.0), (0, 1, 1.0), (0, 1, 1.0)]);
+        assert_eq!(edge_connectivity_st(&g, NodeId(0), NodeId(1)), 3);
+    }
+
+    #[test]
+    fn figure1_splicing_motif() {
+        // The paper's Figure 1: two disjoint 2-hop paths s(0) -> t(3) via 1
+        // and 2, *plus* rungs between them after splicing. Here just the two
+        // disjoint paths: connectivity 2.
+        let g = from_edges(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 1.0)]);
+        assert_eq!(edge_connectivity_st(&g, NodeId(0), NodeId(3)), 2);
+    }
+
+    #[test]
+    fn directed_successor_connectivity() {
+        // u0 has two successors each reaching t=3 disjointly.
+        let succ = vec![
+            vec![NodeId(1), NodeId(2)],
+            vec![NodeId(3)],
+            vec![NodeId(3)],
+            vec![],
+        ];
+        assert_eq!(succ_connectivity(&succ, NodeId(0), NodeId(3)), 2);
+        // Shared bottleneck: both go through node 1.
+        let succ2 = vec![
+            vec![NodeId(1)],
+            vec![NodeId(2), NodeId(3)],
+            vec![NodeId(3)],
+            vec![],
+        ];
+        assert_eq!(succ_connectivity(&succ2, NodeId(0), NodeId(3)), 1);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let g = from_edges(1, &[]);
+        assert_eq!(global_edge_connectivity(&g), 0);
+    }
+}

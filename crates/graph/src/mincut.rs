@@ -1,0 +1,190 @@
+//! Stoer–Wagner global minimum cut.
+//!
+//! The paper's Figure 1 observation — "with splicing, the failures must
+//! induce a graph cut to create a disconnection" — makes the weighted
+//! global min cut the natural measure of how much failure a topology can
+//! absorb. This module implements Stoer–Wagner over the undirected graph
+//! with arbitrary nonnegative edge weights (use weight 1 per edge to count
+//! cut *links*).
+
+use crate::graph::Graph;
+
+/// Result of a global min-cut computation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinCut {
+    /// Total weight of the lightest cut.
+    pub weight: f64,
+    /// Nodes on one side of the cut (by index).
+    pub partition: Vec<usize>,
+}
+
+/// Stoer–Wagner global minimum cut with per-edge weights from `weights`
+/// (indexed by edge id). Parallel edges accumulate.
+///
+/// Returns `None` for graphs with fewer than 2 nodes. A disconnected graph
+/// yields weight 0.
+pub fn stoer_wagner(g: &Graph, weights: &[f64]) -> Option<MinCut> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    assert_eq!(weights.len(), g.edge_count());
+
+    // Dense adjacency matrix of accumulated weights.
+    let mut w = vec![vec![0.0f64; n]; n];
+    for (i, e) in g.edges().iter().enumerate() {
+        w[e.u.index()][e.v.index()] += weights[i];
+        w[e.v.index()][e.u.index()] += weights[i];
+    }
+
+    // merged[v] = the original vertices currently contracted into v.
+    let mut merged: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best: Option<MinCut> = None;
+
+    while active.len() > 1 {
+        // Maximum-adjacency ordering starting from active[0].
+        let m = active.len();
+        let mut weight_to_a = vec![0.0f64; m]; // indexed by position in `active`
+        let mut in_a = vec![false; m];
+        let mut order = Vec::with_capacity(m);
+        for _ in 0..m {
+            // pick the most tightly connected vertex not in A
+            let mut sel = usize::MAX;
+            for i in 0..m {
+                if !in_a[i] && (sel == usize::MAX || weight_to_a[i] > weight_to_a[sel]) {
+                    sel = i;
+                }
+            }
+            in_a[sel] = true;
+            order.push(sel);
+            for i in 0..m {
+                if !in_a[i] {
+                    weight_to_a[i] += w[active[sel]][active[i]];
+                }
+            }
+        }
+        let t_pos = order[m - 1];
+        let s_pos = order[m - 2];
+        let t = active[t_pos];
+        let s = active[s_pos];
+
+        // Cut-of-the-phase: t alone (with everything merged into it) vs rest.
+        let cut_weight: f64 = active.iter().filter(|&&v| v != t).map(|&v| w[t][v]).sum();
+        let candidate = MinCut {
+            weight: cut_weight,
+            partition: merged[t].clone(),
+        };
+        if best.as_ref().is_none_or(|b| candidate.weight < b.weight) {
+            best = Some(candidate);
+        }
+
+        // Contract t into s.
+        let t_merged = std::mem::take(&mut merged[t]);
+        merged[s].extend(t_merged);
+        for &v in &active {
+            if v != s && v != t {
+                w[s][v] += w[t][v];
+                w[v][s] = w[s][v];
+            }
+        }
+        active.remove(t_pos);
+    }
+
+    best
+}
+
+/// Min cut counting *links* (every edge weight 1): the minimum number of
+/// simultaneous link failures that can disconnect the topology.
+pub fn min_cut_links(g: &Graph) -> Option<usize> {
+    let ones = vec![1.0; g.edge_count()];
+    stoer_wagner(g, &ones).map(|c| c.weight.round() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+    use crate::maxflow::global_edge_connectivity;
+
+    #[test]
+    fn ring_min_cut_is_two() {
+        let g = from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        assert_eq!(min_cut_links(&g), Some(2));
+    }
+
+    #[test]
+    fn bridge_min_cut_is_one() {
+        // Two triangles joined by a single bridge.
+        let g = from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 3, 1.0),
+                (2, 3, 1.0), // bridge
+            ],
+        );
+        let cut = stoer_wagner(&g, &[1.0; 7]).unwrap();
+        assert_eq!(cut.weight, 1.0);
+        // Partition must be one of the triangles.
+        let mut p = cut.partition.clone();
+        p.sort_unstable();
+        assert!(p == vec![0, 1, 2] || p == vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn weighted_cut_prefers_light_edges() {
+        // 0 -10- 1 -1- 2: the min cut is the light edge.
+        let g = from_edges(3, &[(0, 1, 10.0), (1, 2, 1.0)]);
+        let cut = stoer_wagner(&g, &g.base_weights()).unwrap();
+        assert_eq!(cut.weight, 1.0);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_cut() {
+        let g = from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let cut = stoer_wagner(&g, &g.base_weights()).unwrap();
+        assert_eq!(cut.weight, 0.0);
+    }
+
+    #[test]
+    fn matches_max_flow_on_small_graphs() {
+        // Stoer–Wagner (unit weights) must equal global edge connectivity.
+        let cases = [
+            from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]),
+            from_edges(
+                5,
+                &[
+                    (0, 1, 1.0),
+                    (0, 2, 1.0),
+                    (1, 2, 1.0),
+                    (1, 3, 1.0),
+                    (2, 4, 1.0),
+                    (3, 4, 1.0),
+                    (0, 4, 1.0),
+                ],
+            ),
+            from_edges(2, &[(0, 1, 1.0), (0, 1, 1.0)]),
+        ];
+        for g in cases {
+            assert_eq!(
+                min_cut_links(&g).unwrap(),
+                global_edge_connectivity(&g),
+                "mismatch on graph with {} edges",
+                g.edge_count()
+            );
+        }
+    }
+
+    #[test]
+    fn too_small_graphs() {
+        let g = from_edges(1, &[]);
+        assert!(stoer_wagner(&g, &[]).is_none());
+        let empty = crate::GraphBuilder::new().build();
+        assert!(stoer_wagner(&empty, &[]).is_none());
+    }
+}

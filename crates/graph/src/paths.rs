@@ -1,0 +1,131 @@
+//! Concrete paths through a graph, with length and stretch accounting.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A walk through the graph: `nodes.len() == edges.len() + 1`.
+///
+/// Paths produced by splicing forwarding may revisit nodes (transient
+/// loops), so this type does not require simplicity; [`Path::is_simple`]
+/// reports it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Path {
+    /// Visited nodes in order, from source to destination.
+    pub nodes: Vec<NodeId>,
+    /// Traversed edges; `edges[i]` connects `nodes[i]` and `nodes[i+1]`.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// A zero-hop path at `n`.
+    pub fn trivial(n: NodeId) -> Self {
+        Path {
+            nodes: vec![n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of hops (edges traversed).
+    #[inline]
+    pub fn hop_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// First node of the walk.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node of the walk.
+    #[inline]
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("path has at least one node")
+    }
+
+    /// Total length under an arbitrary weight vector (e.g. the base
+    /// weights for stretch, or latencies for delay).
+    pub fn length(&self, weights: &[f64]) -> f64 {
+        self.edges.iter().map(|e| weights[e.index()]).sum()
+    }
+
+    /// Total length under the graph's base weights.
+    pub fn base_length(&self, g: &Graph) -> f64 {
+        self.edges.iter().map(|e| g.edge(*e).weight).sum()
+    }
+
+    /// True if no node is visited twice.
+    pub fn is_simple(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.nodes.len());
+        self.nodes.iter().all(|n| seen.insert(*n))
+    }
+
+    /// Internal consistency: each edge really connects consecutive nodes.
+    pub fn validate(&self, g: &Graph) -> bool {
+        if self.nodes.len() != self.edges.len() + 1 {
+            return false;
+        }
+        self.edges.iter().enumerate().all(|(i, &e)| {
+            let edge = g.edge(e);
+            let (a, b) = (self.nodes[i], self.nodes[i + 1]);
+            (edge.u == a && edge.v == b) || (edge.u == b && edge.v == a)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(NodeId(4));
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.source(), NodeId(4));
+        assert_eq!(p.destination(), NodeId(4));
+        assert!(p.is_simple());
+    }
+
+    #[test]
+    fn lengths() {
+        let g = from_edges(3, &[(0, 1, 2.0), (1, 2, 3.0)]);
+        let p = Path {
+            nodes: vec![NodeId(0), NodeId(1), NodeId(2)],
+            edges: vec![EdgeId(0), EdgeId(1)],
+        };
+        assert_eq!(p.base_length(&g), 5.0);
+        assert_eq!(p.length(&[10.0, 20.0]), 30.0);
+        assert!(p.validate(&g));
+    }
+
+    #[test]
+    fn non_simple_walk_detected() {
+        let p = Path {
+            nodes: vec![NodeId(0), NodeId(1), NodeId(0)],
+            edges: vec![EdgeId(0), EdgeId(0)],
+        };
+        assert!(!p.is_simple());
+    }
+
+    #[test]
+    fn validate_catches_disconnected_edge() {
+        let g = from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let p = Path {
+            nodes: vec![NodeId(0), NodeId(3)],
+            edges: vec![EdgeId(1)], // edge 1 connects 2-3, not 0-3
+        };
+        assert!(!p.validate(&g));
+    }
+
+    #[test]
+    fn validate_catches_wrong_arity() {
+        let g = from_edges(2, &[(0, 1, 1.0)]);
+        let p = Path {
+            nodes: vec![NodeId(0), NodeId(1)],
+            edges: vec![],
+        };
+        assert!(!p.validate(&g));
+    }
+}

@@ -1,0 +1,152 @@
+//! Shortest-path trees rooted at a destination.
+//!
+//! Path splicing's forwarding state is destination-rooted: slice `i`'s FIB
+//! entry for destination `t` at node `u` is `u`'s parent in the slice-`i`
+//! shortest-path tree rooted at `t`. An [`Spt`] therefore stores, for every
+//! node, its distance to the root and the (parent node, via edge) pair on
+//! its shortest path toward the root.
+
+use crate::ids::{EdgeId, NodeId};
+use crate::paths::Path;
+use serde::{Deserialize, Serialize};
+
+/// A shortest-path tree rooted at [`Spt::root`].
+///
+/// Produced by [`dijkstra`](crate::dijkstra()). Unreachable nodes have
+/// `dist == f64::INFINITY` and no parent.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Spt {
+    /// The root (destination) this tree routes toward.
+    pub root: NodeId,
+    /// `dist[u]` = shortest distance from `u` to the root under the weight
+    /// vector the tree was computed with; `INFINITY` if unreachable.
+    pub dist: Vec<f64>,
+    /// `parent[u]` = (next hop toward root, edge used), `None` for the root
+    /// itself and for unreachable nodes.
+    pub parent: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl Spt {
+    /// The next hop from `u` toward the root, i.e. the FIB entry
+    /// `Lookup(root, slice)` of the paper's Algorithm 1.
+    #[inline]
+    pub fn next_hop(&self, u: NodeId) -> Option<NodeId> {
+        self.parent[u.index()].map(|(n, _)| n)
+    }
+
+    /// The edge `u` uses toward the root.
+    #[inline]
+    pub fn next_edge(&self, u: NodeId) -> Option<EdgeId> {
+        self.parent[u.index()].map(|(_, e)| e)
+    }
+
+    /// Whether `u` can reach the root in this tree.
+    #[inline]
+    pub fn reaches(&self, u: NodeId) -> bool {
+        u == self.root || self.parent[u.index()].is_some()
+    }
+
+    /// Shortest distance from `u` to the root (`INFINITY` if unreachable).
+    #[inline]
+    pub fn distance(&self, u: NodeId) -> f64 {
+        self.dist[u.index()]
+    }
+
+    /// Number of nodes that can reach the root (including the root).
+    pub fn reachable_count(&self) -> usize {
+        (0..self.dist.len())
+            .filter(|&i| self.reaches(NodeId(i as u32)))
+            .count()
+    }
+
+    /// Extract the full path from `u` to the root, or `None` if
+    /// unreachable. The returned path starts at `u` and ends at the root.
+    pub fn path_from(&self, u: NodeId) -> Option<Path> {
+        if !self.reaches(u) {
+            return None;
+        }
+        let mut nodes = vec![u];
+        let mut edges = Vec::new();
+        let mut cur = u;
+        while cur != self.root {
+            let (next, e) = self.parent[cur.index()]?;
+            nodes.push(next);
+            edges.push(e);
+            cur = next;
+            // A parent structure produced by Dijkstra is acyclic; this guard
+            // turns a corrupted tree into a loud failure instead of a hang.
+            assert!(
+                nodes.len() <= self.dist.len(),
+                "cycle in SPT parent pointers"
+            );
+        }
+        Some(Path { nodes, edges })
+    }
+
+    /// All edges used by the tree (each appears once).
+    pub fn tree_edges(&self) -> Vec<EdgeId> {
+        self.parent
+            .iter()
+            .filter_map(|p| p.map(|(_, e)| e))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use crate::graph::from_edges;
+
+    fn line() -> crate::Graph {
+        // 0 -1- 1 -1- 2 -1- 3
+        from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    }
+
+    #[test]
+    fn next_hops_point_toward_root() {
+        let g = line();
+        let w = g.base_weights();
+        let spt = dijkstra(&g, NodeId(3), &w);
+        assert_eq!(spt.next_hop(NodeId(0)), Some(NodeId(1)));
+        assert_eq!(spt.next_hop(NodeId(2)), Some(NodeId(3)));
+        assert_eq!(spt.next_hop(NodeId(3)), None);
+    }
+
+    #[test]
+    fn path_extraction() {
+        let g = line();
+        let w = g.base_weights();
+        let spt = dijkstra(&g, NodeId(3), &w);
+        let p = spt.path_from(NodeId(0)).unwrap();
+        assert_eq!(p.nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(p.hop_count(), 3);
+    }
+
+    #[test]
+    fn root_path_is_trivial() {
+        let g = line();
+        let spt = dijkstra(&g, NodeId(3), &g.base_weights());
+        let p = spt.path_from(NodeId(3)).unwrap();
+        assert_eq!(p.nodes, vec![NodeId(3)]);
+        assert_eq!(p.hop_count(), 0);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let g = from_edges(3, &[(0, 1, 1.0)]); // node 2 isolated
+        let spt = dijkstra(&g, NodeId(0), &g.base_weights());
+        assert!(!spt.reaches(NodeId(2)));
+        assert!(spt.path_from(NodeId(2)).is_none());
+        assert_eq!(spt.distance(NodeId(2)), f64::INFINITY);
+        assert_eq!(spt.reachable_count(), 2);
+    }
+
+    #[test]
+    fn tree_edges_form_tree() {
+        let g = line();
+        let spt = dijkstra(&g, NodeId(0), &g.base_weights());
+        let edges = spt.tree_edges();
+        assert_eq!(edges.len(), 3); // spanning tree of 4 nodes
+    }
+}

@@ -1,0 +1,197 @@
+//! Reachability, components, and traversal under failure masks.
+//!
+//! The paper's reliability metric (Definition 2.1) asks whether node pairs
+//! remain connected after edges fail; the "best possible" curve is plain
+//! undirected connectivity of the surviving graph, computed here. The
+//! splicing curves need *directed* reachability over per-destination
+//! next-hop graphs, served by [`reverse_reachable`].
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::mask::EdgeMask;
+use std::collections::VecDeque;
+
+/// Nodes reachable from `src` over up edges (undirected BFS).
+/// `reachable[u]` is true iff `u` is connected to `src` in `G - failed`.
+pub fn reachable_from(g: &Graph, src: NodeId, mask: &EdgeMask) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut q = VecDeque::new();
+    seen[src.index()] = true;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        for &(v, e) in g.neighbors(u) {
+            if mask.is_up(e) && !seen[v.index()] {
+                seen[v.index()] = true;
+                q.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether `s` and `t` are connected in `G - failed`.
+pub fn connected(g: &Graph, s: NodeId, t: NodeId, mask: &EdgeMask) -> bool {
+    if s == t {
+        return true;
+    }
+    reachable_from(g, s, mask)[t.index()]
+}
+
+/// Connected-component labels (0-based, by discovery order) of `G - failed`.
+pub fn components(g: &Graph, mask: &EdgeMask) -> Vec<usize> {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut q = VecDeque::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        q.push_back(NodeId(start as u32));
+        while let Some(u) = q.pop_front() {
+            for &(v, e) in g.neighbors(u) {
+                if mask.is_up(e) && comp[v.index()] == usize::MAX {
+                    comp[v.index()] = next;
+                    q.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Whether the whole graph stays connected in `G - failed`
+/// (vacuously true for graphs with fewer than two nodes).
+pub fn is_connected(g: &Graph, mask: &EdgeMask) -> bool {
+    if g.node_count() < 2 {
+        return true;
+    }
+    let comp = components(g, mask);
+    comp.iter().all(|&c| c == 0)
+}
+
+/// Count ordered `(s, t)` pairs (s ≠ t) that are *disconnected* in
+/// `G - failed`. This is the paper's "best possible" disconnection count
+/// for one failure sample.
+pub fn disconnected_pairs(g: &Graph, mask: &EdgeMask) -> usize {
+    let comp = components(g, mask);
+    let n = g.node_count();
+    let mut sizes = std::collections::HashMap::new();
+    for &c in &comp {
+        *sizes.entry(c).or_insert(0usize) += 1;
+    }
+    let same_comp_pairs: usize = sizes.values().map(|&s| s * (s - 1)).sum();
+    n * n.saturating_sub(1) - same_comp_pairs
+}
+
+/// Directed reverse reachability: given a per-node list of successor nodes
+/// (`succ[u]` = nodes `u` may forward to), return which nodes can reach
+/// `target` by following successors.
+///
+/// This is the splicing reachability primitive: for destination `t` with
+/// `k` slices, `succ[u]` holds the up-to-`k` next hops of `u` toward `t`,
+/// and `u` can deliver to `t` iff `u` is marked here (some sequence of
+/// forwarding-bit choices reaches `t`).
+pub fn reverse_reachable(succ: &[Vec<NodeId>], target: NodeId) -> Vec<bool> {
+    let n = succ.len();
+    // Build reverse adjacency once.
+    let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (u, outs) in succ.iter().enumerate() {
+        for &v in outs {
+            rev[v.index()].push(NodeId(u as u32));
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut q = VecDeque::new();
+    seen[target.index()] = true;
+    q.push_back(target);
+    while let Some(v) = q.pop_front() {
+        for &u in &rev[v.index()] {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                q.push_back(u);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+    use crate::ids::EdgeId;
+
+    fn square() -> Graph {
+        from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
+    }
+
+    #[test]
+    fn full_reachability_when_all_up() {
+        let g = square();
+        let mask = EdgeMask::all_up(g.edge_count());
+        assert!(reachable_from(&g, NodeId(0), &mask).iter().all(|&b| b));
+        assert!(is_connected(&g, &mask));
+        assert_eq!(disconnected_pairs(&g, &mask), 0);
+    }
+
+    #[test]
+    fn ring_survives_one_failure_not_two() {
+        let g = square();
+        let mut mask = EdgeMask::all_up(4);
+        mask.fail(EdgeId(0));
+        assert!(is_connected(&g, &mask));
+        mask.fail(EdgeId(2));
+        assert!(!is_connected(&g, &mask));
+        // Components {1,2} and {3,0}: 2*2 ordered cross pairs * 2 directions = 8.
+        assert_eq!(disconnected_pairs(&g, &mask), 8);
+    }
+
+    #[test]
+    fn components_label_consistently() {
+        let g = from_edges(5, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let mask = EdgeMask::all_up(2);
+        let comp = components(&g, &mask);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert_ne!(comp[4], comp[2]);
+    }
+
+    #[test]
+    fn connected_same_node() {
+        let g = square();
+        let mask = EdgeMask::all_up(4);
+        assert!(connected(&g, NodeId(2), NodeId(2), &mask));
+    }
+
+    #[test]
+    fn reverse_reachability_directed() {
+        // 0 -> 1 -> 2, and 3 -> 1. Target 2: {0,1,2,3} all reach.
+        let succ = vec![vec![NodeId(1)], vec![NodeId(2)], vec![], vec![NodeId(1)]];
+        let r = reverse_reachable(&succ, NodeId(2));
+        assert_eq!(r, vec![true, true, true, true]);
+        // Target 0: only 0 itself (no in-edges).
+        let r0 = reverse_reachable(&succ, NodeId(0));
+        assert_eq!(r0, vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn reverse_reachability_with_cycle() {
+        // 0 <-> 1 cycle, 1 -> 2. All of {0,1} reach 2.
+        let succ = vec![vec![NodeId(1)], vec![NodeId(0), NodeId(2)], vec![]];
+        let r = reverse_reachable(&succ, NodeId(2));
+        assert_eq!(r, vec![true, true, true]);
+    }
+
+    #[test]
+    fn trivial_graphs_connected() {
+        let g = from_edges(1, &[]);
+        assert!(is_connected(&g, &EdgeMask::all_up(0)));
+        let empty = crate::GraphBuilder::new().build();
+        assert!(is_connected(&empty, &EdgeMask::all_up(0)));
+    }
+}

@@ -1,0 +1,110 @@
+//! Disjoint-set union (union–find) with path halving and union by size.
+//!
+//! Used for fast connectivity queries during bulk failure sampling: rather
+//! than BFS per pair, one pass over surviving edges gives all components.
+
+/// Union–find over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x as usize
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_as_singletons() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.component_count(), 4);
+        assert!(!uf.same(0, 1));
+        assert_eq!(uf.component_size(2), 1);
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 3)); // already together
+        assert_eq!(uf.component_count(), 1);
+        assert_eq!(uf.component_size(0), 4);
+    }
+
+    #[test]
+    fn transitivity() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn large_chain() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.same(0, n - 1));
+    }
+}

@@ -1,0 +1,225 @@
+//! Yen's k-shortest loopless paths.
+//!
+//! The paper's pitch is that splicing gets exponential path diversity
+//! "without running a protocol that must compute an exponential number
+//! of paths". This module implements the thing splicing avoids — explicit
+//! k-shortest-path enumeration — so the benchmarks can put numbers on
+//! that comparison: per-pair path state and computation for explicit
+//! multipath vs per-slice trees.
+
+use crate::dijkstra::dijkstra_masked;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::mask::EdgeMask;
+use crate::paths::Path;
+
+/// The `k` shortest loopless paths from `s` to `t` under `weights`,
+/// shortest first. Returns fewer when the graph has fewer distinct
+/// loopless paths.
+pub fn k_shortest_paths(g: &Graph, weights: &[f64], s: NodeId, t: NodeId, k: usize) -> Vec<Path> {
+    assert!(k >= 1);
+    assert_ne!(s, t, "k-shortest-paths needs distinct endpoints");
+    let up = EdgeMask::all_up(g.edge_count());
+    let first = {
+        let spt = dijkstra_masked(g, t, weights, &up);
+        match spt.path_from(s) {
+            Some(p) => p,
+            None => return Vec::new(),
+        }
+    };
+    let mut accepted: Vec<Path> = vec![first];
+    // Candidate set: (length, path), deduplicated by node sequence.
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+
+    while accepted.len() < k {
+        let last = accepted.last().expect("nonempty").clone();
+        // Spur from every node of the previous path except t.
+        for spur_idx in 0..last.nodes.len() - 1 {
+            let spur_node = last.nodes[spur_idx];
+            let root_nodes = &last.nodes[..=spur_idx];
+            let root_edges = &last.edges[..spur_idx];
+
+            // Mask out edges that would recreate an accepted path with
+            // this root, and all root nodes except the spur (loopless).
+            let mut mask = EdgeMask::all_up(g.edge_count());
+            for p in accepted.iter().chain(candidates.iter().map(|(_, p)| p)) {
+                if p.nodes.len() > spur_idx && p.nodes[..=spur_idx] == *root_nodes {
+                    if let Some(&e) = p.edges.get(spur_idx) {
+                        mask.fail(e);
+                    }
+                }
+            }
+            let banned: std::collections::HashSet<NodeId> =
+                root_nodes[..spur_idx].iter().copied().collect();
+            for &n in &banned {
+                for &(_, e) in g.neighbors(n) {
+                    mask.fail(e);
+                }
+            }
+
+            let spt = dijkstra_masked(g, t, weights, &mask);
+            let Some(spur_path) = spt.path_from(spur_node) else {
+                continue;
+            };
+            // Stitch root + spur.
+            let mut nodes = root_nodes.to_vec();
+            nodes.extend_from_slice(&spur_path.nodes[1..]);
+            let mut edges = root_edges.to_vec();
+            edges.extend_from_slice(&spur_path.edges);
+            let candidate = Path { nodes, edges };
+            if !candidate.is_simple() {
+                continue;
+            }
+            let len = candidate.length(weights);
+            let dup = accepted.iter().any(|p| p.nodes == candidate.nodes)
+                || candidates.iter().any(|(_, p)| p.nodes == candidate.nodes);
+            if !dup {
+                candidates.push((len, candidate));
+            }
+        }
+        // Take the best candidate.
+        let Some(best_idx) = candidates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("no NaN"))
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        accepted.push(candidates.swap_remove(best_idx).1);
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+
+    fn diamond() -> Graph {
+        from_edges(
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 3, 2.0),
+                (0, 2, 2.0),
+                (2, 3, 2.0),
+                (1, 2, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn shortest_first_and_sorted() {
+        let g = diamond();
+        let w = g.base_weights();
+        let paths = k_shortest_paths(&g, &w, NodeId(0), NodeId(3), 4);
+        assert!(!paths.is_empty());
+        for win in paths.windows(2) {
+            assert!(win[0].length(&w) <= win[1].length(&w) + 1e-12);
+        }
+        // First = Dijkstra's shortest (0-1-3, length 3).
+        assert_eq!(paths[0].length(&w), 3.0);
+    }
+
+    #[test]
+    fn paths_are_loopless_distinct_and_valid() {
+        let g = diamond();
+        let w = g.base_weights();
+        let paths = k_shortest_paths(&g, &w, NodeId(0), NodeId(3), 10);
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            assert!(p.is_simple());
+            assert!(p.validate(&g));
+            assert_eq!(p.source(), NodeId(0));
+            assert_eq!(p.destination(), NodeId(3));
+            assert!(seen.insert(p.nodes.clone()), "duplicate path");
+        }
+        // The diamond (with chord) has exactly 4 simple 0->3 paths:
+        // 0-1-3, 0-2-3, 0-1-2-3, 0-2-1-3.
+        assert_eq!(paths.len(), 4);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_graph() {
+        // Enumerate all simple paths by DFS and compare the top-k.
+        let g = from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.5),
+                (2, 4, 1.0),
+                (0, 3, 2.0),
+                (3, 4, 2.5),
+                (1, 3, 0.5),
+                (2, 3, 1.0),
+            ],
+        );
+        let w = g.base_weights();
+        // DFS enumeration.
+        fn dfs(
+            g: &Graph,
+            at: NodeId,
+            t: NodeId,
+            nodes: &mut Vec<NodeId>,
+            edges: &mut Vec<crate::ids::EdgeId>,
+            out: &mut Vec<Path>,
+        ) {
+            if at == t {
+                out.push(Path {
+                    nodes: nodes.clone(),
+                    edges: edges.clone(),
+                });
+                return;
+            }
+            for &(nbr, e) in g.neighbors(at) {
+                if nodes.contains(&nbr) {
+                    continue;
+                }
+                nodes.push(nbr);
+                edges.push(e);
+                dfs(g, nbr, t, nodes, edges, out);
+                nodes.pop();
+                edges.pop();
+            }
+        }
+        let mut all = Vec::new();
+        dfs(
+            &g,
+            NodeId(0),
+            NodeId(4),
+            &mut vec![NodeId(0)],
+            &mut vec![],
+            &mut all,
+        );
+        all.sort_by(|a, b| a.length(&w).partial_cmp(&b.length(&w)).unwrap());
+
+        let yen = k_shortest_paths(&g, &w, NodeId(0), NodeId(4), all.len() + 2);
+        assert_eq!(yen.len(), all.len(), "must find every simple path");
+        for (y, b) in yen.iter().zip(&all) {
+            assert!(
+                (y.length(&w) - b.length(&w)).abs() < 1e-9,
+                "length mismatch: {} vs {}",
+                y.length(&w),
+                b.length(&w)
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_returns_empty() {
+        let g = from_edges(3, &[(0, 1, 1.0)]);
+        let paths = k_shortest_paths(&g, &g.base_weights(), NodeId(0), NodeId(2), 3);
+        assert!(paths.is_empty());
+    }
+
+    #[test]
+    fn k_one_is_just_dijkstra() {
+        let g = diamond();
+        let w = g.base_weights();
+        let paths = k_shortest_paths(&g, &w, NodeId(0), NodeId(3), 1);
+        assert_eq!(paths.len(), 1);
+        let spt = crate::dijkstra(&g, NodeId(3), &w);
+        assert_eq!(paths[0].nodes, spt.path_from(NodeId(0)).unwrap().nodes);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the graph substrate.
+//!
+//! These pin the invariants the rest of the workspace depends on:
+//! Dijkstra agrees with Bellman–Ford, SPTs are genuine trees, min-cut
+//! equals max-flow, and reachability primitives are mutually consistent.
+
+use proptest::prelude::*;
+use splice_graph::bellman_ford::bellman_ford;
+use splice_graph::graph::from_edges;
+use splice_graph::maxflow::{edge_connectivity_st, global_edge_connectivity};
+use splice_graph::mincut::min_cut_links;
+use splice_graph::traversal::{components, connected, disconnected_pairs, reachable_from};
+use splice_graph::{dijkstra, dijkstra_masked, EdgeId, EdgeMask, Graph, NodeId, UnionFind};
+
+/// Strategy: a random connected-ish multigraph with 2..=12 nodes and
+/// 1..=30 weighted edges (weights in [0.5, 10]).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=12).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.5f64..10.0);
+        proptest::collection::vec(edge, 1..=30).prop_map(move |raw| {
+            let edges: Vec<(u32, u32, f64)> = raw.into_iter().filter(|(u, v, _)| u != v).collect();
+            // Ensure at least one edge survives the self-loop filter
+            // (n >= 2, so a 0-1 edge always exists).
+            let edges = if edges.is_empty() {
+                vec![(0, 1, 1.0)]
+            } else {
+                edges
+            };
+            from_edges(n, &edges)
+        })
+    })
+}
+
+/// Strategy: a graph plus a random failure mask over its edges.
+fn arb_graph_with_mask() -> impl Strategy<Value = (Graph, EdgeMask)> {
+    arb_graph().prop_flat_map(|g| {
+        let m = g.edge_count();
+        proptest::collection::vec(any::<bool>(), m).prop_map(move |fails| {
+            let mut mask = EdgeMask::all_up(m);
+            for (i, f) in fails.iter().enumerate() {
+                if *f {
+                    mask.fail(EdgeId(i as u32));
+                }
+            }
+            (g.clone(), mask)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Dijkstra and Bellman–Ford agree on every distance.
+    #[test]
+    fn dijkstra_matches_bellman_ford(g in arb_graph()) {
+        let w = g.base_weights();
+        for root in g.nodes() {
+            let spt = dijkstra(&g, root, &w);
+            let bf = bellman_ford(&g, root, &w);
+            for (i, (&a, &b)) in spt.dist.iter().zip(&bf).enumerate() {
+                prop_assert!(
+                    (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                    "distance mismatch at node {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// An SPT's parent pointers form an acyclic forest rooted at the root,
+    /// and every reachable node's path actually ends at the root.
+    #[test]
+    fn spt_is_a_tree(g in arb_graph()) {
+        let w = g.base_weights();
+        let root = NodeId(0);
+        let spt = dijkstra(&g, root, &w);
+        for u in g.nodes() {
+            if spt.reaches(u) {
+                let p = spt.path_from(u).expect("reachable node has a path");
+                prop_assert_eq!(p.source(), u);
+                prop_assert_eq!(p.destination(), root);
+                prop_assert!(p.validate(&g));
+                prop_assert!(p.is_simple(), "SPT paths are simple");
+                prop_assert!((p.base_length(&g) - spt.distance(u)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Distances can only grow when edges fail.
+    #[test]
+    fn failures_never_shorten_paths((g, mask) in arb_graph_with_mask()) {
+        let w = g.base_weights();
+        let root = NodeId(0);
+        let free = dijkstra(&g, root, &w);
+        let failed = dijkstra_masked(&g, root, &w, &mask);
+        for i in 0..g.node_count() {
+            prop_assert!(failed.dist[i] >= free.dist[i] - 1e-12);
+        }
+    }
+
+    /// Stoer–Wagner equals global edge connectivity by max-flow.
+    #[test]
+    fn mincut_equals_maxflow(g in arb_graph()) {
+        prop_assert_eq!(min_cut_links(&g).unwrap(), global_edge_connectivity(&g));
+    }
+
+    /// s–t edge connectivity is symmetric in an undirected graph.
+    #[test]
+    fn st_connectivity_symmetric(g in arb_graph()) {
+        let s = NodeId(0);
+        let t = NodeId((g.node_count() - 1) as u32);
+        if s != t {
+            prop_assert_eq!(
+                edge_connectivity_st(&g, s, t),
+                edge_connectivity_st(&g, t, s)
+            );
+        }
+    }
+
+    /// BFS reachability agrees with union-find components under any mask.
+    #[test]
+    fn bfs_matches_union_find((g, mask) in arb_graph_with_mask()) {
+        let mut uf = UnionFind::new(g.node_count());
+        for e in g.edge_ids() {
+            if mask.is_up(e) {
+                let edge = g.edge(e);
+                uf.union(edge.u.index(), edge.v.index());
+            }
+        }
+        let from0 = reachable_from(&g, NodeId(0), &mask);
+        for (i, &reach) in from0.iter().enumerate() {
+            prop_assert_eq!(reach, uf.same(0, i));
+        }
+    }
+
+    /// disconnected_pairs is consistent with pairwise connectivity checks.
+    #[test]
+    fn disconnected_pairs_consistent((g, mask) in arb_graph_with_mask()) {
+        let n = g.node_count();
+        let mut brute = 0usize;
+        for s in 0..n as u32 {
+            for t in 0..n as u32 {
+                if s != t && !connected(&g, NodeId(s), NodeId(t), &mask) {
+                    brute += 1;
+                }
+            }
+        }
+        prop_assert_eq!(disconnected_pairs(&g, &mask), brute);
+    }
+
+    /// Component labels partition the node set.
+    #[test]
+    fn components_partition((g, mask) in arb_graph_with_mask()) {
+        let comp = components(&g, &mask);
+        prop_assert_eq!(comp.len(), g.node_count());
+        // Every edge that is up connects same-component nodes.
+        for e in g.edge_ids() {
+            if mask.is_up(e) {
+                let edge = g.edge(e);
+                prop_assert_eq!(comp[edge.u.index()], comp[edge.v.index()]);
+            }
+        }
+    }
+}

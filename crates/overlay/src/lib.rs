@@ -1,0 +1,29 @@
+//! # splice-overlay
+//!
+//! Path splicing applied to overlay routing (§5 "other applications").
+//!
+//! RON-style overlays probe pairwise paths and route over a *single*
+//! metric (latency, or loss). The paper suggests splicing can "combine
+//! overlay networks that use independent metrics (e.g., splicing RON with
+//! SOSR)": each metric induces its own routing trees over the overlay
+//! mesh — a slice — and the forwarding bits switch among them, improving
+//! fault tolerance over any single-metric overlay.
+//!
+//! The pieces:
+//!
+//! * [`overlay::Overlay`] — a set of member nodes of an underlay
+//!   topology, meshed by overlay links that each ride the underlay's
+//!   shortest path; every overlay link knows its latency, loss rate, and
+//!   hop count, and which underlay links it depends on.
+//! * [`overlay::Metric`] — the per-metric weight vectors (latency / loss
+//!   / hops) that become slices via
+//!   [`Splicing::from_weight_vectors`](splice_core::slices::Splicing::from_weight_vectors).
+//! * [`overlay::OverlaySplicing`] — the spliced overlay plus the
+//!   underlay-failure mapping: an overlay link is down iff any underlay
+//!   link on its path is down, so one fiber cut can take several overlay
+//!   links at once (the correlated-failure pattern single-metric
+//!   overlays struggle with).
+
+pub mod overlay;
+
+pub use overlay::{Metric, Overlay, OverlaySplicing};

@@ -1,0 +1,155 @@
+//! Equal-cost multipath (ECMP) — the multipath that *is* deployed today.
+//!
+//! The paper's framing is that Internet routing is single-path; the one
+//! mainstream exception is ECMP, which spreads over next hops tied for
+//! the same shortest distance. ECMP's diversity is an accident of weight
+//! ties, so it makes a natural baseline for splicing: how much
+//! reachability do k deliberate trees buy over one weight setting's ties?
+
+use splice_graph::{dijkstra, EdgeId, EdgeMask, Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Per-destination ECMP next-hop sets: `sets[u]` holds every
+/// `(next hop, edge)` of `u` on *some* shortest path toward the root.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EcmpSets {
+    /// The destination these sets route toward.
+    pub root: NodeId,
+    /// Next-hop alternatives per node (empty at the root / unreachable).
+    pub sets: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+/// Compute ECMP next hops toward `root`: a neighbor `v` of `u` qualifies
+/// iff `dist(u) = w(u,v) + dist(v)` (it lies on a shortest path).
+pub fn ecmp_sets(g: &Graph, root: NodeId, weights: &[f64]) -> EcmpSets {
+    let spt = dijkstra(g, root, weights);
+    let sets = g
+        .nodes()
+        .map(|u| {
+            if u == root || !spt.reaches(u) {
+                return Vec::new();
+            }
+            g.neighbors(u)
+                .iter()
+                .filter(|&&(v, e)| {
+                    spt.reaches(v)
+                        && (spt.distance(u) - weights[e.index()] - spt.distance(v)).abs() < 1e-9
+                })
+                .copied()
+                .collect()
+        })
+        .collect();
+    EcmpSets { root, sets }
+}
+
+impl EcmpSets {
+    /// Which nodes can still deliver to the root over surviving ECMP
+    /// arcs (any tie-breaking policy; this is the generous DAG bound).
+    pub fn reachable(&self, mask: &EdgeMask) -> Vec<bool> {
+        let n = self.sets.len();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (u, outs) in self.sets.iter().enumerate() {
+            for &(v, e) in outs {
+                if mask.is_up(e) {
+                    rev[v.index()].push(u);
+                }
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut q = VecDeque::new();
+        seen[self.root.index()] = true;
+        q.push_back(self.root.index());
+        while let Some(v) = q.pop_front() {
+            for &u in &rev[v] {
+                if !seen[u] {
+                    seen[u] = true;
+                    q.push_back(u);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Mean number of next-hop alternatives over nodes that have any.
+    pub fn mean_fanout(&self) -> f64 {
+        let with: Vec<usize> = self.sets.iter().map(Vec::len).filter(|&l| l > 0).collect();
+        if with.is_empty() {
+            0.0
+        } else {
+            with.iter().sum::<usize>() as f64 / with.len() as f64
+        }
+    }
+}
+
+/// Count ordered pairs ECMP cannot connect under `mask`, over all
+/// destinations — the ECMP analogue of `Splicing::disconnected_pairs`.
+pub fn ecmp_disconnected_pairs(g: &Graph, weights: &[f64], mask: &EdgeMask) -> usize {
+    let mut disconnected = 0;
+    for t in g.nodes() {
+        let sets = ecmp_sets(g, t, weights);
+        let reach = sets.reachable(mask);
+        disconnected += reach.iter().filter(|&&r| !r).count();
+    }
+    disconnected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_graph::graph::from_edges;
+
+    /// Two equal-cost routes 0 -> 3.
+    fn equal_diamond() -> Graph {
+        from_edges(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 1.0)])
+    }
+
+    #[test]
+    fn ties_produce_fanout() {
+        let g = equal_diamond();
+        let sets = ecmp_sets(&g, NodeId(3), &g.base_weights());
+        assert_eq!(sets.sets[0].len(), 2, "node 0 has two equal-cost hops");
+        assert_eq!(sets.sets[1].len(), 1);
+        assert!(sets.sets[3].is_empty(), "root has no next hop");
+        assert!(sets.mean_fanout() > 1.0);
+    }
+
+    #[test]
+    fn no_ties_means_single_path() {
+        let g = from_edges(4, &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 2.0), (2, 3, 2.0)]);
+        let sets = ecmp_sets(&g, NodeId(3), &g.base_weights());
+        assert_eq!(sets.sets[0].len(), 1, "strictly shorter route wins alone");
+    }
+
+    #[test]
+    fn ecmp_survives_failures_on_its_dag_only() {
+        let g = equal_diamond();
+        let w = g.base_weights();
+        // Fail 0-1: pair 0<->3 survives on the other equal-cost branch,
+        // but 0<->1's unique shortest path is gone — ECMP has no detour
+        // (that's the gap splicing fills).
+        let mask = EdgeMask::from_failed(4, &[EdgeId(0)]);
+        assert_eq!(ecmp_disconnected_pairs(&g, &w, &mask), 2);
+        let toward3 = ecmp_sets(&g, NodeId(3), &w);
+        assert!(toward3.reachable(&mask)[0], "0 -> 3 rides the tie");
+        // Fail both of 0's branches: 0 is cut from everyone.
+        let mask = EdgeMask::from_failed(4, &[EdgeId(0), EdgeId(2)]);
+        let disc = ecmp_disconnected_pairs(&g, &w, &mask);
+        assert!(
+            disc >= 6,
+            "0 cut from 3 destinations, both directions: {disc}"
+        );
+    }
+
+    #[test]
+    fn ecmp_never_uses_non_shortest_arcs() {
+        // The diamond with unequal costs: even though 0-2-3 exists, ECMP
+        // toward 3 must not use it, so failing 1-3 cuts node 0 and 1.
+        let g = from_edges(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 2.0), (2, 3, 2.0)]);
+        let mask = EdgeMask::from_failed(4, &[EdgeId(1)]);
+        let sets = ecmp_sets(&g, NodeId(3), &g.base_weights());
+        let reach = sets.reachable(&mask);
+        assert!(!reach[0]);
+        assert!(!reach[1]);
+        assert!(reach[2], "2 routes directly");
+    }
+}

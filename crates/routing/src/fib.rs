@@ -1,0 +1,156 @@
+//! Forwarding information bases.
+//!
+//! A [`Fib`] is one router's next-hop table for one routing instance:
+//! exactly what Algorithm 1's `Lookup(dst, slice)` consults. A
+//! [`RoutingTables`] bundles the FIBs of *every* router for one instance,
+//! which is the natural unit the simulator works with (it is produced by
+//! `n` destination-rooted SPTs).
+
+use serde::{Deserialize, Serialize};
+use splice_graph::{EdgeId, NodeId, Spt};
+
+/// One router's per-destination next hops for a single routing instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Fib {
+    /// The router owning this table.
+    pub router: NodeId,
+    /// `entries[dst] = (next hop, outgoing edge)`; `None` when `dst` is the
+    /// router itself or unreachable.
+    pub entries: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl Fib {
+    /// Next hop toward `dst`, if any.
+    #[inline]
+    pub fn next_hop(&self, dst: NodeId) -> Option<NodeId> {
+        self.entries[dst.index()].map(|(n, _)| n)
+    }
+
+    /// Outgoing edge toward `dst`, if any.
+    #[inline]
+    pub fn out_edge(&self, dst: NodeId) -> Option<EdgeId> {
+        self.entries[dst.index()].map(|(_, e)| e)
+    }
+
+    /// Number of installed (non-`None`) entries — the FIB state size.
+    pub fn installed(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+}
+
+/// All routers' FIBs for one routing instance (slice).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoutingTables {
+    /// `fibs[router]` — index-aligned with node ids.
+    pub fibs: Vec<Fib>,
+}
+
+impl RoutingTables {
+    /// Build per-router FIBs from destination-rooted SPTs
+    /// (`spts[t]` must be rooted at node `t`).
+    ///
+    /// The tree rooted at `t` contains, for every router `u`, the next hop
+    /// `u` uses toward `t` — this "transpose" is how a link-state network
+    /// actually materializes its tables.
+    pub fn from_spts(spts: &[Spt]) -> RoutingTables {
+        let n = spts.len();
+        let mut fibs: Vec<Fib> = (0..n)
+            .map(|u| Fib {
+                router: NodeId(u as u32),
+                entries: vec![None; n],
+            })
+            .collect();
+        for (t, spt) in spts.iter().enumerate() {
+            assert_eq!(spt.root.index(), t, "spts[{t}] must be rooted at node {t}");
+            for (fib, parent) in fibs.iter_mut().zip(&spt.parent) {
+                fib.entries[t] = *parent;
+            }
+        }
+        RoutingTables { fibs }
+    }
+
+    /// The FIB of `router`.
+    #[inline]
+    pub fn fib(&self, router: NodeId) -> &Fib {
+        &self.fibs[router.index()]
+    }
+
+    /// Next hop of `router` toward `dst` in this instance.
+    #[inline]
+    pub fn next_hop(&self, router: NodeId, dst: NodeId) -> Option<NodeId> {
+        self.fibs[router.index()].next_hop(dst)
+    }
+
+    /// Total installed entries across all routers (network-wide state).
+    pub fn total_state(&self) -> usize {
+        self.fibs.iter().map(|f| f.installed()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_graph::dijkstra::all_destinations;
+    use splice_graph::graph::from_edges;
+
+    fn diamond() -> splice_graph::Graph {
+        from_edges(4, &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 2.0), (2, 3, 2.0)])
+    }
+
+    #[test]
+    fn fib_transpose_matches_spts() {
+        let g = diamond();
+        let spts = all_destinations(&g, &g.base_weights());
+        let rt = RoutingTables::from_spts(&spts);
+        // Router 0 toward 3: via 1 (cost 3 < 4).
+        assert_eq!(rt.next_hop(NodeId(0), NodeId(3)), Some(NodeId(1)));
+        // Router 3 toward 0: symmetric.
+        assert_eq!(rt.next_hop(NodeId(3), NodeId(0)), Some(NodeId(1)));
+        // Self entries are empty.
+        assert_eq!(rt.next_hop(NodeId(2), NodeId(2)), None);
+    }
+
+    #[test]
+    fn state_accounting() {
+        let g = diamond();
+        let spts = all_destinations(&g, &g.base_weights());
+        let rt = RoutingTables::from_spts(&spts);
+        // Connected graph: every router has n-1 entries.
+        assert_eq!(rt.total_state(), 4 * 3);
+        assert_eq!(rt.fib(NodeId(0)).installed(), 3);
+    }
+
+    #[test]
+    fn unreachable_destinations_have_no_entry() {
+        let g = from_edges(3, &[(0, 1, 1.0)]); // node 2 isolated
+        let spts = all_destinations(&g, &g.base_weights());
+        let rt = RoutingTables::from_spts(&spts);
+        assert_eq!(rt.next_hop(NodeId(0), NodeId(2)), None);
+        assert_eq!(rt.next_hop(NodeId(2), NodeId(0)), None);
+        assert_eq!(rt.total_state(), 2); // 0<->1 only
+    }
+
+    #[test]
+    fn out_edges_are_consistent() {
+        let g = diamond();
+        let spts = all_destinations(&g, &g.base_weights());
+        let rt = RoutingTables::from_spts(&spts);
+        for u in g.nodes() {
+            for t in g.nodes() {
+                if let (Some(nh), Some(e)) = (rt.next_hop(u, t), rt.fib(u).out_edge(t)) {
+                    let edge = g.edge(e);
+                    assert!(edge.touches(u) && edge.touches(nh));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be rooted")]
+    fn misordered_spts_rejected() {
+        let g = diamond();
+        let mut spts = all_destinations(&g, &g.base_weights());
+        spts.swap(0, 1);
+        RoutingTables::from_spts(&spts);
+    }
+}

@@ -1,0 +1,40 @@
+//! # splice-routing
+//!
+//! A link-state routing-protocol simulator: the substrate path splicing
+//! composes.
+//!
+//! Path splicing's control plane "runs multiple routing protocol
+//! instances, each with slightly different link weights" (§3.1.2), relying
+//! on multi-topology routing for deployment. This crate models that layer
+//! faithfully enough to account for the paper's scalability claim (§4.2:
+//! state, convergence and message complexity grow *linearly* in the number
+//! of slices k):
+//!
+//! * [`lsa`] — link-state advertisements, one per router, versioned by
+//!   sequence number.
+//! * [`lsdb`] — the per-router link-state database with freshness rules.
+//! * [`flooding`] — reliable flooding over the topology, counting every
+//!   LSA transmission so message complexity can be measured rather than
+//!   asserted.
+//! * [`spf`] — shortest-path-first computation from a synchronized LSDB
+//!   into per-router forwarding tables.
+//! * [`fib`] — forwarding tables: per-destination next hops, the object
+//!   Algorithm 1's `Lookup(dst, slice)` consults.
+//! * [`multitopology`] — RFC 4915-style multi-topology routing hosting k
+//!   independent instances over one physical topology; this is the
+//!   deployment vehicle the paper names (Cisco MTR) and the unit whose
+//!   state/message accounting backs Figure-free claim §4.2.
+
+pub mod dynamics;
+pub mod ecmp;
+pub mod fib;
+pub mod flooding;
+pub mod lsa;
+pub mod lsdb;
+pub mod multitopology;
+pub mod spf;
+
+pub use fib::{Fib, RoutingTables};
+pub use lsa::LinkStateAd;
+pub use lsdb::LinkStateDb;
+pub use multitopology::{MultiTopology, ResourceUsage};

@@ -1,0 +1,67 @@
+//! Link-state advertisements.
+//!
+//! Each router originates one LSA describing its incident links and their
+//! weights *in one topology instance* (slice). LSAs carry a sequence
+//! number; receivers keep only the freshest per (origin, instance).
+
+use serde::{Deserialize, Serialize};
+use splice_graph::{EdgeId, NodeId};
+
+/// One router's view of its incident links, for one routing instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkStateAd {
+    /// Originating router.
+    pub origin: NodeId,
+    /// Routing instance (slice index) this LSA belongs to.
+    pub instance: usize,
+    /// Freshness: higher wins.
+    pub seq: u64,
+    /// Advertised links: (neighbor, physical edge, weight in this instance).
+    pub links: Vec<(NodeId, EdgeId, f64)>,
+}
+
+impl LinkStateAd {
+    /// Whether this LSA supersedes `other` (same origin+instance, higher
+    /// sequence number).
+    pub fn supersedes(&self, other: &LinkStateAd) -> bool {
+        self.origin == other.origin && self.instance == other.instance && self.seq > other.seq
+    }
+
+    /// Approximate wire size in bytes, for message-volume accounting:
+    /// a 16-byte header plus 12 bytes per advertised link (matching the
+    /// OSPF router-LSA layout closely enough for trend measurements).
+    pub fn wire_size(&self) -> usize {
+        16 + 12 * self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ad(origin: u32, instance: usize, seq: u64) -> LinkStateAd {
+        LinkStateAd {
+            origin: NodeId(origin),
+            instance,
+            seq,
+            links: vec![(NodeId(1), EdgeId(0), 1.0)],
+        }
+    }
+
+    #[test]
+    fn supersession_rules() {
+        assert!(ad(0, 0, 2).supersedes(&ad(0, 0, 1)));
+        assert!(!ad(0, 0, 1).supersedes(&ad(0, 0, 2)));
+        assert!(!ad(0, 0, 2).supersedes(&ad(0, 0, 2))); // equal seq: not newer
+        assert!(!ad(1, 0, 2).supersedes(&ad(0, 0, 1))); // different origin
+        assert!(!ad(0, 1, 2).supersedes(&ad(0, 0, 1))); // different instance
+    }
+
+    #[test]
+    fn wire_size_scales_with_links() {
+        let mut a = ad(0, 0, 1);
+        let base = a.wire_size();
+        a.links.push((NodeId(2), EdgeId(1), 2.0));
+        assert_eq!(a.wire_size(), base + 12);
+    }
+}

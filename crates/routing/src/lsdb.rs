@@ -1,0 +1,173 @@
+//! The link-state database: the freshest LSA per (origin, instance).
+//!
+//! A synchronized LSDB is what SPF runs on. The database can also
+//! re-materialize the weight vector of an instance, which is how routers
+//! agree on the perturbed topology without any extra protocol machinery —
+//! exactly the property splicing relies on.
+
+use crate::lsa::LinkStateAd;
+use splice_graph::Graph;
+use std::collections::HashMap;
+
+/// Per-router (or global, when simulating an already-converged network)
+/// store of the freshest LSAs.
+#[derive(Clone, Debug, Default)]
+pub struct LinkStateDb {
+    ads: HashMap<(u32, usize), LinkStateAd>,
+}
+
+impl LinkStateDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install `ad` if it is new or fresher than the stored one.
+    /// Returns `true` if the database changed (the LSA must then be
+    /// flooded onward).
+    pub fn install(&mut self, ad: LinkStateAd) -> bool {
+        let key = (ad.origin.0, ad.instance);
+        match self.ads.get(&key) {
+            Some(existing) if !ad.supersedes(existing) => false,
+            _ => {
+                self.ads.insert(key, ad);
+                true
+            }
+        }
+    }
+
+    /// Number of stored LSAs (routing state size, in entries).
+    pub fn len(&self) -> usize {
+        self.ads.len()
+    }
+
+    /// True when no LSA is stored.
+    pub fn is_empty(&self) -> bool {
+        self.ads.is_empty()
+    }
+
+    /// Total advertised bytes, for memory-footprint accounting.
+    pub fn total_bytes(&self) -> usize {
+        self.ads.values().map(|a| a.wire_size()).sum()
+    }
+
+    /// The freshest LSA from `origin` for `instance`.
+    pub fn get(&self, origin: splice_graph::NodeId, instance: usize) -> Option<&LinkStateAd> {
+        self.ads.get(&(origin.0, instance))
+    }
+
+    /// Reconstruct the weight vector of `instance` from the stored LSAs.
+    ///
+    /// Every edge should be advertised by both endpoints; when both are
+    /// present the weights must agree (they are derived from the same
+    /// pseudorandom perturbation). Missing edges fall back to the graph's
+    /// base weight, mirroring a router's behaviour during partial
+    /// convergence.
+    pub fn instance_weights(&self, g: &Graph, instance: usize) -> Vec<f64> {
+        let mut w = g.base_weights();
+        for ad in self.ads.values().filter(|a| a.instance == instance) {
+            for &(_, e, weight) in &ad.links {
+                w[e.index()] = weight;
+            }
+        }
+        w
+    }
+
+    /// Whether the database holds an LSA from every node for `instance`
+    /// (i.e. the instance has fully converged).
+    pub fn converged(&self, g: &Graph, instance: usize) -> bool {
+        g.nodes().all(|n| self.ads.contains_key(&(n.0, instance)))
+    }
+}
+
+/// Originate the LSA a router would flood for one instance: all incident
+/// links with their instance weights.
+pub fn originate(
+    g: &Graph,
+    node: splice_graph::NodeId,
+    instance: usize,
+    weights: &[f64],
+    seq: u64,
+) -> LinkStateAd {
+    LinkStateAd {
+        origin: node,
+        instance,
+        seq,
+        links: g
+            .neighbors(node)
+            .iter()
+            .map(|&(nbr, e)| (nbr, e, weights[e.index()]))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_graph::graph::from_edges;
+    use splice_graph::NodeId;
+
+    fn triangle() -> Graph {
+        from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)])
+    }
+
+    #[test]
+    fn install_freshness() {
+        let g = triangle();
+        let w = g.base_weights();
+        let mut db = LinkStateDb::new();
+        let a1 = originate(&g, NodeId(0), 0, &w, 1);
+        let a2 = originate(&g, NodeId(0), 0, &w, 2);
+        assert!(db.install(a1.clone()));
+        assert!(!db.install(a1)); // replay rejected
+        assert!(db.install(a2)); // fresher accepted
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn instances_are_independent() {
+        let g = triangle();
+        let w = g.base_weights();
+        let mut db = LinkStateDb::new();
+        db.install(originate(&g, NodeId(0), 0, &w, 1));
+        db.install(originate(&g, NodeId(0), 1, &w, 1));
+        assert_eq!(db.len(), 2);
+        assert!(db.get(NodeId(0), 0).is_some());
+        assert!(db.get(NodeId(0), 1).is_some());
+        assert!(db.get(NodeId(1), 0).is_none());
+    }
+
+    #[test]
+    fn weight_reconstruction() {
+        let g = triangle();
+        let perturbed = vec![1.5, 2.5, 4.5];
+        let mut db = LinkStateDb::new();
+        for n in g.nodes() {
+            db.install(originate(&g, n, 0, &perturbed, 1));
+        }
+        assert!(db.converged(&g, 0));
+        assert_eq!(db.instance_weights(&g, 0), perturbed);
+    }
+
+    #[test]
+    fn partial_convergence_falls_back_to_base() {
+        let g = triangle();
+        let perturbed = vec![9.0, 9.0, 9.0];
+        let mut db = LinkStateDb::new();
+        // Only node 0 has advertised: edges 0 (0-1) and 2 (0-2) are covered.
+        db.install(originate(&g, NodeId(0), 0, &perturbed, 1));
+        assert!(!db.converged(&g, 0));
+        let w = db.instance_weights(&g, 0);
+        assert_eq!(w, vec![9.0, 2.0, 9.0]); // edge 1 (1-2) stays base
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let g = triangle();
+        let w = g.base_weights();
+        let mut db = LinkStateDb::new();
+        assert!(db.is_empty());
+        db.install(originate(&g, NodeId(0), 0, &w, 1));
+        assert_eq!(db.total_bytes(), 16 + 12 * 2); // node 0 has 2 links
+    }
+}

@@ -1,0 +1,194 @@
+//! Failure models.
+//!
+//! The paper's model is i.i.d. link failures with probability `p`
+//! (Definition 2.1, §4.1). Beyond that, the engine supports exact-count
+//! failures, node failures (all incident links), and shared-risk link
+//! groups — the correlated-failure patterns real backbones exhibit (a
+//! conduit cut takes every fiber in it).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
+
+/// A generative model of failure scenarios.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FailureModel {
+    /// Fail each link independently with probability `p` (the paper's).
+    IidLinks {
+        /// Per-link failure probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Fail exactly `count` links chosen uniformly at random.
+    ExactLinks {
+        /// Number of links to fail.
+        count: usize,
+    },
+    /// Fail each node independently with probability `p`; a failed node
+    /// takes all incident links down.
+    IidNodes {
+        /// Per-node failure probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Shared-risk link groups: fail each group independently with
+    /// probability `p`; a failed group takes all member links down.
+    Srlg {
+        /// Link groups (may overlap).
+        groups: Vec<Vec<EdgeId>>,
+        /// Per-group failure probability.
+        p: f64,
+    },
+}
+
+impl FailureModel {
+    /// Sample one failure scenario.
+    pub fn sample(&self, g: &Graph, rng: &mut StdRng) -> EdgeMask {
+        let mut mask = EdgeMask::all_up(g.edge_count());
+        match self {
+            FailureModel::IidLinks { p } => {
+                for e in g.edge_ids() {
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        mask.fail(e);
+                    }
+                }
+            }
+            FailureModel::ExactLinks { count } => {
+                let mut ids: Vec<EdgeId> = g.edge_ids().collect();
+                ids.shuffle(rng);
+                for e in ids.into_iter().take(*count) {
+                    mask.fail(e);
+                }
+            }
+            FailureModel::IidNodes { p } => {
+                for n in g.nodes() {
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        for &(_, e) in g.neighbors(n) {
+                            mask.fail(e);
+                        }
+                    }
+                }
+            }
+            FailureModel::Srlg { groups, p } => {
+                for group in groups {
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        for &e in group {
+                            mask.fail(e);
+                        }
+                    }
+                }
+            }
+        }
+        mask
+    }
+
+    /// Sampled failed-node list for [`FailureModel::IidNodes`]; other
+    /// models fail no nodes. (Node-failure experiments need to exclude
+    /// failed endpoints from the pair count.)
+    pub fn sample_nodes(&self, g: &Graph, rng: &mut StdRng) -> (EdgeMask, Vec<NodeId>) {
+        match self {
+            FailureModel::IidNodes { p } => {
+                let mut mask = EdgeMask::all_up(g.edge_count());
+                let mut down = Vec::new();
+                for n in g.nodes() {
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        down.push(n);
+                        for &(_, e) in g.neighbors(n) {
+                            mask.fail(e);
+                        }
+                    }
+                }
+                (mask, down)
+            }
+            other => (other.sample(g, rng), Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use splice_graph::graph::from_edges;
+
+    fn ring(n: usize) -> Graph {
+        let edges: Vec<(u32, u32, f64)> = (0..n as u32)
+            .map(|i| (i, (i + 1) % n as u32, 1.0))
+            .collect();
+        from_edges(n, &edges)
+    }
+
+    #[test]
+    fn iid_links_rate() {
+        let g = ring(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = FailureModel::IidLinks { p: 0.1 };
+        let total: usize = (0..200)
+            .map(|_| model.sample(&g, &mut rng).failed_count())
+            .sum();
+        let rate = total as f64 / (200.0 * 100.0);
+        assert!((0.08..0.12).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn iid_extremes() {
+        let g = ring(20);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(
+            FailureModel::IidLinks { p: 0.0 }
+                .sample(&g, &mut rng)
+                .failed_count(),
+            0
+        );
+        assert_eq!(
+            FailureModel::IidLinks { p: 1.0 }
+                .sample(&g, &mut rng)
+                .failed_count(),
+            20
+        );
+    }
+
+    #[test]
+    fn exact_links_count() {
+        let g = ring(30);
+        let mut rng = StdRng::seed_from_u64(3);
+        for count in [0, 1, 5, 30] {
+            let mask = FailureModel::ExactLinks { count }.sample(&g, &mut rng);
+            assert_eq!(mask.failed_count(), count);
+        }
+        // Requesting more than exist caps at the edge count.
+        let mask = FailureModel::ExactLinks { count: 99 }.sample(&g, &mut rng);
+        assert_eq!(mask.failed_count(), 30);
+    }
+
+    #[test]
+    fn node_failure_takes_incident_links() {
+        let g = ring(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = FailureModel::IidNodes { p: 1.0 };
+        let (mask, down) = model.sample_nodes(&g, &mut rng);
+        assert_eq!(down.len(), 10);
+        assert_eq!(mask.failed_count(), 10); // every ring edge dies
+    }
+
+    #[test]
+    fn srlg_groups_fail_together() {
+        let g = ring(6);
+        let groups = vec![vec![EdgeId(0), EdgeId(3)], vec![EdgeId(1)]];
+        let model = FailureModel::Srlg { groups, p: 1.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mask = model.sample(&g, &mut rng);
+        assert!(mask.is_failed(EdgeId(0)));
+        assert!(mask.is_failed(EdgeId(3)));
+        assert!(mask.is_failed(EdgeId(1)));
+        assert!(mask.is_up(EdgeId(2)));
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let g = ring(50);
+        let model = FailureModel::IidLinks { p: 0.3 };
+        let a = model.sample(&g, &mut StdRng::seed_from_u64(9));
+        let b = model.sample(&g, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

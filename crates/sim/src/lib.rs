@@ -1,0 +1,41 @@
+//! # splice-sim
+//!
+//! The Monte-Carlo evaluation engine reproducing the paper's §4.
+//!
+//! Methodology (§4.1), implemented faithfully:
+//!
+//! 1. Build a splicing deployment over a base topology (slice 0 = plain
+//!    shortest paths, slices 1..k perturbed).
+//! 2. Per trial, fail each link independently with probability `p`
+//!    ([`failure`]), using **common random numbers**: the same failure set
+//!    is evaluated for every `k`, so adding slices is compared against
+//!    identical faults.
+//! 3. Evaluate: spliced reachability per destination ([`reliability`],
+//!    Figure 3), recovery schemes over broken pairs ([`recovery`],
+//!    Figures 4–5), loop frequencies ([`loops`], §4.4), stretch
+//!    distributions ([`stretch_exp`], §4.3's numbers), Theorem A.1 slice
+//!    scaling ([`scaling`]) and Theorem B.1 concentration ([`theory`]),
+//!    and the §4.2 linear-cost / exponential-diversity account
+//!    ([`diversity`]).
+//!
+//! Trials run in parallel ([`parallel`]) and are reproducible from a
+//! single seed. Results serialize to CSV/JSON ([`output`]).
+
+pub mod convergence;
+pub mod diversity;
+pub mod dynamics_exp;
+pub mod failure;
+pub mod loops;
+pub mod node_failures;
+pub mod output;
+pub mod parallel;
+pub mod recovery;
+pub mod reliability;
+pub mod scaling;
+pub mod stats;
+pub mod stretch_exp;
+pub mod summary;
+pub mod theory;
+
+pub use failure::FailureModel;
+pub use reliability::{ReliabilityConfig, ReliabilityCurves};

@@ -1,0 +1,194 @@
+//! Node-failure reliability (extension).
+//!
+//! The paper's model fails links; real outages also take whole routers
+//! (power, maintenance, software). A failed node removes every incident
+//! link, and pairs involving the failed node itself are excluded — the
+//! question is whether *surviving* routers stay connected. Same
+//! common-random-number methodology as Figure 3.
+
+use crate::failure::FailureModel;
+use crate::parallel::run_trials;
+use crate::reliability::SpliceSemantics;
+use crate::stats::Series;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splice_core::slices::{Splicing, SplicingConfig};
+use splice_graph::traversal::components;
+use splice_graph::Graph;
+
+/// Configuration for the node-failure sweep.
+#[derive(Clone, Debug)]
+pub struct NodeFailureConfig {
+    /// Slice counts to evaluate.
+    pub ks: Vec<usize>,
+    /// Node-failure probabilities.
+    pub ps: Vec<f64>,
+    /// Monte-Carlo trials.
+    pub trials: usize,
+    /// Slice construction template (`k` overridden by `max(ks)`).
+    pub splicing: SplicingConfig,
+    /// Spliced-path semantics.
+    pub semantics: SpliceSemantics,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// Result: disconnection among surviving pairs, per k, plus best possible.
+#[derive(Clone, Debug)]
+pub struct NodeFailureCurves {
+    /// One curve per k.
+    pub curves: Vec<Series>,
+    /// The surviving graph's own disconnection.
+    pub best_possible: Series,
+}
+
+/// Run the node-failure experiment.
+pub fn node_failure_experiment(g: &Graph, cfg: &NodeFailureConfig) -> NodeFailureCurves {
+    let kmax = cfg.ks.iter().copied().max().expect("at least one k");
+    let mut scfg = cfg.splicing.clone();
+    scfg.k = kmax;
+    let n = g.node_count();
+
+    type Row = (Vec<Vec<f64>>, Vec<f64>);
+    let per_trial: Vec<Row> = run_trials(cfg.trials, cfg.seed, |_, trial_seed| {
+        let splicing = Splicing::build(g, &scfg, trial_seed);
+        let mut rows = Vec::with_capacity(cfg.ps.len());
+        let mut best = Vec::with_capacity(cfg.ps.len());
+        for (pi, &p) in cfg.ps.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(
+                trial_seed ^ (0xc2b2ae3d27d4eb4fu64.wrapping_mul(pi as u64 + 1)),
+            );
+            let (mask, down) = FailureModel::IidNodes { p }.sample_nodes(g, &mut rng);
+            let alive = |i: usize| !down.contains(&splice_graph::NodeId(i as u32));
+            let survivors: Vec<usize> = (0..n).filter(|&i| alive(i)).collect();
+            let pair_count = survivors.len().saturating_sub(1) * survivors.len();
+            if pair_count == 0 {
+                rows.push(vec![0.0; cfg.ks.len()]);
+                best.push(0.0);
+                continue;
+            }
+            // Splicing disconnection among surviving ordered pairs.
+            let row: Vec<f64> = cfg
+                .ks
+                .iter()
+                .map(|&k| {
+                    let mut disc = 0usize;
+                    for &t in &survivors {
+                        let t = splice_graph::NodeId(t as u32);
+                        let reach = match cfg.semantics {
+                            SpliceSemantics::UnionGraph => splicing.union_reachable_to(t, k, &mask),
+                            SpliceSemantics::Directed => splicing.reachable_to(t, k, &mask),
+                        };
+                        disc += survivors
+                            .iter()
+                            .filter(|&&s| s != t.index() && !reach[s])
+                            .count();
+                    }
+                    disc as f64 / pair_count as f64
+                })
+                .collect();
+            rows.push(row);
+            // Best possible among survivors.
+            let comp = components(g, &mask);
+            let mut disc = 0usize;
+            for &s in &survivors {
+                for &t in &survivors {
+                    if s != t && comp[s] != comp[t] {
+                        disc += 1;
+                    }
+                }
+            }
+            best.push(disc as f64 / pair_count as f64);
+        }
+        (rows, best)
+    });
+
+    let curves = cfg
+        .ks
+        .iter()
+        .enumerate()
+        .map(|(ki, &k)| {
+            let points = cfg
+                .ps
+                .iter()
+                .enumerate()
+                .map(|(pi, &p)| {
+                    let avg =
+                        per_trial.iter().map(|(r, _)| r[pi][ki]).sum::<f64>() / cfg.trials as f64;
+                    (p, avg)
+                })
+                .collect();
+            Series::new(format!("k = {k}"), points)
+        })
+        .collect();
+    let best_points = cfg
+        .ps
+        .iter()
+        .enumerate()
+        .map(|(pi, &p)| {
+            let avg = per_trial.iter().map(|(_, b)| b[pi]).sum::<f64>() / cfg.trials as f64;
+            (p, avg)
+        })
+        .collect();
+
+    NodeFailureCurves {
+        curves,
+        best_possible: Series::new("Best possible", best_points),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_topology::abilene::abilene;
+
+    fn cfg() -> NodeFailureConfig {
+        NodeFailureConfig {
+            ks: vec![1, 3, 5],
+            ps: vec![0.05, 0.1],
+            trials: 30,
+            splicing: SplicingConfig::degree_based(5, 0.0, 3.0),
+            semantics: SpliceSemantics::UnionGraph,
+            seed: 13,
+        }
+    }
+
+    #[test]
+    fn orderings_hold_under_node_failures() {
+        let g = abilene().graph();
+        let out = node_failure_experiment(&g, &cfg());
+        for pi in 0..2 {
+            let best = out.best_possible.points[pi].1;
+            // curves are ordered k = 1, 3, 5: disconnection must shrink.
+            let ys: Vec<f64> = out.curves.iter().map(|c| c.points[pi].1).collect();
+            for y in &ys {
+                assert!(*y >= best - 1e-12, "beat best possible");
+            }
+            assert!(ys[1] <= ys[0] + 1e-12);
+            assert!(ys[2] <= ys[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_perfect() {
+        let g = abilene().graph();
+        let mut c = cfg();
+        c.ps = vec![0.0];
+        c.trials = 5;
+        let out = node_failure_experiment(&g, &c);
+        for curve in &out.curves {
+            assert_eq!(curve.points[0].1, 0.0);
+        }
+        assert_eq!(out.best_possible.points[0].1, 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = abilene().graph();
+        let a = node_failure_experiment(&g, &cfg());
+        let b = node_failure_experiment(&g, &cfg());
+        for (x, y) in a.curves.iter().zip(&b.curves) {
+            assert_eq!(x.points, y.points);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Result serialization: CSV for plotting, JSON for archival, and fixed-
+//! width tables for the terminal.
+
+use crate::stats::Series;
+use std::io::Write;
+use std::path::Path;
+
+/// Render a family of series as CSV: first column is x, one column per
+/// series. All series must share the same x grid.
+pub fn series_to_csv(series: &[Series]) -> String {
+    let mut out = String::from("x");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    if series.is_empty() {
+        return out;
+    }
+    for (i, &(x, _)) in series[0].points.iter().enumerate() {
+        out.push_str(&format!("{x}"));
+        for s in series {
+            let (sx, sy) = s.points[i];
+            assert!(
+                (sx - x).abs() < 1e-12,
+                "series {} has a different x grid",
+                s.label
+            );
+            out.push_str(&format!(",{sy}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write CSV text to a file, creating parent directories.
+pub fn write_text(path: impl AsRef<Path>, text: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(text.as_bytes())
+}
+
+/// Serialize any `Serialize` value as pretty JSON to a file.
+pub fn write_json<T: serde::Serialize>(path: impl AsRef<Path>, value: &T) -> std::io::Result<()> {
+    let text = serde_json::to_string_pretty(value).expect("serializable");
+    write_text(path, &text)
+}
+
+/// Render a fixed-width terminal table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_layout() {
+        let series = vec![
+            Series::new("k = 1", vec![(0.01, 0.1), (0.02, 0.2)]),
+            Series::new("k = 2", vec![(0.01, 0.05), (0.02, 0.1)]),
+        ];
+        let csv = series_to_csv(&series);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,k = 1,k = 2");
+        assert_eq!(lines[1], "0.01,0.1,0.05");
+        assert_eq!(lines[2], "0.02,0.2,0.1");
+    }
+
+    #[test]
+    #[should_panic(expected = "different x grid")]
+    fn mismatched_grids_rejected() {
+        let series = vec![
+            Series::new("a", vec![(0.01, 0.1)]),
+            Series::new("b", vec![(0.05, 0.1)]),
+        ];
+        series_to_csv(&series);
+    }
+
+    #[test]
+    fn commas_in_labels_escaped() {
+        let series = vec![Series::new("k = 1, normal", vec![(1.0, 2.0)])];
+        let csv = series_to_csv(&series);
+        assert!(csv.lines().next().unwrap().ends_with("k = 1; normal"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("splice-sim-test");
+        let path = dir.join("out.csv");
+        write_text(&path, "a,b\n1,2\n").unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_write() {
+        let dir = std::env::temp_dir().join("splice-sim-test-json");
+        let path = dir.join("out.json");
+        write_json(&path, &vec![1, 2, 3]).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains('1'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn table_render() {
+        let t = render_table(
+            &["k", "value"],
+            &[
+                vec!["1".into(), "0.5".into()],
+                vec!["10".into(), "0.25".into()],
+            ],
+        );
+        assert!(t.contains("k "));
+        assert!(t.lines().count() >= 4);
+    }
+}

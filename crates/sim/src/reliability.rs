@@ -1,0 +1,270 @@
+//! The reliability experiment (Figure 3).
+//!
+//! For each failure probability `p` and slice count `k`, measure the mean
+//! fraction of ordered source–destination pairs that path splicing cannot
+//! connect, and compare with the *best possible* — the fraction of pairs
+//! disconnected in the underlying graph itself (no routing scheme can do
+//! better, Definition 2.1).
+//!
+//! Faithful to §4.1's method: per trial, one failure set per `p` is drawn
+//! and shared across **all** values of `k` (common random numbers), and
+//! slice `i`'s weights are independent of `k`, so the `k = 2` spliced
+//! graph is literally the `k = 1` graph plus one tree.
+
+use crate::failure::FailureModel;
+use crate::parallel::run_trials;
+use crate::stats::Series;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splice_core::slices::{Splicing, SplicingConfig};
+use splice_graph::traversal::disconnected_pairs;
+use splice_graph::Graph;
+
+/// Which notion of "a spliced path exists" an experiment uses.
+///
+/// The paper's simulator and Theorem A.1 reason about the **undirected
+/// union** of the k trees ("taking the union of k link-perturbed
+/// shortest-path trees … the connectivity of H"); actual forwarding can
+/// only follow next hops *toward* the destination, a strictly directed
+/// relation. Union is therefore an upper bound on what the data plane
+/// can deliver — our reproduction exposes both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SpliceSemantics {
+    /// The paper's accounting: undirected connectivity of the union of
+    /// trees rooted at the destination.
+    #[default]
+    UnionGraph,
+    /// Operationally exact: directed reachability over per-slice next
+    /// hops (what the forwarding bits can actually exercise).
+    Directed,
+}
+
+/// Configuration of a reliability run.
+#[derive(Clone, Debug)]
+pub struct ReliabilityConfig {
+    /// Slice counts to evaluate (e.g. the paper's `[1, 2, 3, 4, 5, 10]`).
+    pub ks: Vec<usize>,
+    /// Failure probabilities (the paper sweeps 0..0.1).
+    pub ps: Vec<f64>,
+    /// Monte-Carlo trials per point (the paper uses 1000).
+    pub trials: usize,
+    /// Splicing configuration template; its `k` is overridden by
+    /// `max(ks)`.
+    pub splicing: SplicingConfig,
+    /// Spliced-path semantics (paper-faithful union by default).
+    pub semantics: SpliceSemantics,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl ReliabilityConfig {
+    /// The paper's Figure 3 setup (degree-based `Weight(0,3)`,
+    /// k ∈ {1,2,3,4,5,10}, p ∈ {0.005, 0.01, …, 0.1}).
+    pub fn figure3(trials: usize, seed: u64) -> ReliabilityConfig {
+        ReliabilityConfig {
+            ks: vec![1, 2, 3, 4, 5, 10],
+            ps: (1..=20).map(|i| i as f64 * 0.005).collect(),
+            trials,
+            splicing: SplicingConfig::degree_based(10, 0.0, 3.0),
+            semantics: SpliceSemantics::UnionGraph,
+            seed,
+        }
+    }
+}
+
+/// Result: one disconnection curve per `k`, plus the best-possible curve.
+#[derive(Clone, Debug)]
+pub struct ReliabilityCurves {
+    /// `curves[i]` corresponds to `ks[i]`.
+    pub curves: Vec<Series>,
+    /// The underlying graph's own disconnection curve.
+    pub best_possible: Series,
+    /// Echo of the evaluated `ks`.
+    pub ks: Vec<usize>,
+}
+
+impl ReliabilityCurves {
+    /// The curve for a specific `k`, if it was evaluated.
+    pub fn for_k(&self, k: usize) -> Option<&Series> {
+        self.ks
+            .iter()
+            .position(|&kk| kk == k)
+            .map(|i| &self.curves[i])
+    }
+}
+
+/// Run the reliability experiment.
+pub fn reliability_experiment(g: &Graph, cfg: &ReliabilityConfig) -> ReliabilityCurves {
+    let kmax = cfg.ks.iter().copied().max().expect("at least one k");
+    let mut splicing_cfg = cfg.splicing.clone();
+    splicing_cfg.k = kmax;
+    let n = g.node_count();
+    let pairs = (n * (n - 1)) as f64;
+
+    // Per trial: a matrix [p][k] of disconnected fractions + best possible.
+    let per_trial = run_trials(cfg.trials, cfg.seed, |_, trial_seed| {
+        let splicing = Splicing::build(g, &splicing_cfg, trial_seed);
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(cfg.ps.len());
+        let mut best: Vec<f64> = Vec::with_capacity(cfg.ps.len());
+        for (pi, &p) in cfg.ps.iter().enumerate() {
+            // Distinct RNG stream per (trial, p); shared across k.
+            let mut rng = StdRng::seed_from_u64(
+                trial_seed ^ (0xd1b54a32d192ed03u64.wrapping_mul(pi as u64 + 1)),
+            );
+            let mask = FailureModel::IidLinks { p }.sample(g, &mut rng);
+            let row = cfg
+                .ks
+                .iter()
+                .map(|&k| match cfg.semantics {
+                    SpliceSemantics::UnionGraph => {
+                        splicing.union_disconnected_pairs(k, &mask) as f64 / pairs
+                    }
+                    SpliceSemantics::Directed => {
+                        splicing.disconnected_pairs(k, &mask) as f64 / pairs
+                    }
+                })
+                .collect();
+            rows.push(row);
+            best.push(disconnected_pairs(g, &mask) as f64 / pairs);
+        }
+        (rows, best)
+    });
+
+    // Average over trials.
+    let mut curves: Vec<Series> = cfg
+        .ks
+        .iter()
+        .map(|&k| {
+            Series::new(
+                if k == 1 {
+                    "k = 1 (normal)".to_string()
+                } else {
+                    format!("k = {k}")
+                },
+                Vec::new(),
+            )
+        })
+        .collect();
+    let mut best_points = Vec::new();
+    for (pi, &p) in cfg.ps.iter().enumerate() {
+        for (ki, curve) in curves.iter_mut().enumerate() {
+            let avg =
+                per_trial.iter().map(|(rows, _)| rows[pi][ki]).sum::<f64>() / cfg.trials as f64;
+            curve.points.push((p, avg));
+        }
+        let avg_best = per_trial.iter().map(|(_, best)| best[pi]).sum::<f64>() / cfg.trials as f64;
+        best_points.push((p, avg_best));
+    }
+
+    ReliabilityCurves {
+        curves,
+        best_possible: Series::new("Best possible", best_points),
+        ks: cfg.ks.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_topology::abilene::abilene;
+
+    fn quick_cfg() -> ReliabilityConfig {
+        ReliabilityConfig {
+            ks: vec![1, 2, 5],
+            ps: vec![0.02, 0.06, 0.1],
+            trials: 60,
+            splicing: SplicingConfig::degree_based(5, 0.0, 3.0),
+            semantics: SpliceSemantics::UnionGraph,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn union_semantics_at_least_as_reliable_as_directed() {
+        let g = abilene().graph();
+        let union = reliability_experiment(&g, &quick_cfg());
+        let directed = reliability_experiment(
+            &g,
+            &ReliabilityConfig {
+                semantics: SpliceSemantics::Directed,
+                ..quick_cfg()
+            },
+        );
+        for (cu, cd) in union.curves.iter().zip(&directed.curves) {
+            for (pu, pd) in cu.points.iter().zip(&cd.points) {
+                assert!(pu.1 <= pd.1 + 1e-12, "union must not disconnect more");
+            }
+        }
+    }
+
+    #[test]
+    fn more_slices_never_hurt() {
+        let g = abilene().graph();
+        let out = reliability_experiment(&g, &quick_cfg());
+        for (pi, _) in out.best_possible.points.iter().enumerate() {
+            let y1 = out.curves[0].points[pi].1;
+            let y2 = out.curves[1].points[pi].1;
+            let y5 = out.curves[2].points[pi].1;
+            assert!(y2 <= y1 + 1e-12, "k=2 worse than k=1 at index {pi}");
+            assert!(y5 <= y2 + 1e-12, "k=5 worse than k=2 at index {pi}");
+        }
+    }
+
+    #[test]
+    fn splicing_never_beats_best_possible() {
+        let g = abilene().graph();
+        let out = reliability_experiment(&g, &quick_cfg());
+        for curve in &out.curves {
+            for (pt, best) in curve.points.iter().zip(&out.best_possible.points) {
+                assert!(
+                    pt.1 >= best.1 - 1e-12,
+                    "{}: {} < best possible {}",
+                    curve.label,
+                    pt.1,
+                    best.1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnection_grows_with_p() {
+        let g = abilene().graph();
+        let out = reliability_experiment(&g, &quick_cfg());
+        let c1 = &out.curves[0].points;
+        assert!(c1[0].1 <= c1[1].1 + 1e-9);
+        assert!(c1[1].1 <= c1[2].1 + 1e-9);
+    }
+
+    #[test]
+    fn k1_label_and_lookup() {
+        let g = abilene().graph();
+        let out = reliability_experiment(&g, &quick_cfg());
+        assert_eq!(out.for_k(1).unwrap().label, "k = 1 (normal)");
+        assert_eq!(out.for_k(5).unwrap().label, "k = 5");
+        assert!(out.for_k(7).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = abilene().graph();
+        let a = reliability_experiment(&g, &quick_cfg());
+        let b = reliability_experiment(&g, &quick_cfg());
+        for (ca, cb) in a.curves.iter().zip(&b.curves) {
+            assert_eq!(ca.points, cb.points);
+        }
+    }
+
+    #[test]
+    fn zero_p_means_zero_disconnection() {
+        let g = abilene().graph();
+        let mut cfg = quick_cfg();
+        cfg.ps = vec![0.0];
+        cfg.trials = 5;
+        let out = reliability_experiment(&g, &cfg);
+        for curve in &out.curves {
+            assert_eq!(curve.points[0].1, 0.0);
+        }
+        assert_eq!(out.best_possible.points[0].1, 0.0);
+    }
+}

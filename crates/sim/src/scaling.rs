@@ -1,0 +1,154 @@
+//! Theorem A.1's scaling claim, empirically.
+//!
+//! The theorem says `k = O(log n)` slices suffice for the spliced graph's
+//! connectivity to approach the underlying graph's. Splicing converges to
+//! an asymptote that may sit above best-possible (some links are on *no*
+//! perturbed tree, e.g. short local links whose alternatives are far
+//! longer), so the meaningful question is how fast the achievable
+//! improvement is realized: [`slices_needed`] finds the smallest `k`
+//! capturing `target_fraction` of the gap closed between `k = 1` and
+//! `k = kmax`. The bench binary sweeps graph families of growing `n` and
+//! reports `k*` against `log₂ n`.
+
+use crate::failure::FailureModel;
+use crate::parallel::run_trials;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splice_core::slices::{Splicing, SplicingConfig};
+use splice_graph::traversal::disconnected_pairs;
+use splice_graph::Graph;
+
+/// Configuration of the slices-needed search.
+#[derive(Clone, Debug)]
+pub struct ScalingConfig {
+    /// Failure probability to test at.
+    pub p: f64,
+    /// Monte-Carlo trials per k.
+    pub trials: usize,
+    /// Fraction of the k=1 → k=kmax improvement that must be realized
+    /// (e.g. 0.9 = "within 90% of what splicing can achieve here").
+    pub target_fraction: f64,
+    /// Largest k to try (the asymptote estimate).
+    pub kmax: usize,
+    /// Slice construction template.
+    pub splicing: SplicingConfig,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig {
+            p: 0.05,
+            trials: 100,
+            target_fraction: 0.9,
+            kmax: 16,
+            splicing: SplicingConfig::degree_based(16, 0.0, 3.0),
+            seed: 0,
+        }
+    }
+}
+
+/// Mean disconnection gap (spliced minus best-possible) for each k in
+/// `1..=kmax`, under common random failures.
+pub fn disconnection_gaps(g: &Graph, cfg: &ScalingConfig) -> Vec<f64> {
+    let n = g.node_count();
+    let pairs = (n * (n - 1)) as f64;
+    let mut scfg = cfg.splicing.clone();
+    scfg.k = cfg.kmax;
+
+    let per_trial: Vec<Vec<f64>> = run_trials(cfg.trials, cfg.seed, |_, trial_seed| {
+        let splicing = Splicing::build(g, &scfg, trial_seed);
+        let mut rng = StdRng::seed_from_u64(trial_seed ^ 0x5bd1e995);
+        let mask = FailureModel::IidLinks { p: cfg.p }.sample(g, &mut rng);
+        let best = disconnected_pairs(g, &mask) as f64 / pairs;
+        // Union semantics: Theorem A.1 is a statement about the undirected
+        // union graph's connectivity.
+        (1..=cfg.kmax)
+            .map(|k| splicing.union_disconnected_pairs(k, &mask) as f64 / pairs - best)
+            .collect()
+    });
+
+    (0..cfg.kmax)
+        .map(|ki| per_trial.iter().map(|t| t[ki]).sum::<f64>() / cfg.trials as f64)
+        .collect()
+}
+
+/// The smallest `k` realizing `cfg.target_fraction` of the improvement
+/// between `k = 1` and `k = kmax`. Always succeeds (k = kmax realizes the
+/// full improvement); returns 1 when splicing cannot improve at all on
+/// this topology (e.g. a ring, where alternate trees barely differ).
+pub fn slices_needed(g: &Graph, cfg: &ScalingConfig) -> usize {
+    let gaps = disconnection_gaps(g, cfg);
+    let (g1, ginf) = (gaps[0], gaps[cfg.kmax - 1]);
+    let achievable = g1 - ginf;
+    if achievable <= 1e-12 {
+        return 1;
+    }
+    let threshold = g1 - cfg.target_fraction * achievable;
+    gaps.iter()
+        .position(|&g| g <= threshold + 1e-15)
+        .map(|i| i + 1)
+        .expect("kmax always meets its own asymptote")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_topology::abilene::abilene;
+    use splice_topology::generators::{connected_erdos_renyi, ring};
+
+    fn quick() -> ScalingConfig {
+        ScalingConfig {
+            trials: 40,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn gaps_decrease_in_k() {
+        let g = abilene().graph();
+        let gaps = disconnection_gaps(&g, &quick());
+        for w in gaps.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert!(
+            gaps.iter().all(|&g| g >= -1e-12),
+            "splicing can't beat optimal"
+        );
+    }
+
+    #[test]
+    fn few_slices_suffice_on_abilene() {
+        let g = abilene().graph();
+        let k = slices_needed(&g, &quick());
+        assert!((1..=16).contains(&k));
+        // The paper's message: most of the benefit arrives with few slices.
+        let relaxed = slices_needed(
+            &g,
+            &ScalingConfig {
+                target_fraction: 0.5,
+                ..quick()
+            },
+        );
+        assert!(relaxed <= 5, "half the benefit needed {relaxed} slices");
+        assert!(relaxed <= k);
+    }
+
+    #[test]
+    fn ring_has_no_improvement_to_capture() {
+        // On a ring the perturbed trees barely differ (the alternative to a
+        // short arc is the whole long way around), so k* collapses to 1 or
+        // converges immediately.
+        let g = ring(16);
+        let k = slices_needed(&g, &quick());
+        assert!(k <= 16);
+    }
+
+    #[test]
+    fn er_graph_converges() {
+        let g = connected_erdos_renyi(24, 0.25, 5);
+        let k = slices_needed(&g, &quick());
+        assert!((1..=16).contains(&k));
+    }
+}

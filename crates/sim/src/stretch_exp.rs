@@ -1,0 +1,82 @@
+//! Per-slice stretch distributions (§4.3's "99% of all paths in each tree
+//! have stretch of less than 2.6").
+
+use splice_core::slices::{Splicing, SplicingConfig};
+use splice_core::stretch::{per_slice_stretch, StretchStats};
+use splice_graph::Graph;
+
+/// Stretch distribution of every slice of a deployment, averaged over
+/// `seeds` independent slice constructions (the paper's statement is about
+/// a typical tree, so one seed is noisy).
+pub fn slice_stretch_experiment(
+    g: &Graph,
+    latencies: &[f64],
+    template: &SplicingConfig,
+    seeds: &[u64],
+) -> Vec<StretchStats> {
+    let mut all: Vec<Vec<f64>> = vec![Vec::new(); template.k];
+    for &seed in seeds {
+        let splicing = Splicing::build(g, template, seed);
+        for (si, samples) in per_slice_stretch(&splicing, g, latencies)
+            .into_iter()
+            .enumerate()
+        {
+            all[si].extend(samples);
+        }
+    }
+    all.into_iter()
+        .map(|samples| StretchStats::from_samples(samples).expect("connected topology"))
+        .collect()
+}
+
+/// The paper's headline number: the worst 99th-percentile stretch over all
+/// perturbed slices.
+pub fn worst_slice_p99(stats: &[StretchStats]) -> f64 {
+    stats
+        .iter()
+        .skip(1) // slice 0 is the base tree, stretch 1 by construction
+        .map(|s| s.p99)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_topology::abilene::abilene;
+
+    #[test]
+    fn slice_zero_stretch_is_one() {
+        let topo = abilene();
+        let g = topo.graph();
+        let template = SplicingConfig::degree_based(4, 0.0, 3.0);
+        let stats = slice_stretch_experiment(&g, &topo.latencies(), &template, &[1, 2]);
+        assert_eq!(stats.len(), 4);
+        assert!(stats[0].max < 1.01);
+    }
+
+    #[test]
+    fn p99_bounded_by_perturbation_budget() {
+        let topo = abilene();
+        let g = topo.graph();
+        let template = SplicingConfig::degree_based(5, 0.0, 3.0);
+        let stats = slice_stretch_experiment(&g, &topo.latencies(), &template, &[3]);
+        let p99 = worst_slice_p99(&stats);
+        // Weight(0,3) multiplies weights by at most 4, bounding stretch.
+        assert!(p99 <= 4.0 + 1e-9, "p99 = {p99}");
+        assert!(p99 >= 1.0);
+    }
+
+    #[test]
+    fn stronger_perturbation_stretches_more() {
+        let topo = abilene();
+        let g = topo.graph();
+        let weak = SplicingConfig::uniform(3, 0.5);
+        let strong = SplicingConfig::uniform(3, 3.0);
+        let seeds: Vec<u64> = (0..5).collect();
+        let sw = slice_stretch_experiment(&g, &topo.latencies(), &weak, &seeds);
+        let ss = slice_stretch_experiment(&g, &topo.latencies(), &strong, &seeds);
+        let mean_w: f64 = sw.iter().skip(1).map(|s| s.mean).sum::<f64>() / 2.0;
+        let mean_s: f64 = ss.iter().skip(1).map(|s| s.mean).sum::<f64>() / 2.0;
+        assert!(mean_s >= mean_w, "{mean_s} < {mean_w}");
+    }
+}

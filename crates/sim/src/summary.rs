@@ -1,0 +1,132 @@
+//! Table 1 — the paper's summary of results, regenerated from the actual
+//! experiment outputs.
+
+use crate::loops::LoopStats;
+use crate::recovery::RecoveryCurves;
+use crate::reliability::ReliabilityCurves;
+
+/// The three headline claims of Table 1, with our measured numbers.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// Mean gap (fraction of pairs) between splicing at the largest
+    /// evaluated k and best-possible, averaged over the p sweep.
+    pub reliability_gap: f64,
+    /// Which k that gap was measured at.
+    pub reliability_k: usize,
+    /// Mean trials to recover (end-system scheme, largest k).
+    pub avg_recovery_trials: f64,
+    /// Two-hop loop rate per recovery trial at k = 2.
+    pub loop_rate_k2: f64,
+    /// Two-hop loop rate at the largest evaluated k.
+    pub loop_rate_khigh: f64,
+    /// The largest k loops were evaluated at.
+    pub loop_khigh: usize,
+}
+
+impl Table1 {
+    /// Assemble the table from the three experiments' outputs.
+    pub fn assemble(
+        reliability: &ReliabilityCurves,
+        recovery: &RecoveryCurves,
+        loops: &[LoopStats],
+    ) -> Table1 {
+        let kbig = *reliability.ks.iter().max().expect("ks nonempty");
+        let big = reliability.for_k(kbig).expect("curve exists");
+        let gap = big
+            .points
+            .iter()
+            .zip(&reliability.best_possible.points)
+            .map(|(a, b)| a.1 - b.1)
+            .sum::<f64>()
+            / big.points.len() as f64;
+
+        let rec_stats = recovery
+            .stats
+            .iter()
+            .max_by_key(|s| s.k)
+            .expect("recovery stats nonempty");
+
+        let k2 = loops.iter().find(|l| l.k == 2);
+        let khigh = loops
+            .iter()
+            .max_by_key(|l| l.k)
+            .expect("loop stats nonempty");
+
+        Table1 {
+            reliability_gap: gap,
+            reliability_k: kbig,
+            avg_recovery_trials: rec_stats.avg_trials,
+            loop_rate_k2: k2.map(|l| l.two_hop_rate()).unwrap_or(0.0),
+            loop_rate_khigh: khigh.two_hop_rate(),
+            loop_khigh: khigh.k,
+        }
+    }
+
+    /// Render in the shape of the paper's Table 1.
+    pub fn render(&self) -> String {
+        format!(
+            "Result                              | Measured\n\
+             ------------------------------------+---------------------------\n\
+             Reliability approaches optimal      | mean gap to best possible at k={}: {:.4}\n\
+             Recovery is fast                    | avg trials to recover: {:.2}\n\
+             Loops are rare                      | 2-hop loop rate: {:.4}/trial (k=2), {:.4}/trial (k={})\n",
+            self.reliability_k,
+            self.reliability_gap,
+            self.avg_recovery_trials,
+            self.loop_rate_k2,
+            self.loop_rate_khigh,
+            self.loop_khigh,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loops::{loop_experiment, LoopConfig};
+    use crate::recovery::{recovery_experiment, RecoveryConfig, RecoveryScheme};
+    use crate::reliability::{reliability_experiment, ReliabilityConfig};
+    use splice_core::prelude::*;
+    use splice_core::slices::SplicingConfig;
+    use splice_topology::abilene::abilene;
+
+    #[test]
+    fn assembles_from_real_experiments() {
+        let topo = abilene();
+        let g = topo.graph();
+        let rel = reliability_experiment(
+            &g,
+            &ReliabilityConfig {
+                ks: vec![1, 2, 5],
+                ps: vec![0.03, 0.08],
+                trials: 20,
+                splicing: SplicingConfig::degree_based(5, 0.0, 3.0),
+                semantics: Default::default(),
+                seed: 1,
+            },
+        );
+        let rec = recovery_experiment(
+            &g,
+            &topo.latencies(),
+            &RecoveryConfig {
+                ks: vec![3, 5],
+                ps: vec![0.05],
+                trials: 15,
+                splicing: SplicingConfig::degree_based(5, 0.0, 3.0),
+                scheme: RecoveryScheme::EndSystem(EndSystemRecovery::default()),
+                semantics: Default::default(),
+                seed: 2,
+            },
+        );
+        let loops = loop_experiment(&g, &LoopConfig::paper(vec![2, 5], 15, 3));
+        let t1 = Table1::assemble(&rel, &rec, &loops);
+        assert!(t1.reliability_gap >= 0.0);
+        assert_eq!(t1.reliability_k, 5);
+        assert!(t1.avg_recovery_trials >= 1.0);
+        assert!((0.0..=1.0).contains(&t1.loop_rate_k2));
+        let shown = t1.render();
+        assert!(shown.contains("Reliability approaches optimal"));
+        assert!(shown.contains("Recovery is fast"));
+        assert!(shown.contains("Loops are rare"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Empirical validation of Theorem B.1 (Appendix B).
+//!
+//! The theorem bounds how far the *perturbed* length of a path can drift
+//! from its base length: with per-link perturbations uniform in
+//! `[-c·L_i, c·L_i]`, Chebyshev gives
+//!
+//! ```text
+//! P( |X - ||L||₁| ≥ r · (c/√3) · ||L||₂ ) < 1 / r²
+//! ```
+//!
+//! We draw perturbed lengths for real shortest paths of the topology and
+//! verify the violation rate stays below the bound for every `r` — the
+//! concentration that keeps stretch small and long loops improbable.
+
+use crate::parallel::run_trials;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use splice_graph::{dijkstra, Graph};
+
+/// One row of the validation table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TheoremB1Row {
+    /// Deviation multiplier `r`.
+    pub r: f64,
+    /// Chebyshev bound `1/r²`.
+    pub bound: f64,
+    /// Observed violation fraction.
+    pub observed: f64,
+    /// Paths sampled.
+    pub samples: usize,
+}
+
+/// Validate the bound on `g`'s shortest paths with perturbation scale `c`,
+/// for each `r` in `rs`, using `samples` perturbation draws per `r`
+/// (spread over all ordered pairs, cycling).
+pub fn theorem_b1_experiment(
+    g: &Graph,
+    c: f64,
+    rs: &[f64],
+    samples: usize,
+    seed: u64,
+) -> Vec<TheoremB1Row> {
+    assert!((0.0..1.0).contains(&c), "theorem requires 0 <= c < 1");
+    let w = g.base_weights();
+    // Collect all shortest paths' edge-length vectors once.
+    let mut paths: Vec<Vec<f64>> = Vec::new();
+    for t in g.nodes() {
+        let spt = dijkstra(g, t, &w);
+        for s in g.nodes() {
+            if s == t {
+                continue;
+            }
+            if let Some(p) = spt.path_from(s) {
+                paths.push(p.edges.iter().map(|e| w[e.index()]).collect());
+            }
+        }
+    }
+    assert!(!paths.is_empty(), "graph has no connected pairs");
+
+    rs.iter()
+        .map(|&r| {
+            let violations: Vec<usize> = run_trials(samples, seed, |i, s| {
+                let lens = &paths[i % paths.len()];
+                let mut rng = StdRng::seed_from_u64(s ^ (r.to_bits()));
+                let l1: f64 = lens.iter().sum();
+                let l2: f64 = lens.iter().map(|l| l * l).sum::<f64>().sqrt();
+                let x: f64 = lens
+                    .iter()
+                    .map(|&l| l + rng.gen_range(-c * l..=c * l))
+                    .sum();
+                let threshold = r * c / 3f64.sqrt() * l2;
+                usize::from((x - l1).abs() >= threshold)
+            });
+            let observed = violations.iter().sum::<usize>() as f64 / samples as f64;
+            TheoremB1Row {
+                r,
+                bound: 1.0 / (r * r),
+                observed,
+                samples,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_topology::abilene::abilene;
+
+    #[test]
+    fn chebyshev_bound_holds() {
+        let g = abilene().graph();
+        let rows = theorem_b1_experiment(&g, 0.5, &[1.5, 2.0, 3.0, 5.0], 4000, 9);
+        for row in &rows {
+            assert!(
+                row.observed <= row.bound,
+                "r={}: observed {} > bound {}",
+                row.r,
+                row.observed,
+                row.bound
+            );
+        }
+    }
+
+    #[test]
+    fn bound_tightens_with_r() {
+        let g = abilene().graph();
+        let rows = theorem_b1_experiment(&g, 0.5, &[1.5, 3.0], 2000, 9);
+        assert!(rows[0].bound > rows[1].bound);
+        assert!(rows[0].observed >= rows[1].observed);
+    }
+
+    #[test]
+    #[should_panic(expected = "theorem requires")]
+    fn c_must_be_below_one() {
+        let g = abilene().graph();
+        theorem_b1_experiment(&g, 1.0, &[2.0], 10, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = abilene().graph();
+        let a = theorem_b1_experiment(&g, 0.4, &[2.0], 500, 7);
+        let b = theorem_b1_experiment(&g, 0.4, &[2.0], 500, 7);
+        assert_eq!(a, b);
+    }
+}

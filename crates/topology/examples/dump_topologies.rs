@@ -1,0 +1,18 @@
+//! Regenerate the shipped `data/*.topo` files from the embedded
+//! topologies. Run from the workspace root:
+//!
+//! ```text
+//! cargo run -p splice-topology --example dump_topologies
+//! ```
+
+fn main() {
+    for (name, t) in [
+        ("geant", splice_topology::geant::geant()),
+        ("sprint", splice_topology::sprint::sprint()),
+        ("abilene", splice_topology::abilene::abilene()),
+    ] {
+        let text = splice_topology::parse::write_edge_list(&t);
+        std::fs::write(format!("data/{name}.topo"), text).unwrap();
+        println!("wrote data/{name}.topo");
+    }
+}

@@ -1,0 +1,96 @@
+//! The Abilene (Internet2) backbone: 11 nodes, 14 links.
+//!
+//! Not part of the paper's evaluation, but the canonical small research
+//! backbone — ideal for worked examples and fast tests where Sprint would
+//! be overkill.
+
+use crate::model::Topology;
+
+/// Build the Abilene topology (11 nodes, 14 links).
+pub fn abilene() -> Topology {
+    let nodes: &[(&str, f64, f64)] = &[
+        ("Seattle", 47.61, -122.33),
+        ("Sunnyvale", 37.37, -122.04),
+        ("Los Angeles", 34.05, -118.24),
+        ("Denver", 39.74, -104.99),
+        ("Kansas City", 39.10, -94.58),
+        ("Houston", 29.76, -95.37),
+        ("Indianapolis", 39.77, -86.16),
+        ("Chicago", 41.88, -87.63),
+        ("Atlanta", 33.75, -84.39),
+        ("Washington", 38.91, -77.04),
+        ("New York", 40.71, -74.01),
+    ];
+    let links: &[(&str, &str)] = &[
+        ("Seattle", "Sunnyvale"),
+        ("Seattle", "Denver"),
+        ("Sunnyvale", "Los Angeles"),
+        ("Sunnyvale", "Denver"),
+        ("Los Angeles", "Houston"),
+        ("Denver", "Kansas City"),
+        ("Kansas City", "Houston"),
+        ("Kansas City", "Indianapolis"),
+        ("Houston", "Atlanta"),
+        ("Indianapolis", "Chicago"),
+        ("Indianapolis", "Atlanta"),
+        ("Chicago", "New York"),
+        ("Atlanta", "Washington"),
+        ("New York", "Washington"),
+    ];
+    Topology::from_named("abilene", nodes, links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_graph::traversal::is_connected;
+    use splice_graph::EdgeMask;
+
+    #[test]
+    fn counts() {
+        let t = abilene();
+        assert_eq!(t.node_count(), 11);
+        assert_eq!(t.link_count(), 14);
+    }
+
+    #[test]
+    fn connected_and_two_connected() {
+        let t = abilene();
+        let g = t.graph();
+        assert!(is_connected(&g, &EdgeMask::all_up(g.edge_count())));
+        for n in g.nodes() {
+            assert!(g.degree(n) >= 2);
+        }
+    }
+
+    #[test]
+    fn ring_structure_survives_any_single_failure() {
+        let t = abilene();
+        let g = t.graph();
+        for e in g.edge_ids() {
+            let mask = EdgeMask::from_failed(g.edge_count(), &[e]);
+            assert!(
+                is_connected(&g, &mask),
+                "single failure of {e:?} disconnects"
+            );
+        }
+    }
+
+    #[test]
+    fn no_bridges() {
+        // Every link must sit on a cycle: no single failure may partition
+        // the topology (an MRC validity requirement, and true of the real
+        // backbones these reconstruct).
+        let t = abilene();
+        let g = t.graph();
+        for e in g.edge_ids() {
+            let mask = EdgeMask::from_failed(g.edge_count(), &[e]);
+            assert!(
+                is_connected(&g, &mask),
+                "{} - {} is a bridge",
+                t.node_name(g.edge(e).u),
+                t.node_name(g.edge(e).v)
+            );
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The GEANT European research backbone (2004-era), 23 nodes / 37 links.
+//!
+//! The paper cites geant.net for this topology; the public TOTEM-era map
+//! has 23 national PoPs and 37 undirected links. This embedded
+//! reconstruction matches those counts and the well-known structure of the
+//! network (Frankfurt/London/Paris/Milan/Amsterdam as hubs, a New York PoP
+//! dual-homed across the Atlantic, national tails ringed through central
+//! Europe). IGP weights and latencies are derived from great-circle
+//! distances, the convention Rocketfuel used for inferred weights.
+
+use crate::model::Topology;
+
+/// Build the embedded GEANT topology (23 nodes, 37 links).
+pub fn geant() -> Topology {
+    let nodes: &[(&str, f64, f64)] = &[
+        ("at", 48.21, 16.37),  // Vienna
+        ("be", 50.85, 4.35),   // Brussels
+        ("ch", 46.20, 6.14),   // Geneva
+        ("cz", 50.08, 14.44),  // Prague
+        ("de", 50.11, 8.68),   // Frankfurt
+        ("es", 40.42, -3.70),  // Madrid
+        ("fr", 48.86, 2.35),   // Paris
+        ("gr", 37.98, 23.73),  // Athens
+        ("hr", 45.81, 15.98),  // Zagreb
+        ("hu", 47.50, 19.04),  // Budapest
+        ("ie", 53.35, -6.26),  // Dublin
+        ("il", 32.08, 34.78),  // Tel Aviv
+        ("it", 45.46, 9.19),   // Milan
+        ("lu", 49.61, 6.13),   // Luxembourg
+        ("nl", 52.37, 4.90),   // Amsterdam
+        ("ny", 40.71, -74.01), // New York (trans-Atlantic PoP)
+        ("pl", 52.41, 16.93),  // Poznan
+        ("pt", 38.72, -9.14),  // Lisbon
+        ("ro", 44.43, 26.10),  // Bucharest
+        ("se", 59.33, 18.07),  // Stockholm
+        ("si", 46.05, 14.51),  // Ljubljana
+        ("sk", 48.15, 17.11),  // Bratislava
+        ("uk", 51.51, -0.13),  // London
+    ];
+    let links: &[(&str, &str)] = &[
+        ("at", "cz"),
+        ("at", "de"),
+        ("at", "hu"),
+        ("at", "si"),
+        ("be", "fr"),
+        ("be", "nl"),
+        ("ch", "de"),
+        ("ch", "fr"),
+        ("ch", "it"),
+        ("cz", "de"),
+        ("cz", "pl"),
+        ("cz", "sk"),
+        ("de", "fr"),
+        ("de", "it"),
+        ("de", "nl"),
+        ("de", "se"),
+        ("de", "ny"),
+        ("es", "fr"),
+        ("es", "it"),
+        ("es", "pt"),
+        ("fr", "uk"),
+        ("fr", "lu"),
+        ("lu", "de"),
+        ("gr", "it"),
+        ("gr", "ro"),
+        ("hr", "si"),
+        ("hr", "hu"),
+        ("hu", "sk"),
+        ("hu", "ro"),
+        ("ie", "uk"),
+        ("ie", "nl"),
+        ("il", "it"),
+        ("il", "nl"),
+        ("pl", "se"),
+        ("pt", "uk"),
+        ("nl", "uk"),
+        ("ny", "uk"),
+    ];
+    Topology::from_named("geant", nodes, links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_graph::traversal::is_connected;
+    use splice_graph::EdgeMask;
+
+    #[test]
+    fn paper_counts() {
+        let t = geant();
+        assert_eq!(t.node_count(), 23, "GEANT has 23 nodes");
+        assert_eq!(t.link_count(), 37, "GEANT has 37 links");
+    }
+
+    #[test]
+    fn connected() {
+        let t = geant();
+        let g = t.graph();
+        assert!(is_connected(&g, &EdgeMask::all_up(g.edge_count())));
+    }
+
+    #[test]
+    fn every_pop_is_two_connected() {
+        // No single link failure isolates a PoP in GEANT's core map.
+        let t = geant();
+        let g = t.graph();
+        for n in g.nodes() {
+            assert!(
+                g.degree(n) >= 2,
+                "{} has degree {}",
+                t.node_name(n),
+                g.degree(n)
+            );
+        }
+    }
+
+    #[test]
+    fn frankfurt_is_the_hub() {
+        let t = geant();
+        let g = t.graph();
+        let de = t.node_by_name("de").unwrap();
+        assert!(g.degree(de) >= 6, "Frankfurt degree {}", g.degree(de));
+        assert_eq!(g.max_degree(), g.degree(de));
+    }
+
+    #[test]
+    fn average_degree_matches_paper_scale() {
+        // 2*37/23 ≈ 3.2, a medium-sized ISP mesh.
+        let t = geant();
+        let avg = 2.0 * t.link_count() as f64 / t.node_count() as f64;
+        assert!((3.0..3.5).contains(&avg));
+    }
+
+    #[test]
+    fn transatlantic_links_are_heavy() {
+        let t = geant();
+        let g = t.graph();
+        let ny = t.node_by_name("ny").unwrap();
+        let de = t.node_by_name("de").unwrap();
+        let e = g.find_edge(ny, de).expect("ny-de link");
+        // ~6200 km -> weight ~62, far above any intra-European link.
+        assert!(g.edge(e).weight > 40.0);
+    }
+
+    #[test]
+    fn no_duplicate_links() {
+        let t = geant();
+        let mut seen = std::collections::HashSet::new();
+        for l in &t.links {
+            let key = (l.a.min(l.b), l.a.max(l.b));
+            assert!(seen.insert(key), "duplicate link {key:?}");
+        }
+    }
+
+    #[test]
+    fn no_bridges() {
+        // Every link must sit on a cycle: no single failure may partition
+        // the topology (an MRC validity requirement, and true of the real
+        // backbones these reconstruct).
+        let t = geant();
+        let g = t.graph();
+        for e in g.edge_ids() {
+            let mask = EdgeMask::from_failed(g.edge_count(), &[e]);
+            assert!(
+                is_connected(&g, &mask),
+                "{} - {} is a bridge",
+                t.node_name(g.edge(e).u),
+                t.node_name(g.edge(e).v)
+            );
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Geographic helpers: great-circle distances and latency estimates.
+//!
+//! Embedded topologies carry PoP coordinates so that link weights and
+//! propagation latencies can be derived the way Rocketfuel-era studies
+//! did: IGP weights roughly proportional to fiber distance, latency at
+//! roughly 2/3 the speed of light in fiber.
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Signal propagation speed in fiber, km per millisecond (≈ 0.67 c).
+pub const FIBER_KM_PER_MS: f64 = 200.0;
+
+/// Great-circle (haversine) distance between two (lat, lon) points in
+/// degrees, returned in kilometres.
+pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    let (la1, lo1, la2, lo2) = (
+        lat1.to_radians(),
+        lon1.to_radians(),
+        lat2.to_radians(),
+        lon2.to_radians(),
+    );
+    let dlat = la2 - la1;
+    let dlon = lo2 - lo1;
+    let a = (dlat / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+}
+
+/// One-way propagation latency in milliseconds for a fiber run of
+/// `distance_km` (fiber paths are rarely geodesic; a 1.3× path-inflation
+/// factor is conventional).
+pub fn propagation_latency_ms(distance_km: f64) -> f64 {
+    distance_km * 1.3 / FIBER_KM_PER_MS
+}
+
+/// A distance-derived IGP weight: proportional to distance with a floor of
+/// 1, so short metro links still cost something.
+pub fn distance_weight(distance_km: f64) -> f64 {
+    (distance_km / 100.0).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        assert!(haversine_km(48.85, 2.35, 48.85, 2.35) < 1e-9);
+    }
+
+    #[test]
+    fn paris_london_distance() {
+        // ~343 km great-circle.
+        let d = haversine_km(48.8566, 2.3522, 51.5074, -0.1278);
+        assert!((330.0..360.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn new_york_london_distance() {
+        // ~5570 km great-circle.
+        let d = haversine_km(40.7128, -74.0060, 51.5074, -0.1278);
+        assert!((5500.0..5650.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let d = haversine_km(0.0, 0.0, 0.0, 180.0);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0);
+    }
+
+    #[test]
+    fn latency_scales_with_distance() {
+        assert!(propagation_latency_ms(200.0) > 1.0);
+        assert!(propagation_latency_ms(0.0) == 0.0);
+    }
+
+    #[test]
+    fn weight_has_floor() {
+        assert_eq!(distance_weight(10.0), 1.0);
+        assert!(distance_weight(1000.0) > 9.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # splice-topology
+//!
+//! ISP topology models for the path-splicing reproduction.
+//!
+//! The paper evaluates on two "base" topologies (§4.1):
+//!
+//! * **GEANT** — the European research backbone, 23 nodes / 37 links,
+//!   "typical for a medium-sized ISP" ([`geant::geant`]).
+//! * **Sprint** — the Sprint backbone as inferred by Rocketfuel,
+//!   52 nodes / 84 links ([`sprint::sprint`]).
+//!
+//! Both ship embedded here, reconstructed from public maps of the same
+//! era (see `DESIGN.md` §3 for the substitution rationale: the evaluation
+//! depends on node/link counts, degree mix and weight spread, all of which
+//! are preserved; real topology files in Rocketfuel's format can be loaded
+//! via [`parse`] instead).
+//!
+//! Also provided:
+//!
+//! * [`abilene::abilene`] — the 11-node Abilene backbone, handy for small
+//!   worked examples.
+//! * [`generators`] — Erdős–Rényi, Barabási–Albert, Waxman, grid, and ring
+//!   families, used by the Theorem A.1 scaling experiments.
+//! * [`parse`] — a plain edge-list format and a Rocketfuel-style
+//!   `weights`-file parser, plus serializers for both.
+
+pub mod abilene;
+pub mod geant;
+pub mod generators;
+pub mod geo;
+pub mod model;
+pub mod parse;
+pub mod sprint;
+
+pub use model::{LinkSpec, NodeSpec, Topology};

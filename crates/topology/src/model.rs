@@ -1,0 +1,252 @@
+//! The named-topology model: PoPs with coordinates, links with weights and
+//! latencies, and conversion to the algorithmic [`Graph`].
+
+use crate::geo;
+use serde::{Deserialize, Serialize};
+use splice_graph::{Graph, GraphBuilder, NodeId};
+use std::collections::HashMap;
+
+/// A point of presence: a named router location.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Human-readable name ("Frankfurt", "sea" …). Unique per topology.
+    pub name: String,
+    /// Latitude in degrees (positive north).
+    pub lat: f64,
+    /// Longitude in degrees (positive east).
+    pub lon: f64,
+}
+
+/// A link between two PoPs (by node index) with an IGP weight and a
+/// one-way propagation latency in milliseconds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// First endpoint, as an index into [`Topology::nodes`].
+    pub a: usize,
+    /// Second endpoint.
+    pub b: usize,
+    /// IGP link weight `L(a,b)` — what perturbations act on.
+    pub weight: f64,
+    /// One-way propagation latency in milliseconds — what stretch-in-delay
+    /// is measured against.
+    pub latency_ms: f64,
+}
+
+/// A named network topology: the unit the simulator ingests.
+///
+/// `Topology` keeps names and geography; [`Topology::graph`] produces the
+/// index-based [`Graph`] all algorithms run on (node `i` in the graph is
+/// `nodes[i]` here; edge `j` is `links[j]`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    /// Topology name ("geant", "sprint", …).
+    pub name: String,
+    /// PoPs, index-aligned with graph node ids.
+    pub nodes: Vec<NodeSpec>,
+    /// Links, index-aligned with graph edge ids.
+    pub links: Vec<LinkSpec>,
+}
+
+impl Topology {
+    /// Build a topology from named nodes and named link pairs, deriving
+    /// weights and latencies from great-circle distance (the Rocketfuel
+    /// convention; see [`geo`]).
+    ///
+    /// # Panics
+    /// Panics if a link references an unknown node name or if node names
+    /// collide — topology data bugs that must not pass silently.
+    pub fn from_named(name: &str, nodes: &[(&str, f64, f64)], links: &[(&str, &str)]) -> Topology {
+        let mut index = HashMap::new();
+        let node_specs: Vec<NodeSpec> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, lat, lon))| {
+                let prev = index.insert(n.to_string(), i);
+                assert!(prev.is_none(), "duplicate node name {n:?}");
+                NodeSpec {
+                    name: n.to_string(),
+                    lat,
+                    lon,
+                }
+            })
+            .collect();
+        let link_specs = links
+            .iter()
+            .map(|&(x, y)| {
+                let a = *index.get(x).unwrap_or_else(|| panic!("unknown node {x:?}"));
+                let b = *index.get(y).unwrap_or_else(|| panic!("unknown node {y:?}"));
+                assert_ne!(a, b, "self-link on {x:?}");
+                let d = geo::haversine_km(
+                    node_specs[a].lat,
+                    node_specs[a].lon,
+                    node_specs[b].lat,
+                    node_specs[b].lon,
+                );
+                LinkSpec {
+                    a,
+                    b,
+                    weight: geo::distance_weight(d),
+                    latency_ms: geo::propagation_latency_ms(d),
+                }
+            })
+            .collect();
+        Topology {
+            name: name.to_string(),
+            nodes: node_specs,
+            links: link_specs,
+        }
+    }
+
+    /// Number of PoPs.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The algorithmic graph: node/edge ids align with `nodes`/`links`
+    /// indices; edge weights are the IGP weights.
+    pub fn graph(&self) -> Graph {
+        let mut b = GraphBuilder::new().with_nodes(self.nodes.len());
+        for l in &self.links {
+            b.add_edge(NodeId(l.a as u32), NodeId(l.b as u32), l.weight);
+        }
+        b.build()
+    }
+
+    /// Per-edge one-way latencies (ms), indexed by edge id. This is the
+    /// vector stretch-in-delay is computed against.
+    pub fn latencies(&self) -> Vec<f64> {
+        self.links.iter().map(|l| l.latency_ms).collect()
+    }
+
+    /// Look up a node id by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// The name of node `id`.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// Build an anonymous topology straight from a [`Graph`] (no
+    /// geography; latency = weight). Used by the random generators.
+    pub fn from_graph(name: &str, g: &Graph) -> Topology {
+        Topology {
+            name: name.to_string(),
+            nodes: (0..g.node_count())
+                .map(|i| NodeSpec {
+                    name: format!("n{i}"),
+                    lat: 0.0,
+                    lon: 0.0,
+                })
+                .collect(),
+            links: g
+                .edges()
+                .iter()
+                .map(|e| LinkSpec {
+                    a: e.u.index(),
+                    b: e.v.index(),
+                    weight: e.weight,
+                    latency_ms: e.weight,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_graph::traversal::is_connected;
+    use splice_graph::EdgeMask;
+
+    fn tiny() -> Topology {
+        Topology::from_named(
+            "tiny",
+            &[
+                ("a", 48.85, 2.35),  // Paris
+                ("b", 51.50, -0.13), // London
+                ("c", 50.11, 8.68),  // Frankfurt
+            ],
+            &[("a", "b"), ("b", "c"), ("a", "c")],
+        )
+    }
+
+    #[test]
+    fn counts() {
+        let t = tiny();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.link_count(), 3);
+    }
+
+    #[test]
+    fn graph_alignment() {
+        let t = tiny();
+        let g = t.graph();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        for (i, l) in t.links.iter().enumerate() {
+            let e = g.edge(splice_graph::EdgeId(i as u32));
+            assert_eq!(e.u.index(), l.a);
+            assert_eq!(e.v.index(), l.b);
+            assert_eq!(e.weight, l.weight);
+        }
+        assert!(is_connected(&g, &EdgeMask::all_up(3)));
+    }
+
+    #[test]
+    fn weights_and_latencies_positive() {
+        let t = tiny();
+        for l in &t.links {
+            assert!(l.weight >= 1.0);
+            assert!(l.latency_ms > 0.0);
+        }
+        assert_eq!(t.latencies().len(), 3);
+    }
+
+    #[test]
+    fn name_lookup() {
+        let t = tiny();
+        assert_eq!(t.node_by_name("b"), Some(NodeId(1)));
+        assert_eq!(t.node_by_name("zz"), None);
+        assert_eq!(t.node_name(NodeId(2)), "c");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn unknown_link_endpoint_panics() {
+        Topology::from_named("bad", &[("a", 0.0, 0.0)], &[("a", "zz")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_names_panic() {
+        Topology::from_named("bad", &[("a", 0.0, 0.0), ("a", 1.0, 1.0)], &[]);
+    }
+
+    #[test]
+    fn from_graph_roundtrip() {
+        let g = splice_graph::graph::from_edges(3, &[(0, 1, 2.5), (1, 2, 3.5)]);
+        let t = Topology::from_graph("gen", &g);
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.link_count(), 2);
+        let g2 = t.graph();
+        assert_eq!(g2.base_weights(), g.base_weights());
+    }
+
+    #[test]
+    fn longer_links_weigh_more() {
+        let t = tiny();
+        // Paris-London (~343km) < Paris-Frankfurt (~479km).
+        assert!(t.links[0].weight < t.links[2].weight);
+        assert!(t.links[0].latency_ms < t.links[2].latency_ms);
+    }
+}

@@ -1,0 +1,230 @@
+//! Topology file formats: a plain edge list and the Rocketfuel
+//! `weights`-style format, with writers for both.
+//!
+//! The edge-list format, one link per line:
+//!
+//! ```text
+//! # comment
+//! <node-a> <node-b> <weight> [latency_ms]
+//! ```
+//!
+//! The Rocketfuel format, as published with the ISP maps the paper uses:
+//!
+//! ```text
+//! <node-a> <node-b> <weight>
+//! ```
+//!
+//! where node names may contain commas (city, state) but not whitespace in
+//! this simplified variant. Nodes are created on first mention, in order.
+
+use crate::model::{LinkSpec, NodeSpec, Topology};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error from topology parsing, with the offending line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "topology parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse the edge-list format. Lines are `a b weight [latency]`;
+/// blank lines and `#` comments are skipped. Latency defaults to the
+/// weight when omitted.
+pub fn parse_edge_list(name: &str, text: &str) -> Result<Topology, ParseError> {
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut nodes = Vec::new();
+    let mut links = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() < 3 || parts.len() > 4 {
+            return Err(ParseError {
+                line: lineno + 1,
+                message: format!("expected `a b weight [latency]`, got {line:?}"),
+            });
+        }
+        let mut node_id = |name: &str, nodes: &mut Vec<NodeSpec>| -> usize {
+            *index.entry(name.to_string()).or_insert_with(|| {
+                nodes.push(NodeSpec {
+                    name: name.to_string(),
+                    lat: 0.0,
+                    lon: 0.0,
+                });
+                nodes.len() - 1
+            })
+        };
+        let a = node_id(parts[0], &mut nodes);
+        let b = node_id(parts[1], &mut nodes);
+        if a == b {
+            return Err(ParseError {
+                line: lineno + 1,
+                message: format!("self-link on {:?}", parts[0]),
+            });
+        }
+        let weight: f64 = parts[2].parse().map_err(|e| ParseError {
+            line: lineno + 1,
+            message: format!("bad weight {:?}: {e}", parts[2]),
+        })?;
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(ParseError {
+                line: lineno + 1,
+                message: format!("weight must be positive and finite, got {weight}"),
+            });
+        }
+        let latency_ms = if parts.len() == 4 {
+            parts[3].parse().map_err(|e| ParseError {
+                line: lineno + 1,
+                message: format!("bad latency {:?}: {e}", parts[3]),
+            })?
+        } else {
+            weight
+        };
+        links.push(LinkSpec {
+            a,
+            b,
+            weight,
+            latency_ms,
+        });
+    }
+    Ok(Topology {
+        name: name.to_string(),
+        nodes,
+        links,
+    })
+}
+
+/// Serialize to the edge-list format (with latency column). Names with
+/// internal whitespace are underscore-escaped, as in Rocketfuel files.
+pub fn write_edge_list(t: &Topology) -> String {
+    let mut out = format!(
+        "# topology: {} ({} nodes, {} links)\n",
+        t.name,
+        t.node_count(),
+        t.link_count()
+    );
+    for l in &t.links {
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            t.nodes[l.a].name.replace(' ', "_"),
+            t.nodes[l.b].name.replace(' ', "_"),
+            l.weight,
+            l.latency_ms
+        ));
+    }
+    out
+}
+
+/// Parse the Rocketfuel-style `weights` format: `a b weight` per line.
+/// This is what the published Sprint/AS1239 PoP-level map ships as.
+pub fn parse_rocketfuel_weights(name: &str, text: &str) -> Result<Topology, ParseError> {
+    // Same grammar as the 3-column edge list.
+    parse_edge_list(name, text)
+}
+
+/// Serialize to Rocketfuel `weights` format (three columns, names with
+/// internal spaces replaced by underscores as Rocketfuel does).
+pub fn write_rocketfuel_weights(t: &Topology) -> String {
+    let mut out = String::new();
+    for l in &t.links {
+        out.push_str(&format!(
+            "{} {} {}\n",
+            t.nodes[l.a].name.replace(' ', "_"),
+            t.nodes[l.b].name.replace(' ', "_"),
+            l.weight
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sprint::sprint;
+
+    #[test]
+    fn parse_simple_edge_list() {
+        let t = parse_edge_list("t", "# comment\n\na b 2.5\nb c 3 7.5\n").unwrap();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.link_count(), 2);
+        assert_eq!(t.links[0].weight, 2.5);
+        assert_eq!(t.links[0].latency_ms, 2.5); // defaulted
+        assert_eq!(t.links[1].latency_ms, 7.5);
+        assert_eq!(t.nodes[0].name, "a");
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse_edge_list("t", "a b 1.0\na b\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(parse_edge_list("t", "a b zero").is_err());
+        assert!(parse_edge_list("t", "a b -1").is_err());
+        assert!(parse_edge_list("t", "a b 0").is_err());
+        let err = parse_edge_list("t", "a a 1").unwrap_err();
+        assert!(err.message.contains("self-link"));
+    }
+
+    #[test]
+    fn roundtrip_edge_list() {
+        let t = sprint();
+        let text = write_edge_list(&t);
+        let t2 = parse_edge_list("sprint", &text).unwrap();
+        assert_eq!(t2.node_count(), t.node_count());
+        assert_eq!(t2.link_count(), t.link_count());
+        // Weights survive the roundtrip.
+        for (a, b) in t.links.iter().zip(&t2.links) {
+            assert!((a.weight - b.weight).abs() < 1e-9);
+            assert!((a.latency_ms - b.latency_ms).abs() < 1e-9);
+        }
+        // And the graphs are isomorphic under the identity (same insertion order).
+        let (g1, g2) = (t.graph(), t2.graph());
+        assert_eq!(g1.base_weights(), g2.base_weights());
+    }
+
+    #[test]
+    fn rocketfuel_roundtrip() {
+        let t = sprint();
+        let text = write_rocketfuel_weights(&t);
+        let t2 = parse_rocketfuel_weights("sprint", &text).unwrap();
+        assert_eq!(t2.node_count(), 52);
+        assert_eq!(t2.link_count(), 84);
+        // Underscored names parse back as single tokens.
+        assert!(t2.nodes.iter().any(|n| n.name == "San_Jose"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_topology() {
+        let t = parse_edge_list("empty", "# nothing\n").unwrap();
+        assert_eq!(t.node_count(), 0);
+        assert_eq!(t.link_count(), 0);
+    }
+
+    #[test]
+    fn display_impl() {
+        let err = parse_edge_list("t", "x y nope").unwrap_err();
+        let shown = format!("{err}");
+        assert!(shown.contains("line 1"));
+    }
+}

@@ -1,0 +1,276 @@
+//! The Sprint backbone at PoP level, 52 nodes / 84 links.
+//!
+//! The paper uses "the Sprint backbone network topology inferred from
+//! Rocketfuel, which has 52 nodes and 84 links" (§4.1). Rocketfuel's own
+//! Sprint (AS1239) map is itself a measurement-based inference; this
+//! embedded reconstruction preserves what the evaluation depends on:
+//!
+//! * exactly 52 PoPs and 84 undirected links,
+//! * a handful of high-degree hubs (Chicago, Fort Worth, New York,
+//!   Relay/DC, Atlanta, San Jose) over a 2-connected continental mesh with
+//!   a few stub tails — the degree mix that makes degree-based
+//!   perturbation meaningful,
+//! * distance-derived weights (Rocketfuel inferred latency-proportional
+//!   weights), spanning metro links (weight ≈ 1) to trans-Pacific spans.
+//!
+//! A real Rocketfuel `weights` file can be loaded with
+//! [`crate::parse::parse_rocketfuel_weights`] and used everywhere this
+//! topology is.
+
+use crate::model::Topology;
+
+/// Build the embedded Sprint PoP-level topology (52 nodes, 84 links).
+pub fn sprint() -> Topology {
+    let nodes: &[(&str, f64, f64)] = &[
+        ("Seattle", 47.61, -122.33),
+        ("Tacoma", 47.25, -122.44),
+        ("Portland", 45.52, -122.68),
+        ("Sacramento", 38.58, -121.49),
+        ("Stockton", 37.96, -121.29),
+        ("San Francisco", 37.77, -122.42),
+        ("San Jose", 37.34, -121.89),
+        ("Anaheim", 33.84, -117.91),
+        ("Los Angeles", 34.05, -118.24),
+        ("San Diego", 32.72, -117.16),
+        ("Pearl City", 21.40, -157.97),
+        ("Phoenix", 33.45, -112.07),
+        ("Salt Lake City", 40.76, -111.89),
+        ("Cheyenne", 41.14, -104.82),
+        ("Denver", 39.74, -104.99),
+        ("Albuquerque", 35.08, -106.65),
+        ("El Paso", 31.76, -106.49),
+        ("Fort Worth", 32.76, -97.33),
+        ("Dallas", 32.78, -96.80),
+        ("Houston", 29.76, -95.37),
+        ("San Antonio", 29.42, -98.49),
+        ("New Orleans", 29.95, -90.07),
+        ("Kansas City", 39.10, -94.58),
+        ("St. Louis", 38.63, -90.20),
+        ("Chicago", 41.88, -87.63),
+        ("Milwaukee", 43.04, -87.91),
+        ("Minneapolis", 44.98, -93.27),
+        ("Detroit", 42.33, -83.05),
+        ("Cleveland", 41.50, -81.69),
+        ("Columbus", 39.96, -83.00),
+        ("Roachdale", 39.85, -86.80), // Sprint's Indiana PoP
+        ("Cincinnati", 39.10, -84.51),
+        ("Nashville", 36.16, -86.78),
+        ("Memphis", 35.15, -90.05),
+        ("Atlanta", 33.75, -84.39),
+        ("Orlando", 28.54, -81.38),
+        ("Miami", 25.76, -80.19),
+        ("Tampa", 27.95, -82.46),
+        ("Raleigh", 35.78, -78.64),
+        ("Charlotte", 35.23, -80.84),
+        ("Relay", 39.23, -76.71),      // Sprint's Washington-DC area PoP
+        ("Pennsauken", 39.96, -75.06), // Philadelphia-area PoP
+        ("New York", 40.71, -74.01),
+        ("Boston", 42.36, -71.06),
+        ("Springfield", 42.10, -72.59),
+        ("Buffalo", 42.89, -78.88),
+        ("Pittsburgh", 40.44, -80.00),
+        ("London", 51.51, -0.13),
+        ("Paris", 48.86, 2.35),
+        ("Brussels", 50.85, 4.35),
+        ("Copenhagen", 55.68, 12.57),
+        ("Tokyo", 35.68, 139.69),
+    ];
+    let links: &[(&str, &str)] = &[
+        // Pacific Northwest
+        ("Seattle", "Tacoma"),
+        ("Seattle", "Portland"),
+        ("Tacoma", "Portland"),
+        // California
+        ("Portland", "Sacramento"),
+        ("Sacramento", "Stockton"),
+        ("Sacramento", "San Francisco"),
+        ("Stockton", "San Jose"),
+        ("San Francisco", "San Jose"),
+        ("San Jose", "Los Angeles"),
+        ("Los Angeles", "Anaheim"),
+        ("Anaheim", "San Diego"),
+        ("San Diego", "Phoenix"),
+        ("Anaheim", "Phoenix"),
+        // Hawaii (dual-homed to California)
+        ("Pearl City", "San Jose"),
+        ("Pearl City", "Los Angeles"),
+        // Mountain
+        ("Seattle", "Salt Lake City"),
+        ("Salt Lake City", "Cheyenne"),
+        ("Salt Lake City", "Denver"),
+        ("Cheyenne", "Denver"),
+        ("Denver", "Kansas City"),
+        ("Cheyenne", "Chicago"),
+        ("Sacramento", "Salt Lake City"),
+        // Southwest
+        ("Phoenix", "Albuquerque"),
+        ("Albuquerque", "El Paso"),
+        ("Albuquerque", "Denver"),
+        ("El Paso", "Fort Worth"),
+        ("Fort Worth", "Dallas"),
+        ("Dallas", "Houston"),
+        ("Houston", "San Antonio"),
+        ("San Antonio", "El Paso"),
+        ("Houston", "New Orleans"),
+        ("New Orleans", "Atlanta"),
+        // Plains / Midwest
+        ("Fort Worth", "Kansas City"),
+        ("Kansas City", "St. Louis"),
+        ("St. Louis", "Chicago"),
+        ("Chicago", "Milwaukee"),
+        ("Milwaukee", "Minneapolis"),
+        ("Minneapolis", "Chicago"),
+        ("Chicago", "Detroit"),
+        ("Detroit", "Cleveland"),
+        ("Cleveland", "Buffalo"),
+        ("Buffalo", "New York"),
+        ("Cleveland", "Pittsburgh"),
+        ("Pittsburgh", "Pennsauken"),
+        ("Chicago", "Roachdale"),
+        ("Roachdale", "Cincinnati"),
+        ("Cincinnati", "Columbus"),
+        ("Columbus", "Cleveland"),
+        ("Roachdale", "St. Louis"),
+        // South
+        ("Nashville", "Atlanta"),
+        ("Nashville", "Memphis"),
+        ("Memphis", "Dallas"),
+        ("Nashville", "Cincinnati"),
+        ("Atlanta", "Orlando"),
+        ("Orlando", "Miami"),
+        ("Miami", "Tampa"),
+        ("Tampa", "Atlanta"),
+        ("Atlanta", "Charlotte"),
+        ("Charlotte", "Raleigh"),
+        ("Raleigh", "Relay"),
+        // East coast
+        ("Relay", "Pennsauken"),
+        ("Pennsauken", "New York"),
+        ("New York", "Boston"),
+        ("Boston", "Springfield"),
+        ("Springfield", "New York"),
+        ("Relay", "Atlanta"),
+        // Long-haul express links
+        ("New York", "Chicago"),
+        ("Relay", "Chicago"),
+        ("Fort Worth", "Atlanta"),
+        ("Fort Worth", "Anaheim"),
+        ("San Jose", "Chicago"),
+        ("Seattle", "Chicago"),
+        ("Los Angeles", "Fort Worth"),
+        ("Denver", "Fort Worth"),
+        ("Kansas City", "Chicago"),
+        // International
+        ("New York", "London"),
+        ("Relay", "London"),
+        ("London", "Paris"),
+        ("Paris", "Brussels"),
+        ("London", "Brussels"),
+        ("London", "Copenhagen"),
+        ("Copenhagen", "Brussels"),
+        ("Tokyo", "Seattle"),
+        ("Tokyo", "San Jose"),
+    ];
+    Topology::from_named("sprint", nodes, links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_graph::traversal::is_connected;
+    use splice_graph::EdgeMask;
+
+    #[test]
+    fn paper_counts() {
+        let t = sprint();
+        assert_eq!(t.node_count(), 52, "Sprint has 52 nodes");
+        assert_eq!(t.link_count(), 84, "Sprint has 84 links");
+    }
+
+    #[test]
+    fn connected() {
+        let t = sprint();
+        let g = t.graph();
+        assert!(is_connected(&g, &EdgeMask::all_up(g.edge_count())));
+    }
+
+    #[test]
+    fn chicago_is_the_biggest_hub() {
+        let t = sprint();
+        let g = t.graph();
+        let chi = t.node_by_name("Chicago").unwrap();
+        assert!(g.degree(chi) >= 9, "Chicago degree {}", g.degree(chi));
+        assert_eq!(g.max_degree(), g.degree(chi));
+    }
+
+    #[test]
+    fn degree_mix_is_skewed() {
+        // A few hubs, many degree-2/3 PoPs — the mix degree-based
+        // perturbation exploits.
+        let t = sprint();
+        let g = t.graph();
+        let hubs = g.nodes().filter(|&n| g.degree(n) >= 6).count();
+        let small = g.nodes().filter(|&n| g.degree(n) <= 3).count();
+        assert!(hubs >= 3, "want >=3 hubs, got {hubs}");
+        assert!(small >= 30, "want >=30 small PoPs, got {small}");
+    }
+
+    #[test]
+    fn average_degree_matches_paper_scale() {
+        let t = sprint();
+        let avg = 2.0 * t.link_count() as f64 / t.node_count() as f64;
+        assert!((3.0..3.5).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn every_pop_is_two_connected() {
+        let t = sprint();
+        let g = t.graph();
+        for n in g.nodes() {
+            assert!(
+                g.degree(n) >= 2,
+                "{} has degree {}",
+                t.node_name(n),
+                g.degree(n)
+            );
+        }
+    }
+
+    #[test]
+    fn weight_spread_spans_metro_to_transpacific() {
+        let t = sprint();
+        let ws: Vec<f64> = t.links.iter().map(|l| l.weight).collect();
+        let min = ws.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ws.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(min, 1.0, "metro links hit the floor");
+        assert!(max > 50.0, "trans-oceanic links are heavy, max {max}");
+    }
+
+    #[test]
+    fn no_duplicate_links() {
+        let t = sprint();
+        let mut seen = std::collections::HashSet::new();
+        for l in &t.links {
+            let key = (l.a.min(l.b), l.a.max(l.b));
+            assert!(seen.insert(key), "duplicate link {key:?}");
+        }
+    }
+
+    #[test]
+    fn no_bridges() {
+        // Every link must sit on a cycle: no single failure may partition
+        // the topology (an MRC validity requirement, and true of the real
+        // backbones these reconstruct).
+        let t = sprint();
+        let g = t.graph();
+        for e in g.edge_ids() {
+            let mask = EdgeMask::from_failed(g.edge_count(), &[e]);
+            assert!(
+                is_connected(&g, &mask),
+                "{} - {} is a bridge",
+                t.node_name(g.edge(e).u),
+                t.node_name(g.edge(e).v)
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # splice-traffic
+//!
+//! The traffic-engineering side of path splicing (§5 of the paper).
+//!
+//! The paper raises three traffic questions and leaves them as future
+//! work; this crate builds the experiments:
+//!
+//! * **"Automatic" load balancing** ([`load`]): when sources pick their
+//!   initial slice by flow hash (Algorithm 1's default branch), traffic
+//!   spreads over k trees even with no failures. We compare link
+//!   utilization under single shortest-path routing, hash-spread
+//!   splicing, and explicit multipath splitting.
+//! * **Selfish-routing shifts** ([`shift`]): when a link fails and every
+//!   affected flow re-routes via splicing, how much load lands on the
+//!   busiest surviving link?
+//! * **Capacity** ([`capacity`]): §5 suggests splicing bits could let end
+//!   hosts "achieve throughput that approaches the capacity of the
+//!   underlying graph"; we measure the max-flow of the union-of-slices
+//!   subgraph against the full graph's.
+//!
+//! Demands come from a gravity-model [`matrix::TrafficMatrix`]; the
+//! tuned single-path baseline §5 compares against is built by
+//! [`optimize`]'s Fortz–Thorup-style weight search.
+
+pub mod capacity;
+pub mod load;
+pub mod matrix;
+pub mod optimize;
+pub mod shift;
+
+pub use load::{LoadReport, RoutingMode};
+pub use matrix::TrafficMatrix;

@@ -1,0 +1,334 @@
+//! Link loads under different routing modes.
+//!
+//! Demands are routed hop-by-hop over the splicing FIBs; per-link loads
+//! accumulate. Three modes:
+//!
+//! * [`RoutingMode::ShortestPath`] — everything in slice 0 (today's
+//!   routing, the Fortz–Thorup-tuned baseline's structure);
+//! * [`RoutingMode::HashSpread`] — each flow pinned to its
+//!   `Hash(src, dst)` slice, Algorithm 1's default: splicing's "automatic"
+//!   load balancing with zero configuration;
+//! * [`RoutingMode::EqualSplit`] — each flow split equally over all k
+//!   slice paths, the explicit-multipath upper bound on spreading.
+
+use crate::matrix::TrafficMatrix;
+use splice_core::hash::slice_for_flow;
+use splice_core::slices::Splicing;
+use splice_graph::{EdgeMask, Graph, NodeId};
+
+/// How demands map onto slices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// All demand in slice 0.
+    ShortestPath,
+    /// Flow-hash slice selection.
+    HashSpread,
+    /// Demand split equally across every slice's path.
+    EqualSplit,
+}
+
+/// Per-link load summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadReport {
+    /// Load carried by each link (edge-id indexed).
+    pub per_edge: Vec<f64>,
+    /// Demand that could not be delivered (no route).
+    pub undelivered: f64,
+    /// Flows that delivered nothing at all (in `EqualSplit`, a flow with
+    /// any surviving slice path is not counted here).
+    pub stranded_flows: usize,
+}
+
+impl LoadReport {
+    /// The busiest link's load.
+    pub fn max(&self) -> f64 {
+        self.per_edge.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Mean load over all links (the standard utilization denominator).
+    pub fn mean(&self) -> f64 {
+        if self.per_edge.is_empty() {
+            0.0
+        } else {
+            self.per_edge.iter().sum::<f64>() / self.per_edge.len() as f64
+        }
+    }
+
+    /// Coefficient of variation (std / mean) — lower is better balanced.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m <= 0.0 {
+            return 0.0;
+        }
+        let var =
+            self.per_edge.iter().map(|x| (x - m).powi(2)).sum::<f64>() / self.per_edge.len() as f64;
+        var.sqrt() / m
+    }
+}
+
+/// Route one unit along the slice path from `s` to `t`, adding `amount`
+/// to each traversed link. Returns false if the walk dead-ends (failed
+/// link, no route) — the caller counts the demand undelivered.
+#[allow(clippy::too_many_arguments)] // a flow is naturally 5-tuple + context
+fn route_flow(
+    splicing: &Splicing,
+    g: &Graph,
+    mask: &EdgeMask,
+    slice: usize,
+    s: NodeId,
+    t: NodeId,
+    amount: f64,
+    per_edge: &mut [f64],
+) -> bool {
+    let mut at = s;
+    let mut hops = 0;
+    // Record tentatively; only commit on success.
+    let mut touched: Vec<usize> = Vec::new();
+    while at != t {
+        let Some((next, e)) = splicing.next_hop(slice, at, t) else {
+            return false;
+        };
+        if mask.is_failed(e) {
+            return false;
+        }
+        touched.push(e.index());
+        at = next;
+        hops += 1;
+        if hops > g.node_count() {
+            return false; // corrupted FIB; trees cannot loop, but be safe
+        }
+    }
+    for i in touched {
+        per_edge[i] += amount;
+    }
+    true
+}
+
+/// Compute link loads for `tm` under `mode` with the links in `mask`
+/// failed. Flows whose path is broken are stranded (no rerouting); see
+/// [`link_loads_with_recovery`] for the post-failure steady state.
+pub fn link_loads(
+    splicing: &Splicing,
+    g: &Graph,
+    tm: &TrafficMatrix,
+    mode: RoutingMode,
+    mask: &EdgeMask,
+) -> LoadReport {
+    let mut per_edge = vec![0.0; g.edge_count()];
+    let mut undelivered = 0.0;
+    let mut stranded_flows = 0usize;
+    let k = splicing.k();
+    for (s, t, d) in tm.flows() {
+        match mode {
+            RoutingMode::ShortestPath => {
+                if !route_flow(splicing, g, mask, 0, s, t, d, &mut per_edge) {
+                    undelivered += d;
+                    stranded_flows += 1;
+                }
+            }
+            RoutingMode::HashSpread => {
+                let slice = slice_for_flow(s, t, k);
+                if !route_flow(splicing, g, mask, slice, s, t, d, &mut per_edge) {
+                    undelivered += d;
+                    stranded_flows += 1;
+                }
+            }
+            RoutingMode::EqualSplit => {
+                let share = d / k as f64;
+                let mut delivered_any = false;
+                for slice in 0..k {
+                    if route_flow(splicing, g, mask, slice, s, t, share, &mut per_edge) {
+                        delivered_any = true;
+                    } else {
+                        undelivered += share;
+                    }
+                }
+                if !delivered_any {
+                    stranded_flows += 1;
+                }
+            }
+        }
+    }
+    LoadReport {
+        per_edge,
+        undelivered,
+        stranded_flows,
+    }
+}
+
+/// Like [`link_loads`], but flows whose primary slice path broke recover
+/// onto the first slice (in id order) with a working path — the
+/// post-recovery steady state the §5 "selfish routing" question is about.
+/// Only flows with *no* working slice path are stranded.
+pub fn link_loads_with_recovery(
+    splicing: &Splicing,
+    g: &Graph,
+    tm: &TrafficMatrix,
+    mode: RoutingMode,
+    mask: &EdgeMask,
+) -> LoadReport {
+    let mut per_edge = vec![0.0; g.edge_count()];
+    let mut undelivered = 0.0;
+    let mut stranded_flows = 0usize;
+    let k = splicing.k();
+    for (s, t, d) in tm.flows() {
+        let primary = match mode {
+            RoutingMode::ShortestPath => 0,
+            RoutingMode::HashSpread => slice_for_flow(s, t, k),
+            // Equal-split recovers each share independently below.
+            RoutingMode::EqualSplit => 0,
+        };
+        let route_with_fallback = |primary: usize, amount: f64, per_edge: &mut [f64]| -> bool {
+            if route_flow(splicing, g, mask, primary, s, t, amount, per_edge) {
+                return true;
+            }
+            (0..k)
+                .filter(|&slice| slice != primary)
+                .any(|slice| route_flow(splicing, g, mask, slice, s, t, amount, per_edge))
+        };
+        match mode {
+            RoutingMode::ShortestPath | RoutingMode::HashSpread => {
+                if !route_with_fallback(primary, d, &mut per_edge) {
+                    undelivered += d;
+                    stranded_flows += 1;
+                }
+            }
+            RoutingMode::EqualSplit => {
+                let share = d / k as f64;
+                let mut delivered_any = false;
+                for slice in 0..k {
+                    if route_with_fallback(slice, share, &mut per_edge) {
+                        delivered_any = true;
+                    } else {
+                        undelivered += share;
+                    }
+                }
+                if !delivered_any {
+                    stranded_flows += 1;
+                }
+            }
+        }
+    }
+    LoadReport {
+        per_edge,
+        undelivered,
+        stranded_flows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_core::slices::SplicingConfig;
+    use splice_topology::abilene::abilene;
+
+    fn setup() -> (Graph, Splicing, TrafficMatrix) {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(4, 0.0, 3.0), 9);
+        let tm = TrafficMatrix::gravity(&g, 100.0, 1);
+        (g, sp, tm)
+    }
+
+    #[test]
+    fn conservation_no_failures() {
+        let (g, sp, tm) = setup();
+        let mask = EdgeMask::all_up(g.edge_count());
+        for mode in [
+            RoutingMode::ShortestPath,
+            RoutingMode::HashSpread,
+            RoutingMode::EqualSplit,
+        ] {
+            let report = link_loads(&sp, &g, &tm, mode, &mask);
+            assert_eq!(report.undelivered, 0.0, "{mode:?}");
+            assert!(report.max() > 0.0);
+            // Total link load >= total demand (paths have >= 1 hop).
+            let carried: f64 = report.per_edge.iter().sum();
+            assert!(carried >= tm.total() - 1e-6, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn spreading_reduces_peak_load() {
+        let (g, sp, tm) = setup();
+        let mask = EdgeMask::all_up(g.edge_count());
+        let single = link_loads(&sp, &g, &tm, RoutingMode::ShortestPath, &mask);
+        let split = link_loads(&sp, &g, &tm, RoutingMode::EqualSplit, &mask);
+        // Splitting across slices cannot concentrate more than slice 0 does
+        // on this workload; peak should drop (or at least not grow much).
+        assert!(
+            split.max() <= single.max() * 1.05,
+            "split {} vs single {}",
+            split.max(),
+            single.max()
+        );
+    }
+
+    #[test]
+    fn failures_strand_demand_in_single_path_mode() {
+        let (g, sp, tm) = setup();
+        // Fail slice 0's Seattle uplink used toward many destinations.
+        let (_, e) = sp.next_hop(0, NodeId(0), NodeId(10)).unwrap();
+        let mask = EdgeMask::from_failed(g.edge_count(), &[e]);
+        let report = link_loads(&sp, &g, &tm, RoutingMode::ShortestPath, &mask);
+        assert!(report.undelivered > 0.0);
+    }
+
+    #[test]
+    fn recovery_routing_reduces_stranding() {
+        let (g, sp, tm) = setup();
+        let (_, e) = sp.next_hop(0, NodeId(0), NodeId(10)).unwrap();
+        let mask = EdgeMask::from_failed(g.edge_count(), &[e]);
+        let plain = link_loads(&sp, &g, &tm, RoutingMode::ShortestPath, &mask);
+        let recovered = link_loads_with_recovery(&sp, &g, &tm, RoutingMode::ShortestPath, &mask);
+        assert!(recovered.undelivered <= plain.undelivered);
+        assert!(recovered.stranded_flows <= plain.stranded_flows);
+        // Recovered demand rides longer paths: total carried load grows.
+        let carried = |r: &LoadReport| r.per_edge.iter().sum::<f64>();
+        assert!(carried(&recovered) >= carried(&plain) - 1e-9);
+    }
+
+    #[test]
+    fn recovery_routing_no_failures_is_identity() {
+        let (g, sp, tm) = setup();
+        let up = EdgeMask::all_up(g.edge_count());
+        for mode in [
+            RoutingMode::ShortestPath,
+            RoutingMode::HashSpread,
+            RoutingMode::EqualSplit,
+        ] {
+            let a = link_loads(&sp, &g, &tm, mode, &up);
+            let b = link_loads_with_recovery(&sp, &g, &tm, mode, &up);
+            assert_eq!(a, b, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn report_metrics() {
+        let report = LoadReport {
+            per_edge: vec![1.0, 3.0, 2.0, 2.0],
+            undelivered: 0.0,
+            stranded_flows: 0,
+        };
+        assert_eq!(report.max(), 3.0);
+        assert_eq!(report.mean(), 2.0);
+        assert!(report.cv() > 0.0);
+        let flat = LoadReport {
+            per_edge: vec![2.0; 4],
+            undelivered: 0.0,
+            stranded_flows: 0,
+        };
+        assert_eq!(flat.cv(), 0.0);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = LoadReport {
+            per_edge: vec![],
+            undelivered: 0.0,
+            stranded_flows: 0,
+        };
+        assert_eq!(r.max(), 0.0);
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.cv(), 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Interdomain splicing (§5): BGP keeps the k best valley-free routes per
+//! destination; the forwarding bits choose among them, surviving inter-AS
+//! link failures without waiting for BGP to reconverge.
+//!
+//! ```text
+//! cargo run --release --example interdomain
+//! ```
+
+use path_splicing::bgp::asgraph::{AsGraph, AsId};
+use path_splicing::bgp::bgp_sim::BgpSim;
+use path_splicing::bgp::splice_bgp::{spliced_reachability, AsLinkFailures};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A small internet: 3 tier-1s, 8 mid-tier providers, 25 stubs.
+    let g = AsGraph::internet_like(3, 8, 25, 7);
+    println!(
+        "AS graph: {} ASes, {} inter-AS links",
+        g.as_count(),
+        g.link_count()
+    );
+
+    let dest = AsId(20); // some stub AS hosting the content
+    for k in [1usize, 2, 3] {
+        let sim = BgpSim::converge(&g, dest, k);
+        println!(
+            "\nk = {k}: converged in {} rounds; route counts per AS (sample):",
+            sim.rounds
+        );
+        for a in [AsId(0), AsId(5), AsId(30)] {
+            let routes = &sim.ribs[a.index()];
+            let desc: Vec<String> = routes
+                .iter()
+                .map(|r| {
+                    format!(
+                        "[{}]",
+                        r.path
+                            .iter()
+                            .map(|x| x.0.to_string())
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    )
+                })
+                .collect();
+            println!("  AS{:<3} -> AS{}: {}", a.0, dest.0, desc.join("  "));
+        }
+
+        // Storm: 10% of inter-AS links fail; who still delivers with the
+        // routes already installed?
+        let mut survived = 0usize;
+        let trials: usize = 300;
+        for t in 0..trials as u64 {
+            let mut rng = StdRng::seed_from_u64(t);
+            let failures = AsLinkFailures::sample(&g, 0.10, &mut rng);
+            let reach = spliced_reachability(&g, &sim, k, &failures);
+            survived += reach.iter().filter(|&&r| r).count() - 1; // minus dest
+        }
+        let frac = survived as f64 / (trials * (g.as_count() - 1)) as f64;
+        println!(
+            "  under 10% link failures: {:.1}% of ASes still reach AS{} pre-reconvergence",
+            100.0 * frac,
+            dest.0
+        );
+    }
+    println!("\nmore installed routes -> more ASes ride out failures on stale state alone.");
+}

@@ -1,0 +1,103 @@
+//! Cross-crate invariants of the evaluation pipeline: the orderings and
+//! bounds that must hold between the paper's curves whatever the seed.
+
+use path_splicing::sim::recovery::{recovery_experiment, RecoveryConfig, RecoveryScheme};
+use path_splicing::sim::reliability::{reliability_experiment, ReliabilityConfig, SpliceSemantics};
+use path_splicing::splicing::prelude::*;
+use path_splicing::splicing::slices::SplicingConfig;
+use path_splicing::topology::geant::geant;
+
+fn rel_cfg(semantics: SpliceSemantics, seed: u64) -> ReliabilityConfig {
+    ReliabilityConfig {
+        ks: vec![1, 2, 5],
+        ps: vec![0.02, 0.05, 0.1],
+        trials: 40,
+        splicing: SplicingConfig::degree_based(5, 0.0, 3.0),
+        semantics,
+        seed,
+    }
+}
+
+/// For any seed: best-possible <= union <= directed <= k=1, and all
+/// monotone in k.
+#[test]
+fn curve_ordering_chain_on_geant() {
+    let g = geant().graph();
+    for seed in [1u64, 99, 12345] {
+        let union = reliability_experiment(&g, &rel_cfg(SpliceSemantics::UnionGraph, seed));
+        let directed = reliability_experiment(&g, &rel_cfg(SpliceSemantics::Directed, seed));
+        for pi in 0..3 {
+            let best = union.best_possible.points[pi].1;
+            for ki in 0..3 {
+                let u = union.curves[ki].points[pi].1;
+                let d = directed.curves[ki].points[pi].1;
+                assert!(best <= u + 1e-12, "seed {seed}: best > union");
+                assert!(u <= d + 1e-12, "seed {seed}: union > directed");
+            }
+            // k-monotonicity within each semantics.
+            for curves in [&union.curves, &directed.curves] {
+                assert!(curves[1].points[pi].1 <= curves[0].points[pi].1 + 1e-12);
+                assert!(curves[2].points[pi].1 <= curves[1].points[pi].1 + 1e-12);
+            }
+        }
+    }
+}
+
+/// Recovery sits between no-splicing and the reliability bound, for both
+/// schemes, and the recovered-path stats match the paper's qualitative
+/// claims (avg trials small, stretch modest).
+#[test]
+fn recovery_bounds_and_stats_on_geant() {
+    let topo = geant();
+    let g = topo.graph();
+    for scheme in [
+        RecoveryScheme::EndSystem(EndSystemRecovery::default()),
+        RecoveryScheme::Network(NetworkRecovery::default()),
+    ] {
+        let cfg = RecoveryConfig {
+            ks: vec![3, 5],
+            ps: vec![0.03, 0.08],
+            trials: 30,
+            splicing: SplicingConfig::degree_based(5, 0.0, 3.0),
+            scheme,
+            semantics: SpliceSemantics::UnionGraph,
+            seed: 6,
+        };
+        let out = recovery_experiment(&g, &topo.latencies(), &cfg);
+        for ki in 0..2 {
+            for pi in 0..2 {
+                let ns = out.no_splicing.points[pi].1;
+                let rec = out.recovery[ki].points[pi].1;
+                let rel = out.reliability[ki].points[pi].1;
+                assert!(rec <= ns + 1e-12);
+                assert!(rel <= rec + 1e-12);
+            }
+        }
+        for st in &out.stats {
+            if st.recovered > 0 {
+                assert!(st.avg_trials <= 5.0);
+                assert!(
+                    (1.0..4.0).contains(&st.avg_latency_stretch),
+                    "{}",
+                    st.avg_latency_stretch
+                );
+                assert!(st.avg_hop_stretch >= 1.0);
+            }
+        }
+    }
+}
+
+/// The whole reliability pipeline is reproducible: same seed, same
+/// curves, across semantics.
+#[test]
+fn pipeline_reproducibility() {
+    let g = geant().graph();
+    for semantics in [SpliceSemantics::UnionGraph, SpliceSemantics::Directed] {
+        let a = reliability_experiment(&g, &rel_cfg(semantics, 7));
+        let b = reliability_experiment(&g, &rel_cfg(semantics, 7));
+        for (ca, cb) in a.curves.iter().zip(&b.curves) {
+            assert_eq!(ca.points, cb.points);
+        }
+        assert_eq!(a.best_possible.points, b.best_possible.points);
+    }
+}
