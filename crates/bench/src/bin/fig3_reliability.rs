@@ -7,11 +7,13 @@
 //! cargo run --release -p splice-bench --bin fig3_reliability -- --topology geant
 //! ```
 
-use splice_bench::{banner, BenchArgs};
+use splice_bench::{banner, BenchArgs, RunManifest};
 use splice_sim::output::{render_table, series_to_csv, write_text};
-use splice_sim::reliability::{reliability_experiment, ReliabilityConfig};
+use splice_sim::reliability::{reliability_experiment_instrumented, ReliabilityConfig};
+use splice_sim::telemetry::ExperimentTelemetry;
+use splice_telemetry::Registry;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = BenchArgs::parse(250);
     let topo = args.topology();
     let g = topo.graph();
@@ -29,7 +31,12 @@ fn main() {
         "semantics: {} (use --semantics directed for forwarding-exact accounting)",
         args.semantics
     );
-    let out = reliability_experiment(&g, &cfg);
+    let registry = Registry::new();
+    let telemetry =
+        ExperimentTelemetry::register(&registry).with_heartbeat((args.trials / 10).max(1) as u64);
+    let mut manifest = RunManifest::start("fig3_reliability", &args);
+    let out = reliability_experiment_instrumented(&g, &cfg, Some(&telemetry));
+    manifest.phase_done("experiment");
 
     let mut series = out.curves.clone();
     series.push(out.best_possible.clone());
@@ -62,17 +69,26 @@ fn main() {
         at(&out.best_possible),
     );
 
-    let csv = series_to_csv(&series);
+    let csv = series_to_csv(&series)?;
     let path = args.artifact(&format!(
         "fig3_reliability_{}_{}.csv",
         topo.name, args.semantics
     ));
-    write_text(&path, &csv).expect("write CSV");
+    write_text(&path, &csv)?;
     println!("wrote {}", path.display());
     let json_path = args.artifact(&format!(
         "fig3_reliability_{}_{}.json",
         topo.name, args.semantics
     ));
-    splice_sim::output::write_json(&json_path, &series).expect("write JSON");
+    splice_sim::output::write_json(&json_path, &series)?;
     println!("wrote {}", json_path.display());
+
+    manifest.phase_done("artifacts");
+    let manifest_path = args.artifact(&format!(
+        "fig3_reliability_{}_{}_manifest.json",
+        topo.name, args.semantics
+    ));
+    manifest.write(&manifest_path, &registry)?;
+    println!("wrote {}", manifest_path.display());
+    Ok(())
 }

@@ -6,11 +6,13 @@
 //! cargo run --release -p splice-bench --bin fig4_end_system_recovery
 //! ```
 
-use splice_bench::{banner, BenchArgs};
+use splice_bench::{banner, BenchArgs, RunManifest};
 use splice_sim::output::{render_table, series_to_csv, write_text};
-use splice_sim::recovery::{recovery_experiment, RecoveryConfig};
+use splice_sim::recovery::{recovery_experiment_instrumented, RecoveryConfig};
+use splice_sim::telemetry::ExperimentTelemetry;
+use splice_telemetry::Registry;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = BenchArgs::parse(100);
     let topo = args.topology();
     let g = topo.graph();
@@ -21,7 +23,12 @@ fn main() {
 
     let mut cfg = RecoveryConfig::figure4(args.trials, args.seed);
     cfg.semantics = args.splice_semantics();
-    let out = recovery_experiment(&g, &topo.latencies(), &cfg);
+    let registry = Registry::new();
+    let telemetry =
+        ExperimentTelemetry::register(&registry).with_heartbeat((args.trials / 10).max(1) as u64);
+    let mut manifest = RunManifest::start("fig4_end_system_recovery", &args);
+    let out = recovery_experiment_instrumented(&g, &topo.latencies(), &cfg, Some(&telemetry));
+    manifest.phase_done("experiment");
 
     let mut series = vec![out.no_splicing.clone()];
     for (rec, rel) in out.recovery.iter().zip(&out.reliability) {
@@ -60,11 +67,20 @@ fn main() {
         );
     }
 
-    let csv = series_to_csv(&series);
+    let csv = series_to_csv(&series)?;
     let path = args.artifact(&format!(
         "fig4_end_system_recovery_{}_{}.csv",
         topo.name, args.semantics
     ));
-    write_text(&path, &csv).expect("write CSV");
+    write_text(&path, &csv)?;
     println!("wrote {}", path.display());
+
+    manifest.phase_done("artifacts");
+    let manifest_path = args.artifact(&format!(
+        "fig4_end_system_recovery_{}_{}_manifest.json",
+        topo.name, args.semantics
+    ));
+    manifest.write(&manifest_path, &registry)?;
+    println!("wrote {}", manifest_path.display());
+    Ok(())
 }

@@ -11,7 +11,7 @@ use splice_core::slices::SplicingConfig;
 use splice_sim::node_failures::{node_failure_experiment, NodeFailureConfig};
 use splice_sim::output::{render_table, series_to_csv, write_text};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = BenchArgs::parse(200);
     let topo = args.topology();
     let g = topo.graph();
@@ -48,8 +48,9 @@ fn main() {
         .collect();
     println!("{}", render_table(&header_refs, &rows));
 
-    let csv = series_to_csv(&series);
+    let csv = series_to_csv(&series)?;
     let path = args.artifact(&format!("node_failures_{}.csv", topo.name));
-    write_text(&path, &csv).expect("write CSV");
+    write_text(&path, &csv)?;
     println!("wrote {}", path.display());
+    Ok(())
 }

@@ -25,8 +25,10 @@
 //! and `--out DIR` (default `results/`). Output goes to stdout as a table
 //! and to `DIR/<name>.csv` / `<name>.json` for plotting.
 
+use splice_telemetry::{JsonArray, JsonObject, Registry};
 use splice_topology::{abilene::abilene, geant::geant, sprint::sprint, Topology};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Common command-line options for experiment binaries.
 #[derive(Clone, Debug)]
@@ -148,6 +150,77 @@ pub fn banner(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// A machine-readable record of one experiment run: what was asked for,
+/// how long each phase took, and the final telemetry snapshot. Written
+/// next to the run's CSV artifacts so a plot can always be traced back
+/// to its exact configuration.
+pub struct RunManifest {
+    experiment: String,
+    args: BenchArgs,
+    phases: Vec<(String, f64)>,
+    started: Instant,
+    phase_start: Instant,
+}
+
+impl RunManifest {
+    /// Start the run clock for `experiment`.
+    pub fn start(experiment: &str, args: &BenchArgs) -> RunManifest {
+        let now = Instant::now();
+        RunManifest {
+            experiment: experiment.to_string(),
+            args: args.clone(),
+            phases: Vec::new(),
+            started: now,
+            phase_start: now,
+        }
+    }
+
+    /// Close the current phase: records the wall time since the previous
+    /// mark (or since [`RunManifest::start`]) under `name`.
+    pub fn phase_done(&mut self, name: &str) {
+        let now = Instant::now();
+        self.phases
+            .push((name.to_string(), (now - self.phase_start).as_secs_f64()));
+        self.phase_start = now;
+    }
+
+    /// Render the manifest as one JSON object, embedding the current
+    /// snapshot of `registry`.
+    pub fn render(&self, registry: &Registry) -> String {
+        let mut phases = JsonArray::new();
+        for (name, secs) in &self.phases {
+            phases = phases.push_raw(
+                &JsonObject::new()
+                    .field_str("name", name)
+                    .field_f64("seconds", *secs)
+                    .finish(),
+            );
+        }
+        JsonObject::new()
+            .field_str("experiment", &self.experiment)
+            .field_str("topology", &self.args.topology)
+            .field_u64("trials", self.args.trials as u64)
+            .field_u64("seed", self.args.seed)
+            .field_str("semantics", &self.args.semantics)
+            .field_raw("phases", &phases.finish())
+            .field_f64("total_seconds", self.started.elapsed().as_secs_f64())
+            .field_raw("metrics", &registry.render_json())
+            .finish()
+    }
+
+    /// Write the rendered manifest to `path`, creating parent directories.
+    pub fn write(&self, path: impl AsRef<Path>, registry: &Registry) -> std::io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut text = self.render(registry);
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +230,44 @@ mod tests {
         assert_eq!(load_topology("sprint").node_count(), 52);
         assert_eq!(load_topology("geant").node_count(), 23);
         assert_eq!(load_topology("abilene").node_count(), 11);
+    }
+
+    fn test_args() -> BenchArgs {
+        BenchArgs {
+            trials: 42,
+            seed: 7,
+            topology: "abilene".into(),
+            out: PathBuf::from("results"),
+            semantics: "union".into(),
+        }
+    }
+
+    #[test]
+    fn manifest_records_config_and_phases() {
+        let mut m = RunManifest::start("fig3_reliability", &test_args());
+        m.phase_done("experiment");
+        m.phase_done("artifacts");
+        let reg = Registry::new();
+        reg.counter("splice_trials_total", "Trials").add(42);
+        let json = m.render(&reg);
+        assert!(json.contains(r#""experiment":"fig3_reliability""#));
+        assert!(json.contains(r#""topology":"abilene""#));
+        assert!(json.contains(r#""trials":42"#));
+        assert!(json.contains(r#""seed":7"#));
+        assert!(json.contains(r#""name":"experiment""#));
+        assert!(json.contains(r#""name":"artifacts""#));
+        assert!(json.contains(r#""name":"splice_trials_total","labels":{},"value":42"#));
+    }
+
+    #[test]
+    fn manifest_writes_to_disk() {
+        let dir = std::env::temp_dir().join("splice-bench-manifest");
+        let path = dir.join("run_manifest.json");
+        let m = RunManifest::start("t", &test_args());
+        m.write(&path, &Registry::new()).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains(r#""experiment":"t""#));
+        assert!(back.ends_with('\n'));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

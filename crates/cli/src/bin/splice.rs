@@ -13,15 +13,22 @@
 //!
 //! Run `splice help` for the full flag list.
 
+use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use splice_cli::{resolve_failures, resolve_node, resolve_topology, Flags};
 use splice_core::prelude::*;
 use splice_core::slices::SplicingConfig;
 use splice_core::stretch::{per_slice_stretch, StretchStats};
+use splice_dataplane::{NetTelemetry, Packet, RouterConfig, SimNetwork};
 use splice_graph::mincut::min_cut_links;
-
-use splice_sim::reliability::{reliability_experiment, ReliabilityConfig, SpliceSemantics};
+use splice_graph::{EdgeMask, NodeId};
+use splice_sim::reliability::{
+    reliability_experiment_instrumented, ReliabilityConfig, SpliceSemantics,
+};
+use splice_sim::telemetry::ExperimentTelemetry;
+use splice_sim::FailureModel;
+use splice_telemetry::{Registry, TraceSink};
 use splice_topology::Topology;
 
 const HELP: &str = "\
@@ -56,6 +63,10 @@ reliability flags:
   --p 0.02,0.05,0.1                 failure probabilities (comma list)
   --trials N                        Monte-Carlo trials (default 200)
   --semantics union|directed        spliced-path accounting (default union)
+
+telemetry flags (recover, reliability):
+  --metrics PATH                    write a Prometheus metric snapshot
+  --trace PATH                      write packet walks as JSON lines
 ";
 
 fn main() {
@@ -210,7 +221,8 @@ fn cmd_recover(flags: &Flags) -> Result<(), String> {
     }
     let seed: u64 = flags.get_parsed("seed", 1)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    match flags.get("scheme").unwrap_or("end-system") {
+    let scheme = flags.get("scheme").unwrap_or("end-system");
+    match scheme {
         "end-system" => {
             let trials: usize = flags.get_parsed("trials", 5)?;
             let fwd = Forwarder::new(&splicing, &g, &mask);
@@ -249,6 +261,100 @@ fn cmd_recover(flags: &Flags) -> Result<(), String> {
         }
         other => return Err(format!("unknown --scheme {other:?}")),
     }
+
+    // Packet-level replay: run the same failure set through the
+    // wire-format data plane and surface the per-router counters.
+    let registry = Registry::new();
+    let mut net = SimNetwork::new(
+        g.clone(),
+        &splicing,
+        topo.latencies(),
+        RouterConfig {
+            splicing_enabled: true,
+            network_recovery: scheme == "network",
+        },
+    );
+    net.set_telemetry(NetTelemetry::register(&registry));
+    if let Some(path) = flags.get("trace") {
+        net.set_trace_sink(open_trace(path)?);
+    }
+    for e in mask.failed_edges() {
+        net.fail_link(e);
+    }
+    let report = net.inject(Packet::spliced(
+        src,
+        dst,
+        64,
+        ForwardingBits::stay_in_slice(0, splicing.k()),
+        Bytes::from_static(b"splice-cli"),
+    ));
+    println!(
+        "data plane replay ({}): {}",
+        if scheme == "network" {
+            "network recovery on"
+        } else {
+            "no in-network recovery"
+        },
+        match &report.drop {
+            None => format!(
+                "delivered, {} hop(s), {:.2} ms",
+                report.path.len().saturating_sub(1),
+                report.latency_ms
+            ),
+            Some(reason) => format!(
+                "dropped at {} ({})",
+                topo.node_name(*report.path.last().expect("path has the source")),
+                splice_dataplane::drop_reason_label(reason)
+            ),
+        }
+    );
+    print_router_stats(&topo, net.stats());
+    if let Some(path) = flags.get("metrics") {
+        write_metrics(path, &registry)?;
+    }
+    if let Some(path) = flags.get("trace") {
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Print the aggregate and noteworthy per-router counters of a walk.
+fn print_router_stats(topo: &Topology, stats: &[splice_dataplane::RouterStats]) {
+    let forwarded: u64 = stats.iter().map(|s| s.forwarded).sum();
+    let delivered: u64 = stats.iter().map(|s| s.delivered).sum();
+    let dropped: u64 = stats.iter().map(|s| s.dropped).sum();
+    let deflections: u64 = stats.iter().map(|s| s.deflections).sum();
+    println!(
+        "router stats: forwarded {forwarded} | delivered {delivered} | dropped {dropped} | deflections {deflections}"
+    );
+    for (i, st) in stats.iter().enumerate() {
+        if st.deflections > 0 || st.dropped > 0 {
+            println!(
+                "  {}: {} forwarded, {} deflection(s), {} dropped",
+                topo.node_name(NodeId(i as u32)),
+                st.forwarded,
+                st.deflections,
+                st.dropped
+            );
+        }
+    }
+}
+
+/// Open a `--trace` JSONL sink.
+fn open_trace(path: &str) -> Result<TraceSink, String> {
+    TraceSink::create(path).map_err(|e| format!("cannot create --trace {path}: {e}"))
+}
+
+/// Write a Prometheus snapshot of `registry` to `path`.
+fn write_metrics(path: &str, registry: &Registry) -> Result<(), String> {
+    let parent = std::path::Path::new(path).parent();
+    if let Some(parent) = parent.filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+    }
+    std::fs::write(path, registry.render_prometheus())
+        .map_err(|e| format!("writing --metrics {path}: {e}"))?;
+    println!("wrote {path}");
     Ok(())
 }
 
@@ -275,7 +381,12 @@ fn cmd_reliability(flags: &Flags) -> Result<(), String> {
         semantics,
         seed,
     };
-    let out = reliability_experiment(&g, &cfg);
+    let metrics = flags.get("metrics");
+    let trace = flags.get("trace");
+    let registry = Registry::new();
+    let telemetry =
+        (metrics.is_some() || trace.is_some()).then(|| ExperimentTelemetry::register(&registry));
+    let out = reliability_experiment_instrumented(&g, &cfg, telemetry.as_ref());
     println!(
         "{}: fraction of pairs disconnected ({trials} trials, {:?}):",
         topo.name, semantics
@@ -291,6 +402,63 @@ fn cmd_reliability(flags: &Flags) -> Result<(), String> {
             print!("{:<18.4}", curve.points[pi].1);
         }
         println!("{:<14.4}", out.best_possible.points[pi].1);
+    }
+
+    if telemetry.is_some() {
+        // Data-plane sampling pass: one spliced walk per ordered pair
+        // under one sampled failure mask per p, so the packet counters in
+        // the snapshot reflect the sweep just printed.
+        let splicing = Splicing::build(&g, &cfg.splicing, seed);
+        let mut net = SimNetwork::new(
+            g.clone(),
+            &splicing,
+            topo.latencies(),
+            RouterConfig {
+                splicing_enabled: true,
+                network_recovery: true,
+            },
+        );
+        net.set_telemetry(NetTelemetry::register(&registry));
+        if let Some(path) = trace {
+            net.set_trace_sink(open_trace(path)?);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for &p in &ps {
+            let fail_mask: EdgeMask = FailureModel::IidLinks { p }.sample(&g, &mut rng);
+            for e in fail_mask.failed_edges() {
+                net.fail_link(e);
+            }
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    if s != t {
+                        net.inject(Packet::spliced(
+                            s,
+                            t,
+                            64,
+                            ForwardingBits::stay_in_slice(0, splicing.k()),
+                            Bytes::from_static(b"sample"),
+                        ));
+                    }
+                }
+            }
+            for e in fail_mask.failed_edges() {
+                net.restore_link(e);
+            }
+        }
+        let stats = net.stats();
+        println!(
+            "data-plane sample: {} walk(s), forwarded {} | dropped {} | deflections {}",
+            ps.len() * g.node_count() * (g.node_count() - 1),
+            stats.iter().map(|s| s.forwarded).sum::<u64>(),
+            stats.iter().map(|s| s.dropped).sum::<u64>(),
+            stats.iter().map(|s| s.deflections).sum::<u64>(),
+        );
+        if let Some(path) = trace {
+            println!("wrote {path}");
+        }
+    }
+    if let Some(path) = metrics {
+        write_metrics(path, &registry)?;
     }
     Ok(())
 }

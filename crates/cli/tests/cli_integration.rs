@@ -125,6 +125,65 @@ fn reliability_prints_all_curves() {
 }
 
 #[test]
+fn recover_surfaces_router_stats() {
+    let out = splice(&[
+        "recover",
+        "--topology",
+        "abilene",
+        "--src",
+        "Seattle",
+        "--dst",
+        "New York",
+        "--fail",
+        "Seattle-Denver",
+        "--scheme",
+        "network",
+        "--seed",
+        "3",
+        "--k",
+        "5",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("data plane replay"), "{text}");
+    assert!(text.contains("router stats: forwarded"), "{text}");
+}
+
+#[test]
+fn reliability_metrics_snapshot() {
+    let dir = std::env::temp_dir().join("splice-cli-metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("m.txt");
+    let trace = dir.join("walks.jsonl");
+    let out = splice(&[
+        "reliability",
+        "--topology",
+        "abilene",
+        "--k",
+        "1,3",
+        "--trials",
+        "10",
+        "--metrics",
+        metrics.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(text.contains("splice_packets_forwarded_total"), "{text}");
+    assert!(text.contains("splice_deflections_total"), "{text}");
+    assert!(text.contains("# TYPE splice_trial_duration_seconds histogram"));
+    assert!(text.contains("splice_trial_duration_seconds_count 10"));
+    let walks = std::fs::read_to_string(&trace).unwrap();
+    // One JSONL line per ordered pair on abilene (11 nodes, one p value).
+    assert_eq!(walks.lines().count(), 11 * 10);
+    assert!(walks
+        .lines()
+        .all(|l| l.starts_with('{') && l.ends_with('}')));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn slices_prints_stretch_table() {
     let out = splice(&["slices", "--topology", "abilene", "--k", "3"]);
     assert!(out.status.success(), "{}", stderr(&out));

@@ -388,10 +388,31 @@ mod tests {
 
     fn setup(k: usize) -> (splice_graph::Graph, Splicing) {
         let g = abilene().graph();
-        // Seed 3 makes the perturbed slices diverge at Seattle (node 0), so
-        // failing slice 0's first hop leaves a recoverable alternative.
-        let sp = Splicing::build(&g, &SplicingConfig::degree_based(k, 0.0, 3.0), 3);
-        (g, sp)
+        // The recovery tests below need the perturbed slices to diverge at
+        // Seattle (node 0) for the 0 -> 10 flow, and node 0 must still
+        // reach 10 once any one slice's first hop is failed — otherwise
+        // there is no alternative for recovery to find. Seed 3 has this
+        // property under rand 0.8's StdRng stream; scanning forward pins
+        // the tests to the property itself instead of to one stream's
+        // draws.
+        for seed in 3..200 {
+            let sp = Splicing::build(&g, &SplicingConfig::degree_based(k, 0.0, 3.0), seed);
+            if k == 1 {
+                return (g, sp);
+            }
+            let first_hops: HashSet<_> = (0..k)
+                .filter_map(|s| sp.next_hop(s, NodeId(0), NodeId(10)))
+                .collect();
+            let recoverable = first_hops.len() >= 2
+                && first_hops.iter().all(|&(_, e)| {
+                    let mask = EdgeMask::from_failed(g.edge_count(), &[e]);
+                    sp.reachable_to(NodeId(10), k, &mask)[0]
+                });
+            if recoverable {
+                return (g, sp);
+            }
+        }
+        panic!("no seed in 3..200 yields recoverable slice divergence at node 0");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use splice_graph::traversal::reverse_reachable;
 use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
-use splice_routing::spf::spf_from_weights;
+use splice_routing::spf::{spf_from_weights, spf_from_weights_timed, SpfTelemetry};
 use splice_routing::RoutingTables;
 
 /// Which perturbation strategy a config uses (a closed enum so configs
@@ -118,6 +118,20 @@ impl Splicing {
     /// # Panics
     /// Panics if `cfg.k == 0`.
     pub fn build(g: &Graph, cfg: &SplicingConfig, seed: u64) -> Splicing {
+        Splicing::build_with_telemetry(g, cfg, seed, None)
+    }
+
+    /// [`Splicing::build`] with optional per-slice SPF/FIB timing.
+    ///
+    /// Telemetry is observation only: the perturbation RNG streams are
+    /// untouched, so the resulting slices are bit-identical to an
+    /// untimed build with the same seed.
+    pub fn build_with_telemetry(
+        g: &Graph,
+        cfg: &SplicingConfig,
+        seed: u64,
+        telemetry: Option<&SpfTelemetry>,
+    ) -> Splicing {
         assert!(cfg.k >= 1, "need at least one slice");
         let mut slices = Vec::with_capacity(cfg.k);
         for id in 0..cfg.k {
@@ -130,7 +144,7 @@ impl Splicing {
                 );
                 cfg.perturbation.perturb(g, &mut rng)
             };
-            let tables = spf_from_weights(g, &weights);
+            let tables = spf_from_weights_timed(g, &weights, telemetry);
             slices.push(Slice {
                 id,
                 weights,

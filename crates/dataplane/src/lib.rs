@@ -18,11 +18,15 @@
 //!   recovery on or off.
 //! * [`network`] — a simulated network of routers and links with failure
 //!   injection (including mid-flight flaps) and full delivery traces.
+//! * [`telemetry`] — the aggregate counter set networks report into
+//!   ([`NetTelemetry`]) and the JSONL serialization of packet walks.
 
 pub mod network;
 pub mod packet;
 pub mod router;
+pub mod telemetry;
 
 pub use network::{DeliveryReport, LinkEvent, RouterStats, SimNetwork};
 pub use packet::{Packet, SPLICE_PROTO};
 pub use router::{Router, RouterAction, RouterConfig};
+pub use telemetry::{drop_reason_label, report_to_json, NetTelemetry};

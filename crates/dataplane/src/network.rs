@@ -8,8 +8,10 @@
 
 use crate::packet::Packet;
 use crate::router::{DropReason, Router, RouterAction, RouterConfig};
+use crate::telemetry::{report_to_json, NetTelemetry};
 use splice_core::slices::Splicing;
 use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
+use splice_telemetry::TraceSink;
 
 /// A scheduled link state change during a packet's flight:
 /// before hop `at_hop` is processed, the link goes down or up.
@@ -62,6 +64,8 @@ pub struct SimNetwork {
     latencies: Vec<f64>,
     link_state: EdgeMask,
     stats: Vec<RouterStats>,
+    telemetry: Option<NetTelemetry>,
+    trace: Option<TraceSink>,
 }
 
 impl SimNetwork {
@@ -88,6 +92,8 @@ impl SimNetwork {
             latencies,
             link_state,
             stats,
+            telemetry: None,
+            trace: None,
         }
     }
 
@@ -112,7 +118,20 @@ impl SimNetwork {
             latencies,
             link_state,
             stats,
+            telemetry: None,
+            trace: None,
         }
+    }
+
+    /// Report every forwarding event into a shared counter set (in
+    /// addition to the per-router [`RouterStats`], which always run).
+    pub fn set_telemetry(&mut self, telemetry: NetTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Emit every completed packet walk as one JSON line on `sink`.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
     }
 
     /// Per-router operational counters accumulated so far.
@@ -174,25 +193,31 @@ impl SimNetwork {
             match action {
                 RouterAction::Deliver(p) => {
                     self.stats[at.index()].delivered += 1;
-                    return DeliveryReport {
+                    if let Some(tel) = &self.telemetry {
+                        tel.delivered.inc();
+                    }
+                    return self.finish(DeliveryReport {
                         delivered: true,
                         path,
                         slices,
                         latency_ms,
                         drop: None,
                         final_packet: Some(p),
-                    };
+                    });
                 }
                 RouterAction::Drop(reason) => {
                     self.stats[at.index()].dropped += 1;
-                    return DeliveryReport {
+                    if let Some(tel) = &self.telemetry {
+                        tel.drop_counter(&reason).inc();
+                    }
+                    return self.finish(DeliveryReport {
                         delivered: false,
                         path,
                         slices,
                         latency_ms,
                         drop: Some(reason),
                         final_packet: None,
-                    };
+                    });
                 }
                 RouterAction::Forward {
                     edge,
@@ -206,6 +231,17 @@ impl SimNetwork {
                     if deflected {
                         self.stats[at.index()].deflections += 1;
                     }
+                    if let Some(tel) = &self.telemetry {
+                        tel.forwarded.inc();
+                        if deflected {
+                            tel.deflections.inc();
+                        }
+                        // Same semantics as splice-core's Trace: a switch is
+                        // an adjacent pair of hops in different slices.
+                        if slices.last().is_some_and(|&prev| prev != slice) {
+                            tel.slice_switches.inc();
+                        }
+                    }
                     latency_ms += self.latencies[edge.index()];
                     slices.push(slice);
                     current_slice = slice;
@@ -216,6 +252,15 @@ impl SimNetwork {
                 }
             }
         }
+    }
+
+    /// Emit the completed walk to the trace sink (if any) and hand the
+    /// report back to the caller.
+    fn finish(&self, report: DeliveryReport) -> DeliveryReport {
+        if let Some(sink) = &self.trace {
+            sink.emit(&report_to_json(&report));
+        }
+        report
     }
 }
 
@@ -230,7 +275,24 @@ mod tests {
     fn setup(recovery: bool) -> (splice_topology::Topology, Splicing, SimNetwork) {
         let topo = abilene();
         let g = topo.graph();
-        let sp = Splicing::build(&g, &SplicingConfig::degree_based(4, 0.0, 3.0), 3);
+        // The deflection tests fail slice 0's first hop for 0 -> 10 and
+        // expect in-network recovery to get through, so the slices must
+        // diverge at node 0 and 10 must stay spliced-reachable under that
+        // failure. Seed 3 qualifies under rand 0.8's StdRng stream; the
+        // scan keeps the tests pinned to the property, not the stream.
+        let sp = (3..200)
+            .map(|seed| Splicing::build(&g, &SplicingConfig::degree_based(4, 0.0, 3.0), seed))
+            .find(|sp| {
+                let first_hops: std::collections::HashSet<_> = (0..sp.k())
+                    .filter_map(|s| sp.next_hop(s, NodeId(0), NodeId(10)))
+                    .collect();
+                first_hops.len() >= 2
+                    && first_hops.iter().all(|&(_, e)| {
+                        let mask = EdgeMask::from_failed(g.edge_count(), &[e]);
+                        sp.reachable_to(NodeId(10), sp.k(), &mask)[0]
+                    })
+            })
+            .expect("some seed in 3..200 must diverge at node 0");
         let net = SimNetwork::new(
             g.clone(),
             &sp,
@@ -420,6 +482,62 @@ mod tests {
         let deflections: u64 = net.stats().iter().map(|s| s.deflections).sum();
         assert!(deflections >= 1, "the deflection must be counted");
         assert!(net.stats()[0].deflections >= 1, "it happened at the source");
+    }
+
+    #[test]
+    fn telemetry_counters_match_router_stats() {
+        use splice_telemetry::Registry;
+        let (_, sp, mut net) = setup(true);
+        let reg = Registry::new();
+        net.set_telemetry(NetTelemetry::register(&reg));
+        let (_, edge) = sp.next_hop(0, NodeId(0), NodeId(10)).unwrap();
+        net.fail_link(edge);
+        let reports: Vec<_> = [(0u32, 10u32), (3, 8), (10, 0)]
+            .into_iter()
+            .map(|(s, t)| net.inject(spliced(s, t, sp.k())))
+            .collect();
+        let tel = NetTelemetry::register(&reg);
+        let stats = net.stats();
+        assert_eq!(
+            tel.forwarded.get(),
+            stats.iter().map(|s| s.forwarded).sum::<u64>()
+        );
+        assert_eq!(
+            tel.delivered.get(),
+            stats.iter().map(|s| s.delivered).sum::<u64>()
+        );
+        assert_eq!(
+            tel.deflections.get(),
+            stats.iter().map(|s| s.deflections).sum::<u64>()
+        );
+        assert!(tel.deflections.get() >= 1, "the failed link forces one");
+        // A switch is an adjacent pair of hops in different slices, so a
+        // deflection on the very first hop counts as a deflection but not
+        // as a switch — compare against the exact per-walk computation.
+        let expected_switches: u64 = reports
+            .iter()
+            .map(|r| r.slices.windows(2).filter(|w| w[0] != w[1]).count() as u64)
+            .sum();
+        assert_eq!(tel.slice_switches.get(), expected_switches);
+    }
+
+    #[test]
+    fn trace_sink_gets_one_line_per_packet() {
+        use splice_telemetry::TraceSink;
+        let (_, sp, mut net) = setup(false);
+        let (sink, buf) = TraceSink::in_memory();
+        net.set_trace_sink(sink.clone());
+        net.inject(spliced(0, 10, sp.k()));
+        let (_, edge) = sp.next_hop(0, NodeId(3), NodeId(8)).unwrap();
+        net.fail_link(edge);
+        net.inject(spliced(3, 8, sp.k()));
+        sink.flush().unwrap();
+        assert_eq!(sink.line_count(), 2);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""delivered":true"#));
+        assert!(lines[1].contains(r#""drop":"link_down""#));
     }
 
     #[test]

@@ -192,7 +192,25 @@ mod tests {
 
     fn setup() -> (splice_graph::Graph, Splicing) {
         let g = abilene().graph();
-        let sp = Splicing::build(&g, &SplicingConfig::degree_based(4, 0.0, 3.0), 3);
+        // `link_down_deflects_with_recovery` fails slice 0's first hop for
+        // 0 -> 10 and expects the router to deflect onto a different slice,
+        // so the slices must diverge at node 0 and 10 must stay
+        // spliced-reachable under that failure. Seed 3 qualifies under
+        // rand 0.8's StdRng stream; the scan keeps the tests pinned to the
+        // property, not the stream.
+        let sp = (3..200)
+            .map(|seed| Splicing::build(&g, &SplicingConfig::degree_based(4, 0.0, 3.0), seed))
+            .find(|sp| {
+                let first_hops: std::collections::HashSet<_> = (0..sp.k())
+                    .filter_map(|s| sp.next_hop(s, NodeId(0), NodeId(10)))
+                    .collect();
+                first_hops.len() >= 2
+                    && first_hops.iter().all(|&(_, e)| {
+                        let mask = EdgeMask::from_failed(g.edge_count(), &[e]);
+                        sp.reachable_to(NodeId(10), sp.k(), &mask)[0]
+                    })
+            })
+            .expect("some seed in 3..200 must diverge at node 0");
         (g, sp)
     }
 

@@ -8,6 +8,36 @@ use crate::fib::RoutingTables;
 use crate::lsdb::LinkStateDb;
 use splice_graph::dijkstra::all_destinations;
 use splice_graph::Graph;
+use splice_telemetry::{Histogram, Registry};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Timing handles for the SPF → FIB pipeline. One observation lands in
+/// each histogram per slice computed, so after a Monte-Carlo run the
+/// distributions describe per-slice build cost across all trials.
+#[derive(Clone, Debug)]
+pub struct SpfTelemetry {
+    /// Wall time of the all-destinations Dijkstra pass for one slice.
+    pub spf_seconds: Arc<Histogram>,
+    /// Wall time of transposing SPTs into installed FIBs for one slice.
+    pub fib_build_seconds: Arc<Histogram>,
+}
+
+impl SpfTelemetry {
+    /// Register (or re-acquire) the SPF timing histograms in `registry`.
+    pub fn register(registry: &Registry) -> SpfTelemetry {
+        SpfTelemetry {
+            spf_seconds: registry.histogram_seconds(
+                "splice_spf_seconds",
+                "Per-slice all-destinations shortest-path (Dijkstra) wall time",
+            ),
+            fib_build_seconds: registry.histogram_seconds(
+                "splice_fib_build_seconds",
+                "Per-slice FIB construction (SPT transpose) wall time",
+            ),
+        }
+    }
+}
 
 /// Compute the routing tables of `instance` from a (converged) database.
 ///
@@ -24,6 +54,26 @@ pub fn spf(g: &Graph, db: &LinkStateDb, instance: usize) -> RoutingTables {
 /// protocol dynamics are not under study.
 pub fn spf_from_weights(g: &Graph, weights: &[f64]) -> RoutingTables {
     RoutingTables::from_spts(&all_destinations(g, weights))
+}
+
+/// [`spf_from_weights`] with optional per-phase timing. With `None` this
+/// is exactly the untimed fast path — callers thread an `Option` through
+/// so telemetry stays free when disabled.
+pub fn spf_from_weights_timed(
+    g: &Graph,
+    weights: &[f64],
+    telemetry: Option<&SpfTelemetry>,
+) -> RoutingTables {
+    let Some(tel) = telemetry else {
+        return spf_from_weights(g, weights);
+    };
+    let t0 = Instant::now();
+    let spts = all_destinations(g, weights);
+    tel.spf_seconds.record_duration(t0.elapsed());
+    let t1 = Instant::now();
+    let tables = RoutingTables::from_spts(&spts);
+    tel.fib_build_seconds.record_duration(t1.elapsed());
+    tables
 }
 
 #[cfg(test)]
@@ -45,6 +95,28 @@ mod tests {
             from_protocol.next_hop(NodeId(0), NodeId(3)),
             Some(NodeId(2))
         );
+    }
+
+    #[test]
+    fn timed_spf_matches_untimed_and_records() {
+        let g = from_edges(4, &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 2.0), (2, 3, 2.0)]);
+        let w = g.base_weights();
+        let reg = Registry::new();
+        let tel = SpfTelemetry::register(&reg);
+        let timed = spf_from_weights_timed(&g, &w, Some(&tel));
+        assert_eq!(
+            timed,
+            spf_from_weights(&g, &w),
+            "timing must not change tables"
+        );
+        assert_eq!(tel.spf_seconds.count(), 1);
+        assert_eq!(tel.fib_build_seconds.count(), 1);
+        assert_eq!(
+            spf_from_weights_timed(&g, &w, None),
+            timed,
+            "disabled telemetry is the identity"
+        );
+        assert_eq!(tel.spf_seconds.count(), 1, "None must not record");
     }
 
     #[test]

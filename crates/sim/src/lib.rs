@@ -35,7 +35,9 @@ pub mod scaling;
 pub mod stats;
 pub mod stretch_exp;
 pub mod summary;
+pub mod telemetry;
 pub mod theory;
 
 pub use failure::FailureModel;
 pub use reliability::{ReliabilityConfig, ReliabilityCurves};
+pub use telemetry::{ExperimentTelemetry, TrialTelemetry};

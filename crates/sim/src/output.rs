@@ -2,12 +2,65 @@
 //! width tables for the terminal.
 
 use crate::stats::Series;
+use std::fmt;
 use std::io::Write;
 use std::path::Path;
 
+/// A family of series cannot be rendered as one CSV table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CsvError {
+    /// A series has a different number of points than the first one.
+    LengthMismatch {
+        /// Label of the offending series.
+        label: String,
+        /// Points in the first series.
+        expected: usize,
+        /// Points in the offending series.
+        found: usize,
+    },
+    /// A series disagrees with the first one on an x value.
+    GridMismatch {
+        /// Label of the offending series.
+        label: String,
+        /// Row index of the disagreement.
+        index: usize,
+        /// x in the first series.
+        expected: f64,
+        /// x in the offending series.
+        found: f64,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::LengthMismatch {
+                label,
+                expected,
+                found,
+            } => write!(
+                f,
+                "series {label} has a different x grid: {found} points where {expected} expected"
+            ),
+            CsvError::GridMismatch {
+                label,
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "series {label} has a different x grid: x[{index}] = {found}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
 /// Render a family of series as CSV: first column is x, one column per
-/// series. All series must share the same x grid.
-pub fn series_to_csv(series: &[Series]) -> String {
+/// series. All series must share the same x grid; a mismatch is reported
+/// as a [`CsvError`] instead of corrupting the table.
+pub fn series_to_csv(series: &[Series]) -> Result<String, CsvError> {
     let mut out = String::from("x");
     for s in series {
         out.push(',');
@@ -15,22 +68,35 @@ pub fn series_to_csv(series: &[Series]) -> String {
     }
     out.push('\n');
     if series.is_empty() {
-        return out;
+        return Ok(out);
+    }
+    let expected = series[0].points.len();
+    for s in series {
+        if s.points.len() != expected {
+            return Err(CsvError::LengthMismatch {
+                label: s.label.clone(),
+                expected,
+                found: s.points.len(),
+            });
+        }
     }
     for (i, &(x, _)) in series[0].points.iter().enumerate() {
         out.push_str(&format!("{x}"));
         for s in series {
             let (sx, sy) = s.points[i];
-            assert!(
-                (sx - x).abs() < 1e-12,
-                "series {} has a different x grid",
-                s.label
-            );
+            if (sx - x).abs() >= 1e-12 {
+                return Err(CsvError::GridMismatch {
+                    label: s.label.clone(),
+                    index: i,
+                    expected: x,
+                    found: sx,
+                });
+            }
             out.push_str(&format!(",{sy}"));
         }
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// Write CSV text to a file, creating parent directories.
@@ -89,7 +155,7 @@ mod tests {
             Series::new("k = 1", vec![(0.01, 0.1), (0.02, 0.2)]),
             Series::new("k = 2", vec![(0.01, 0.05), (0.02, 0.1)]),
         ];
-        let csv = series_to_csv(&series);
+        let csv = series_to_csv(&series).unwrap();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "x,k = 1,k = 2");
         assert_eq!(lines[1], "0.01,0.1,0.05");
@@ -97,19 +163,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different x grid")]
     fn mismatched_grids_rejected() {
         let series = vec![
             Series::new("a", vec![(0.01, 0.1)]),
             Series::new("b", vec![(0.05, 0.1)]),
         ];
-        series_to_csv(&series);
+        let err = series_to_csv(&series).unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::GridMismatch {
+                label: "b".into(),
+                index: 0,
+                expected: 0.01,
+                found: 0.05,
+            }
+        );
+        assert!(err.to_string().contains("different x grid"));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let series = vec![
+            Series::new("a", vec![(0.01, 0.1), (0.02, 0.2)]),
+            Series::new("b", vec![(0.01, 0.1)]),
+        ];
+        let err = series_to_csv(&series).unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::LengthMismatch {
+                label: "b".into(),
+                expected: 2,
+                found: 1,
+            }
+        );
+        assert!(err.to_string().contains("different x grid"));
+    }
+
+    #[test]
+    fn empty_series_list_is_just_a_header() {
+        assert_eq!(series_to_csv(&[]).unwrap(), "x\n");
     }
 
     #[test]
     fn commas_in_labels_escaped() {
         let series = vec![Series::new("k = 1, normal", vec![(1.0, 2.0)])];
-        let csv = series_to_csv(&series);
+        let csv = series_to_csv(&series).unwrap();
         assert!(csv.lines().next().unwrap().ends_with("k = 1; normal"));
     }
 

@@ -6,7 +6,9 @@
 //! handed out through an atomic counter so stragglers don't serialize the
 //! tail.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::telemetry::TrialTelemetry;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Run `trials` independent jobs, each seeded as `base_seed + index`, and
 /// collect results in trial order.
@@ -19,8 +21,24 @@ where
 {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
-        .min(trials.max(1));
+        .unwrap_or(1);
+    run_trials_with_threads(trials, base_seed, threads, job)
+}
+
+/// [`run_trials`] with an explicit worker count. Results are bit-identical
+/// for any `threads >= 1` — the thread pool only changes who computes a
+/// trial, never its seed or its slot.
+pub fn run_trials_with_threads<T, F>(
+    trials: usize,
+    base_seed: u64,
+    threads: usize,
+    job: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
+    let threads = threads.max(1).min(trials.max(1));
     let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
     if trials == 0 {
         return Vec::new();
@@ -54,6 +72,45 @@ where
         .collect()
 }
 
+/// [`run_trials`] with optional instrumentation: per-trial wall-time
+/// histogram samples, a completed-trials counter, and (when enabled) a
+/// periodic stderr heartbeat with throughput.
+///
+/// With `None` this is exactly [`run_trials`]. With `Some` the job is
+/// wrapped in timing only — seeding and slot order are untouched, so the
+/// returned vector is bit-identical either way.
+pub fn run_trials_instrumented<T, F>(
+    trials: usize,
+    base_seed: u64,
+    telemetry: Option<&TrialTelemetry>,
+    job: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
+    let Some(tel) = telemetry else {
+        return run_trials(trials, base_seed, job);
+    };
+    let started = Instant::now();
+    let done = AtomicU64::new(0);
+    let total = trials as u64;
+    run_trials(trials, base_seed, move |i, seed| {
+        let t0 = Instant::now();
+        let out = job(i, seed);
+        tel.trial_seconds.record_duration(t0.elapsed());
+        tel.trials_total.inc();
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(every) = tel.heartbeat_every {
+            if finished % every == 0 || finished == total {
+                let rate = finished as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                eprintln!("[splice-sim] {finished}/{total} trials ({rate:.1}/s)");
+            }
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +136,28 @@ mod tests {
     fn zero_and_one_trials() {
         assert!(run_trials(0, 1, |i, _| i).is_empty());
         assert_eq!(run_trials(1, 5, |_, s| s), vec![5]);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let f = |i: usize, seed: u64| seed.rotate_left((i % 13) as u32);
+        let one = run_trials_with_threads(128, 9, 1, f);
+        for threads in [2, 4, 8] {
+            assert_eq!(run_trials_with_threads(128, 9, threads, f), one);
+        }
+    }
+
+    #[test]
+    fn instrumentation_does_not_change_results() {
+        use splice_telemetry::Registry;
+        let f = |i: usize, seed: u64| seed.wrapping_mul(i as u64 | 1);
+        let plain = run_trials_instrumented(64, 3, None, f);
+        let reg = Registry::new();
+        let tel = TrialTelemetry::register(&reg);
+        let instrumented = run_trials_instrumented(64, 3, Some(&tel), f);
+        assert_eq!(plain, instrumented);
+        assert_eq!(tel.trials_total.get(), 64);
+        assert_eq!(tel.trial_seconds.count(), 64);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! frequencies.
 
 use crate::failure::FailureModel;
-use crate::parallel::run_trials;
+use crate::parallel::run_trials_instrumented;
 use crate::stats::Series;
+use crate::telemetry::ExperimentTelemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use splice_core::prelude::*;
@@ -162,6 +163,18 @@ fn base_metrics(g: &Graph, latencies: &[f64]) -> BaseMetrics {
 /// Run the recovery experiment. `latencies` is the per-edge delay vector
 /// stretch is measured against (pass the topology's latencies).
 pub fn recovery_experiment(g: &Graph, latencies: &[f64], cfg: &RecoveryConfig) -> RecoveryCurves {
+    recovery_experiment_instrumented(g, latencies, cfg, None)
+}
+
+/// [`recovery_experiment`] with optional telemetry: per-trial wall times,
+/// SPF/FIB build histograms, and a heartbeat when configured. Curves and
+/// stats are bit-identical with telemetry on or off.
+pub fn recovery_experiment_instrumented(
+    g: &Graph,
+    latencies: &[f64],
+    cfg: &RecoveryConfig,
+    telemetry: Option<&ExperimentTelemetry>,
+) -> RecoveryCurves {
     let kmax = cfg.ks.iter().copied().max().expect("at least one k").max(1);
     let mut splicing_cfg = cfg.splicing.clone();
     splicing_cfg.k = kmax;
@@ -170,66 +183,76 @@ pub fn recovery_experiment(g: &Graph, latencies: &[f64], cfg: &RecoveryConfig) -
     let base = base_metrics(g, latencies);
 
     type TrialOut = (Vec<f64>, Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<KAgg>);
-    let per_trial: Vec<TrialOut> = run_trials(cfg.trials, cfg.seed, |_, trial_seed| {
-        let splicing = Splicing::build(g, &splicing_cfg, trial_seed);
-        let prefixes: Vec<Splicing> = cfg.ks.iter().map(|&k| splicing.prefix(k)).collect();
-        let mut broken_frac = Vec::with_capacity(cfg.ps.len());
-        let mut unrecovered = vec![Vec::with_capacity(cfg.ps.len()); cfg.ks.len()];
-        let mut unreachable = vec![Vec::with_capacity(cfg.ps.len()); cfg.ks.len()];
-        let mut aggs: Vec<KAgg> = vec![KAgg::default(); cfg.ks.len()];
-        let opts = ForwarderOptions::default();
-
-        for (pi, &p) in cfg.ps.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(
-                trial_seed ^ (0xd1b54a32d192ed03u64.wrapping_mul(pi as u64 + 1)),
+    let trial_tel = telemetry.map(|t| &t.trials);
+    let per_trial: Vec<TrialOut> =
+        run_trials_instrumented(cfg.trials, cfg.seed, trial_tel, |_, trial_seed| {
+            let splicing = Splicing::build_with_telemetry(
+                g,
+                &splicing_cfg,
+                trial_seed,
+                telemetry.map(|t| &t.spf),
             );
-            let mask = FailureModel::IidLinks { p }.sample(g, &mut rng);
-            let mut broken = 0usize;
-            let mut unrec = vec![0usize; cfg.ks.len()];
-            let mut unreach = vec![0usize; cfg.ks.len()];
+            let prefixes: Vec<Splicing> = cfg.ks.iter().map(|&k| splicing.prefix(k)).collect();
+            let mut broken_frac = Vec::with_capacity(cfg.ps.len());
+            let mut unrecovered = vec![Vec::with_capacity(cfg.ps.len()); cfg.ks.len()];
+            let mut unreachable = vec![Vec::with_capacity(cfg.ps.len()); cfg.ks.len()];
+            let mut aggs: Vec<KAgg> = vec![KAgg::default(); cfg.ks.len()];
+            let opts = ForwarderOptions::default();
 
-            // Spliced reachability per destination, per k (shared by all s).
-            for (ki, &k) in cfg.ks.iter().enumerate() {
-                for t in g.nodes() {
-                    let reach = match cfg.semantics {
-                        crate::reliability::SpliceSemantics::UnionGraph => {
-                            splicing.union_reachable_to(t, k, &mask)
-                        }
-                        crate::reliability::SpliceSemantics::Directed => {
-                            splicing.reachable_to(t, k, &mask)
-                        }
-                    };
-                    for s in g.nodes() {
-                        if s != t && !reach[s.index()] {
-                            unreach[ki] += 1;
+            for (pi, &p) in cfg.ps.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(
+                    trial_seed ^ (0xd1b54a32d192ed03u64.wrapping_mul(pi as u64 + 1)),
+                );
+                let mask = FailureModel::IidLinks { p }.sample(g, &mut rng);
+                let mut broken = 0usize;
+                let mut unrec = vec![0usize; cfg.ks.len()];
+                let mut unreach = vec![0usize; cfg.ks.len()];
+
+                // Spliced reachability per destination, per k (shared by all s).
+                for (ki, &k) in cfg.ks.iter().enumerate() {
+                    for t in g.nodes() {
+                        let reach = match cfg.semantics {
+                            crate::reliability::SpliceSemantics::UnionGraph => {
+                                splicing.union_reachable_to(t, k, &mask)
+                            }
+                            crate::reliability::SpliceSemantics::Directed => {
+                                splicing.reachable_to(t, k, &mask)
+                            }
+                        };
+                        for s in g.nodes() {
+                            if s != t && !reach[s.index()] {
+                                unreach[ki] += 1;
+                            }
                         }
                     }
                 }
-            }
 
-            for t in g.nodes() {
-                for s in g.nodes() {
-                    if s == t {
-                        continue;
-                    }
-                    // Default path: slice 0 all the way.
-                    let fwd_full = Forwarder::new(&splicing, g, &mask);
-                    let default_out = fwd_full.forward(
-                        s,
-                        t,
-                        ForwardingBits::stay_in_slice(0, splicing.k()),
-                        &opts,
-                    );
-                    if default_out.is_delivered() {
-                        continue;
-                    }
-                    broken += 1;
+                for t in g.nodes() {
+                    for s in g.nodes() {
+                        if s == t {
+                            continue;
+                        }
+                        // Default path: slice 0 all the way.
+                        let fwd_full = Forwarder::new(&splicing, g, &mask);
+                        let default_out = fwd_full.forward(
+                            s,
+                            t,
+                            ForwardingBits::stay_in_slice(0, splicing.k()),
+                            &opts,
+                        );
+                        if default_out.is_delivered() {
+                            continue;
+                        }
+                        broken += 1;
 
-                    for (ki, prefix) in prefixes.iter().enumerate() {
-                        let agg = &mut aggs[ki];
-                        agg.attempts += 1;
-                        let (delivered, trials_used, loops): (Option<Trace>, usize, Vec<usize>) =
-                            match cfg.scheme {
+                        for (ki, prefix) in prefixes.iter().enumerate() {
+                            let agg = &mut aggs[ki];
+                            agg.attempts += 1;
+                            let (delivered, trials_used, loops): (
+                                Option<Trace>,
+                                usize,
+                                Vec<usize>,
+                            ) = match cfg.scheme {
                                 RecoveryScheme::EndSystem(rec) => {
                                     let fwd = Forwarder::new(prefix, g, &mask);
                                     let out = rec.recover(&fwd, s, t, 0, &opts, &mut rng);
@@ -244,36 +267,36 @@ pub fn recovery_experiment(g: &Graph, latencies: &[f64], cfg: &RecoveryConfig) -
                                     }
                                 }
                             };
-                        if !loops.is_empty() {
-                            agg.looped_attempts += 1;
-                            agg.two_hop += loops.iter().filter(|&&l| l == 2).count();
-                            agg.longer += loops.iter().filter(|&&l| l > 2).count();
-                        }
-                        match delivered {
-                            Some(trace) => {
-                                agg.recovered += 1;
-                                agg.trials_sum += trials_used;
-                                let bl = base.lat[t.index()][s.index()];
-                                let bh = base.hops[t.index()][s.index()];
-                                if bl.is_finite() && bl > 0.0 && bh > 0 {
-                                    agg.lat_stretch_sum += trace.length(latencies) / bl;
-                                    agg.hop_stretch_sum += trace.hop_count() as f64 / bh as f64;
-                                    agg.stretch_n += 1;
-                                }
+                            if !loops.is_empty() {
+                                agg.looped_attempts += 1;
+                                agg.two_hop += loops.iter().filter(|&&l| l == 2).count();
+                                agg.longer += loops.iter().filter(|&&l| l > 2).count();
                             }
-                            None => unrec[ki] += 1,
+                            match delivered {
+                                Some(trace) => {
+                                    agg.recovered += 1;
+                                    agg.trials_sum += trials_used;
+                                    let bl = base.lat[t.index()][s.index()];
+                                    let bh = base.hops[t.index()][s.index()];
+                                    if bl.is_finite() && bl > 0.0 && bh > 0 {
+                                        agg.lat_stretch_sum += trace.length(latencies) / bl;
+                                        agg.hop_stretch_sum += trace.hop_count() as f64 / bh as f64;
+                                        agg.stretch_n += 1;
+                                    }
+                                }
+                                None => unrec[ki] += 1,
+                            }
                         }
                     }
                 }
+                broken_frac.push(broken as f64 / pairs);
+                for ki in 0..cfg.ks.len() {
+                    unrecovered[ki].push(unrec[ki] as f64 / pairs);
+                    unreachable[ki].push(unreach[ki] as f64 / pairs);
+                }
             }
-            broken_frac.push(broken as f64 / pairs);
-            for ki in 0..cfg.ks.len() {
-                unrecovered[ki].push(unrec[ki] as f64 / pairs);
-                unreachable[ki].push(unreach[ki] as f64 / pairs);
-            }
-        }
-        (broken_frac, unrecovered, unreachable, aggs)
-    });
+            (broken_frac, unrecovered, unreachable, aggs)
+        });
 
     // Average curves over trials.
     let avg_curve = |pick: &dyn Fn(&TrialOut, usize) -> f64, label: String| {

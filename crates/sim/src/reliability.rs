@@ -12,8 +12,9 @@
 //! graph is literally the `k = 1` graph plus one tree.
 
 use crate::failure::FailureModel;
-use crate::parallel::run_trials;
+use crate::parallel::run_trials_instrumented;
 use crate::stats::Series;
+use crate::telemetry::ExperimentTelemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use splice_core::slices::{Splicing, SplicingConfig};
@@ -95,6 +96,17 @@ impl ReliabilityCurves {
 
 /// Run the reliability experiment.
 pub fn reliability_experiment(g: &Graph, cfg: &ReliabilityConfig) -> ReliabilityCurves {
+    reliability_experiment_instrumented(g, cfg, None)
+}
+
+/// [`reliability_experiment`] with optional telemetry: per-trial wall
+/// times, SPF/FIB build histograms, and a heartbeat when configured.
+/// Curves are bit-identical with telemetry on or off.
+pub fn reliability_experiment_instrumented(
+    g: &Graph,
+    cfg: &ReliabilityConfig,
+    telemetry: Option<&ExperimentTelemetry>,
+) -> ReliabilityCurves {
     let kmax = cfg.ks.iter().copied().max().expect("at least one k");
     let mut splicing_cfg = cfg.splicing.clone();
     splicing_cfg.k = kmax;
@@ -102,8 +114,10 @@ pub fn reliability_experiment(g: &Graph, cfg: &ReliabilityConfig) -> Reliability
     let pairs = (n * (n - 1)) as f64;
 
     // Per trial: a matrix [p][k] of disconnected fractions + best possible.
-    let per_trial = run_trials(cfg.trials, cfg.seed, |_, trial_seed| {
-        let splicing = Splicing::build(g, &splicing_cfg, trial_seed);
+    let trial_tel = telemetry.map(|t| &t.trials);
+    let per_trial = run_trials_instrumented(cfg.trials, cfg.seed, trial_tel, |_, trial_seed| {
+        let splicing =
+            Splicing::build_with_telemetry(g, &splicing_cfg, trial_seed, telemetry.map(|t| &t.spf));
         let mut rows: Vec<Vec<f64>> = Vec::with_capacity(cfg.ps.len());
         let mut best: Vec<f64> = Vec::with_capacity(cfg.ps.len());
         for (pi, &p) in cfg.ps.iter().enumerate() {

@@ -1,0 +1,46 @@
+//! # splice-telemetry
+//!
+//! Observability primitives for the path-splicing workspace: lock-free
+//! [`Counter`]s, fixed-bucket log2 [`Histogram`]s (zero allocation on the
+//! hot path), span-style [`Timer`]s, and a global-free [`Registry`] that
+//! snapshots everything to Prometheus text exposition or JSON.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never perturb the experiment.** Recording is a handful of relaxed
+//!    atomic adds; nothing here draws randomness, takes a lock on the hot
+//!    path, or changes scheduling. Seeded Monte-Carlo runs are
+//!    bit-identical with telemetry enabled or disabled (asserted by
+//!    `splice-sim`'s determinism tests).
+//! 2. **No globals.** A [`Registry`] is an explicit value; handles are
+//!    cheap `Arc`s cloned out of it. Two experiments in one process
+//!    cannot contaminate each other's numbers.
+//! 3. **No dependencies.** Pure `std`, so the data plane can afford to
+//!    link it everywhere.
+//!
+//! ```
+//! use splice_telemetry::Registry;
+//! use std::time::Duration;
+//!
+//! let reg = Registry::new();
+//! let forwarded = reg.counter("splice_packets_forwarded_total", "Packets forwarded");
+//! let latency = reg.histogram_seconds("splice_trial_duration_seconds", "Trial wall time");
+//! forwarded.inc();
+//! latency.record_duration(Duration::from_micros(250));
+//! let text = reg.render_prometheus();
+//! assert!(text.contains("splice_packets_forwarded_total 1"));
+//! ```
+
+pub mod counter;
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod timer;
+pub mod trace;
+
+pub use counter::Counter;
+pub use histogram::{Histogram, NUM_BUCKETS};
+pub use json::{JsonArray, JsonObject};
+pub use registry::Registry;
+pub use timer::Timer;
+pub use trace::TraceSink;

@@ -1,0 +1,327 @@
+//! The metric registry: named handles, snapshot exposition.
+//!
+//! A [`Registry`] is an explicit value — there is deliberately no global
+//! default — that hands out `Arc` handles to counters and histograms and
+//! can render everything it has seen as Prometheus text exposition or as
+//! one JSON object. Registration is idempotent: asking twice for the
+//! same `(name, labels)` returns the same handle, so independent
+//! subsystems can wire themselves without coordination.
+
+use crate::counter::Counter;
+use crate::histogram::Histogram;
+use crate::json::{JsonArray, JsonObject};
+use std::sync::{Arc, Mutex};
+
+#[derive(Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Metric {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+/// A clonable, thread-safe collection of metrics.
+///
+/// Cloning is shallow: clones share the same underlying metrics, which
+/// is how an experiment hands its registry to worker subsystems.
+#[derive(Clone, Default)]
+pub struct Registry {
+    metrics: Arc<Mutex<Vec<Metric>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        if let Some(m) = metrics
+            .iter()
+            .find(|m| m.name == name && label_eq(&m.labels, labels))
+        {
+            return m.handle.clone();
+        }
+        let handle = make();
+        metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// A counter with no labels.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// A counter with labels, e.g.
+    /// `counter_with("splice_packets_dropped_total", "...", &[("reason", "ttl_expired")])`.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, help, labels, || {
+            Handle::Counter(Arc::new(Counter::new()))
+        }) {
+            Handle::Counter(c) => c,
+            Handle::Histogram(_) => panic!("metric {name} already registered as a histogram"),
+        }
+    }
+
+    /// A histogram of raw values (exposition scale 1).
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_scaled(name, help, 1.0)
+    }
+
+    /// A histogram recorded in nanoseconds and exposed in seconds — the
+    /// Prometheus convention for `*_seconds` duration histograms. Record
+    /// into it with [`Histogram::record_duration`].
+    pub fn histogram_seconds(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_scaled(name, help, 1e-9)
+    }
+
+    /// A histogram with an explicit exposition scale.
+    pub fn histogram_scaled(&self, name: &str, help: &str, scale: f64) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, &[], || {
+            Handle::Histogram(Arc::new(Histogram::with_scale(scale)))
+        }) {
+            Handle::Histogram(h) => h,
+            Handle::Counter(_) => panic!("metric {name} already registered as a counter"),
+        }
+    }
+
+    /// Render every metric as Prometheus text exposition (version 0.0.4).
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.metrics.lock().expect("registry lock");
+        let mut out = String::new();
+        let mut seen_family: Vec<String> = Vec::new();
+        for m in metrics.iter() {
+            if !seen_family.contains(&m.name) {
+                seen_family.push(m.name.clone());
+                out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+                let kind = match m.handle {
+                    Handle::Counter(_) => "counter",
+                    Handle::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {} {}\n", m.name, kind));
+            }
+            match &m.handle {
+                Handle::Counter(c) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        m.name,
+                        label_text(&m.labels, None),
+                        c.get()
+                    ));
+                }
+                Handle::Histogram(h) => {
+                    for (le, cum) in h.cumulative_buckets() {
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            m.name,
+                            label_text(&m.labels, Some(&format!("{le}"))),
+                            cum
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        m.name,
+                        label_text(&m.labels, Some("+Inf")),
+                        h.count()
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        m.name,
+                        label_text(&m.labels, None),
+                        h.sum_scaled()
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        m.name,
+                        label_text(&m.labels, None),
+                        h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render every metric as one JSON object:
+    /// `{"counters": [...], "histograms": [...]}`.
+    pub fn render_json(&self) -> String {
+        let metrics = self.metrics.lock().expect("registry lock");
+        let mut counters = JsonArray::new();
+        let mut histograms = JsonArray::new();
+        for m in metrics.iter() {
+            let mut labels = JsonObject::new();
+            for (k, v) in &m.labels {
+                labels = labels.field_str(k, v);
+            }
+            match &m.handle {
+                Handle::Counter(c) => {
+                    counters = counters.push_raw(
+                        &JsonObject::new()
+                            .field_str("name", &m.name)
+                            .field_raw("labels", &labels.finish())
+                            .field_u64("value", c.get())
+                            .finish(),
+                    );
+                }
+                Handle::Histogram(h) => {
+                    let mut buckets = JsonArray::new();
+                    for (le, cum) in h.cumulative_buckets() {
+                        buckets = buckets.push_raw(
+                            &JsonObject::new()
+                                .field_f64("le", le)
+                                .field_u64("count", cum)
+                                .finish(),
+                        );
+                    }
+                    histograms = histograms.push_raw(
+                        &JsonObject::new()
+                            .field_str("name", &m.name)
+                            .field_u64("count", h.count())
+                            .field_f64("sum", h.sum_scaled())
+                            .field_f64("mean", h.mean_scaled())
+                            .field_raw("buckets", &buckets.finish())
+                            .finish(),
+                    );
+                }
+            }
+        }
+        JsonObject::new()
+            .field_raw("counters", &counters.finish())
+            .field_raw("histograms", &histograms.finish())
+            .finish()
+    }
+}
+
+fn label_eq(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    have.len() == want.len()
+        && have
+            .iter()
+            .zip(want)
+            .all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+/// Render a Prometheus label set, optionally with a trailing `le`.
+fn label_text(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_registration_is_idempotent() {
+        let reg = Registry::new();
+        let a = reg.counter("splice_packets_forwarded_total", "Packets forwarded");
+        let b = reg.counter("splice_packets_forwarded_total", "Packets forwarded");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same underlying counter");
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct() {
+        let reg = Registry::new();
+        let ttl = reg.counter_with("drops_total", "Drops", &[("reason", "ttl")]);
+        let route = reg.counter_with("drops_total", "Drops", &[("reason", "no_route")]);
+        ttl.add(3);
+        route.add(5);
+        let text = reg.render_prometheus();
+        assert!(text.contains("drops_total{reason=\"ttl\"} 3"));
+        assert!(text.contains("drops_total{reason=\"no_route\"} 5"));
+        // HELP/TYPE emitted once per family.
+        assert_eq!(text.matches("# TYPE drops_total counter").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_counter_format() {
+        let reg = Registry::new();
+        reg.counter("splice_deflections_total", "Deflections")
+            .add(7);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# HELP splice_deflections_total Deflections\n"));
+        assert!(text.contains("# TYPE splice_deflections_total counter\n"));
+        assert!(text.contains("\nsplice_deflections_total 7\n") || text.starts_with("# HELP"));
+        assert!(text.contains("splice_deflections_total 7\n"));
+    }
+
+    #[test]
+    fn prometheus_histogram_format() {
+        let reg = Registry::new();
+        let h = reg.histogram("splice_trial_duration_seconds", "Trial wall time");
+        h.record(3); // bucket (2, 4]
+        h.record(4);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE splice_trial_duration_seconds histogram"));
+        assert!(text.contains("splice_trial_duration_seconds_bucket{le=\"4\"} 2"));
+        assert!(text.contains("splice_trial_duration_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("splice_trial_duration_seconds_sum 7"));
+        assert!(text.contains("splice_trial_duration_seconds_count 2"));
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let reg = Registry::new();
+        reg.counter("c_total", "A counter").add(2);
+        let h = reg.histogram("h", "A histogram");
+        h.record(1);
+        let json = reg.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""name":"c_total","labels":{},"value":2"#));
+        assert!(json.contains(r#""name":"h","count":1"#));
+        assert!(json.contains(r#""buckets":[{"le":1,"count":1}]"#));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        let reg = Registry::new();
+        assert_eq!(reg.render_prometheus(), "");
+        assert_eq!(reg.render_json(), r#"{"counters":[],"histograms":[]}"#);
+    }
+
+    #[test]
+    fn clones_share_metrics() {
+        let reg = Registry::new();
+        let clone = reg.clone();
+        clone.counter("shared_total", "Shared").inc();
+        assert!(reg.render_prometheus().contains("shared_total 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("m", "As counter");
+        reg.histogram("m", "As histogram");
+    }
+}

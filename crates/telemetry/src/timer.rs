@@ -1,0 +1,91 @@
+//! Span timers: measure a region, record into a histogram on drop.
+
+use crate::histogram::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A running span: records its elapsed wall time into a histogram when
+/// dropped (or explicitly via [`Timer::stop`]).
+///
+/// ```
+/// use splice_telemetry::{Registry, Timer};
+/// use std::sync::Arc;
+///
+/// let reg = Registry::new();
+/// let hist = reg.histogram_seconds("phase_seconds", "Phase duration");
+/// {
+///     let _t = Timer::start(Arc::clone(&hist));
+///     // ... timed work ...
+/// }
+/// assert_eq!(hist.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Timer {
+    start: Instant,
+    hist: Option<Arc<Histogram>>,
+}
+
+impl Timer {
+    /// Start timing into `hist`.
+    pub fn start(hist: Arc<Histogram>) -> Timer {
+        Timer {
+            start: Instant::now(),
+            hist: Some(hist),
+        }
+    }
+
+    /// Stop now and record, returning the elapsed duration.
+    pub fn stop(mut self) -> std::time::Duration {
+        let elapsed = self.start.elapsed();
+        if let Some(h) = self.hist.take() {
+            h.record_duration(elapsed);
+        }
+        elapsed
+    }
+
+    /// Time a closure, recording its duration.
+    pub fn time<R>(hist: &Histogram, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        hist.record_duration(start.elapsed());
+        out
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(h) = self.hist.take() {
+            h.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _t = Timer::start(Arc::clone(&h));
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stop_records_once() {
+        let h = Arc::new(Histogram::new());
+        let t = Timer::start(Arc::clone(&h));
+        t.stop();
+        assert_eq!(h.count(), 1, "stop records; drop must not double-count");
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let h = Histogram::new();
+        let out = Timer::time(&h, || 40 + 2);
+        assert_eq!(out, 42);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -6,7 +6,9 @@
 use path_splicing::graph::{EdgeMask, NodeId};
 use path_splicing::routing::ecmp::{ecmp_disconnected_pairs, ecmp_sets};
 use path_splicing::splicing::coverage::{build_coverage_aware, CoverageConfig};
-use path_splicing::splicing::mrc::{build_mrc, isolating_slice, mrc_assignment, protected_fraction};
+use path_splicing::splicing::mrc::{
+    build_mrc, isolating_slice, mrc_assignment, protected_fraction,
+};
 use path_splicing::splicing::prelude::*;
 use path_splicing::splicing::slices::SplicingConfig;
 use path_splicing::topology::geant::geant;
@@ -90,7 +92,7 @@ fn ecmp_equals_single_slice_without_ties() {
         for e in g.edge_ids() {
             if (seed.wrapping_mul(0x9e3779b97f4a7c15)
                 ^ (e.0 as u64).wrapping_mul(0x517cc1b727220a95))
-                .is_multiple_of(10)
+            .is_multiple_of(10)
             {
                 mask.fail(e);
             }
@@ -119,11 +121,7 @@ fn counter_recovery_over_mrc() {
     let (_, edge) = mrc.next_hop(hash_slice, s, t).unwrap();
     let mask = EdgeMask::from_failed(g.edge_count(), &[edge]);
     let fwd = Forwarder::new(&mrc, &g, &mask);
-    let out = CounterRecovery { max_trials: k + 2 }.recover(
-        &fwd,
-        s,
-        t,
-        &ForwarderOptions::default(),
-    );
+    let out =
+        CounterRecovery { max_trials: k + 2 }.recover(&fwd, s, t, &ForwarderOptions::default());
     assert!(out.recovered, "{out:?}");
 }
