@@ -1,0 +1,79 @@
+//! Criterion: the flat spliced-FIB arena — splicing build cost (k·n
+//! Dijkstras through one reused workspace into the arena), a full
+//! data-plane walk reading arena rows, and the O(1) zero-copy prefix
+//! view that replaced per-trial deep clones.
+//!
+//! Before criterion runs, a machine-readable summary of the same
+//! quantities is written to `BENCH_fib.json` at the repo root (see
+//! `splice_bench::fib_report`).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use splice_core::forwarding::{Forwarder, ForwarderOptions};
+use splice_core::header::ForwardingBits;
+use splice_core::slices::{Splicing, SplicingConfig};
+use splice_graph::EdgeMask;
+use splice_topology::sprint::sprint;
+
+fn bench_splicing_build(c: &mut Criterion) {
+    let g = sprint().graph();
+    let mut group = c.benchmark_group("fib_arena_build_sprint");
+    group.sample_size(20);
+    for k in [1usize, 2, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let cfg = SplicingConfig::degree_based(k, 0.0, 3.0);
+            b.iter(|| Splicing::build(&g, &cfg, 42));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dataplane_walk(c: &mut Criterion) {
+    let g = sprint().graph();
+    let sp = Splicing::build(&g, &SplicingConfig::degree_based(5, 0.0, 3.0), 42);
+    let mask = EdgeMask::all_up(g.edge_count());
+    let fwd = Forwarder::new(&sp, &g, &mask);
+    let opts = ForwarderOptions::default();
+    c.bench_function("fib_arena_walk_all_pairs_sprint_k5", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    if s == t {
+                        continue;
+                    }
+                    let out = fwd.forward(s, t, ForwardingBits::stay_in_slice(0, 5), &opts);
+                    hops += out.trace().hop_count();
+                }
+            }
+            hops
+        });
+    });
+}
+
+fn bench_prefix_view(c: &mut Criterion) {
+    let g = sprint().graph();
+    let sp = Splicing::build(&g, &SplicingConfig::degree_based(10, 0.0, 3.0), 42);
+    let mut group = c.benchmark_group("fib_arena_prefix_view_sprint");
+    for k in [1usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| sp.prefix(k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_splicing_build,
+    bench_dataplane_walk,
+    bench_prefix_view
+);
+
+fn main() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fib.json");
+    if let Err(e) = splice_bench::fib_report::write_fib_report(path, "sprint", &[1, 2, 5, 10], 42) {
+        eprintln!("warning: could not write BENCH_fib.json: {e}");
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

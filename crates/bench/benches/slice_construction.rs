@@ -26,7 +26,7 @@ fn bench_protocol_convergence(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             let cfg = SplicingConfig::degree_based(k, 0.0, 3.0);
             let sp = Splicing::build(&g, &cfg, 42);
-            let weights: Vec<Vec<f64>> = sp.slices().iter().map(|s| s.weights.clone()).collect();
+            let weights: Vec<Vec<f64>> = (0..sp.k()).map(|i| sp.weights(i).to_vec()).collect();
             b.iter(|| splice_routing::MultiTopology::converge(&g, weights.clone()));
         });
     }

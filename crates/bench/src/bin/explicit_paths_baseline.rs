@@ -32,11 +32,7 @@ fn main() {
         let t0 = Instant::now();
         let splicing = Splicing::build(&g, &SplicingConfig::degree_based(k, 0.0, 3.0), args.seed);
         let splice_time = t0.elapsed();
-        let splice_state: usize = splicing
-            .slices()
-            .iter()
-            .map(|s| s.tables.total_state())
-            .sum();
+        let splice_state: usize = splicing.total_state();
 
         // Explicit multipath: k loopless paths per ordered pair; state =
         // stored hops per pair (a source route each).

@@ -1,0 +1,166 @@
+//! Measured spliced-FIB arena numbers, written to `BENCH_fib.json`.
+//!
+//! The criterion suite in `benches/fib_arena.rs` gives statistically
+//! rigorous timings; this module produces the companion machine-readable
+//! summary the CI and the §4.2 state-size discussion consume: for each k,
+//! one timed splicing build, the measured arena byte footprint, the
+//! per-hop cost of a full all-pairs data-plane walk, and the cost of
+//! taking a zero-copy prefix view. Plain `Instant` timing keeps the
+//! writer dependency-free so it runs even where criterion is absent.
+
+use splice_core::forwarding::{Forwarder, ForwarderOptions};
+use splice_core::header::ForwardingBits;
+use splice_core::slices::{Splicing, SplicingConfig};
+use splice_graph::EdgeMask;
+use splice_telemetry::{JsonArray, JsonObject};
+use std::path::Path;
+use std::time::Instant;
+
+use crate::load_topology;
+
+/// Measured numbers for one value of k.
+#[derive(Clone, Debug)]
+pub struct FibBenchEntry {
+    /// Number of slices.
+    pub k: usize,
+    /// Wall time of one `Splicing::build` (k·n Dijkstras into the arena).
+    pub build_seconds: f64,
+    /// Measured arena footprint in bytes — the §4.2 state size.
+    pub arena_bytes: usize,
+    /// Installed (non-sentinel) FIB entries.
+    pub installed_entries: usize,
+    /// Mean wall time per forwarded hop over an all-pairs slice-0 walk.
+    pub walk_seconds_per_hop: f64,
+    /// Hops taken by that walk (the divisor above).
+    pub walk_hops: usize,
+    /// Mean wall time of one `Splicing::prefix` view (expected O(1)).
+    pub prefix_view_seconds: f64,
+}
+
+/// Measure builds, walks, and prefix views on `topology` for each k.
+pub fn measure(topology: &str, ks: &[usize], seed: u64) -> Vec<FibBenchEntry> {
+    let topo = load_topology(topology);
+    let g = topo.graph();
+    ks.iter()
+        .map(|&k| {
+            let cfg = SplicingConfig::degree_based(k, 0.0, 3.0);
+            let t0 = Instant::now();
+            let sp = Splicing::build(&g, &cfg, seed);
+            let build_seconds = t0.elapsed().as_secs_f64();
+
+            let mask = EdgeMask::all_up(g.edge_count());
+            let fwd = Forwarder::new(&sp, &g, &mask);
+            let opts = ForwarderOptions::default();
+            let mut walk_hops = 0usize;
+            let t0 = Instant::now();
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    if s == t {
+                        continue;
+                    }
+                    let out = fwd.forward(s, t, ForwardingBits::stay_in_slice(0, k), &opts);
+                    walk_hops += out.trace().hop_count();
+                }
+            }
+            let walk_seconds = t0.elapsed().as_secs_f64();
+
+            const VIEWS: usize = 10_000;
+            let t0 = Instant::now();
+            for _ in 0..VIEWS {
+                std::hint::black_box(sp.prefix(k));
+            }
+            let prefix_view_seconds = t0.elapsed().as_secs_f64() / VIEWS as f64;
+
+            FibBenchEntry {
+                k,
+                build_seconds,
+                arena_bytes: sp.state_bytes(),
+                installed_entries: sp.total_state(),
+                walk_seconds_per_hop: walk_seconds / walk_hops.max(1) as f64,
+                walk_hops,
+                prefix_view_seconds,
+            }
+        })
+        .collect()
+}
+
+/// Render entries as the `BENCH_fib.json` document.
+pub fn render(topology: &str, seed: u64, entries: &[FibBenchEntry]) -> String {
+    let mut arr = JsonArray::new();
+    for e in entries {
+        arr = arr.push_raw(
+            &JsonObject::new()
+                .field_u64("k", e.k as u64)
+                .field_f64("build_seconds", e.build_seconds)
+                .field_u64("arena_bytes", e.arena_bytes as u64)
+                .field_u64("installed_entries", e.installed_entries as u64)
+                .field_f64("walk_seconds_per_hop", e.walk_seconds_per_hop)
+                .field_u64("walk_hops", e.walk_hops as u64)
+                .field_f64("prefix_view_seconds", e.prefix_view_seconds)
+                .finish(),
+        );
+    }
+    JsonObject::new()
+        .field_str("benchmark", "fib_arena")
+        .field_str("topology", topology)
+        .field_u64("seed", seed)
+        .field_raw("entries", &arr.finish())
+        .finish()
+}
+
+/// Measure on `topology` and write `BENCH_fib.json` to `path`.
+pub fn write_fib_report(
+    path: impl AsRef<Path>,
+    topology: &str,
+    ks: &[usize],
+    seed: u64,
+) -> std::io::Result<()> {
+    let entries = measure(topology, ks, seed);
+    let mut text = render(topology, seed, &entries);
+    text.push('\n');
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_entries_are_sane() {
+        let entries = measure("abilene", &[1, 2], 7);
+        assert_eq!(entries.len(), 2);
+        // §4.2: arena bytes exactly linear in k.
+        assert_eq!(entries[1].arena_bytes, 2 * entries[0].arena_bytes);
+        // Abilene is connected: full FIBs, n·(n-1) entries per slice.
+        assert_eq!(entries[0].installed_entries, 11 * 10);
+        assert_eq!(entries[1].installed_entries, 2 * 11 * 10);
+        for e in &entries {
+            assert!(e.build_seconds > 0.0);
+            assert!(e.walk_hops > 0);
+            assert!(e.prefix_view_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn report_renders_and_writes() {
+        let entries = measure("abilene", &[1], 7);
+        let json = render("abilene", 7, &entries);
+        assert!(json.contains(r#""benchmark":"fib_arena""#));
+        assert!(json.contains(r#""topology":"abilene""#));
+        assert!(json.contains(r#""arena_bytes""#));
+        assert!(json.contains(r#""walk_seconds_per_hop""#));
+
+        let dir = std::env::temp_dir().join("splice-bench-fib-report");
+        let path = dir.join("BENCH_fib.json");
+        write_fib_report(&path, "abilene", &[1], 7).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains(r#""benchmark":"fib_arena""#));
+        assert!(back.ends_with('\n'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

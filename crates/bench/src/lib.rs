@@ -25,6 +25,8 @@
 //! and `--out DIR` (default `results/`). Output goes to stdout as a table
 //! and to `DIR/<name>.csv` / `<name>.json` for plotting.
 
+pub mod fib_report;
+
 use splice_telemetry::{JsonArray, JsonObject, Registry};
 use splice_topology::{abilene::abilene, geant::geant, sprint::sprint, Topology};
 use std::path::{Path, PathBuf};

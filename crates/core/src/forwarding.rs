@@ -67,19 +67,47 @@ impl Trace {
     /// re-visited, the number of hops since its previous visit. A 2-hop
     /// loop is an immediate bounce (`a → b → a`). Empty when the walk is
     /// simple. This is the §4.4 loop metric.
+    ///
+    /// The last-visit table is a stamped `Vec` indexed by node id, reused
+    /// across calls through a thread-local: bumping the stamp invalidates
+    /// all previous entries at once, so per-trace cost is O(hops) with no
+    /// hashing and no per-call clear of the table. The Monte-Carlo
+    /// harness calls this once per walked packet, which made the old
+    /// per-call `HashMap` allocation a measurable hot spot.
     pub fn loop_lengths(&self) -> Vec<usize> {
-        let mut last_seen: std::collections::HashMap<NodeId, usize> =
-            std::collections::HashMap::new();
-        let mut loops = Vec::new();
-        let mut visited_order: Vec<NodeId> = self.steps.iter().map(|s| s.node).collect();
-        visited_order.push(self.last);
-        for (i, n) in visited_order.iter().enumerate() {
-            if let Some(&prev) = last_seen.get(n) {
-                loops.push(i - prev);
-            }
-            last_seen.insert(*n, i);
+        thread_local! {
+            // (stamp, last position) per node index, plus the current stamp.
+            static LAST_SEEN: std::cell::RefCell<(Vec<(u64, usize)>, u64)> =
+                const { std::cell::RefCell::new((Vec::new(), 0)) };
         }
-        loops
+        LAST_SEEN.with(|cell| {
+            let (table, stamp) = &mut *cell.borrow_mut();
+            *stamp += 1;
+            let max_id = self
+                .steps
+                .iter()
+                .map(|s| s.node.index())
+                .chain(std::iter::once(self.last.index()))
+                .max()
+                .unwrap_or(0);
+            if table.len() <= max_id {
+                table.resize(max_id + 1, (0, 0));
+            }
+            let mut loops = Vec::new();
+            let visits = self
+                .steps
+                .iter()
+                .map(|s| s.node)
+                .chain(std::iter::once(self.last));
+            for (i, n) in visits.enumerate() {
+                let entry = &mut table[n.index()];
+                if entry.0 == *stamp {
+                    loops.push(i - entry.1);
+                }
+                *entry = (*stamp, i);
+            }
+            loops
+        })
     }
 
     /// Whether the walk revisited any node.

@@ -175,7 +175,7 @@ mod tests {
             assert!(slice >= 1 && slice < k);
             // The validity condition guarantees the isolating config's
             // shortest paths avoid e entirely.
-            let tables = &mrc.slices()[slice].tables;
+            let tables = mrc.tables(slice);
             for fib in &tables.fibs {
                 for entry in fib.entries.iter().flatten() {
                     assert_ne!(entry.1, e, "isolated link used in its own config");

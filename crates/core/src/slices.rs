@@ -10,10 +10,13 @@
 use crate::perturb::{DegreeBased, Perturbation, TheoremA1, Uniform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use splice_graph::dijkstra::{validate_weights, SpfWorkspace, WeightError};
 use splice_graph::traversal::reverse_reachable;
 use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
-use splice_routing::spf::{spf_from_weights, spf_from_weights_timed, SpfTelemetry};
+use splice_routing::arena::SpliceFib;
+use splice_routing::spf::{spf_fill_arena, SpfTelemetry};
 use splice_routing::RoutingTables;
+use std::sync::Arc;
 
 /// Which perturbation strategy a config uses (a closed enum so configs
 /// stay `Clone + Send + Sync` and trivially serializable in results).
@@ -77,7 +80,11 @@ impl SplicingConfig {
     }
 }
 
-/// One routing slice: a weight vector and the tables it induces.
+/// One routing slice as a *construction input*: a weight vector and the
+/// tables it induces. Built deployments store this state flattened in a
+/// shared [`SpliceFib`] arena; `Slice` survives as the unit alternative
+/// constructions (e.g. [`crate::coverage::build_coverage_aware`]) hand to
+/// [`Splicing::from_slices`].
 #[derive(Clone, Debug)]
 pub struct Slice {
     /// Slice index (0 = base slice when configured).
@@ -88,10 +95,20 @@ pub struct Slice {
     pub tables: RoutingTables,
 }
 
-/// A full splicing deployment: `k` slices over one graph.
+/// A full splicing deployment: `k` slices over one graph, with all
+/// forwarding state in one flat [`SpliceFib`] arena.
+///
+/// The arena and the weight vectors are shared behind `Arc`s, so cloning
+/// a `Splicing` — and, crucially, taking a [`Splicing::prefix`] view — is
+/// O(1) and copies no forwarding state.
 #[derive(Clone, Debug)]
 pub struct Splicing {
-    slices: Vec<Slice>,
+    /// Slices visible through this handle (≤ planes built in `fib`).
+    k: usize,
+    /// Per-slice weight vectors for every *built* plane (shared).
+    weights: Arc<[Vec<f64>]>,
+    /// The flat forwarding-state arena (shared).
+    fib: Arc<SpliceFib>,
 }
 
 impl Splicing {
@@ -105,7 +122,13 @@ impl Splicing {
         for (i, s) in slices.iter().enumerate() {
             assert_eq!(s.id, i, "slice ids must be dense and ordered");
         }
-        Splicing { slices }
+        let fib = SpliceFib::from_tables(slices.iter().map(|s| &s.tables));
+        let weights: Vec<Vec<f64>> = slices.into_iter().map(|s| s.weights).collect();
+        Splicing {
+            k: weights.len(),
+            weights: weights.into(),
+            fib: Arc::new(fib),
+        }
     }
 
     /// Build `cfg.k` slices over `g`, deterministically from `seed`.
@@ -116,12 +139,20 @@ impl Splicing {
     /// needs ("we fail the same set of links for different values of k").
     ///
     /// # Panics
-    /// Panics if `cfg.k == 0`.
+    /// Panics if `cfg.k == 0` or a perturbation produces an invalid
+    /// weight vector (see [`Splicing::try_build`] for the typed error).
     pub fn build(g: &Graph, cfg: &SplicingConfig, seed: u64) -> Splicing {
         Splicing::build_with_telemetry(g, cfg, seed, None)
     }
 
-    /// [`Splicing::build`] with optional per-slice SPF/FIB timing.
+    /// [`Splicing::build`], returning a typed [`WeightError`] instead of
+    /// panicking when a perturbation yields NaN/non-positive weights.
+    pub fn try_build(g: &Graph, cfg: &SplicingConfig, seed: u64) -> Result<Splicing, WeightError> {
+        Splicing::try_build_with_telemetry(g, cfg, seed, None)
+    }
+
+    /// [`Splicing::build`] with optional per-slice SPF timing and arena
+    /// state-size accounting.
     ///
     /// Telemetry is observation only: the perturbation RNG streams are
     /// untouched, so the resulting slices are bit-identical to an
@@ -132,10 +163,31 @@ impl Splicing {
         seed: u64,
         telemetry: Option<&SpfTelemetry>,
     ) -> Splicing {
+        match Splicing::try_build_with_telemetry(g, cfg, seed, telemetry) {
+            Ok(sp) => sp,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Splicing::build_with_telemetry`] with weight validation surfaced
+    /// as a typed error. All k·n destination-rooted Dijkstras share one
+    /// [`SpfWorkspace`] and emit directly into the arena.
+    ///
+    /// # Panics
+    /// Panics if `cfg.k == 0` (a structural misuse, unlike bad weights
+    /// which can arise from data).
+    pub fn try_build_with_telemetry(
+        g: &Graph,
+        cfg: &SplicingConfig,
+        seed: u64,
+        telemetry: Option<&SpfTelemetry>,
+    ) -> Result<Splicing, WeightError> {
         assert!(cfg.k >= 1, "need at least one slice");
-        let mut slices = Vec::with_capacity(cfg.k);
+        let mut fib = SpliceFib::empty(cfg.k, g.node_count());
+        let mut ws = SpfWorkspace::new();
+        let mut weights = Vec::with_capacity(cfg.k);
         for id in 0..cfg.k {
-            let weights = if id == 0 && cfg.include_base_slice {
+            let w = if id == 0 && cfg.include_base_slice {
                 g.base_weights()
             } else {
                 // Distinct, independent stream per slice.
@@ -144,14 +196,18 @@ impl Splicing {
                 );
                 cfg.perturbation.perturb(g, &mut rng)
             };
-            let tables = spf_from_weights_timed(g, &weights, telemetry);
-            slices.push(Slice {
-                id,
-                weights,
-                tables,
-            });
+            validate_weights(g, &w)?;
+            spf_fill_arena(g, &w, &mut fib, id, &mut ws, telemetry);
+            weights.push(w);
         }
-        Splicing { slices }
+        if let Some(tel) = telemetry {
+            tel.arena_bytes.record(fib.state_bytes() as u64);
+        }
+        Ok(Splicing {
+            k: cfg.k,
+            weights: weights.into(),
+            fib: Arc::new(fib),
+        })
     }
 
     /// Build a deployment from explicit per-slice weight vectors — for
@@ -159,51 +215,105 @@ impl Splicing {
     /// perturbation (e.g. overlay routing metrics, §5's "combine overlay
     /// networks that use independent metrics").
     pub fn from_weight_vectors(g: &Graph, weight_vectors: Vec<Vec<f64>>) -> Splicing {
+        match Splicing::try_from_weight_vectors(g, weight_vectors) {
+            Ok(sp) => sp,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Splicing::from_weight_vectors`] with weight validation surfaced
+    /// as a typed error.
+    pub fn try_from_weight_vectors(
+        g: &Graph,
+        weight_vectors: Vec<Vec<f64>>,
+    ) -> Result<Splicing, WeightError> {
         assert!(!weight_vectors.is_empty(), "need at least one slice");
-        let slices = weight_vectors
-            .into_iter()
-            .enumerate()
-            .map(|(id, weights)| {
-                assert_eq!(weights.len(), g.edge_count(), "slice {id} weight length");
-                let tables = spf_from_weights(g, &weights);
-                Slice {
-                    id,
-                    weights,
-                    tables,
-                }
-            })
-            .collect();
-        Splicing { slices }
+        let mut fib = SpliceFib::empty(weight_vectors.len(), g.node_count());
+        let mut ws = SpfWorkspace::new();
+        for (id, weights) in weight_vectors.iter().enumerate() {
+            assert_eq!(weights.len(), g.edge_count(), "slice {id} weight length");
+            validate_weights(g, weights)?;
+            spf_fill_arena(g, weights, &mut fib, id, &mut ws, None);
+        }
+        Ok(Splicing {
+            k: weight_vectors.len(),
+            weights: weight_vectors.into(),
+            fib: Arc::new(fib),
+        })
     }
 
     /// Number of slices.
     #[inline]
     pub fn k(&self) -> usize {
-        self.slices.len()
+        self.k
     }
 
     /// A deployment consisting of just the first `k` slices. Because slice
     /// weights are independent of `k`, this is exactly what building with
     /// a smaller `k` would have produced — the incremental-k methodology's
     /// workhorse.
+    ///
+    /// This is a zero-copy *view*: a k-prefix is literally the first k
+    /// planes of the shared arena, so per-trial prefix loops in the
+    /// Monte-Carlo experiments cost two `Arc` clones, not a deep copy.
     pub fn prefix(&self, k: usize) -> Splicing {
         assert!(k >= 1 && k <= self.k());
         Splicing {
-            slices: self.slices[..k].to_vec(),
+            k,
+            weights: Arc::clone(&self.weights),
+            fib: Arc::clone(&self.fib),
         }
     }
 
-    /// The slices, index-aligned with slice ids.
+    /// The weight vector of `slice`.
     #[inline]
-    pub fn slices(&self) -> &[Slice] {
-        &self.slices
+    pub fn weights(&self, slice: usize) -> &[f64] {
+        assert!(
+            slice < self.k,
+            "slice {slice} out of range (k = {})",
+            self.k
+        );
+        &self.weights[slice]
+    }
+
+    /// Materialize `slice`'s forwarding state as legacy [`RoutingTables`]
+    /// (for serialization and protocol-simulator comparisons). This
+    /// allocates; the data plane should read the arena instead.
+    pub fn tables(&self, slice: usize) -> RoutingTables {
+        assert!(
+            slice < self.k,
+            "slice {slice} out of range (k = {})",
+            self.k
+        );
+        self.fib.to_tables(slice)
+    }
+
+    /// The shared flat FIB arena. Note the arena may hold more planes
+    /// than [`Splicing::k`] when `self` is a prefix view — consumers must
+    /// bound slice indices by `k()`, not by the arena's plane count.
+    #[inline]
+    pub fn arena(&self) -> &Arc<SpliceFib> {
+        &self.fib
+    }
+
+    /// Forwarding-state footprint of this deployment in bytes: `k` planes
+    /// of the arena — the measured quantity behind §4.2's "state grows
+    /// linearly in k".
+    pub fn state_bytes(&self) -> usize {
+        self.k * self.fib.plane_bytes()
+    }
+
+    /// Installed FIB entries across this deployment's `k` slices (the
+    /// legacy entry-count state metric).
+    pub fn total_state(&self) -> usize {
+        self.fib.installed(self.k)
     }
 
     /// Next hop and outgoing edge of `node` toward `dst` in `slice`.
     #[inline]
     pub fn next_hop(&self, slice: usize, node: NodeId, dst: NodeId) -> Option<(NodeId, EdgeId)> {
-        let fib = self.slices[slice].tables.fib(node);
-        fib.entries[dst.index()]
+        debug_assert!(slice < self.k, "slice {slice} out of range");
+        self.fib.lookup(slice, node, dst)
     }
 
     /// Successor sets toward `dst` using the first `k_prefix` slices,
@@ -219,11 +329,11 @@ impl Splicing {
         mask: &EdgeMask,
     ) -> Vec<Vec<NodeId>> {
         assert!(k_prefix >= 1 && k_prefix <= self.k());
-        let n = self.slices[0].tables.fibs.len();
+        let n = self.fib.n();
         let mut succ: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for slice in &self.slices[..k_prefix] {
+        for slice in 0..k_prefix {
             for (u, s) in succ.iter_mut().enumerate() {
-                if let Some((nh, e)) = slice.tables.fib(NodeId(u as u32)).entries[dst.index()] {
+                if let Some((nh, e)) = self.fib.lookup(slice, NodeId(u as u32), dst) {
                     if mask.is_up(e) && !s.contains(&nh) {
                         s.push(nh);
                     }
@@ -246,7 +356,7 @@ impl Splicing {
     /// (operationally exact) semantics; see [`Self::union_disconnected_pairs`]
     /// for the paper's union-graph accounting.
     pub fn disconnected_pairs(&self, k_prefix: usize, mask: &EdgeMask) -> usize {
-        let n = self.slices[0].tables.fibs.len();
+        let n = self.fib.n();
         let mut disconnected = 0;
         for t in 0..n as u32 {
             let reach = self.reachable_to(NodeId(t), k_prefix, mask);
@@ -268,12 +378,12 @@ impl Splicing {
     /// achieve (see [`Self::reachable_to`] for the directed semantics).
     pub fn union_reachable_to(&self, dst: NodeId, k_prefix: usize, mask: &EdgeMask) -> Vec<bool> {
         assert!(k_prefix >= 1 && k_prefix <= self.k());
-        let n = self.slices[0].tables.fibs.len();
+        let n = self.fib.n();
         // Adjacency restricted to surviving union-tree edges.
         let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for slice in &self.slices[..k_prefix] {
+        for slice in 0..k_prefix {
             for u in 0..n {
-                if let Some((parent, e)) = slice.tables.fib(NodeId(u as u32)).entries[dst.index()] {
+                if let Some((parent, e)) = self.fib.lookup(slice, NodeId(u as u32), dst) {
                     if mask.is_up(e) {
                         adj[u].push(parent);
                         adj[parent.index()].push(NodeId(u as u32));
@@ -299,7 +409,7 @@ impl Splicing {
     /// [`Self::disconnected_pairs`] under the paper's undirected
     /// union-graph semantics.
     pub fn union_disconnected_pairs(&self, k_prefix: usize, mask: &EdgeMask) -> usize {
-        let n = self.slices[0].tables.fibs.len();
+        let n = self.fib.n();
         let mut disconnected = 0;
         for t in 0..n as u32 {
             let reach = self.union_reachable_to(NodeId(t), k_prefix, mask);
@@ -312,17 +422,20 @@ impl Splicing {
     /// slices' trees toward any destination — the "spliced graph" of
     /// §4.2's union formulation, as an edge indicator.
     pub fn union_edges(&self, k_prefix: usize) -> Vec<bool> {
-        let m = self.slices[0].weights.len();
-        let n = self.slices[0].tables.fibs.len();
+        assert!(k_prefix >= 1 && k_prefix <= self.k());
+        let m = self.weights[0].len();
+        let n = self.fib.n();
         let mut used = vec![false; m];
-        for slice in &self.slices[..k_prefix] {
-            for fib in &slice.tables.fibs {
-                for entry in fib.entries.iter().flatten() {
-                    used[entry.1.index()] = true;
+        for slice in 0..k_prefix {
+            for u in 0..n {
+                let (_, out_edges) = self.fib.row(slice, NodeId(u as u32));
+                for &e in out_edges {
+                    if e != splice_routing::NO_ROUTE {
+                        used[e as usize] = true;
+                    }
                 }
             }
         }
-        let _ = n;
         used
     }
 
@@ -330,7 +443,7 @@ impl Splicing {
     /// tractable diversity proxy, count the distinct (node, next-hop)
     /// pairs toward `dst` across the first `k_prefix` slices.
     pub fn diversity_toward(&self, dst: NodeId, k_prefix: usize) -> usize {
-        let mask = EdgeMask::all_up(self.slices[0].weights.len());
+        let mask = EdgeMask::all_up(self.weights[0].len());
         self.successors_toward(dst, k_prefix, &mask)
             .iter()
             .map(|s| s.len())
@@ -352,7 +465,7 @@ mod tests {
     fn slice_zero_is_plain_shortest_paths() {
         let g = diamond();
         let sp = Splicing::build(&g, &SplicingConfig::degree_based(3, 0.0, 3.0), 1);
-        assert_eq!(sp.slices()[0].weights, g.base_weights());
+        assert_eq!(sp.weights(0), g.base_weights());
         assert_eq!(
             sp.next_hop(0, NodeId(0), NodeId(3)).map(|(n, _)| n),
             Some(NodeId(1))
@@ -382,7 +495,7 @@ mod tests {
         let s3 = Splicing::build(&g, &cfg3, 42);
         let s5 = Splicing::build(&g, &cfg5, 42);
         for i in 0..3 {
-            assert_eq!(s3.slices()[i].weights, s5.slices()[i].weights);
+            assert_eq!(s3.weights(i), s5.weights(i));
         }
     }
 
@@ -491,7 +604,67 @@ mod tests {
         let cfg = SplicingConfig::degree_based(2, 0.0, 3.0);
         let a = Splicing::build(&g, &cfg, 1);
         let b = Splicing::build(&g, &cfg, 2);
-        assert_ne!(a.slices()[1].weights, b.slices()[1].weights);
+        assert_ne!(a.weights(1), b.weights(1));
+    }
+
+    #[test]
+    fn prefix_is_a_zero_copy_view() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(5, 0.0, 3.0), 7);
+        let view = sp.prefix(2);
+        assert_eq!(view.k(), 2);
+        // Same arena, not a deep clone.
+        assert!(Arc::ptr_eq(view.arena(), sp.arena()));
+        // Lookups agree with the parent deployment on the shared planes.
+        for slice in 0..2 {
+            for u in g.nodes() {
+                for t in g.nodes() {
+                    assert_eq!(view.next_hop(slice, u, t), sp.next_hop(slice, u, t));
+                }
+            }
+        }
+        // View-level state accounting stays k-proportional.
+        assert_eq!(view.state_bytes() * 5, sp.state_bytes() * 2);
+    }
+
+    #[test]
+    fn arena_agrees_with_legacy_tables() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(3, 0.0, 3.0), 11);
+        for slice in 0..sp.k() {
+            let tables = sp.tables(slice);
+            for u in g.nodes() {
+                for t in g.nodes() {
+                    assert_eq!(sp.next_hop(slice, u, t), tables.fib(u).entries[t.index()]);
+                }
+            }
+        }
+        assert_eq!(
+            sp.total_state(),
+            (0..sp.k())
+                .map(|s| sp.tables(s).total_state())
+                .sum::<usize>()
+        );
+        assert_eq!(
+            sp.state_bytes(),
+            sp.k() * 2 * g.node_count() * g.node_count() * 4
+        );
+    }
+
+    #[test]
+    fn bad_weights_yield_typed_error() {
+        use splice_graph::WeightError;
+        let g = diamond();
+        let err =
+            Splicing::try_from_weight_vectors(&g, vec![vec![1.0, f64::NAN, 2.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, WeightError::BadWeight { .. }));
+        // The panicking entry point surfaces the same message.
+        let caught = std::panic::catch_unwind(|| {
+            Splicing::from_weight_vectors(&g, vec![vec![1.0, -3.0, 2.0, 2.0]])
+        });
+        assert!(caught.is_err());
+        // Good vectors still build.
+        assert!(Splicing::try_build(&g, &SplicingConfig::uniform(2, 1.0), 5).is_ok());
     }
 
     #[test]

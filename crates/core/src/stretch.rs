@@ -85,8 +85,8 @@ pub fn per_slice_stretch(splicing: &Splicing, g: &Graph, latencies: &[f64]) -> V
             .nodes()
             .map(|s| base.path_from(s).map_or(f64::NAN, |p| p.length(latencies)))
             .collect();
-        for (si, slice) in splicing.slices().iter().enumerate() {
-            let spt = dijkstra(g, t, &slice.weights);
+        for si in 0..splicing.k() {
+            let spt = dijkstra(g, t, splicing.weights(si));
             for s in g.nodes() {
                 if s == t {
                     continue;

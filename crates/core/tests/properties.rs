@@ -53,13 +53,59 @@ proptest! {
         let small = Splicing::build(&g, &SplicingConfig::degree_based(3, 0.0, 3.0), seed);
         let large = Splicing::build(&g, &SplicingConfig::degree_based(6, 0.0, 3.0), seed);
         for i in 0..3 {
-            prop_assert_eq!(&small.slices()[i].weights, &large.slices()[i].weights);
+            prop_assert_eq!(small.weights(i), large.weights(i));
         }
         // prefix() equals building small directly.
         let prefix = large.prefix(3);
         for i in 0..3 {
-            prop_assert_eq!(&prefix.slices()[i].weights, &small.slices()[i].weights);
+            prop_assert_eq!(prefix.weights(i), small.weights(i));
         }
+    }
+
+    /// The flat arena is bit-identical to the legacy per-slice
+    /// `RoutingTables` pipeline: for every (slice, router, dst) the arena
+    /// lookup equals what `spf_from_weights` installs from the same
+    /// weight vector.
+    #[test]
+    fn arena_matches_legacy_tables(g in arb_graph(), seed in any::<u64>(), k in 1usize..=5) {
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(k, 0.0, 3.0), seed);
+        for slice in 0..k {
+            let legacy = splice_routing::spf::spf_from_weights(&g, sp.weights(slice));
+            for u in g.nodes() {
+                for t in g.nodes() {
+                    prop_assert_eq!(
+                        sp.next_hop(slice, u, t),
+                        legacy.fib(u).entries[t.index()],
+                        "slice {} {:?} -> {:?}", slice, u, t
+                    );
+                }
+            }
+            prop_assert_eq!(&sp.tables(slice), &legacy);
+        }
+    }
+
+    /// A k-prefix view shares the arena (zero-copy) yet forwards exactly
+    /// like an independently built k-slice splicing.
+    #[test]
+    fn prefix_views_match_smaller_builds(g in arb_graph(), seed in any::<u64>(), k in 1usize..=4) {
+        let big = Splicing::build(&g, &SplicingConfig::degree_based(5, 0.0, 3.0), seed);
+        let view = big.prefix(k);
+        prop_assert!(std::sync::Arc::ptr_eq(view.arena(), big.arena()));
+        let rebuilt = Splicing::build(&g, &SplicingConfig::degree_based(k, 0.0, 3.0), seed);
+        prop_assert_eq!(view.k(), rebuilt.k());
+        for slice in 0..k {
+            prop_assert_eq!(view.weights(slice), rebuilt.weights(slice));
+            for u in g.nodes() {
+                for t in g.nodes() {
+                    prop_assert_eq!(
+                        view.next_hop(slice, u, t),
+                        rebuilt.next_hop(slice, u, t)
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(view.total_state(), rebuilt.total_state());
+        prop_assert_eq!(view.state_bytes(), rebuilt.state_bytes());
     }
 
     /// With no failures, every pair is spliced-reachable at every k,

@@ -1,6 +1,6 @@
 //! One router's forwarding pipeline.
 //!
-//! A [`Router`] owns its rows of the k slice FIBs and processes packets
+//! A [`Router`] reads its rows of the shared spliced-FIB arena and processes packets
 //! byte-for-byte: parse, pick the slice from the shim (Algorithm 1),
 //! look up the next hop, decrement TTL, re-serialize. Three deployment
 //! flavours from §3.2:
@@ -16,6 +16,8 @@ use crate::packet::Packet;
 use splice_core::hash::slice_for_flow;
 use splice_core::slices::Splicing;
 use splice_graph::{EdgeId, EdgeMask, NodeId};
+use splice_routing::SpliceFib;
+use std::sync::Arc;
 
 /// Per-router behaviour switches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,42 +71,47 @@ pub enum DropReason {
     LinkDown,
 }
 
-/// One router: its id, its per-slice FIB rows, and its config.
+/// One router: its id, a handle on the shared spliced-FIB arena, and its
+/// config.
+///
+/// Routers don't copy forwarding state: every router in a [`crate::network`]
+/// shares one [`SpliceFib`] arena behind an `Arc` and reads its own rows
+/// out of it — the same aggregate-state picture §4.2 accounts for, and
+/// what makes instantiating n routers O(1) per router.
 #[derive(Clone, Debug)]
 pub struct Router {
     /// This router's node id.
     pub id: NodeId,
-    /// `fib_rows[slice][dst] = (next_hop, edge)`.
-    fib_rows: Vec<Vec<Option<(NodeId, EdgeId)>>>,
+    /// The shared flat spliced-FIB arena.
+    fib: Arc<SpliceFib>,
+    /// Slices this router forwards over (≤ planes in the arena, when the
+    /// splicing was a prefix view).
+    k: usize,
     /// Behaviour switches.
     pub config: RouterConfig,
 }
 
 impl Router {
-    /// Extract router `id`'s FIB rows from a converged [`Splicing`].
+    /// Bind router `id` to a converged [`Splicing`]'s shared arena.
     pub fn from_splicing(id: NodeId, splicing: &Splicing, config: RouterConfig) -> Router {
-        let fib_rows = splicing
-            .slices()
-            .iter()
-            .map(|s| s.tables.fib(id).entries.clone())
-            .collect();
         Router {
             id,
-            fib_rows,
+            fib: Arc::clone(splicing.arena()),
+            k: splicing.k(),
             config,
         }
     }
 
     /// Number of slices this router carries tables for.
     pub fn k(&self) -> usize {
-        self.fib_rows.len()
+        self.k
     }
 
-    /// Total installed FIB entries (state footprint).
+    /// Installed FIB entries attributable to this router (state
+    /// footprint): its row of each of the k slice planes.
     pub fn state_size(&self) -> usize {
-        self.fib_rows
-            .iter()
-            .map(|row| row.iter().flatten().count())
+        (0..self.k)
+            .map(|s| self.fib.installed_for_router(s, self.id))
             .sum()
     }
 
@@ -148,7 +155,7 @@ impl Router {
             0
         };
 
-        let lookup = |s: usize| self.fib_rows[s][packet.dst.index()];
+        let lookup = |s: usize| self.fib.lookup(s, self.id, packet.dst);
         let usable = |s: usize| lookup(s).filter(|&(_, e)| link_state.is_up(e));
 
         match lookup(slice) {

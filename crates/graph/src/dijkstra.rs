@@ -17,9 +17,69 @@ use crate::mask::EdgeMask;
 use crate::spt::Spt;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Why a weight vector is unusable for shortest-path computation.
+///
+/// Slice builders validate weights up front with [`validate_weights`] and
+/// surface this error, instead of tripping a panic deep inside the heap
+/// comparator on a NaN produced by a bad perturbation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightError {
+    /// The vector is not edge-indexed: one entry per edge is required.
+    LengthMismatch {
+        /// The graph's edge count.
+        expected: usize,
+        /// The vector's length.
+        got: usize,
+    },
+    /// An entry is NaN, infinite, zero, or negative.
+    BadWeight {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for WeightError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            WeightError::LengthMismatch { expected, got } => write!(
+                f,
+                "weight vector length {got} must equal edge count {expected}"
+            ),
+            WeightError::BadWeight { edge, value } => {
+                write!(f, "weight {value} on {edge:?} must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightError {}
+
+/// Check that `weights` is edge-indexed and every entry is a positive,
+/// finite number — the preconditions Dijkstra's relaxations rely on.
+pub fn validate_weights(g: &Graph, weights: &[f64]) -> Result<(), WeightError> {
+    if weights.len() != g.edge_count() {
+        return Err(WeightError::LengthMismatch {
+            expected: g.edge_count(),
+            got: weights.len(),
+        });
+    }
+    for (i, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w <= 0.0 {
+            return Err(WeightError::BadWeight {
+                edge: EdgeId(i as u32),
+                value: w,
+            });
+        }
+    }
+    Ok(())
+}
 
 /// Heap entry: min-heap by distance, tie-broken by node id.
-#[derive(Copy, Clone, PartialEq)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 struct HeapEntry {
     dist: f64,
     node: NodeId,
@@ -30,10 +90,11 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for min-heap semantics on BinaryHeap (a max-heap).
+        // `total_cmp` gives a total order even on NaN (which validated
+        // weights never produce), so ordering cannot panic.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .expect("distances are never NaN")
+            .total_cmp(&self.dist)
             .then_with(|| other.node.cmp(&self.node))
     }
 }
@@ -44,15 +105,122 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Reusable Dijkstra buffers: distance, parent, settled flags, and the
+/// heap, reset in O(n) per run instead of reallocated.
+///
+/// A splicing build runs k·n destination-rooted Dijkstras over one graph;
+/// holding one workspace across all of them keeps the hot loop free of
+/// allocator traffic. Results are read through [`SpfWorkspace::parents`]
+/// and [`SpfWorkspace::distances`] immediately after [`SpfWorkspace::run`].
+#[derive(Debug, Default)]
+pub struct SpfWorkspace {
+    dist: Vec<f64>,
+    parent: Vec<Option<(NodeId, EdgeId)>>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl SpfWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> SpfWorkspace {
+        SpfWorkspace::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.parent.clear();
+        self.parent.resize(n, None);
+        self.settled.clear();
+        self.settled.resize(n, false);
+        self.heap.clear();
+    }
+
+    /// Run Dijkstra rooted at `root` under `weights`, skipping edges
+    /// failed in `mask` (if any). Identical tie-breaking to [`dijkstra`]:
+    /// lower parent node id, then lower edge id — trees are bit-identical
+    /// whichever entry point computes them.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != g.edge_count()`.
+    pub fn run(&mut self, g: &Graph, root: NodeId, weights: &[f64], mask: Option<&EdgeMask>) {
+        assert_eq!(
+            weights.len(),
+            g.edge_count(),
+            "weight vector length must equal edge count"
+        );
+        self.reset(g.node_count());
+        self.dist[root.index()] = 0.0;
+        self.heap.push(HeapEntry {
+            dist: 0.0,
+            node: root,
+        });
+
+        while let Some(HeapEntry { dist: d, node: u }) = self.heap.pop() {
+            if self.settled[u.index()] {
+                continue;
+            }
+            self.settled[u.index()] = true;
+            for &(v, e) in g.neighbors(u) {
+                if let Some(m) = mask {
+                    if m.is_failed(e) {
+                        continue;
+                    }
+                }
+                if self.settled[v.index()] {
+                    continue;
+                }
+                // Weight sanity is [`validate_weights`]'s job at slice-build
+                // time; the hot loop stays assertion-free and, thanks to
+                // `total_cmp`, terminates even on smuggled NaN.
+                let nd = d + weights[e.index()];
+                let better = match nd.total_cmp(&self.dist[v.index()]) {
+                    Ordering::Less => true,
+                    // Deterministic tie-break: prefer the lower parent node
+                    // id, then the lower edge id.
+                    Ordering::Equal => match self.parent[v.index()] {
+                        Some((pu, pe)) => (u, e) < (pu, pe),
+                        None => true,
+                    },
+                    Ordering::Greater => false,
+                };
+                if better {
+                    self.dist[v.index()] = nd;
+                    self.parent[v.index()] = Some((u, e));
+                    self.heap.push(HeapEntry { dist: nd, node: v });
+                }
+            }
+        }
+    }
+
+    /// Parent pointers of the last run: `parents()[u]` is `u`'s next hop
+    /// and outgoing edge toward the root (`None` at the root itself and on
+    /// unreachable nodes).
+    #[inline]
+    pub fn parents(&self) -> &[Option<(NodeId, EdgeId)>] {
+        &self.parent
+    }
+
+    /// Distances of the last run, `f64::INFINITY` when unreachable.
+    #[inline]
+    pub fn distances(&self) -> &[f64] {
+        &self.dist
+    }
+}
+
 /// Compute the shortest-path tree rooted at `root` under `weights`.
 ///
 /// `weights` must have one positive, finite entry per edge, indexed by
 /// [`EdgeId`]. All links are considered up; see [`dijkstra_masked`] for
 /// failure scenarios.
 ///
+/// Weights are assumed positive and finite — run [`validate_weights`]
+/// first when they come from untrusted input. Ordering inside the walk
+/// uses `f64::total_cmp`, so even a NaN that slips past validation
+/// terminates the walk instead of panicking a comparator.
+///
 /// # Panics
-/// Panics if `weights.len() != g.edge_count()` or a used weight is not
-/// positive/finite (debug assertions).
+/// Panics if `weights.len() != g.edge_count()`.
 pub fn dijkstra(g: &Graph, root: NodeId, weights: &[f64]) -> Spt {
     dijkstra_inner(g, root, weights, None)
 }
@@ -63,59 +231,13 @@ pub fn dijkstra_masked(g: &Graph, root: NodeId, weights: &[f64], mask: &EdgeMask
 }
 
 fn dijkstra_inner(g: &Graph, root: NodeId, weights: &[f64], mask: Option<&EdgeMask>) -> Spt {
-    assert_eq!(
-        weights.len(),
-        g.edge_count(),
-        "weight vector length must equal edge count"
-    );
-    let n = g.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
-    let mut settled = vec![false; n];
-    let mut heap = BinaryHeap::with_capacity(n);
-
-    dist[root.index()] = 0.0;
-    heap.push(HeapEntry {
-        dist: 0.0,
-        node: root,
-    });
-
-    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
-        if settled[u.index()] {
-            continue;
-        }
-        settled[u.index()] = true;
-        for &(v, e) in g.neighbors(u) {
-            if let Some(m) = mask {
-                if m.is_failed(e) {
-                    continue;
-                }
-            }
-            if settled[v.index()] {
-                continue;
-            }
-            let w = weights[e.index()];
-            debug_assert!(w.is_finite() && w > 0.0, "bad weight {w} on {e:?}");
-            let nd = d + w;
-            let better = match nd.partial_cmp(&dist[v.index()]).expect("no NaN") {
-                Ordering::Less => true,
-                // Deterministic tie-break: prefer the lower parent node id,
-                // then the lower edge id.
-                Ordering::Equal => match parent[v.index()] {
-                    Some((pu, pe)) => (u, e) < (pu, pe),
-                    None => true,
-                },
-                Ordering::Greater => false,
-            };
-            if better {
-                dist[v.index()] = nd;
-                parent[v.index()] = Some((u, e));
-                heap.push(HeapEntry { dist: nd, node: v });
-            }
-        }
+    let mut ws = SpfWorkspace::new();
+    ws.run(g, root, weights, mask);
+    Spt {
+        root,
+        dist: std::mem::take(&mut ws.dist),
+        parent: std::mem::take(&mut ws.parent),
     }
-
-    Spt { root, dist, parent }
 }
 
 /// Compute one SPT per destination: `result[t.index()]` is the tree rooted
@@ -223,5 +345,63 @@ mod tests {
     fn wrong_weight_length_panics() {
         let g = diamond();
         dijkstra(&g, NodeId(0), &[1.0]);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        let g = diamond();
+        let w = g.base_weights();
+        let mut ws = SpfWorkspace::new();
+        for root in g.nodes() {
+            ws.run(&g, root, &w, None);
+            let fresh = dijkstra(&g, root, &w);
+            assert_eq!(ws.parents(), &fresh.parent[..], "root {root:?}");
+            assert_eq!(ws.distances(), &fresh.dist[..], "root {root:?}");
+        }
+        // Masked runs through the same workspace also match.
+        let mut mask = EdgeMask::all_up(g.edge_count());
+        mask.fail(EdgeId(1));
+        ws.run(&g, NodeId(3), &w, Some(&mask));
+        let fresh = dijkstra_masked(&g, NodeId(3), &w, &mask);
+        assert_eq!(ws.parents(), &fresh.parent[..]);
+    }
+
+    #[test]
+    fn validate_weights_accepts_good_vectors() {
+        let g = diamond();
+        assert_eq!(validate_weights(&g, &g.base_weights()), Ok(()));
+    }
+
+    #[test]
+    fn validate_weights_rejects_bad_vectors() {
+        let g = diamond();
+        assert_eq!(
+            validate_weights(&g, &[1.0]),
+            Err(WeightError::LengthMismatch {
+                expected: 4,
+                got: 1
+            })
+        );
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -1.0] {
+            let mut w = g.base_weights();
+            w[2] = bad;
+            match validate_weights(&g, &w) {
+                Err(WeightError::BadWeight { edge, .. }) => assert_eq!(edge, EdgeId(2)),
+                other => panic!("expected BadWeight for {bad}, got {other:?}"),
+            }
+        }
+        // The error renders a human-readable message.
+        let msg = validate_weights(&g, &[1.0]).unwrap_err().to_string();
+        assert!(msg.contains("weight vector length"), "{msg}");
+    }
+
+    #[test]
+    fn nan_distance_does_not_panic_the_heap() {
+        // Even with a NaN smuggled past validation, ordering is total:
+        // the walk terminates instead of panicking in the comparator.
+        let g = diamond();
+        let w = vec![f64::NAN, 2.0, 2.0, 2.0];
+        let spt = dijkstra(&g, NodeId(3), &w);
+        assert_eq!(spt.root, NodeId(3));
     }
 }

@@ -45,7 +45,7 @@ pub mod unionfind;
 pub mod yen;
 
 pub use crate::graph::{Edge, Graph, GraphBuilder};
-pub use dijkstra::{dijkstra, dijkstra_masked};
+pub use dijkstra::{dijkstra, dijkstra_masked, validate_weights, SpfWorkspace, WeightError};
 pub use ids::{EdgeId, NodeId};
 pub use mask::EdgeMask;
 pub use paths::Path;

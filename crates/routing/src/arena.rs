@@ -1,0 +1,312 @@
+//! The flat spliced-FIB arena: all k slices' forwarding state in one
+//! contiguous slab.
+//!
+//! The paper's §4.2 scalability claim is that splicing state grows
+//! linearly in k. This module makes that state a measurable object: a
+//! [`SpliceFib`] holds `next_hop` and `out_edge` as two slice-major
+//! `Box<[u32]>` slabs indexed O(1) by `(slice, router, dst)`, with
+//! [`NO_ROUTE`] (`u32::MAX`) standing in for "no entry" — no nesting, no
+//! per-entry `Option` overhead, no pointer chasing on the data-plane hot
+//! path. A k-prefix of a splicing is literally the first k planes of the
+//! slab, so prefix "views" share the arena instead of deep-cloning it.
+//!
+//! [`crate::fib::RoutingTables`] remains as the thin legacy type the
+//! protocol simulator produces and serialization consumes;
+//! [`SpliceFib::from_tables`] / [`SpliceFib::to_tables`] convert between
+//! the two losslessly.
+
+use crate::fib::{Fib, RoutingTables};
+use splice_graph::dijkstra::SpfWorkspace;
+use splice_graph::{EdgeId, Graph, NodeId};
+
+/// Sentinel for "no installed entry" in both slabs. Valid node and edge
+/// ids are dense and far below `u32::MAX`, so the sentinel can never
+/// collide with real state.
+pub const NO_ROUTE: u32 = u32::MAX;
+
+/// All routers' forwarding state for all k slices, as one flat arena.
+///
+/// Layout: `plane(slice) → row(router) → column(dst)`, i.e. entry
+/// `(slice, router, dst)` lives at `(slice·n + router)·n + dst`. One
+/// router's per-destination row is therefore contiguous, and one slice's
+/// full table (a "plane") is a contiguous `n·n` block — which is what
+/// makes zero-copy k-prefix views possible.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpliceFib {
+    k: usize,
+    n: usize,
+    next_hop: Box<[u32]>,
+    out_edge: Box<[u32]>,
+}
+
+impl SpliceFib {
+    /// An arena for `k` slices over `n` routers with no installed entries.
+    pub fn empty(k: usize, n: usize) -> SpliceFib {
+        let len = k * n * n;
+        SpliceFib {
+            k,
+            n,
+            next_hop: vec![NO_ROUTE; len].into_boxed_slice(),
+            out_edge: vec![NO_ROUTE; len].into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, slice: usize, router: usize, dst: usize) -> usize {
+        debug_assert!(slice < self.k && router < self.n && dst < self.n);
+        (slice * self.n + router) * self.n + dst
+    }
+
+    /// Next hop and outgoing edge of `router` toward `dst` in `slice` —
+    /// Algorithm 1's `Lookup(dst, slice)`, one multiply-add and two loads.
+    #[inline]
+    pub fn lookup(&self, slice: usize, router: NodeId, dst: NodeId) -> Option<(NodeId, EdgeId)> {
+        let i = self.idx(slice, router.index(), dst.index());
+        let nh = self.next_hop[i];
+        if nh == NO_ROUTE {
+            None
+        } else {
+            Some((NodeId(nh), EdgeId(self.out_edge[i])))
+        }
+    }
+
+    /// Install (or clear) one entry.
+    pub fn set(
+        &mut self,
+        slice: usize,
+        router: NodeId,
+        dst: NodeId,
+        entry: Option<(NodeId, EdgeId)>,
+    ) {
+        let i = self.idx(slice, router.index(), dst.index());
+        match entry {
+            Some((nh, e)) => {
+                self.next_hop[i] = nh.index() as u32;
+                self.out_edge[i] = e.index() as u32;
+            }
+            None => {
+                self.next_hop[i] = NO_ROUTE;
+                self.out_edge[i] = NO_ROUTE;
+            }
+        }
+    }
+
+    /// Number of slice planes in the arena.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of routers (= destinations) per plane.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total arena footprint in bytes — the measured §4.2 state size.
+    /// Exactly `k · n² · 2 · 4` bytes: linear in k by construction.
+    pub fn state_bytes(&self) -> usize {
+        (self.next_hop.len() + self.out_edge.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Bytes of a single slice plane (both slabs).
+    pub fn plane_bytes(&self) -> usize {
+        2 * self.n * self.n * std::mem::size_of::<u32>()
+    }
+
+    /// Installed (non-sentinel) entries across the first `k_prefix`
+    /// planes — the entry-count state metric legacy
+    /// [`RoutingTables::total_state`] reported.
+    pub fn installed(&self, k_prefix: usize) -> usize {
+        assert!(k_prefix <= self.k);
+        let end = k_prefix * self.n * self.n;
+        self.next_hop[..end]
+            .iter()
+            .filter(|&&v| v != NO_ROUTE)
+            .count()
+    }
+
+    /// Installed entries in `router`'s row of `slice`.
+    pub fn installed_for_router(&self, slice: usize, router: NodeId) -> usize {
+        let start = self.idx(slice, router.index(), 0);
+        self.next_hop[start..start + self.n]
+            .iter()
+            .filter(|&&v| v != NO_ROUTE)
+            .count()
+    }
+
+    /// `router`'s contiguous per-destination rows in `slice`, raw:
+    /// `(next_hop, out_edge)`, both dst-indexed with [`NO_ROUTE`] holes.
+    pub fn row(&self, slice: usize, router: NodeId) -> (&[u32], &[u32]) {
+        let start = self.idx(slice, router.index(), 0);
+        (
+            &self.next_hop[start..start + self.n],
+            &self.out_edge[start..start + self.n],
+        )
+    }
+
+    /// Run destination-rooted Dijkstra for every node under `weights` and
+    /// install the resulting next hops directly into plane `slice`,
+    /// reusing `ws` across all n roots. The plane must be empty (or stale
+    /// entries cleared) — unreachable pairs are *left* at [`NO_ROUTE`],
+    /// not overwritten.
+    ///
+    /// This fuses SPF and the FIB "transpose": the tree rooted at `t`
+    /// contains, for every router `u`, the next hop `u` uses toward `t`,
+    /// so each Dijkstra writes one column of the plane.
+    pub fn fill_slice(&mut self, g: &Graph, weights: &[f64], slice: usize, ws: &mut SpfWorkspace) {
+        assert_eq!(self.n, g.node_count(), "arena built for a different graph");
+        assert!(
+            slice < self.k,
+            "slice {slice} out of range (k = {})",
+            self.k
+        );
+        for t in g.nodes() {
+            ws.run(g, t, weights, None);
+            let parents = ws.parents();
+            let base = slice * self.n * self.n + t.index();
+            for (u, parent) in parents.iter().enumerate() {
+                if let Some((nh, e)) = parent {
+                    let i = base + u * self.n;
+                    self.next_hop[i] = nh.index() as u32;
+                    self.out_edge[i] = e.index() as u32;
+                }
+            }
+        }
+    }
+
+    /// Pack legacy per-slice [`RoutingTables`] into an arena.
+    ///
+    /// # Panics
+    /// Panics if `tables` is empty or the slices disagree on router count.
+    pub fn from_tables<'a, I>(tables: I) -> SpliceFib
+    where
+        I: IntoIterator<Item = &'a RoutingTables>,
+    {
+        let tables: Vec<&RoutingTables> = tables.into_iter().collect();
+        assert!(!tables.is_empty(), "need at least one slice");
+        let n = tables[0].fibs.len();
+        let mut arena = SpliceFib::empty(tables.len(), n);
+        for (slice, rt) in tables.iter().enumerate() {
+            assert_eq!(rt.fibs.len(), n, "slice {slice} router count");
+            for (u, fib) in rt.fibs.iter().enumerate() {
+                assert_eq!(fib.entries.len(), n, "router {u} entry count");
+                for (t, entry) in fib.entries.iter().enumerate() {
+                    if let Some((nh, e)) = entry {
+                        let i = (slice * n + u) * n + t;
+                        arena.next_hop[i] = nh.index() as u32;
+                        arena.out_edge[i] = e.index() as u32;
+                    }
+                }
+            }
+        }
+        arena
+    }
+
+    /// Materialize one plane back into the legacy nested shape, for
+    /// serialization and protocol-simulator comparisons.
+    pub fn to_tables(&self, slice: usize) -> RoutingTables {
+        assert!(
+            slice < self.k,
+            "slice {slice} out of range (k = {})",
+            self.k
+        );
+        let fibs = (0..self.n)
+            .map(|u| {
+                let router = NodeId(u as u32);
+                Fib {
+                    router,
+                    entries: (0..self.n)
+                        .map(|t| self.lookup(slice, router, NodeId(t as u32)))
+                        .collect(),
+                }
+            })
+            .collect();
+        RoutingTables { fibs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_graph::dijkstra::all_destinations;
+    use splice_graph::graph::from_edges;
+
+    fn diamond() -> splice_graph::Graph {
+        from_edges(4, &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 2.0), (2, 3, 2.0)])
+    }
+
+    fn legacy(g: &splice_graph::Graph, w: &[f64]) -> RoutingTables {
+        RoutingTables::from_spts(&all_destinations(g, w))
+    }
+
+    #[test]
+    fn fill_slice_matches_legacy_pipeline() {
+        let g = diamond();
+        let w = g.base_weights();
+        let mut arena = SpliceFib::empty(1, g.node_count());
+        let mut ws = SpfWorkspace::new();
+        arena.fill_slice(&g, &w, 0, &mut ws);
+        let rt = legacy(&g, &w);
+        for u in g.nodes() {
+            for t in g.nodes() {
+                assert_eq!(arena.lookup(0, u, t), rt.fib(u).entries[t.index()]);
+            }
+        }
+        assert_eq!(arena.to_tables(0), rt);
+    }
+
+    #[test]
+    fn tables_roundtrip_is_lossless() {
+        let g = diamond();
+        let slices = [
+            legacy(&g, &g.base_weights()),
+            legacy(&g, &[1.0, 10.0, 2.0, 2.0]),
+        ];
+        let arena = SpliceFib::from_tables(slices.iter());
+        assert_eq!(arena.k(), 2);
+        assert_eq!(arena.to_tables(0), slices[0]);
+        assert_eq!(arena.to_tables(1), slices[1]);
+    }
+
+    #[test]
+    fn sentinel_represents_missing_entries() {
+        let g = from_edges(3, &[(0, 1, 1.0)]); // node 2 isolated
+        let mut arena = SpliceFib::empty(1, 3);
+        let mut ws = SpfWorkspace::new();
+        arena.fill_slice(&g, &g.base_weights(), 0, &mut ws);
+        assert_eq!(arena.lookup(0, NodeId(0), NodeId(2)), None);
+        assert_eq!(arena.lookup(0, NodeId(2), NodeId(0)), None);
+        let (nh, oe) = arena.row(0, NodeId(2));
+        assert!(nh.iter().all(|&v| v == NO_ROUTE));
+        assert!(oe.iter().all(|&v| v == NO_ROUTE));
+        assert_eq!(arena.installed(1), 2); // 0<->1 only
+    }
+
+    #[test]
+    fn state_accounting_is_linear_in_k() {
+        let n = 7;
+        let a1 = SpliceFib::empty(1, n);
+        let a4 = SpliceFib::empty(4, n);
+        assert_eq!(a4.state_bytes(), 4 * a1.state_bytes());
+        assert_eq!(a1.state_bytes(), 2 * n * n * 4);
+        assert_eq!(a1.plane_bytes(), a1.state_bytes());
+        assert_eq!(a4.plane_bytes(), a1.state_bytes());
+    }
+
+    #[test]
+    fn set_and_installed_counts() {
+        let mut arena = SpliceFib::empty(2, 3);
+        assert_eq!(arena.installed(2), 0);
+        arena.set(1, NodeId(0), NodeId(2), Some((NodeId(1), EdgeId(0))));
+        assert_eq!(arena.installed(1), 0, "prefix excludes plane 1");
+        assert_eq!(arena.installed(2), 1);
+        assert_eq!(arena.installed_for_router(1, NodeId(0)), 1);
+        assert_eq!(
+            arena.lookup(1, NodeId(0), NodeId(2)),
+            Some((NodeId(1), EdgeId(0)))
+        );
+        arena.set(1, NodeId(0), NodeId(2), None);
+        assert_eq!(arena.installed(2), 0);
+    }
+}

@@ -20,11 +20,15 @@
 //!   into per-router forwarding tables.
 //! * [`fib`] — forwarding tables: per-destination next hops, the object
 //!   Algorithm 1's `Lookup(dst, slice)` consults.
+//! * [`arena`] — the flat spliced-FIB arena packing all k slices'
+//!   forwarding state into one contiguous slab; its byte size is the
+//!   measured §4.2 state-size accounting.
 //! * [`multitopology`] — RFC 4915-style multi-topology routing hosting k
 //!   independent instances over one physical topology; this is the
 //!   deployment vehicle the paper names (Cisco MTR) and the unit whose
 //!   state/message accounting backs Figure-free claim §4.2.
 
+pub mod arena;
 pub mod dynamics;
 pub mod ecmp;
 pub mod fib;
@@ -34,6 +38,7 @@ pub mod lsdb;
 pub mod multitopology;
 pub mod spf;
 
+pub use arena::{SpliceFib, NO_ROUTE};
 pub use fib::{Fib, RoutingTables};
 pub use lsa::LinkStateAd;
 pub use lsdb::LinkStateDb;

@@ -4,9 +4,10 @@
 //! the instance's weight vector from the database, run Dijkstra per
 //! destination, install FIBs.
 
+use crate::arena::SpliceFib;
 use crate::fib::RoutingTables;
 use crate::lsdb::LinkStateDb;
-use splice_graph::dijkstra::all_destinations;
+use splice_graph::dijkstra::{all_destinations, SpfWorkspace};
 use splice_graph::Graph;
 use splice_telemetry::{Histogram, Registry};
 use std::sync::Arc;
@@ -17,10 +18,17 @@ use std::time::Instant;
 /// distributions describe per-slice build cost across all trials.
 #[derive(Clone, Debug)]
 pub struct SpfTelemetry {
-    /// Wall time of the all-destinations Dijkstra pass for one slice.
+    /// Wall time of the all-destinations Dijkstra pass for one slice. On
+    /// the fused arena path ([`spf_fill_arena`]) this covers the whole
+    /// per-slice build, FIB emission included.
     pub spf_seconds: Arc<Histogram>,
-    /// Wall time of transposing SPTs into installed FIBs for one slice.
+    /// Wall time of transposing SPTs into installed FIBs for one slice
+    /// (legacy [`RoutingTables`] path only; the arena path fuses this
+    /// into `spf_seconds`).
     pub fib_build_seconds: Arc<Histogram>,
+    /// Measured [`SpliceFib`] arena footprint in bytes, one observation
+    /// per splicing build — the §4.2 state-size accounting.
+    pub arena_bytes: Arc<Histogram>,
 }
 
 impl SpfTelemetry {
@@ -34,6 +42,10 @@ impl SpfTelemetry {
             fib_build_seconds: registry.histogram_seconds(
                 "splice_fib_build_seconds",
                 "Per-slice FIB construction (SPT transpose) wall time",
+            ),
+            arena_bytes: registry.histogram(
+                "splice_fib_arena_bytes",
+                "Flat spliced-FIB arena size in bytes, one observation per splicing build",
             ),
         }
     }
@@ -74,6 +86,30 @@ pub fn spf_from_weights_timed(
     let tables = RoutingTables::from_spts(&spts);
     tel.fib_build_seconds.record_duration(t1.elapsed());
     tables
+}
+
+/// The arena fast path: run the n destination-rooted Dijkstras for one
+/// slice and emit next hops straight into plane `slice` of `fib`, reusing
+/// `ws` across roots (and across slices, when the caller holds it).
+///
+/// With telemetry enabled, one `splice_spf_seconds` observation covers
+/// the fused SPF + emission pass. Timing is observation only — the
+/// installed entries are bit-identical either way.
+pub fn spf_fill_arena(
+    g: &Graph,
+    weights: &[f64],
+    fib: &mut SpliceFib,
+    slice: usize,
+    ws: &mut SpfWorkspace,
+    telemetry: Option<&SpfTelemetry>,
+) {
+    let Some(tel) = telemetry else {
+        fib.fill_slice(g, weights, slice, ws);
+        return;
+    };
+    let t0 = Instant::now();
+    fib.fill_slice(g, weights, slice, ws);
+    tel.spf_seconds.record_duration(t0.elapsed());
 }
 
 #[cfg(test)]
@@ -117,6 +153,21 @@ mod tests {
             "disabled telemetry is the identity"
         );
         assert_eq!(tel.spf_seconds.count(), 1, "None must not record");
+    }
+
+    #[test]
+    fn arena_fill_matches_table_pipeline() {
+        let g = from_edges(4, &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 2.0), (2, 3, 2.0)]);
+        let w = vec![1.0, 10.0, 2.0, 2.0];
+        let mut fib = SpliceFib::empty(1, g.node_count());
+        let mut ws = SpfWorkspace::new();
+        let reg = Registry::new();
+        let tel = SpfTelemetry::register(&reg);
+        spf_fill_arena(&g, &w, &mut fib, 0, &mut ws, Some(&tel));
+        assert_eq!(fib.to_tables(0), spf_from_weights(&g, &w));
+        assert_eq!(tel.spf_seconds.count(), 1, "fused pass records once");
+        tel.arena_bytes.record(fib.state_bytes() as u64);
+        assert!(reg.render_prometheus().contains("splice_fib_arena_bytes"));
     }
 
     #[test]

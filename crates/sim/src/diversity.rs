@@ -74,8 +74,7 @@ pub fn state_vs_diversity(
         .map(|&k| {
             let prefix = splicing.prefix(k);
             // Measured control-plane cost: full protocol convergence.
-            let weights: Vec<Vec<f64>> =
-                prefix.slices().iter().map(|s| s.weights.clone()).collect();
+            let weights: Vec<Vec<f64>> = (0..k).map(|i| prefix.weights(i).to_vec()).collect();
             let mt = MultiTopology::converge(g, weights);
 
             // Diversity by header sampling (parallel over pairs).

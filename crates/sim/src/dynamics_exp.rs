@@ -48,16 +48,14 @@ pub fn spliced_timeline(
     e: EdgeId,
     cfg: &DynamicsConfig,
 ) -> SplicedTimeline {
-    let base = failure_timeline(g, latencies, &splicing.slices()[0].weights, e, cfg);
+    let base = failure_timeline(g, latencies, splicing.weights(0), e, cfg);
     let mask = EdgeMask::from_failed(g.edge_count(), &[e]);
-    let per_slice = splicing
-        .slices()
-        .iter()
-        .map(|s| {
-            let old = s.tables.clone();
+    let per_slice = (0..splicing.k())
+        .map(|i| {
+            let old = splicing.tables(i);
             let spts: Vec<_> = g
                 .nodes()
-                .map(|t| splice_graph::dijkstra_masked(g, t, &s.weights, &mask))
+                .map(|t| splice_graph::dijkstra_masked(g, t, splicing.weights(i), &mask))
                 .collect();
             (old, RoutingTables::from_spts(&spts))
         })
@@ -156,7 +154,7 @@ pub fn downtime_sweep(
     let splicing = Splicing::build(g, splicing_cfg, seed);
     g.edge_ids()
         .map(|e| {
-            let plain_tl = failure_timeline(g, latencies, &splicing.slices()[0].weights, e, cfg);
+            let plain_tl = failure_timeline(g, latencies, splicing.weights(0), e, cfg);
             let plain = splice_routing::dynamics::downtime_pair_ms(g, &plain_tl);
             let spliced_tl = spliced_timeline(g, latencies, &splicing, e, cfg);
             let spliced = downtime_pair_ms_with_splicing(g, &spliced_tl);

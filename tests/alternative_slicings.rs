@@ -70,7 +70,7 @@ fn all_constructions_share_the_base_slice() {
         assert_eq!(a, b);
         assert_eq!(b, c);
     }
-    assert_eq!(random.slices()[0].weights, mrc.slices()[0].weights);
+    assert_eq!(random.weights(0), mrc.weights(0));
 }
 
 /// The k=1 spliced disconnection equals ECMP disconnection whenever the

@@ -18,16 +18,14 @@ fn protocol_and_fast_path_agree_end_to_end() {
     let splicing = Splicing::build(&g, &SplicingConfig::degree_based(3, 0.0, 3.0), 8);
 
     // Full flooding + SPF per slice.
-    let weights: Vec<Vec<f64>> = splicing
-        .slices()
-        .iter()
-        .map(|s| s.weights.clone())
+    let weights: Vec<Vec<f64>> = (0..splicing.k())
+        .map(|i| splicing.weights(i).to_vec())
         .collect();
     let mt = MultiTopology::converge(&g, weights);
     for (slice, rt) in mt.tables.iter().enumerate() {
         assert_eq!(
             rt,
-            &splicing.slices()[slice].tables,
+            &splicing.tables(slice),
             "protocol-converged tables differ from direct SPF in slice {slice}"
         );
     }
