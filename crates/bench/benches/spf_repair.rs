@@ -1,0 +1,66 @@
+//! Criterion: incremental slice repair vs. full rebuild — one delta-SPF
+//! `Splicing::repair` after a single-link failure against the full k·n
+//! Dijkstra `Splicing::build` it replaces, plus a whole-node failure
+//! (every incident link at once) as the heavier repair case.
+//!
+//! Before criterion runs, a machine-readable summary of the same
+//! quantities is written to `BENCH_spf_repair.json` at the repo root (see
+//! `splice_bench::repair_report`).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use splice_core::slices::{RepairEvent, Splicing, SplicingConfig};
+use splice_graph::{EdgeId, NodeId};
+use splice_topology::sprint::sprint;
+
+fn bench_full_rebuild(c: &mut Criterion) {
+    let g = sprint().graph();
+    let mut group = c.benchmark_group("spf_rebuild_sprint");
+    group.sample_size(20);
+    for k in [1usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let cfg = SplicingConfig::degree_based(k, 0.0, 3.0);
+            b.iter(|| Splicing::build(&g, &cfg, 42));
+        });
+    }
+    group.finish();
+}
+
+fn bench_link_repair(c: &mut Criterion) {
+    let g = sprint().graph();
+    let event = RepairEvent::LinkFailure(EdgeId(0));
+    let mut group = c.benchmark_group("spf_repair_link_sprint");
+    for k in [1usize, 5, 10] {
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(k, 0.0, 3.0), 42);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| sp.repair(&g, &event));
+        });
+    }
+    group.finish();
+}
+
+fn bench_node_repair(c: &mut Criterion) {
+    let g = sprint().graph();
+    let sp = Splicing::build(&g, &SplicingConfig::degree_based(5, 0.0, 3.0), 42);
+    let event = RepairEvent::NodeFailure(NodeId(0));
+    c.bench_function("spf_repair_node_sprint_k5", |b| {
+        b.iter(|| sp.repair(&g, &event));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_full_rebuild,
+    bench_link_repair,
+    bench_node_repair
+);
+
+fn main() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_spf_repair.json");
+    if let Err(e) =
+        splice_bench::repair_report::write_repair_report(path, "sprint", &[1, 5, 10], 42)
+    {
+        eprintln!("warning: could not write BENCH_spf_repair.json: {e}");
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

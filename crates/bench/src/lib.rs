@@ -26,6 +26,7 @@
 //! and to `DIR/<name>.csv` / `<name>.json` for plotting.
 
 pub mod fib_report;
+pub mod repair_report;
 
 use splice_telemetry::{JsonArray, JsonObject, Registry};
 use splice_topology::{abilene::abilene, geant::geant, sprint::sprint, Topology};

@@ -133,6 +133,11 @@ impl ForwardingBits {
 
     /// Deserialize the wire layout; `None` when the fields are
     /// inconsistent (truncated or corrupted shim).
+    ///
+    /// Decoding is strict about canonical form: any set bit above
+    /// `len_bits` is payload the reader would never consume, so such
+    /// shims are rejected rather than silently carrying dead state (which
+    /// would also break the decode → encode identity).
     pub fn from_bytes(b: &[u8]) -> Option<Self> {
         if b.len() != 18 {
             return None;
@@ -141,10 +146,17 @@ impl ForwardingBits {
         if bph > 8 || (bph > 0 && len_bits % bph != 0) || len_bits as usize > 128 {
             return None;
         }
+        if bph == 0 && len_bits != 0 {
+            return None; // claims hops but no bits per hop to read them
+        }
         let mut raw = [0u8; 16];
         raw.copy_from_slice(&b[2..]);
+        let bits = u128::from_le_bytes(raw);
+        if len_bits < 128 && (bits >> len_bits) != 0 {
+            return None; // non-canonical: set bits beyond the stream
+        }
         Some(ForwardingBits {
-            bits: u128::from_le_bytes(raw),
+            bits,
             len_bits,
             bph,
         })
@@ -280,6 +292,37 @@ mod tests {
         bad2[0] = 3;
         bad2[1] = 4; // not a multiple of bph
         assert!(ForwardingBits::from_bytes(&bad2).is_none());
+    }
+
+    #[test]
+    fn wire_rejects_noncanonical_shims() {
+        // Valid header, then a stray bit above len_bits: 2 hops x 2 bits
+        // = 4 live bits, bit 5 set.
+        let mut bytes = ForwardingBits::from_hops(&[1, 2], 4).to_bytes();
+        bytes[2] |= 1 << 5;
+        assert!(ForwardingBits::from_bytes(&bytes).is_none());
+        // bph = 0 cannot carry hops.
+        let mut bad = [0u8; 18];
+        bad[1] = 4; // len_bits > 0 with bph == 0
+        assert!(ForwardingBits::from_bytes(&bad).is_none());
+        // A full 128-bit stream is still canonical by definition.
+        let full = ForwardingBits::from_hops(&[3u8; 64], 4);
+        assert_eq!(ForwardingBits::from_bytes(&full.to_bytes()), Some(full));
+    }
+
+    #[test]
+    fn wire_decode_encode_identity() {
+        // Any accepted shim re-encodes to the same 18 bytes.
+        for h in [
+            ForwardingBits::empty(4),
+            ForwardingBits::stay_in_slice(3, 8),
+            ForwardingBits::from_hops(&[0, 1, 2, 3, 4], 5),
+        ] {
+            let bytes = h.to_bytes();
+            let decoded = ForwardingBits::from_bytes(&bytes).unwrap();
+            assert_eq!(decoded, h);
+            assert_eq!(decoded.to_bytes(), bytes);
+        }
     }
 
     #[test]

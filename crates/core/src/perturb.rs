@@ -57,7 +57,18 @@ impl Perturbation for Uniform {
     fn perturb(&self, g: &Graph, rng: &mut StdRng) -> Vec<f64> {
         g.edges()
             .iter()
-            .map(|e| e.weight + self.strength * rng.gen_range(0.0..e.weight))
+            .map(|e| {
+                // `Random(0, L)` needs a non-empty range; graphs reject
+                // non-positive weights at construction, so the guard only
+                // fires for graphs built around [`Graph::add_edge`] and
+                // keeps `perturb` total (passing such weights through for
+                // `validate_weights` to report).
+                if e.weight.is_finite() && e.weight > 0.0 {
+                    e.weight + self.strength * rng.gen_range(0.0..e.weight)
+                } else {
+                    e.weight
+                }
+            })
             .collect()
     }
 
@@ -107,7 +118,12 @@ impl Perturbation for DegreeBased {
             .map(|e| {
                 let dsum = g.degree(e.u) + g.degree(e.v);
                 let w = self.weight_for(dsum, lo, hi);
-                e.weight + w * rng.gen_range(0.0..e.weight)
+                // Same degenerate-weight passthrough as [`Uniform`].
+                if e.weight.is_finite() && e.weight > 0.0 {
+                    e.weight + w * rng.gen_range(0.0..e.weight)
+                } else {
+                    e.weight
+                }
             })
             .collect()
     }
@@ -128,13 +144,32 @@ pub struct TheoremA1 {
     pub k: usize,
 }
 
+impl TheoremA1 {
+    /// Theorem A.1's perturbation for stretch bound `d ≥ 1` and `k ≥ 1`
+    /// slices (validated here, like its siblings' constructors, rather
+    /// than mid-`perturb`).
+    pub fn new(d: f64, k: usize) -> Self {
+        assert!(d >= 1.0 && d.is_finite(), "stretch bound D must be >= 1");
+        assert!(k >= 1, "need at least one slice");
+        TheoremA1 { d, k }
+    }
+}
+
 impl Perturbation for TheoremA1 {
     fn perturb(&self, g: &Graph, rng: &mut StdRng) -> Vec<f64> {
-        assert!(self.d >= 1.0 && self.k >= 1);
         let hi = 2.0 * self.d * self.k as f64;
         g.edges()
             .iter()
-            .map(|e| rng.gen_range(e.weight..(hi * e.weight)))
+            .map(|e| {
+                // Same degenerate-weight passthrough as [`Uniform`]; the
+                // range is non-empty whenever the weight is valid, since
+                // `new` guarantees `hi = 2Dk ≥ 2`.
+                if e.weight.is_finite() && e.weight > 0.0 && hi > 1.0 {
+                    rng.gen_range(e.weight..(hi * e.weight))
+                } else {
+                    e.weight
+                }
+            })
             .collect()
     }
 
@@ -217,7 +252,7 @@ mod tests {
     #[test]
     fn theorem_a1_range() {
         let g = star_plus_path();
-        let p = TheoremA1 { d: 2.0, k: 3 };
+        let p = TheoremA1::new(2.0, 3);
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..50 {
             let w = p.perturb(&g, &mut rng);
@@ -241,7 +276,7 @@ mod tests {
     fn labels() {
         assert_eq!(Uniform::new(1.5).label(), "uniform(1.5)");
         assert_eq!(DegreeBased::new(0.0, 3.0).label(), "degree(0,3)");
-        assert_eq!(TheoremA1 { d: 2.0, k: 4 }.label(), "thmA1(D=2,k=4)");
+        assert_eq!(TheoremA1::new(2.0, 4).label(), "thmA1(D=2,k=4)");
     }
 
     #[test]
@@ -254,5 +289,35 @@ mod tests {
     #[should_panic]
     fn inverted_degree_range_rejected() {
         DegreeBased::new(3.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stretch bound")]
+    fn theorem_a1_substretch_rejected() {
+        TheoremA1::new(0.5, 3);
+    }
+
+    #[test]
+    fn zero_weight_edges_rejected_before_perturbation() {
+        // The original bug: a zero-weight edge made `Random(0, L)` an
+        // empty range and `perturb` panicked deep inside the RNG. Graphs
+        // now refuse the weight at construction, so no perturbation can
+        // ever see it.
+        let caught = std::panic::catch_unwind(|| from_edges(2, &[(0, 1, 0.0)]));
+        assert!(caught.is_err(), "zero-weight edge must fail construction");
+    }
+
+    #[test]
+    fn perturbations_total_over_tiny_valid_weights() {
+        // Near-degenerate but valid weights must not panic in any strategy.
+        let g = from_edges(3, &[(0, 1, 1e-300), (1, 2, 1.0), (2, 0, 1e-12)]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for w in [
+            Uniform::new(3.0).perturb(&g, &mut rng),
+            DegreeBased::new(0.0, 3.0).perturb(&g, &mut rng),
+            TheoremA1::new(2.0, 3).perturb(&g, &mut rng),
+        ] {
+            assert!(w.iter().all(|x| x.is_finite() && *x > 0.0));
+        }
     }
 }

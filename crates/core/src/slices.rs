@@ -13,10 +13,36 @@ use rand::SeedableRng;
 use splice_graph::dijkstra::{validate_weights, SpfWorkspace, WeightError};
 use splice_graph::traversal::reverse_reachable;
 use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
-use splice_routing::arena::SpliceFib;
-use splice_routing::spf::{spf_fill_arena, SpfTelemetry};
+use splice_routing::arena::{RepairStats, SpliceFib};
+use splice_routing::spf::{
+    spf_fill_arena, spf_repair_arena_failures, spf_repair_arena_reweight, SpfTelemetry,
+};
 use splice_routing::RoutingTables;
 use std::sync::Arc;
+
+/// A topology or weight event a deployed splicing must absorb without a
+/// full rebuild — the reconvergence workload of §4.2's dynamics story.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RepairEvent {
+    /// One link went down (in every slice — failures are physical).
+    LinkFailure(EdgeId),
+    /// Several links went down at once (e.g. a shared-risk group).
+    LinkSetFailure(Vec<EdgeId>),
+    /// A router went down: every incident link fails.
+    NodeFailure(NodeId),
+    /// One slice's weight for `edge` changed to `new_weight` — the
+    /// control-plane event behind traffic engineering and perturbation
+    /// re-draws. Weight changes are per-slice; other slices keep routing
+    /// on their own vectors.
+    SliceReweight {
+        /// The slice whose vector changes.
+        slice: usize,
+        /// The reweighted link.
+        edge: EdgeId,
+        /// Its new weight (must be positive and finite).
+        new_weight: f64,
+    },
+}
 
 /// Which perturbation strategy a config uses (a closed enum so configs
 /// stay `Clone + Send + Sync` and trivially serializable in results).
@@ -109,6 +135,9 @@ pub struct Splicing {
     weights: Arc<[Vec<f64>]>,
     /// The flat forwarding-state arena (shared).
     fib: Arc<SpliceFib>,
+    /// Cumulative failed-link set the arena's state reflects (all-up for
+    /// a fresh build; grows as [`Splicing::repair`] absorbs failures).
+    failed: Arc<EdgeMask>,
 }
 
 impl Splicing {
@@ -124,10 +153,12 @@ impl Splicing {
         }
         let fib = SpliceFib::from_tables(slices.iter().map(|s| &s.tables));
         let weights: Vec<Vec<f64>> = slices.into_iter().map(|s| s.weights).collect();
+        let edge_count = weights[0].len();
         Splicing {
             k: weights.len(),
             weights: weights.into(),
             fib: Arc::new(fib),
+            failed: Arc::new(EdgeMask::all_up(edge_count)),
         }
     }
 
@@ -207,6 +238,7 @@ impl Splicing {
             k: cfg.k,
             weights: weights.into(),
             fib: Arc::new(fib),
+            failed: Arc::new(EdgeMask::all_up(g.edge_count())),
         })
     }
 
@@ -239,6 +271,7 @@ impl Splicing {
             k: weight_vectors.len(),
             weights: weight_vectors.into(),
             fib: Arc::new(fib),
+            failed: Arc::new(EdgeMask::all_up(g.edge_count())),
         })
     }
 
@@ -262,6 +295,151 @@ impl Splicing {
             k,
             weights: Arc::clone(&self.weights),
             fib: Arc::clone(&self.fib),
+            failed: Arc::clone(&self.failed),
+        }
+    }
+
+    /// The cumulative failed-link set this deployment's forwarding state
+    /// reflects: all-up after a fresh build, growing as
+    /// [`Splicing::repair`] absorbs failure events.
+    #[inline]
+    pub fn failed_mask(&self) -> &EdgeMask {
+        &self.failed
+    }
+
+    /// Absorb a topology or weight event by incrementally repairing the
+    /// affected slice planes — delta-SPF instead of the k·n full
+    /// Dijkstras a rebuild costs.
+    ///
+    /// The returned deployment starts from a plane-level copy of this
+    /// one's arena (two `memcpy`s, no shortest-path work) and rewrites
+    /// only the destination columns the event can have touched; every
+    /// other column is carried over byte-identical. The result is
+    /// provably next-hop-identical to building from scratch on the
+    /// post-event topology: distances are repaired exactly and the
+    /// deterministic tie-break makes parents a pure function of exact
+    /// distances.
+    ///
+    /// Events stack: repairing an already-repaired splicing composes the
+    /// failure masks (see [`Splicing::failed_mask`]).
+    ///
+    /// # Panics
+    /// Panics on an invalid reweight (non-positive/non-finite weight or
+    /// out-of-range slice); see [`Splicing::try_repair_with_telemetry`]
+    /// for the typed error.
+    pub fn repair(&self, g: &Graph, event: &RepairEvent) -> Splicing {
+        self.repair_report(g, event).0
+    }
+
+    /// [`Splicing::repair`], also returning what the repair did — how
+    /// many columns were patched vs proven untouched, and the total
+    /// re-relaxed frontier.
+    pub fn repair_report(&self, g: &Graph, event: &RepairEvent) -> (Splicing, RepairStats) {
+        match self.try_repair_with_telemetry(g, event, None) {
+            Ok(pair) => pair,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Splicing::repair_report`] with optional per-plane repair timing
+    /// and frontier observations, and weight validation surfaced as a
+    /// typed error.
+    pub fn try_repair_with_telemetry(
+        &self,
+        g: &Graph,
+        event: &RepairEvent,
+        telemetry: Option<&SpfTelemetry>,
+    ) -> Result<(Splicing, RepairStats), WeightError> {
+        let mut ws = SpfWorkspace::new();
+        let mut stats = RepairStats::default();
+        match event {
+            RepairEvent::LinkFailure(_)
+            | RepairEvent::LinkSetFailure(_)
+            | RepairEvent::NodeFailure(_) => {
+                let mut newly: Vec<EdgeId> = Vec::new();
+                let mut note = |e: EdgeId| {
+                    if self.failed.is_up(e) && !newly.contains(&e) {
+                        newly.push(e);
+                    }
+                };
+                match event {
+                    RepairEvent::LinkFailure(e) => note(*e),
+                    RepairEvent::LinkSetFailure(es) => es.iter().copied().for_each(note),
+                    RepairEvent::NodeFailure(n) => {
+                        g.neighbors(*n).iter().for_each(|&(_, e)| note(e))
+                    }
+                    RepairEvent::SliceReweight { .. } => unreachable!(),
+                }
+                let mut mask = (*self.failed).clone();
+                for &e in &newly {
+                    mask.fail(e);
+                }
+                let mut fib = self.fib.clone_prefix(self.k);
+                if !newly.is_empty() {
+                    for slice in 0..self.k {
+                        stats.absorb(spf_repair_arena_failures(
+                            g,
+                            &self.weights[slice],
+                            &mut fib,
+                            slice,
+                            &mask,
+                            &newly,
+                            &mut ws,
+                            telemetry,
+                        ));
+                    }
+                }
+                Ok((
+                    Splicing {
+                        k: self.k,
+                        weights: Arc::clone(&self.weights),
+                        fib: Arc::new(fib),
+                        failed: Arc::new(mask),
+                    },
+                    stats,
+                ))
+            }
+            RepairEvent::SliceReweight {
+                slice,
+                edge,
+                new_weight,
+            } => {
+                assert!(
+                    *slice < self.k,
+                    "slice {slice} out of range (k = {})",
+                    self.k
+                );
+                if !(new_weight.is_finite() && *new_weight > 0.0) {
+                    return Err(WeightError::BadWeight {
+                        edge: *edge,
+                        value: *new_weight,
+                    });
+                }
+                let old_weight = self.weights[*slice][edge.index()];
+                let mut weights: Vec<Vec<f64>> = self.weights.to_vec();
+                weights[*slice][edge.index()] = *new_weight;
+                let mut fib = self.fib.clone_prefix(self.k);
+                stats.absorb(spf_repair_arena_reweight(
+                    g,
+                    &weights[*slice],
+                    &mut fib,
+                    *slice,
+                    &self.failed,
+                    *edge,
+                    old_weight,
+                    &mut ws,
+                    telemetry,
+                ));
+                Ok((
+                    Splicing {
+                        k: self.k,
+                        weights: weights.into(),
+                        fib: Arc::new(fib),
+                        failed: Arc::clone(&self.failed),
+                    },
+                    stats,
+                ))
+            }
         }
     }
 
@@ -672,5 +850,147 @@ mod tests {
     fn zero_k_rejected() {
         let g = diamond();
         Splicing::build(&g, &SplicingConfig::degree_based(0, 0.0, 3.0), 1);
+    }
+
+    /// Every (slice, router, dst) next hop of `sp` equals a from-scratch
+    /// masked Dijkstra on `sp`'s own weight vectors — the repair ≡ rebuild
+    /// oracle.
+    fn assert_matches_masked_rebuild(g: &Graph, sp: &Splicing, mask: &EdgeMask) {
+        let mut ws = SpfWorkspace::new();
+        for slice in 0..sp.k() {
+            for t in g.nodes() {
+                ws.run(g, t, sp.weights(slice), Some(mask));
+                for u in g.nodes() {
+                    assert_eq!(
+                        sp.next_hop(slice, u, t),
+                        ws.parents()[u.index()],
+                        "slice {slice} {u:?}->{t:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_link_failure_matches_rebuild() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(3, 0.0, 3.0), 11);
+        let (repaired, stats) = sp.repair_report(&g, &RepairEvent::LinkFailure(EdgeId(0)));
+        assert!(stats.patched_columns > 0, "failure must touch some columns");
+        assert_eq!(repaired.failed_mask().failed_count(), 1);
+        assert!(repaired.failed_mask().is_failed(EdgeId(0)));
+        assert_matches_masked_rebuild(&g, &repaired, repaired.failed_mask());
+        // The original deployment is untouched.
+        assert_eq!(sp.failed_mask().failed_count(), 0);
+        assert_matches_masked_rebuild(&g, &sp, &EdgeMask::all_up(g.edge_count()));
+    }
+
+    #[test]
+    fn repair_events_stack_and_match_batch_failure() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(3, 0.0, 3.0), 7);
+        let stacked = sp
+            .repair(&g, &RepairEvent::LinkFailure(EdgeId(0)))
+            .repair(&g, &RepairEvent::LinkFailure(EdgeId(5)));
+        let batch = sp.repair(&g, &RepairEvent::LinkSetFailure(vec![EdgeId(0), EdgeId(5)]));
+        assert_eq!(stacked.failed_mask().failed_count(), 2);
+        assert_eq!(
+            stacked.failed_mask().failed_edges().collect::<Vec<_>>(),
+            batch.failed_mask().failed_edges().collect::<Vec<_>>()
+        );
+        assert_matches_masked_rebuild(&g, &stacked, stacked.failed_mask());
+        assert_matches_masked_rebuild(&g, &batch, batch.failed_mask());
+        // Re-failing an already-failed link is the identity.
+        let (again, stats) = stacked.repair_report(&g, &RepairEvent::LinkFailure(EdgeId(5)));
+        assert_eq!(stats, RepairStats::default());
+        assert_eq!(again.failed_mask().failed_count(), 2);
+    }
+
+    #[test]
+    fn repair_node_failure_fails_all_incident_links() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(2, 0.0, 3.0), 3);
+        let victim = NodeId(4);
+        let repaired = sp.repair(&g, &RepairEvent::NodeFailure(victim));
+        assert_eq!(
+            repaired.failed_mask().failed_count(),
+            g.neighbors(victim).len()
+        );
+        for &(_, e) in g.neighbors(victim) {
+            assert!(repaired.failed_mask().is_failed(e));
+        }
+        assert_matches_masked_rebuild(&g, &repaired, repaired.failed_mask());
+    }
+
+    #[test]
+    fn repair_reweight_matches_rebuild_and_leaves_other_slices() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(3, 0.0, 3.0), 5);
+        let edge = EdgeId(2);
+        let new_weight = sp.weights(1)[edge.index()] * 10.0;
+        let repaired = sp.repair(
+            &g,
+            &RepairEvent::SliceReweight {
+                slice: 1,
+                edge,
+                new_weight,
+            },
+        );
+        assert_eq!(repaired.weights(1)[edge.index()], new_weight);
+        assert_eq!(repaired.weights(0), sp.weights(0));
+        assert_eq!(repaired.weights(2), sp.weights(2));
+        assert_matches_masked_rebuild(&g, &repaired, &EdgeMask::all_up(g.edge_count()));
+        // And the decrease direction.
+        let cheaper = repaired.repair(
+            &g,
+            &RepairEvent::SliceReweight {
+                slice: 1,
+                edge,
+                new_weight: new_weight / 50.0,
+            },
+        );
+        assert_matches_masked_rebuild(&g, &cheaper, &EdgeMask::all_up(g.edge_count()));
+    }
+
+    #[test]
+    fn repair_rejects_bad_reweight() {
+        let g = diamond();
+        let sp = Splicing::build(&g, &SplicingConfig::uniform(2, 1.0), 1);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = sp
+                .try_repair_with_telemetry(
+                    &g,
+                    &RepairEvent::SliceReweight {
+                        slice: 1,
+                        edge: EdgeId(0),
+                        new_weight: bad,
+                    },
+                    None,
+                )
+                .unwrap_err();
+            assert!(matches!(err, WeightError::BadWeight { .. }), "{bad}");
+        }
+        let caught = std::panic::catch_unwind(|| {
+            sp.repair(
+                &g,
+                &RepairEvent::SliceReweight {
+                    slice: 0,
+                    edge: EdgeId(0),
+                    new_weight: 0.0,
+                },
+            )
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn repair_works_on_prefix_views() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(5, 0.0, 3.0), 9);
+        let repaired = sp
+            .prefix(2)
+            .repair(&g, &RepairEvent::LinkFailure(EdgeId(3)));
+        assert_eq!(repaired.k(), 2);
+        assert_matches_masked_rebuild(&g, &repaired, repaired.failed_mask());
     }
 }

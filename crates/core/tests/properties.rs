@@ -4,11 +4,11 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use splice_core::header::{bits_per_hop, CounterHeader, ForwardingBits};
-use splice_core::perturb::{DegreeBased, Perturbation, Uniform};
+use splice_core::perturb::{DegreeBased, Perturbation, TheoremA1, Uniform};
 use splice_core::recovery::HeaderStrategy;
-use splice_core::slices::{Splicing, SplicingConfig};
+use splice_core::slices::{RepairEvent, Splicing, SplicingConfig};
 use splice_graph::graph::from_edges;
-use splice_graph::{EdgeMask, Graph};
+use splice_graph::{EdgeId, EdgeMask, Graph, SpfWorkspace};
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (3usize..=9).prop_flat_map(|n| {
@@ -120,6 +120,107 @@ proptest! {
         }
     }
 
+    /// The tentpole invariant: repairing a deployment after an event is
+    /// next-hop-identical, for every (slice, router, dst), to rebuilding
+    /// every slice plane from scratch on the post-event topology.
+    #[test]
+    fn repair_equals_rebuild(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        k in 1usize..=5,
+        fail_sels in proptest::collection::vec(any::<prop::sample::Index>(), 1..=3),
+        node_sel in any::<prop::sample::Index>(),
+        reweight_sel in any::<prop::sample::Index>(),
+        factor in prop_oneof![0.15f64..0.9, 1.2f64..6.0],
+        which in 0usize..3,
+    ) {
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(k, 0.0, 3.0), seed);
+        let event = match which {
+            0 => {
+                let mut edges: Vec<EdgeId> = fail_sels
+                    .iter()
+                    .map(|s| EdgeId(s.index(g.edge_count()) as u32))
+                    .collect();
+                edges.dedup();
+                RepairEvent::LinkSetFailure(edges)
+            }
+            1 => RepairEvent::NodeFailure(
+                splice_graph::NodeId(node_sel.index(g.node_count()) as u32),
+            ),
+            _ => {
+                let edge = EdgeId(reweight_sel.index(g.edge_count()) as u32);
+                RepairEvent::SliceReweight {
+                    slice: k - 1,
+                    edge,
+                    new_weight: sp.weights(k - 1)[edge.index()] * factor,
+                }
+            }
+        };
+        let (repaired, stats) = sp.repair_report(&g, &event);
+        // Oracle: fresh masked Dijkstra per (slice, dst) on the repaired
+        // deployment's own weights and failure mask.
+        let mut ws = SpfWorkspace::new();
+        for slice in 0..k {
+            for t in g.nodes() {
+                ws.run(&g, t, repaired.weights(slice), Some(repaired.failed_mask()));
+                for u in g.nodes() {
+                    prop_assert_eq!(
+                        repaired.next_hop(slice, u, t),
+                        ws.parents()[u.index()],
+                        "slice {} {:?} -> {:?} after {:?}", slice, u, t, &event
+                    );
+                }
+            }
+        }
+        // Stats accounting stays within the arena's bounds.
+        prop_assert!(stats.patched_columns + stats.skipped_columns <= k * g.node_count());
+    }
+
+    /// Stacked repairs compose: two successive link failures equal the
+    /// batch failure of both links, plane for plane.
+    #[test]
+    fn stacked_repairs_compose(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        a_sel in any::<prop::sample::Index>(),
+        b_sel in any::<prop::sample::Index>(),
+    ) {
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(3, 0.0, 3.0), seed);
+        let a = EdgeId(a_sel.index(g.edge_count()) as u32);
+        let b = EdgeId(b_sel.index(g.edge_count()) as u32);
+        let stacked = sp
+            .repair(&g, &RepairEvent::LinkFailure(a))
+            .repair(&g, &RepairEvent::LinkFailure(b));
+        let batch = sp.repair(&g, &RepairEvent::LinkSetFailure(vec![a, b]));
+        for slice in 0..3 {
+            for u in g.nodes() {
+                for t in g.nodes() {
+                    prop_assert_eq!(
+                        stacked.next_hop(slice, u, t),
+                        batch.next_hop(slice, u, t),
+                        "slice {} {:?} -> {:?} failing {:?} then {:?}", slice, u, t, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    /// Perturbations are total over any graph the constructor accepts —
+    /// including near-degenerate tiny weights — and never produce an
+    /// invalid vector from a valid one.
+    #[test]
+    fn perturbations_total_and_valid(seed in any::<u64>(), w in prop_oneof![1e-300f64..1e-290, 1e-9f64..10.0]) {
+        let g = from_edges(3, &[(0, 1, w), (1, 2, 1.0), (2, 0, w)]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for v in [
+            Uniform::new(3.0).perturb(&g, &mut rng),
+            DegreeBased::new(0.0, 3.0).perturb(&g, &mut rng),
+            TheoremA1::new(2.0, 4).perturb(&g, &mut rng),
+        ] {
+            prop_assert!(v.iter().all(|x| x.is_finite() && *x > 0.0));
+        }
+    }
+
     /// Header encoding: any hop sequence below k survives encode + wire
     /// round-trip + decode; reading consumes exactly the encoded hops.
     #[test]
@@ -137,10 +238,18 @@ proptest! {
     }
 
     /// Corrupted shims never decode to something that panics the reader:
-    /// either rejected, or decoded and readable to exhaustion.
+    /// either rejected, or decoded and readable to exhaustion. Decoding
+    /// is also canonical: whatever `from_bytes` accepts re-encodes to the
+    /// very same 18 bytes (so no shim carries dead state above
+    /// `len_bits`).
     #[test]
     fn corrupted_shim_is_safe(bytes in proptest::collection::vec(any::<u8>(), 18), k in 1usize..=10) {
         if let Some(mut h) = ForwardingBits::from_bytes(&bytes) {
+            prop_assert_eq!(
+                h.to_bytes().to_vec(),
+                bytes.clone(),
+                "decode -> encode must be the identity on accepted shims"
+            );
             let mut guard = 0;
             while h.read_and_shift(k).is_some() {
                 guard += 1;

@@ -118,7 +118,15 @@ pub struct SpfWorkspace {
     parent: Vec<Option<(NodeId, EdgeId)>>,
     settled: Vec<bool>,
     heap: BinaryHeap<HeapEntry>,
+    /// Scratch for repair: per-node clean/dirty classification.
+    mark: Vec<u8>,
 }
+
+/// `mark` value: the node's tree chain avoids every affected edge, so its
+/// distance and parent are provably unchanged by the event.
+const MARK_CLEAN: u8 = 1;
+/// `mark` value: the node is in an affected subtree and must be re-relaxed.
+const MARK_DIRTY: u8 = 2;
 
 impl SpfWorkspace {
     /// An empty workspace; buffers grow on first use.
@@ -155,7 +163,14 @@ impl SpfWorkspace {
             dist: 0.0,
             node: root,
         });
+        self.drain(g, weights, mask);
+    }
 
+    /// The shared settle loop: pop in distance order, relax neighbors with
+    /// the deterministic tie-break. Used by both full runs ([`Self::run`])
+    /// and incremental repairs, so repaired trees are produced by the exact
+    /// relaxation rule a from-scratch build uses.
+    fn drain(&mut self, g: &Graph, weights: &[f64], mask: Option<&EdgeMask>) {
         while let Some(HeapEntry { dist: d, node: u }) = self.heap.pop() {
             if self.settled[u.index()] {
                 continue;
@@ -174,23 +189,40 @@ impl SpfWorkspace {
                 // time; the hot loop stays assertion-free and, thanks to
                 // `total_cmp`, terminates even on smuggled NaN.
                 let nd = d + weights[e.index()];
-                let better = match nd.total_cmp(&self.dist[v.index()]) {
-                    Ordering::Less => true,
-                    // Deterministic tie-break: prefer the lower parent node
-                    // id, then the lower edge id.
-                    Ordering::Equal => match self.parent[v.index()] {
-                        Some((pu, pe)) => (u, e) < (pu, pe),
-                        None => true,
-                    },
-                    Ordering::Greater => false,
-                };
-                if better {
-                    self.dist[v.index()] = nd;
-                    self.parent[v.index()] = Some((u, e));
+                if self.offer(u, e, v, nd) {
                     self.heap.push(HeapEntry { dist: nd, node: v });
                 }
             }
         }
+    }
+
+    /// Offer `v` the route "via `u` over `e` at distance `nd`"; record it
+    /// if it is better under the canonical rule (strictly shorter, or equal
+    /// with a lexicographically smaller `(parent node, edge)` pair) and
+    /// report whether it was taken.
+    ///
+    /// The equal-distance tie-break makes the final parent a pure function
+    /// of the exact distances: whichever order offers arrive in, the stored
+    /// parent converges to the lexicographic minimum over all optimal
+    /// predecessors. That is what lets an incremental repair reproduce a
+    /// full rebuild bit for bit.
+    #[inline]
+    fn offer(&mut self, u: NodeId, e: EdgeId, v: NodeId, nd: f64) -> bool {
+        let better = match nd.total_cmp(&self.dist[v.index()]) {
+            Ordering::Less => true,
+            // Deterministic tie-break: prefer the lower parent node
+            // id, then the lower edge id.
+            Ordering::Equal => match self.parent[v.index()] {
+                Some((pu, pe)) => (u, e) < (pu, pe),
+                None => true,
+            },
+            Ordering::Greater => false,
+        };
+        if better {
+            self.dist[v.index()] = nd;
+            self.parent[v.index()] = Some((u, e));
+        }
+        better
     }
 
     /// Parent pointers of the last run: `parents()[u]` is `u`'s next hop
@@ -205,6 +237,343 @@ impl SpfWorkspace {
     #[inline]
     pub fn distances(&self) -> &[f64] {
         &self.dist
+    }
+
+    /// Load an existing shortest-path tree into the workspace so it can be
+    /// repaired incrementally: `parent_of(u)` supplies `u`'s stored next
+    /// hop and outgoing edge toward `root` (`None` at the root and on
+    /// unreachable nodes), exactly the shape a FIB column stores.
+    ///
+    /// Distances are reconstructed by walking parent chains and summing
+    /// `weights` parent-first — the same `dist[parent] + w(edge)` additions
+    /// the original Dijkstra run performed, so the reconstructed values are
+    /// bit-identical to the ones the full run computed.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != g.edge_count()` or the parent pointers
+    /// contain a cycle.
+    pub fn load_tree<F>(&mut self, g: &Graph, root: NodeId, weights: &[f64], parent_of: F)
+    where
+        F: Fn(usize) -> Option<(NodeId, EdgeId)>,
+    {
+        assert_eq!(
+            weights.len(),
+            g.edge_count(),
+            "weight vector length must equal edge count"
+        );
+        let n = g.node_count();
+        self.reset(n);
+        self.dist[root.index()] = 0.0;
+        self.settled[root.index()] = true;
+        for u in 0..n {
+            self.parent[u] = parent_of(u);
+        }
+        debug_assert!(self.parent[root.index()].is_none(), "root has no parent");
+        let mut chain = Vec::new();
+        for start in 0..n {
+            if self.settled[start] || self.parent[start].is_none() {
+                continue;
+            }
+            chain.clear();
+            let mut u = start;
+            while !self.settled[u] {
+                match self.parent[u] {
+                    Some((p, _)) => {
+                        chain.push(u);
+                        assert!(chain.len() <= n, "parent pointers contain a cycle");
+                        u = p.index();
+                    }
+                    None => break,
+                }
+            }
+            if self.settled[u] {
+                // Chain reaches the root: fill distances parent-first.
+                while let Some(v) = chain.pop() {
+                    let (p, e) = self.parent[v].expect("chained node has a parent");
+                    self.dist[v] = self.dist[p.index()] + weights[e.index()];
+                    self.settled[v] = true;
+                }
+            } else {
+                // Chain dead-ends at a parentless non-root node; such
+                // entries cannot come from a valid SPT — treat the whole
+                // chain as unreachable rather than trusting them.
+                for &v in &chain {
+                    self.parent[v] = None;
+                }
+            }
+        }
+    }
+
+    /// Classify every node as clean or dirty by walking its parent chain:
+    /// dirty if the chain passes through a node for which `dirty_root`
+    /// returns true (chains are memoized, so this is O(n) total). Returns
+    /// the dirty count.
+    fn mark_dirty_subtrees<F>(&mut self, root: NodeId, dirty_root: F) -> usize
+    where
+        F: Fn(usize, Option<(NodeId, EdgeId)>) -> bool,
+    {
+        let n = self.parent.len();
+        self.mark.clear();
+        self.mark.resize(n, 0);
+        self.mark[root.index()] = MARK_CLEAN;
+        let mut dirty = 0usize;
+        let mut chain = Vec::new();
+        for start in 0..n {
+            if self.mark[start] != 0 {
+                continue;
+            }
+            chain.clear();
+            let mut u = start;
+            let state = loop {
+                if self.mark[u] != 0 {
+                    break self.mark[u];
+                }
+                chain.push(u);
+                assert!(chain.len() <= n, "parent pointers contain a cycle");
+                if dirty_root(u, self.parent[u]) {
+                    break MARK_DIRTY;
+                }
+                match self.parent[u] {
+                    Some((p, _)) => u = p.index(),
+                    // Unreachable before the event; stays untouched.
+                    None => break MARK_CLEAN,
+                }
+            };
+            for &v in &chain {
+                self.mark[v] = state;
+                if state == MARK_DIRTY {
+                    dirty += 1;
+                }
+            }
+        }
+        dirty
+    }
+
+    /// Reset every dirty node, then re-seed each one from its settled
+    /// (clean, reachable) neighbors over up edges and run the shared
+    /// settle loop. The seeding offers every clean optimal predecessor
+    /// before any dirty node settles; dirty predecessors are offered in
+    /// settle order, exactly as in a full run — so the recomputed subtree
+    /// is bit-identical to a from-scratch rebuild.
+    fn reseed_dirty(&mut self, g: &Graph, weights: &[f64], mask: &EdgeMask) {
+        self.heap.clear();
+        for u in 0..self.mark.len() {
+            if self.mark[u] == MARK_DIRTY {
+                self.dist[u] = f64::INFINITY;
+                self.parent[u] = None;
+                self.settled[u] = false;
+            }
+        }
+        for d in 0..self.mark.len() {
+            if self.mark[d] != MARK_DIRTY {
+                continue;
+            }
+            let v = NodeId(d as u32);
+            for &(u, e) in g.neighbors(v) {
+                if mask.is_failed(e) || !self.settled[u.index()] {
+                    continue;
+                }
+                let nd = self.dist[u.index()] + weights[e.index()];
+                if self.offer(u, e, v, nd) {
+                    self.heap.push(HeapEntry { dist: nd, node: v });
+                }
+            }
+        }
+        self.drain(g, weights, Some(mask));
+    }
+
+    /// Incrementally repair the loaded tree after the links in
+    /// `newly_failed` went down. `mask` is the *new* cumulative failure
+    /// mask (with `newly_failed` already failed); the workspace must hold
+    /// the tree that was correct immediately before the event (via
+    /// [`Self::run`], [`Self::load_tree`], or a previous repair).
+    ///
+    /// Only the subtrees hanging below a failed tree edge are recomputed;
+    /// every other node's distance and parent are provably unchanged.
+    /// Returns the number of affected (re-relaxed) nodes — the repair
+    /// frontier.
+    pub fn repair_failures(
+        &mut self,
+        g: &Graph,
+        root: NodeId,
+        weights: &[f64],
+        mask: &EdgeMask,
+        newly_failed: &[EdgeId],
+    ) -> usize {
+        assert_eq!(
+            weights.len(),
+            g.edge_count(),
+            "weight vector length must equal edge count"
+        );
+        assert_eq!(
+            self.dist.len(),
+            g.node_count(),
+            "workspace does not hold a tree for this graph"
+        );
+        let dirty = self.mark_dirty_subtrees(
+            root,
+            |_, p| matches!(p, Some((_, e)) if newly_failed.contains(&e)),
+        );
+        if dirty > 0 {
+            self.reseed_dirty(g, weights, mask);
+        }
+        dirty
+    }
+
+    /// Incrementally repair the loaded tree after `edge`'s weight changed
+    /// from `old_weight` to `weights[edge]` (`weights` is the full *new*
+    /// vector). The workspace must hold the tree that was correct under
+    /// the old weights and `mask`. Returns the number of nodes whose
+    /// distance or parent changed.
+    ///
+    /// Weight increases repair the failed-link way: only the subtree below
+    /// `edge` (when it is a tree edge) is re-relaxed; an increase on a
+    /// non-tree edge is a complete no-op. Weight decreases propagate
+    /// strict improvements outward from `edge` and then recompute the
+    /// canonical parent wherever a distance changed — parents are a pure
+    /// function of exact distances under the deterministic tie-break, so
+    /// this too matches a full rebuild bit for bit.
+    pub fn repair_reweight(
+        &mut self,
+        g: &Graph,
+        root: NodeId,
+        weights: &[f64],
+        mask: &EdgeMask,
+        edge: EdgeId,
+        old_weight: f64,
+    ) -> usize {
+        assert_eq!(
+            weights.len(),
+            g.edge_count(),
+            "weight vector length must equal edge count"
+        );
+        assert_eq!(
+            self.dist.len(),
+            g.node_count(),
+            "workspace does not hold a tree for this graph"
+        );
+        let new_w = weights[edge.index()];
+        assert!(
+            new_w.is_finite() && new_w > 0.0,
+            "weight {new_w} on {edge:?} must be positive and finite"
+        );
+        if mask.is_failed(edge) || new_w == old_weight {
+            return 0;
+        }
+        let (eu, ev) = (g.edge(edge).u, g.edge(edge).v);
+        if new_w > old_weight {
+            // Increase: affects shortest paths only when `edge` carries
+            // tree traffic, i.e. one endpoint's parent pointer crosses it.
+            let child = if self.parent[eu.index()] == Some((ev, edge)) {
+                Some(eu)
+            } else if self.parent[ev.index()] == Some((eu, edge)) {
+                Some(ev)
+            } else {
+                None
+            };
+            let Some(x) = child else { return 0 };
+            let dirty = self.mark_dirty_subtrees(root, |u, _| u == x.index());
+            self.reseed_dirty(g, weights, mask);
+            return dirty;
+        }
+        // Decrease: relax `edge` in both directions under the new weight,
+        // then propagate strict improvements. Distances converge to the
+        // exact fixpoint (every value is some path's weight fold, and
+        // every edge constraint is re-checked when its tail improves).
+        self.heap.clear();
+        self.mark.clear();
+        self.mark.resize(g.node_count(), 0);
+        let mut changed = 0usize;
+        for (a, b) in [(eu, ev), (ev, eu)] {
+            if self.dist[a.index()].is_finite() {
+                let nd = self.dist[a.index()] + new_w;
+                if nd.total_cmp(&self.dist[b.index()]) == Ordering::Less {
+                    self.dist[b.index()] = nd;
+                    self.heap.push(HeapEntry { dist: nd, node: b });
+                    if self.mark[b.index()] == 0 {
+                        self.mark[b.index()] = MARK_DIRTY;
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        while let Some(HeapEntry { dist: d, node: u }) = self.heap.pop() {
+            if d.total_cmp(&self.dist[u.index()]) == Ordering::Greater {
+                continue; // stale entry, a better one was pushed later
+            }
+            for &(v, e) in g.neighbors(u) {
+                if mask.is_failed(e) {
+                    continue;
+                }
+                let nd = d + weights[e.index()];
+                if nd.total_cmp(&self.dist[v.index()]) == Ordering::Less {
+                    self.dist[v.index()] = nd;
+                    self.heap.push(HeapEntry { dist: nd, node: v });
+                    if self.mark[v.index()] == 0 {
+                        self.mark[v.index()] = MARK_DIRTY;
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        if changed == 0 {
+            // No distance moved, but the cheaper edge may have become an
+            // optimal predecessor of one of its endpoints, which can win
+            // the lexicographic tie-break.
+            let mut touched = 0usize;
+            for v in [eu, ev] {
+                if self.recompute_parent(g, weights, mask, root, v) {
+                    touched += 1;
+                }
+            }
+            return touched;
+        }
+        // Some distances dropped, so any node adjacent to a changed one
+        // may have gained a better-ranked optimal predecessor: recompute
+        // every canonical parent from the (now exact) distances.
+        for v in g.nodes() {
+            self.recompute_parent(g, weights, mask, root, v);
+        }
+        changed
+    }
+
+    /// Set `parent[v]` to the canonical choice — the lexicographically
+    /// smallest `(u, e)` over up edges with `dist[u] + w(e) == dist[v]` —
+    /// and report whether it changed. This is exactly the parent a full
+    /// Dijkstra run converges to under the equal-distance tie-break.
+    fn recompute_parent(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        mask: &EdgeMask,
+        root: NodeId,
+        v: NodeId,
+    ) -> bool {
+        if v == root || !self.dist[v.index()].is_finite() {
+            return false;
+        }
+        let dv = self.dist[v.index()];
+        let mut best: Option<(NodeId, EdgeId)> = None;
+        for &(u, e) in g.neighbors(v) {
+            if mask.is_failed(e) {
+                continue;
+            }
+            let du = self.dist[u.index()];
+            if !du.is_finite() {
+                continue;
+            }
+            if (du + weights[e.index()]).total_cmp(&dv) == Ordering::Equal
+                && best.is_none_or(|b| (u, e) < b)
+            {
+                best = Some((u, e));
+            }
+        }
+        if self.parent[v.index()] != best {
+            self.parent[v.index()] = best;
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -393,6 +762,198 @@ mod tests {
         // The error renders a human-readable message.
         let msg = validate_weights(&g, &[1.0]).unwrap_err().to_string();
         assert!(msg.contains("weight vector length"), "{msg}");
+    }
+
+    /// Assert the workspace holds exactly the tree a fresh masked run
+    /// computes: distances and parents, bit for bit.
+    fn assert_matches_fresh(
+        ws: &SpfWorkspace,
+        g: &Graph,
+        root: NodeId,
+        w: &[f64],
+        mask: &EdgeMask,
+    ) {
+        let fresh = dijkstra_masked(g, root, w, mask);
+        assert_eq!(ws.parents(), &fresh.parent[..], "parents, root {root:?}");
+        assert_eq!(ws.distances(), &fresh.dist[..], "distances, root {root:?}");
+    }
+
+    #[test]
+    fn load_tree_reconstructs_run_state() {
+        let g = diamond();
+        let w = g.base_weights();
+        for root in g.nodes() {
+            let fresh = dijkstra(&g, root, &w);
+            let mut ws = SpfWorkspace::new();
+            ws.load_tree(&g, root, &w, |u| fresh.parent[u]);
+            assert_eq!(ws.parents(), &fresh.parent[..]);
+            assert_eq!(ws.distances(), &fresh.dist[..]);
+        }
+    }
+
+    #[test]
+    fn load_tree_leaves_unreachable_nodes_alone() {
+        let g = from_edges(3, &[(0, 1, 1.0)]); // node 2 isolated
+        let fresh = dijkstra(&g, NodeId(0), &g.base_weights());
+        let mut ws = SpfWorkspace::new();
+        ws.load_tree(&g, NodeId(0), &g.base_weights(), |u| fresh.parent[u]);
+        assert_eq!(ws.distances()[2], f64::INFINITY);
+        assert_eq!(ws.parents()[2], None);
+    }
+
+    #[test]
+    fn repair_single_failure_matches_fresh_run() {
+        let g = diamond();
+        let w = g.base_weights();
+        for root in g.nodes() {
+            for e in g.edge_ids() {
+                let mut ws = SpfWorkspace::new();
+                ws.run(&g, root, &w, None);
+                let mut mask = EdgeMask::all_up(g.edge_count());
+                mask.fail(e);
+                ws.repair_failures(&g, root, &w, &mask, &[e]);
+                assert_matches_fresh(&ws, &g, root, &w, &mask);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_respects_tie_break() {
+        // Two equal routes to 3; fail the winning one, repair must fall
+        // back exactly where a fresh run would.
+        let g = from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)]);
+        let w = g.base_weights();
+        let mut ws = SpfWorkspace::new();
+        ws.run(&g, NodeId(0), &w, None);
+        assert_eq!(ws.parents()[3], Some((NodeId(1), EdgeId(2))));
+        let mut mask = EdgeMask::all_up(g.edge_count());
+        mask.fail(EdgeId(2));
+        ws.repair_failures(&g, NodeId(0), &w, &mask, &[EdgeId(2)]);
+        assert_eq!(ws.parents()[3], Some((NodeId(2), EdgeId(3))));
+        assert_matches_fresh(&ws, &g, NodeId(0), &w, &mask);
+    }
+
+    #[test]
+    fn repair_stacked_failures_match_fresh_run() {
+        // Ring of 5 with a chord: fail two edges one after the other; each
+        // repair starts from the previous repaired state.
+        let g = from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 0, 1.0),
+                (1, 3, 2.5),
+            ],
+        );
+        let w = g.base_weights();
+        let mut ws = SpfWorkspace::new();
+        ws.run(&g, NodeId(0), &w, None);
+        let mut mask = EdgeMask::all_up(g.edge_count());
+        mask.fail(EdgeId(0));
+        ws.repair_failures(&g, NodeId(0), &w, &mask, &[EdgeId(0)]);
+        assert_matches_fresh(&ws, &g, NodeId(0), &w, &mask);
+        mask.fail(EdgeId(4));
+        ws.repair_failures(&g, NodeId(0), &w, &mask, &[EdgeId(4)]);
+        assert_matches_fresh(&ws, &g, NodeId(0), &w, &mask);
+    }
+
+    #[test]
+    fn repair_disconnecting_failure_marks_unreachable() {
+        let g = from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let w = g.base_weights();
+        let mut ws = SpfWorkspace::new();
+        ws.run(&g, NodeId(2), &w, None);
+        let mut mask = EdgeMask::all_up(2);
+        mask.fail(EdgeId(1));
+        let frontier = ws.repair_failures(&g, NodeId(2), &w, &mask, &[EdgeId(1)]);
+        assert_eq!(frontier, 2, "both 0 and 1 hang below the failed link");
+        assert_matches_fresh(&ws, &g, NodeId(2), &w, &mask);
+        assert_eq!(ws.distances()[0], f64::INFINITY);
+    }
+
+    #[test]
+    fn repair_non_tree_failure_is_noop() {
+        let g = diamond();
+        let w = g.base_weights();
+        let mut ws = SpfWorkspace::new();
+        ws.run(&g, NodeId(3), &w, None);
+        // 0-2 (edge 2) carries no tree traffic toward 3: 0 routes via 1,
+        // 2 routes directly via edge 3.
+        assert_eq!(ws.parents()[0], Some((NodeId(1), EdgeId(0))));
+        assert_eq!(ws.parents()[2], Some((NodeId(3), EdgeId(3))));
+        let mut mask = EdgeMask::all_up(g.edge_count());
+        mask.fail(EdgeId(2));
+        let frontier = ws.repair_failures(&g, NodeId(3), &w, &mask, &[EdgeId(2)]);
+        assert_eq!(frontier, 0);
+        assert_matches_fresh(&ws, &g, NodeId(3), &w, &mask);
+    }
+
+    #[test]
+    fn repair_weight_increase_matches_fresh_run() {
+        let g = diamond();
+        let mask = EdgeMask::all_up(g.edge_count());
+        for root in g.nodes() {
+            for e in g.edge_ids() {
+                let old = g.base_weights();
+                let mut new_w = old.clone();
+                new_w[e.index()] *= 7.5;
+                let mut ws = SpfWorkspace::new();
+                ws.run(&g, root, &old, None);
+                ws.repair_reweight(&g, root, &new_w, &mask, e, old[e.index()]);
+                assert_matches_fresh(&ws, &g, root, &new_w, &mask);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_weight_decrease_matches_fresh_run() {
+        let g = diamond();
+        let mask = EdgeMask::all_up(g.edge_count());
+        for root in g.nodes() {
+            for e in g.edge_ids() {
+                let old = g.base_weights();
+                let mut new_w = old.clone();
+                new_w[e.index()] *= 0.25;
+                let mut ws = SpfWorkspace::new();
+                ws.run(&g, root, &old, None);
+                ws.repair_reweight(&g, root, &new_w, &mask, e, old[e.index()]);
+                assert_matches_fresh(&ws, &g, root, &new_w, &mask);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_decrease_rewins_tie_break() {
+        // 0-2 costs 2.0 while 0-1-3 keeps 0's route via 1; dropping 0-2 to
+        // 1.0 creates an equal-cost two-hop path 0-2-3 — no distance moves
+        // for node 0's route toward 3 via 1 (cost 3) vs via 2 (cost 3),
+        // and the tie-break must land exactly where a fresh run does.
+        let g = diamond();
+        let mask = EdgeMask::all_up(g.edge_count());
+        let old = g.base_weights(); // [1, 2, 2, 2]
+        let mut new_w = old.clone();
+        new_w[2] = 1.0; // 0-2 now 1.0: path 0-2-3 costs 3.0, ties 0-1-3
+        let mut ws = SpfWorkspace::new();
+        ws.run(&g, NodeId(3), &old, None);
+        ws.repair_reweight(&g, NodeId(3), &new_w, &mask, EdgeId(2), old[2]);
+        assert_matches_fresh(&ws, &g, NodeId(3), &new_w, &mask);
+    }
+
+    #[test]
+    fn repair_reweight_same_weight_is_noop() {
+        let g = diamond();
+        let mask = EdgeMask::all_up(g.edge_count());
+        let w = g.base_weights();
+        let mut ws = SpfWorkspace::new();
+        ws.run(&g, NodeId(0), &w, None);
+        assert_eq!(
+            ws.repair_reweight(&g, NodeId(0), &w, &mask, EdgeId(1), w[1]),
+            0
+        );
+        assert_matches_fresh(&ws, &g, NodeId(0), &w, &mask);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!
 //! [`EdgeMask`]: crate::EdgeMask
 
+use crate::dijkstra::WeightError;
 use crate::ids::{EdgeId, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -190,22 +191,48 @@ impl GraphBuilder {
         self.node_count = self.node_count.max(id.index() + 1);
     }
 
-    /// Add an undirected edge with base weight `weight`.
+    /// Add an undirected edge with base weight `weight`, rejecting
+    /// non-finite or non-positive weights with the same typed error
+    /// [`validate_weights`] reports. Zero-weight links would later make
+    /// the paper's `Random(0, L)` perturbation an empty range, so they are
+    /// stopped here, at construction, instead of panicking mid-build.
     ///
     /// # Panics
-    /// Panics on self-loops and on non-finite or non-positive weights; both
-    /// are topology-file bugs we want to surface immediately.
-    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> EdgeId {
+    /// Panics on self-loops — those are structural topology-file bugs, not
+    /// recoverable input.
+    ///
+    /// [`validate_weights`]: crate::dijkstra::validate_weights
+    pub fn try_add_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        weight: f64,
+    ) -> Result<EdgeId, WeightError> {
         assert!(u != v, "self-loop on {u:?} rejected");
-        assert!(
-            weight.is_finite() && weight > 0.0,
-            "edge weight must be positive and finite, got {weight}"
-        );
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(WeightError::BadWeight {
+                edge: EdgeId(self.edges.len() as u32),
+                value: weight,
+            });
+        }
         self.ensure_node(u);
         self.ensure_node(v);
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push(Edge { u, v, weight });
-        id
+        Ok(id)
+    }
+
+    /// Add an undirected edge with base weight `weight`.
+    ///
+    /// # Panics
+    /// Panics on self-loops and on non-finite or non-positive weights; both
+    /// are topology-file bugs we want to surface immediately. Use
+    /// [`GraphBuilder::try_add_edge`] to handle bad weights gracefully.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> EdgeId {
+        match self.try_add_edge(u, v, weight) {
+            Ok(id) => id,
+            Err(_) => panic!("edge weight must be positive and finite, got {weight}"),
+        }
     }
 
     /// Convenience: add an edge by raw indices with weight 1.0.
@@ -311,6 +338,21 @@ mod tests {
     fn nan_weight_rejected() {
         let mut b = GraphBuilder::new().with_nodes(2);
         b.add_edge(NodeId(0), NodeId(1), f64::NAN);
+    }
+
+    #[test]
+    fn try_add_edge_reports_typed_weight_errors() {
+        let mut b = GraphBuilder::new().with_nodes(2);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            match b.try_add_edge(NodeId(0), NodeId(1), bad) {
+                Err(WeightError::BadWeight { edge, .. }) => assert_eq!(edge, EdgeId(0)),
+                other => panic!("expected BadWeight for {bad}, got {other:?}"),
+            }
+        }
+        // Rejected edges leave the builder untouched; good ones still land.
+        let id = b.try_add_edge(NodeId(0), NodeId(1), 2.0).unwrap();
+        assert_eq!(id, EdgeId(0));
+        assert_eq!(b.build().edge_count(), 1);
     }
 
     #[test]

@@ -10,7 +10,9 @@ use splice_graph::graph::from_edges;
 use splice_graph::maxflow::{edge_connectivity_st, global_edge_connectivity};
 use splice_graph::mincut::min_cut_links;
 use splice_graph::traversal::{components, connected, disconnected_pairs, reachable_from};
-use splice_graph::{dijkstra, dijkstra_masked, EdgeId, EdgeMask, Graph, NodeId, UnionFind};
+use splice_graph::{
+    dijkstra, dijkstra_masked, EdgeId, EdgeMask, Graph, NodeId, SpfWorkspace, UnionFind,
+};
 
 /// Strategy: a random connected-ish multigraph with 2..=12 nodes and
 /// 1..=30 weighted edges (weights in [0.5, 10]).
@@ -145,6 +147,66 @@ proptest! {
             }
         }
         prop_assert_eq!(disconnected_pairs(&g, &mask), brute);
+    }
+
+    /// Delta-SPF repair after failing a random edge subset is bit-identical
+    /// — distances by `total_cmp`, parents exactly — to a from-scratch
+    /// masked run, for every root.
+    #[test]
+    fn repair_failures_matches_rebuild((g, mask) in arb_graph_with_mask()) {
+        let w = g.base_weights();
+        let newly: Vec<EdgeId> = mask.failed_edges().collect();
+        let mut ws = SpfWorkspace::new();
+        let mut fresh = SpfWorkspace::new();
+        for root in g.nodes() {
+            ws.run(&g, root, &w, None);
+            ws.repair_failures(&g, root, &w, &mask, &newly);
+            fresh.run(&g, root, &w, Some(&mask));
+            for i in 0..g.node_count() {
+                prop_assert!(
+                    ws.distances()[i].total_cmp(&fresh.distances()[i]).is_eq(),
+                    "dist mismatch at node {} of root {:?}: {} vs {}",
+                    i, root, ws.distances()[i], fresh.distances()[i]
+                );
+                prop_assert_eq!(
+                    ws.parents()[i], fresh.parents()[i],
+                    "parent mismatch at node {} of root {:?}", i, root
+                );
+            }
+        }
+    }
+
+    /// Delta-SPF repair of a single weight change (up or down) is
+    /// bit-identical to a from-scratch run on the new vector.
+    #[test]
+    fn repair_reweight_matches_rebuild(
+        g in arb_graph(),
+        edge_sel in any::<prop::sample::Index>(),
+        factor in prop_oneof![0.1f64..0.9, 1.0f64..8.0],
+    ) {
+        let old_w = g.base_weights();
+        let e = EdgeId(edge_sel.index(g.edge_count()) as u32);
+        let mut new_w = old_w.clone();
+        new_w[e.index()] = old_w[e.index()] * factor;
+        let mask = EdgeMask::all_up(g.edge_count());
+        let mut ws = SpfWorkspace::new();
+        let mut fresh = SpfWorkspace::new();
+        for root in g.nodes() {
+            ws.run(&g, root, &old_w, Some(&mask));
+            ws.repair_reweight(&g, root, &new_w, &mask, e, old_w[e.index()]);
+            fresh.run(&g, root, &new_w, Some(&mask));
+            for i in 0..g.node_count() {
+                prop_assert!(
+                    ws.distances()[i].total_cmp(&fresh.distances()[i]).is_eq(),
+                    "dist mismatch at node {} of root {:?} (factor {})",
+                    i, root, factor
+                );
+                prop_assert_eq!(
+                    ws.parents()[i], fresh.parents()[i],
+                    "parent mismatch at node {} of root {:?} (factor {})", i, root, factor
+                );
+            }
+        }
     }
 
     /// Component labels partition the node set.

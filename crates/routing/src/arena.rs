@@ -17,12 +17,37 @@
 
 use crate::fib::{Fib, RoutingTables};
 use splice_graph::dijkstra::SpfWorkspace;
-use splice_graph::{EdgeId, Graph, NodeId};
+use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
 
 /// Sentinel for "no installed entry" in both slabs. Valid node and edge
 /// ids are dense and far below `u32::MAX`, so the sentinel can never
 /// collide with real state.
 pub const NO_ROUTE: u32 = u32::MAX;
+
+/// What an incremental repair of one (or more) slice planes did: how many
+/// destination columns were rewritten, how many were proven untouched and
+/// skipped, and how many nodes were re-relaxed in total (the repair
+/// frontier — the quantity the `splice_spf_repair_frontier` histogram
+/// observes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Columns whose entries were recomputed and written back.
+    pub patched_columns: usize,
+    /// Columns left byte-identical (the event provably could not change
+    /// them).
+    pub skipped_columns: usize,
+    /// Total re-relaxed nodes across all patched columns.
+    pub frontier_nodes: usize,
+}
+
+impl RepairStats {
+    /// Fold another plane's stats into this one.
+    pub fn absorb(&mut self, other: RepairStats) {
+        self.patched_columns += other.patched_columns;
+        self.skipped_columns += other.skipped_columns;
+        self.frontier_nodes += other.frontier_nodes;
+    }
+}
 
 /// All routers' forwarding state for all k slices, as one flat arena.
 ///
@@ -175,6 +200,153 @@ impl SpliceFib {
         }
     }
 
+    /// A new arena holding copies of the first `k` planes — the starting
+    /// point for an incremental repair, which then patches only the
+    /// columns an event actually touched. The copy is two `memcpy`s; no
+    /// shortest-path work happens here.
+    pub fn clone_prefix(&self, k: usize) -> SpliceFib {
+        assert!(k <= self.k, "prefix {k} exceeds arena k = {}", self.k);
+        let len = k * self.n * self.n;
+        SpliceFib {
+            k,
+            n: self.n,
+            next_hop: self.next_hop[..len].into(),
+            out_edge: self.out_edge[..len].into(),
+        }
+    }
+
+    /// Overwrite the whole `(slice, dst)` column from a router-indexed
+    /// parent array — the shape [`SpfWorkspace::parents`] produces. This
+    /// is the repair path's write primitive, the column-granular
+    /// counterpart of [`SpliceFib::fill_slice`].
+    pub fn patch_column(
+        &mut self,
+        slice: usize,
+        dst: NodeId,
+        parents: &[Option<(NodeId, EdgeId)>],
+    ) {
+        assert_eq!(parents.len(), self.n, "parent array must be router-indexed");
+        assert!(
+            slice < self.k,
+            "slice {slice} out of range (k = {})",
+            self.k
+        );
+        let base = slice * self.n * self.n + dst.index();
+        for (u, parent) in parents.iter().enumerate() {
+            let i = base + u * self.n;
+            match parent {
+                Some((nh, e)) => {
+                    self.next_hop[i] = nh.index() as u32;
+                    self.out_edge[i] = e.index() as u32;
+                }
+                None => {
+                    self.next_hop[i] = NO_ROUTE;
+                    self.out_edge[i] = NO_ROUTE;
+                }
+            }
+        }
+    }
+
+    /// Whether any router's installed out-edge in the `(slice, dst)`
+    /// column is one of `edges` — the O(n) pre-scan that lets repairs
+    /// skip columns a failure cannot have touched.
+    fn column_uses_edge(&self, slice: usize, dst: NodeId, edges: &[EdgeId]) -> bool {
+        let base = slice * self.n * self.n + dst.index();
+        (0..self.n).any(|u| {
+            let oe = self.out_edge[base + u * self.n];
+            oe != NO_ROUTE && edges.contains(&EdgeId(oe))
+        })
+    }
+
+    /// Incrementally repair plane `slice` after the links in
+    /// `newly_failed` went down. `mask` is the new cumulative failure mask
+    /// (with `newly_failed` already failed) and `weights` the slice's
+    /// weight vector; the plane must hold the forwarding state that was
+    /// correct immediately before the event.
+    ///
+    /// Columns whose tree does not cross a newly failed link are skipped
+    /// after an O(n) scan — their entries are provably unchanged. Touched
+    /// columns are loaded into `ws`, repaired via
+    /// [`SpfWorkspace::repair_failures`], and written back whole.
+    pub fn patch_slice_failures(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        slice: usize,
+        mask: &EdgeMask,
+        newly_failed: &[EdgeId],
+        ws: &mut SpfWorkspace,
+    ) -> RepairStats {
+        assert_eq!(self.n, g.node_count(), "arena built for a different graph");
+        assert!(
+            slice < self.k,
+            "slice {slice} out of range (k = {})",
+            self.k
+        );
+        let mut stats = RepairStats::default();
+        for t in g.nodes() {
+            if !self.column_uses_edge(slice, t, newly_failed) {
+                stats.skipped_columns += 1;
+                continue;
+            }
+            ws.load_tree(g, t, weights, |u| self.lookup(slice, NodeId(u as u32), t));
+            stats.frontier_nodes += ws.repair_failures(g, t, weights, mask, newly_failed);
+            self.patch_column(slice, t, ws.parents());
+            stats.patched_columns += 1;
+        }
+        stats
+    }
+
+    /// Incrementally repair plane `slice` after `edge`'s weight changed
+    /// from `old_weight` to `weights[edge]` (`weights` is the slice's new
+    /// vector). Weight increases skip columns that do not route over
+    /// `edge`; decreases probe every column, but a probe that changes
+    /// nothing costs one relaxation and skips the write-back.
+    pub fn patch_slice_reweight(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        slice: usize,
+        mask: &EdgeMask,
+        edge: EdgeId,
+        old_weight: f64,
+        ws: &mut SpfWorkspace,
+    ) -> RepairStats {
+        assert_eq!(self.n, g.node_count(), "arena built for a different graph");
+        assert!(
+            slice < self.k,
+            "slice {slice} out of range (k = {})",
+            self.k
+        );
+        let increase = weights[edge.index()] > old_weight;
+        // Loaded trees must reconstruct the *pre-event* distances, so the
+        // chain walk sums the old vector; the repair then relaxes under
+        // the new one.
+        let mut old_weights = weights.to_vec();
+        old_weights[edge.index()] = old_weight;
+        let mut stats = RepairStats::default();
+        for t in g.nodes() {
+            // An increase on a link a column does not route over cannot
+            // change that column; a decrease can improve any column.
+            if increase && !self.column_uses_edge(slice, t, &[edge]) {
+                stats.skipped_columns += 1;
+                continue;
+            }
+            ws.load_tree(g, t, &old_weights, |u| {
+                self.lookup(slice, NodeId(u as u32), t)
+            });
+            let touched = ws.repair_reweight(g, t, weights, mask, edge, old_weight);
+            if touched == 0 {
+                stats.skipped_columns += 1;
+                continue;
+            }
+            stats.frontier_nodes += touched;
+            self.patch_column(slice, t, ws.parents());
+            stats.patched_columns += 1;
+        }
+        stats
+    }
+
     /// Pack legacy per-slice [`RoutingTables`] into an arena.
     ///
     /// # Panics
@@ -292,6 +464,99 @@ mod tests {
         assert_eq!(a1.state_bytes(), 2 * n * n * 4);
         assert_eq!(a1.plane_bytes(), a1.state_bytes());
         assert_eq!(a4.plane_bytes(), a1.state_bytes());
+    }
+
+    /// Rebuild `slice` from scratch under `weights`/`mask` and assert the
+    /// repaired arena plane equals it entry for entry.
+    fn assert_plane_matches_rebuild(
+        arena: &SpliceFib,
+        g: &splice_graph::Graph,
+        w: &[f64],
+        slice: usize,
+        mask: &EdgeMask,
+    ) {
+        let mut ws = SpfWorkspace::new();
+        let mut fresh = SpliceFib::empty(1, g.node_count());
+        for t in g.nodes() {
+            ws.run(g, t, w, Some(mask));
+            fresh.patch_column(0, t, ws.parents());
+        }
+        for u in g.nodes() {
+            for t in g.nodes() {
+                assert_eq!(
+                    arena.lookup(slice, u, t),
+                    fresh.lookup(0, u, t),
+                    "router {u:?} toward {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clone_prefix_copies_planes() {
+        let g = diamond();
+        let mut arena = SpliceFib::empty(2, g.node_count());
+        let mut ws = SpfWorkspace::new();
+        arena.fill_slice(&g, &g.base_weights(), 0, &mut ws);
+        arena.fill_slice(&g, &[1.0, 10.0, 2.0, 2.0], 1, &mut ws);
+        let one = arena.clone_prefix(1);
+        assert_eq!(one.k(), 1);
+        assert_eq!(one.to_tables(0), arena.to_tables(0));
+        let both = arena.clone_prefix(2);
+        assert_eq!(both, arena);
+    }
+
+    #[test]
+    fn patch_column_roundtrips_workspace_parents() {
+        let g = diamond();
+        let w = g.base_weights();
+        let mut ws = SpfWorkspace::new();
+        let mut direct = SpliceFib::empty(1, g.node_count());
+        direct.fill_slice(&g, &w, 0, &mut ws);
+        let mut patched = SpliceFib::empty(1, g.node_count());
+        for t in g.nodes() {
+            ws.run(&g, t, &w, None);
+            patched.patch_column(0, t, ws.parents());
+        }
+        assert_eq!(patched, direct);
+    }
+
+    #[test]
+    fn patch_slice_failures_matches_rebuild_and_skips_untouched() {
+        let g = diamond();
+        let w = g.base_weights();
+        for fail in g.edge_ids() {
+            let mut arena = SpliceFib::empty(1, g.node_count());
+            let mut ws = SpfWorkspace::new();
+            arena.fill_slice(&g, &w, 0, &mut ws);
+            let mut mask = EdgeMask::all_up(g.edge_count());
+            mask.fail(fail);
+            let stats = arena.patch_slice_failures(&g, &w, 0, &mask, &[fail], &mut ws);
+            assert_eq!(
+                stats.patched_columns + stats.skipped_columns,
+                g.node_count(),
+                "every column accounted for"
+            );
+            assert_plane_matches_rebuild(&arena, &g, &w, 0, &mask);
+        }
+    }
+
+    #[test]
+    fn patch_slice_reweight_matches_rebuild_both_directions() {
+        let g = diamond();
+        let mask = EdgeMask::all_up(g.edge_count());
+        for edge in g.edge_ids() {
+            for factor in [4.0, 0.3] {
+                let old = g.base_weights();
+                let mut new_w = old.clone();
+                new_w[edge.index()] *= factor;
+                let mut arena = SpliceFib::empty(1, g.node_count());
+                let mut ws = SpfWorkspace::new();
+                arena.fill_slice(&g, &old, 0, &mut ws);
+                arena.patch_slice_reweight(&g, &new_w, 0, &mask, edge, old[edge.index()], &mut ws);
+                assert_plane_matches_rebuild(&arena, &g, &new_w, 0, &mask);
+            }
+        }
     }
 
     #[test]

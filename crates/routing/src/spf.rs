@@ -4,11 +4,11 @@
 //! the instance's weight vector from the database, run Dijkstra per
 //! destination, install FIBs.
 
-use crate::arena::SpliceFib;
+use crate::arena::{RepairStats, SpliceFib};
 use crate::fib::RoutingTables;
 use crate::lsdb::LinkStateDb;
 use splice_graph::dijkstra::{all_destinations, SpfWorkspace};
-use splice_graph::Graph;
+use splice_graph::{EdgeId, EdgeMask, Graph};
 use splice_telemetry::{Histogram, Registry};
 use std::sync::Arc;
 use std::time::Instant;
@@ -29,6 +29,15 @@ pub struct SpfTelemetry {
     /// Measured [`SpliceFib`] arena footprint in bytes, one observation
     /// per splicing build — the §4.2 state-size accounting.
     pub arena_bytes: Arc<Histogram>,
+    /// Wall time of one incremental slice-plane repair
+    /// ([`SpliceFib::patch_slice_failures`] /
+    /// [`SpliceFib::patch_slice_reweight`]), one observation per repaired
+    /// plane — the counterpart of `spf_seconds` for the delta-SPF path.
+    pub spf_repair_seconds: Arc<Histogram>,
+    /// Re-relaxed nodes per repaired plane (the repair frontier). Small
+    /// frontiers are the whole point of repairing instead of rebuilding;
+    /// this histogram is the evidence.
+    pub spf_repair_frontier: Arc<Histogram>,
 }
 
 impl SpfTelemetry {
@@ -46,6 +55,14 @@ impl SpfTelemetry {
             arena_bytes: registry.histogram(
                 "splice_fib_arena_bytes",
                 "Flat spliced-FIB arena size in bytes, one observation per splicing build",
+            ),
+            spf_repair_seconds: registry.histogram_seconds(
+                "splice_spf_repair_seconds",
+                "Per-plane incremental SPF repair wall time",
+            ),
+            spf_repair_frontier: registry.histogram(
+                "splice_spf_repair_frontier",
+                "Re-relaxed nodes per repaired slice plane (repair frontier size)",
             ),
         }
     }
@@ -112,6 +129,56 @@ pub fn spf_fill_arena(
     tel.spf_seconds.record_duration(t0.elapsed());
 }
 
+/// The delta-SPF counterpart of [`spf_fill_arena`]: repair plane `slice`
+/// in place after the links in `newly_failed` went down, with optional
+/// per-plane timing and frontier-size observations. Entries are
+/// bit-identical with telemetry on or off.
+#[allow(clippy::too_many_arguments)]
+pub fn spf_repair_arena_failures(
+    g: &Graph,
+    weights: &[f64],
+    fib: &mut SpliceFib,
+    slice: usize,
+    mask: &EdgeMask,
+    newly_failed: &[EdgeId],
+    ws: &mut SpfWorkspace,
+    telemetry: Option<&SpfTelemetry>,
+) -> RepairStats {
+    let Some(tel) = telemetry else {
+        return fib.patch_slice_failures(g, weights, slice, mask, newly_failed, ws);
+    };
+    let t0 = Instant::now();
+    let stats = fib.patch_slice_failures(g, weights, slice, mask, newly_failed, ws);
+    tel.spf_repair_seconds.record_duration(t0.elapsed());
+    tel.spf_repair_frontier.record(stats.frontier_nodes as u64);
+    stats
+}
+
+/// [`spf_repair_arena_failures`]'s sibling for a single-link weight
+/// change: `weights` is the slice's new vector, `old_weight` the value
+/// `edge` had when the plane was last correct.
+#[allow(clippy::too_many_arguments)]
+pub fn spf_repair_arena_reweight(
+    g: &Graph,
+    weights: &[f64],
+    fib: &mut SpliceFib,
+    slice: usize,
+    mask: &EdgeMask,
+    edge: EdgeId,
+    old_weight: f64,
+    ws: &mut SpfWorkspace,
+    telemetry: Option<&SpfTelemetry>,
+) -> RepairStats {
+    let Some(tel) = telemetry else {
+        return fib.patch_slice_reweight(g, weights, slice, mask, edge, old_weight, ws);
+    };
+    let t0 = Instant::now();
+    let stats = fib.patch_slice_reweight(g, weights, slice, mask, edge, old_weight, ws);
+    tel.spf_repair_seconds.record_duration(t0.elapsed());
+    tel.spf_repair_frontier.record(stats.frontier_nodes as u64);
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +235,36 @@ mod tests {
         assert_eq!(tel.spf_seconds.count(), 1, "fused pass records once");
         tel.arena_bytes.record(fib.state_bytes() as u64);
         assert!(reg.render_prometheus().contains("splice_fib_arena_bytes"));
+    }
+
+    #[test]
+    fn repaired_arena_matches_full_rebuild_and_records() {
+        let g = from_edges(4, &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 2.0), (2, 3, 2.0)]);
+        let w = g.base_weights();
+        let mut ws = SpfWorkspace::new();
+        let mut fib = SpliceFib::empty(1, g.node_count());
+        spf_fill_arena(&g, &w, &mut fib, 0, &mut ws, None);
+        let reg = Registry::new();
+        let tel = SpfTelemetry::register(&reg);
+        let failed = splice_graph::EdgeId(0);
+        let mut mask = EdgeMask::all_up(g.edge_count());
+        mask.fail(failed);
+        let stats =
+            spf_repair_arena_failures(&g, &w, &mut fib, 0, &mask, &[failed], &mut ws, Some(&tel));
+        assert!(stats.patched_columns > 0);
+        assert_eq!(tel.spf_repair_seconds.count(), 1);
+        assert_eq!(tel.spf_repair_frontier.count(), 1);
+        // The repaired plane equals a from-scratch build on the failed
+        // topology.
+        let mut fresh = SpliceFib::empty(1, g.node_count());
+        for t in g.nodes() {
+            ws.run(&g, t, &w, Some(&mask));
+            fresh.patch_column(0, t, ws.parents());
+        }
+        assert_eq!(fib, fresh);
+        assert!(reg
+            .render_prometheus()
+            .contains("splice_spf_repair_seconds"));
     }
 
     #[test]

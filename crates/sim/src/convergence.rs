@@ -34,6 +34,12 @@ pub struct WindowResult {
     /// Affected pairs that network-based deflection keeps connected
     /// during the window (no reconvergence needed).
     pub rescued_pairs: usize,
+    /// Destination columns (across all k slice planes) the incremental
+    /// repair at the end of the window actually rewrote — the data-plane
+    /// reconvergence cost, vs `k·n` columns for a full rebuild.
+    pub repair_patched_columns: usize,
+    /// Nodes re-relaxed by the repair across all planes (its frontier).
+    pub repair_frontier_nodes: usize,
 }
 
 impl WindowResult {
@@ -106,12 +112,19 @@ pub fn convergence_window_sweep(
                     }
                 }
             }
+            // What reconvergence costs once the window closes: repair the
+            // deployment's FIB incrementally and account for what it
+            // touched (next-hop-identical to a full rebuild).
+            let (_, repair) = splicing.repair_report(g, &RepairEvent::LinkFailure(e));
+
             WindowResult {
                 failed: e,
                 flood_rounds: stats.rounds,
                 flood_messages: stats.messages,
                 affected_pairs: affected,
                 rescued_pairs: rescued,
+                repair_patched_columns: repair.patched_columns,
+                repair_frontier_nodes: repair.frontier_nodes,
             }
         })
         .collect()
@@ -171,6 +184,15 @@ mod tests {
         );
         assert!(summary.total_rescued <= summary.total_affected);
         assert!(summary.worst_window_rounds >= 1);
+        let k_n_columns = 5 * g.node_count();
+        for r in &results {
+            assert!(
+                r.repair_patched_columns > 0 && r.repair_patched_columns <= k_n_columns,
+                "{:?}: repair must touch some columns, never more than k·n",
+                r.failed
+            );
+            assert!(r.repair_frontier_nodes > 0);
+        }
     }
 
     #[test]
@@ -191,6 +213,8 @@ mod tests {
             flood_messages: 10,
             affected_pairs: 0,
             rescued_pairs: 0,
+            repair_patched_columns: 0,
+            repair_frontier_nodes: 0,
         };
         assert_eq!(r.rescue_rate(), 1.0);
     }

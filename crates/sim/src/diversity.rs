@@ -11,7 +11,7 @@
 //! * arc-disjoint connectivity of the per-destination successor graph —
 //!   the Theorem A.1 quantity.
 
-use crate::parallel::run_trials;
+use crate::parallel::run_trials_stream;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use splice_core::prelude::*;
@@ -79,27 +79,33 @@ pub fn state_vs_diversity(
 
             // Diversity by header sampling (parallel over pairs).
             let opts = ForwarderOptions::default();
-            let per_pair: Vec<(usize, usize)> = run_trials(pairs.len(), seed ^ k as u64, |i, s| {
-                let (src, dst) = pairs[i];
-                let fwd = Forwarder::new(&prefix, g, &mask);
-                let mut rng = StdRng::seed_from_u64(s);
-                let mut distinct: std::collections::HashSet<Vec<u32>> =
-                    std::collections::HashSet::new();
-                for _ in 0..header_samples {
-                    let header = ForwardingBits::random(
-                        &mut rng,
-                        20.min(128 / splice_core::header::bits_per_hop(k).max(1) as usize),
-                        k,
-                    );
-                    if let ForwardingOutcome::Delivered(tr) = fwd.forward(src, dst, header, &opts) {
-                        let key: Vec<u32> =
-                            tr.steps.iter().map(|st| st.node.0).chain([dst.0]).collect();
-                        distinct.insert(key);
+            // One stream per k: with the old `seed ^ k` bases, adjacent
+            // k's trial seeds collided pairwise.
+            let per_pair: Vec<(usize, usize)> =
+                run_trials_stream(pairs.len(), seed, k as u64, |i, s| {
+                    let (src, dst) = pairs[i];
+                    let fwd = Forwarder::new(&prefix, g, &mask);
+                    let mut rng = StdRng::seed_from_u64(s);
+                    let mut distinct: std::collections::HashSet<Vec<u32>> =
+                        std::collections::HashSet::new();
+                    for _ in 0..header_samples {
+                        let header = ForwardingBits::random(
+                            &mut rng,
+                            20.min(128 / splice_core::header::bits_per_hop(k).max(1) as usize),
+                            k,
+                        );
+                        if let ForwardingOutcome::Delivered(tr) =
+                            fwd.forward(src, dst, header, &opts)
+                        {
+                            let key: Vec<u32> =
+                                tr.steps.iter().map(|st| st.node.0).chain([dst.0]).collect();
+                            distinct.insert(key);
+                        }
                     }
-                }
-                let conn = succ_connectivity(&prefix.successors_toward(dst, k, &mask), src, dst);
-                (distinct.len(), conn)
-            });
+                    let conn =
+                        succ_connectivity(&prefix.successors_toward(dst, k, &mask), src, dst);
+                    (distinct.len(), conn)
+                });
 
             let distinct_paths =
                 per_pair.iter().map(|&(d, _)| d as f64).sum::<f64>() / pairs.len() as f64;

@@ -10,7 +10,7 @@
 //! every pair over the mixed-table network, with and without splicing
 //! deflection, and integrates pair-downtime over the episode.
 
-use splice_core::slices::{Splicing, SplicingConfig};
+use splice_core::slices::{RepairEvent, Splicing, SplicingConfig};
 use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
 use splice_routing::dynamics::{failure_timeline, DynamicsConfig, TransientCensus};
 use splice_routing::fib::RoutingTables;
@@ -49,16 +49,14 @@ pub fn spliced_timeline(
     cfg: &DynamicsConfig,
 ) -> SplicedTimeline {
     let base = failure_timeline(g, latencies, splicing.weights(0), e, cfg);
-    let mask = EdgeMask::from_failed(g.edge_count(), &[e]);
+    // The post-convergence tables come from delta-SPF repair, not k·n
+    // fresh Dijkstras — the repaired arena is next-hop-identical to a
+    // from-scratch rebuild on the failed topology, so the sweep's numbers
+    // are unchanged while each episode only pays for the failed link's
+    // dirty subtrees.
+    let repaired = splicing.repair(g, &RepairEvent::LinkFailure(e));
     let per_slice = (0..splicing.k())
-        .map(|i| {
-            let old = splicing.tables(i);
-            let spts: Vec<_> = g
-                .nodes()
-                .map(|t| splice_graph::dijkstra_masked(g, t, splicing.weights(i), &mask))
-                .collect();
-            (old, RoutingTables::from_spts(&spts))
-        })
+        .map(|i| (splicing.tables(i), repaired.tables(i)))
         .collect();
     SplicedTimeline { base, per_slice }
 }

@@ -10,8 +10,32 @@ use crate::telemetry::TrialTelemetry;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Run `trials` independent jobs, each seeded as `base_seed + index`, and
-/// collect results in trial order.
+/// SplitMix64's finalizer: a full-avalanche bijection on `u64`.
+#[inline]
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Derive the seed of trial `index` in RNG stream `stream` of experiment
+/// `base_seed`.
+///
+/// All per-trial seeding funnels through this one mixer. The naive
+/// alternatives collide: `base + index` makes adjacent trials of one
+/// stream overlap a sibling stream based at `base ^ stream` (e.g. the
+/// k-sweep streams), silently correlating "independent" samples. Chained
+/// SplitMix64 avalanches each component, so distinct `(base, stream,
+/// index)` triples give unrelated seeds.
+pub fn derive_seed(base_seed: u64, stream: u64, index: u64) -> u64 {
+    let mut h = splitmix64(base_seed);
+    h = splitmix64(h ^ stream);
+    splitmix64(h ^ index)
+}
+
+/// Run `trials` independent jobs in stream 0, each seeded via
+/// [`derive_seed`], and collect results in trial order.
 ///
 /// `job(trial_index, trial_seed)` must be pure given its seed.
 pub fn run_trials<T, F>(trials: usize, base_seed: u64, job: F) -> Vec<T>
@@ -19,10 +43,22 @@ where
     T: Send,
     F: Fn(usize, u64) -> T + Sync,
 {
+    run_trials_stream(trials, base_seed, 0, job)
+}
+
+/// [`run_trials`] in a named RNG stream: experiments that run several
+/// trial batches from one experiment seed (one per `k`, per failure
+/// probability, ...) give each batch its own `stream` so no two batches
+/// share a trial seed.
+pub fn run_trials_stream<T, F>(trials: usize, base_seed: u64, stream: u64, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    run_trials_with_threads(trials, base_seed, threads, job)
+    run_trials_stream_with_threads(trials, base_seed, stream, threads, job)
 }
 
 /// [`run_trials`] with an explicit worker count. Results are bit-identical
@@ -38,6 +74,21 @@ where
     T: Send,
     F: Fn(usize, u64) -> T + Sync,
 {
+    run_trials_stream_with_threads(trials, base_seed, 0, threads, job)
+}
+
+/// [`run_trials_stream`] with an explicit worker count.
+pub fn run_trials_stream_with_threads<T, F>(
+    trials: usize,
+    base_seed: u64,
+    stream: u64,
+    threads: usize,
+    job: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
     let threads = threads.max(1).min(trials.max(1));
     let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
     if trials == 0 {
@@ -45,7 +96,7 @@ where
     }
     if threads <= 1 {
         return (0..trials)
-            .map(|i| job(i, base_seed.wrapping_add(i as u64)))
+            .map(|i| job(i, derive_seed(base_seed, stream, i as u64)))
             .collect();
     }
 
@@ -59,7 +110,7 @@ where
                 if i >= trials {
                     break;
                 }
-                let out = job(i, base_seed.wrapping_add(i as u64));
+                let out = job(i, derive_seed(base_seed, stream, i as u64));
                 **slots[i].lock() = Some(out);
             });
         }
@@ -120,8 +171,39 @@ mod tests {
         let out = run_trials(100, 7, |i, seed| (i, seed));
         for (i, &(idx, seed)) in out.iter().enumerate() {
             assert_eq!(idx, i);
-            assert_eq!(seed, 7 + i as u64);
+            assert_eq!(seed, derive_seed(7, 0, i as u64));
         }
+    }
+
+    #[test]
+    fn streams_do_not_share_trial_seeds() {
+        // The regression this seeding exists to prevent: with `base +
+        // index` trial seeds and `base ^ stream` stream bases, trial
+        // seeds of nearby streams collide (e.g. stream 1 trial 0 ==
+        // stream 0 trial 1). Distinct (stream, index) pairs must now give
+        // distinct seeds.
+        let mut seen = std::collections::HashSet::new();
+        for stream in 0..16u64 {
+            for index in 0..64u64 {
+                assert!(
+                    seen.insert(derive_seed(42, stream, index)),
+                    "seed collision at stream {stream} index {index}"
+                );
+            }
+        }
+        // And the whole batch reseeds when the experiment seed moves.
+        assert_ne!(derive_seed(1, 0, 0), derive_seed(2, 0, 0));
+        // Deterministic: same triple, same seed.
+        assert_eq!(derive_seed(9, 3, 5), derive_seed(9, 3, 5));
+    }
+
+    #[test]
+    fn stream_zero_is_the_default() {
+        let plain = run_trials(32, 11, |i, seed| (i, seed));
+        let stream0 = run_trials_stream(32, 11, 0, |i, seed| (i, seed));
+        assert_eq!(plain, stream0);
+        let stream1 = run_trials_stream(32, 11, 1, |i, seed| (i, seed));
+        assert_ne!(plain, stream1, "streams must differ");
     }
 
     #[test]
@@ -135,7 +217,7 @@ mod tests {
     #[test]
     fn zero_and_one_trials() {
         assert!(run_trials(0, 1, |i, _| i).is_empty());
-        assert_eq!(run_trials(1, 5, |_, s| s), vec![5]);
+        assert_eq!(run_trials(1, 5, |_, s| s), vec![derive_seed(5, 0, 0)]);
     }
 
     #[test]
