@@ -1,0 +1,21 @@
+#!/bin/sh
+# Regenerate the pinned golden checksum for the fig3 CI smoke run.
+#
+# The smoke run (abilene, 3 trials, seed 11) is bit-deterministic, so its
+# reliability-curve CSV can be pinned: CI verifies every build against
+# ci/golden/fig3_abilene_s11.sha256 when that file is non-empty. Run this
+# script after any *intentional* change to the curves (new semantics, new
+# RNG stream, changed sweep) and commit the result; an unintentional
+# change will then fail the `build and test` job.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=ci-golden-tmp
+rm -rf "$out"
+cargo run --release -p splice-bench --bin fig3_reliability -- \
+    --topology abilene --trials 3 --seed 11 --out "$out"
+(cd "$out" && sha256sum fig3_reliability_abilene_union.csv) \
+    > ci/golden/fig3_abilene_s11.sha256
+rm -rf "$out"
+echo "pinned:"
+cat ci/golden/fig3_abilene_s11.sha256

@@ -1,0 +1,81 @@
+//! Standalone writer for the machine-readable bench summaries.
+//!
+//! `BENCH_fib.json` and `BENCH_spf_repair.json` used to exist only as a
+//! side effect of running the criterion suites; this binary produces both
+//! on demand — by default into the repository root, where CI and the §4.2
+//! state-size discussion pick them up — without pulling in criterion at
+//! all. The documents carry a `schema_version` field (see
+//! [`splice_bench::fib_report::SCHEMA_VERSION`] and
+//! [`splice_bench::repair_report::SCHEMA_VERSION`]); consumers should
+//! check it before parsing.
+//!
+//! ```text
+//! cargo run -p splice-bench --bin bench_report -- [--topology NAME] [--seed N] [--out DIR]
+//! ```
+
+use std::path::PathBuf;
+
+/// k values matched to the criterion suites so the JSON summaries and the
+/// rigorous timings describe the same sweep.
+const FIB_KS: &[usize] = &[1, 2, 5, 10];
+const REPAIR_KS: &[usize] = &[1, 5, 10];
+
+fn main() {
+    let mut topology = String::from("sprint");
+    let mut seed = 42u64;
+    let mut out = PathBuf::from(".");
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need_value = |i: usize| {
+            argv.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value for {}", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--topology" => {
+                topology = need_value(i).clone();
+                i += 2;
+            }
+            "--seed" => {
+                seed = need_value(i).parse().unwrap_or_else(|e| {
+                    eprintln!("bad --seed: {e}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--out" => {
+                out = PathBuf::from(need_value(i));
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_report [--topology sprint|geant|abilene] [--seed N] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let fib_path = out.join("BENCH_fib.json");
+    if let Err(e) = splice_bench::fib_report::write_fib_report(&fib_path, &topology, FIB_KS, seed) {
+        eprintln!("writing {}: {e}", fib_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", fib_path.display());
+
+    let repair_path = out.join("BENCH_spf_repair.json");
+    if let Err(e) =
+        splice_bench::repair_report::write_repair_report(&repair_path, &topology, REPAIR_KS, seed)
+    {
+        eprintln!("writing {}: {e}", repair_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", repair_path.display());
+}

@@ -63,8 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let at = |s: &splice_sim::stats::Series| s.y_at(0.05).unwrap_or(f64::NAN);
     println!(
         "At p=0.05: k=1 {:.4} | k=5 {:.4} | k=10 {:.4} | best possible {:.4}",
-        at(out.for_k(1).unwrap()),
-        at(out.for_k(5).unwrap()),
+        at(out.for_k(1).expect("k=1 evaluated")),
+        at(out.for_k(5).expect("k=5 evaluated")),
         at(k10),
         at(&out.best_possible),
     );

@@ -57,7 +57,11 @@ fn main() {
                 seed: args.seed,
             },
         );
-        let disc_at = |p: f64| rel.curves[0].y_at(p).unwrap();
+        let disc_at = |p: f64| {
+            rel.curves[0]
+                .y_at(p)
+                .expect("queried p comes from the experiment's own ps list")
+        };
         let stats = slice_stretch_experiment(
             &g,
             &topo.latencies(),

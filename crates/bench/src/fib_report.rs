@@ -84,7 +84,23 @@ pub fn measure(topology: &str, ks: &[usize], seed: u64) -> Vec<FibBenchEntry> {
         .collect()
 }
 
+/// Schema version stamped into every `BENCH_fib.json`. Bump when a field
+/// is renamed, removed, or changes meaning; adding fields is compatible.
+pub const SCHEMA_VERSION: u64 = 1;
+
 /// Render entries as the `BENCH_fib.json` document.
+///
+/// Stable schema (version [`SCHEMA_VERSION`]):
+///
+/// ```json
+/// {
+///   "benchmark": "fib_arena",
+///   "schema_version": 1,
+///   "topology": "<name>",
+///   "seed": <u64>,
+///   "entries": [ { one object per k, fields as in FibBenchEntry } ]
+/// }
+/// ```
 pub fn render(topology: &str, seed: u64, entries: &[FibBenchEntry]) -> String {
     let mut arr = JsonArray::new();
     for e in entries {
@@ -102,6 +118,7 @@ pub fn render(topology: &str, seed: u64, entries: &[FibBenchEntry]) -> String {
     }
     JsonObject::new()
         .field_str("benchmark", "fib_arena")
+        .field_u64("schema_version", SCHEMA_VERSION)
         .field_str("topology", topology)
         .field_u64("seed", seed)
         .field_raw("entries", &arr.finish())
@@ -151,6 +168,7 @@ mod tests {
         let entries = measure("abilene", &[1], 7);
         let json = render("abilene", 7, &entries);
         assert!(json.contains(r#""benchmark":"fib_arena""#));
+        assert!(json.contains(r#""schema_version":1"#));
         assert!(json.contains(r#""topology":"abilene""#));
         assert!(json.contains(r#""arena_bytes""#));
         assert!(json.contains(r#""walk_seconds_per_hop""#));

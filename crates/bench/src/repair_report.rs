@@ -85,7 +85,24 @@ pub fn measure(topology: &str, ks: &[usize], seed: u64) -> Vec<RepairBenchEntry>
         .collect()
 }
 
+/// Schema version stamped into every `BENCH_spf_repair.json`. Bump when a
+/// field is renamed, removed, or changes meaning; adding fields is
+/// compatible.
+pub const SCHEMA_VERSION: u64 = 1;
+
 /// Render entries as the `BENCH_spf_repair.json` document.
+///
+/// Stable schema (version [`SCHEMA_VERSION`]):
+///
+/// ```json
+/// {
+///   "benchmark": "spf_repair",
+///   "schema_version": 1,
+///   "topology": "<name>",
+///   "seed": <u64>,
+///   "entries": [ { one object per k, fields as in RepairBenchEntry } ]
+/// }
+/// ```
 pub fn render(topology: &str, seed: u64, entries: &[RepairBenchEntry]) -> String {
     let mut arr = JsonArray::new();
     for e in entries {
@@ -105,6 +122,7 @@ pub fn render(topology: &str, seed: u64, entries: &[RepairBenchEntry]) -> String
     }
     JsonObject::new()
         .field_str("benchmark", "spf_repair")
+        .field_u64("schema_version", SCHEMA_VERSION)
         .field_str("topology", topology)
         .field_u64("seed", seed)
         .field_raw("entries", &arr.finish())
@@ -153,6 +171,7 @@ mod tests {
         let entries = measure("abilene", &[1], 7);
         let json = render("abilene", 7, &entries);
         assert!(json.contains(r#""benchmark":"spf_repair""#));
+        assert!(json.contains(r#""schema_version":1"#));
         assert!(json.contains(r#""topology":"abilene""#));
         assert!(json.contains(r#""repair_seconds_mean""#));
         assert!(json.contains(r#""patched_columns_mean""#));

@@ -9,6 +9,7 @@
 //!   recover      break links and run end-system or network recovery
 //!   reliability  quick Monte-Carlo disconnection numbers
 //!   slices       per-slice stretch statistics
+//!   testkit      replay a fault-injection scenario by seed-spec
 //! ```
 //!
 //! Run `splice help` for the full flag list.
@@ -42,6 +43,7 @@ commands:
   recover      break links and run recovery
   reliability  quick Monte-Carlo disconnection numbers
   slices       per-slice stretch statistics
+  testkit      replay a fault-injection scenario by seed-spec
   help         this message
 
 common flags:
@@ -67,6 +69,12 @@ reliability flags:
 telemetry flags (recover, reliability):
   --metrics PATH                    write a Prometheus metric snapshot
   --trace PATH                      write packet walks as JSON lines
+
+testkit:
+  testkit replay <SPEC>             replay a scenario through the
+                                    differential harness; SPEC is the
+                                    token a failing soak/CI run prints,
+                                    e.g. rand-8-12-99/k3d/s7/f4+n1
 ";
 
 fn main() {
@@ -75,6 +83,14 @@ fn main() {
         eprint!("{HELP}");
         std::process::exit(2);
     };
+    // `testkit` takes positional operands, so it dispatches before the
+    // flag parser (which rejects positionals).
+    if command == "testkit" {
+        if let Err(e) = cmd_testkit(&argv[1..]) {
+            fail(&e);
+        }
+        return;
+    }
     let flags = match Flags::parse(&argv[1..]) {
         Ok(f) => f,
         Err(e) => fail(&e),
@@ -99,6 +115,40 @@ fn main() {
 fn fail(msg: &str) -> ! {
     eprintln!("splice: {msg}");
     std::process::exit(2);
+}
+
+/// `splice testkit replay <spec>` — re-run a scenario printed by a
+/// failing soak/CI run through the full differential harness.
+fn cmd_testkit(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("replay") => {
+            let [spec] = &args[1..] else {
+                return Err("usage: splice testkit replay <SPEC>".into());
+            };
+            let sc = splice_testkit::Scenario::from_spec(spec)?;
+            match splice_testkit::replay(&sc, &splice_testkit::ReplayOptions::default()) {
+                Ok(report) => {
+                    println!(
+                        "PASS {spec}: {} event(s), {} next-hop + {} distance checks, {} walk(s)",
+                        report.events_applied,
+                        report.next_hop_checks,
+                        report.distance_checks,
+                        report.walks_checked
+                    );
+                    Ok(())
+                }
+                Err(div) => {
+                    eprintln!("FAIL {spec}");
+                    eprintln!("  {div}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some(other) => Err(format!(
+            "unknown testkit subcommand {other:?} (try `splice testkit replay <SPEC>`)"
+        )),
+        None => Err("usage: splice testkit replay <SPEC>".into()),
+    }
 }
 
 fn build(topo: &Topology, flags: &Flags) -> Result<(splice_graph::Graph, Splicing), String> {
@@ -232,7 +282,9 @@ fn cmd_recover(flags: &Flags) -> Result<(), String> {
             };
             let out = rec.recover(&fwd, src, dst, 0, &ForwarderOptions::default(), &mut rng);
             if out.recovered {
-                let trace = out.delivery.unwrap();
+                let trace = out
+                    .delivery
+                    .expect("recovered outcome always carries its delivery trace");
                 println!(
                     "recovered in {} trial(s); {} hops, {} slice switch(es)",
                     out.trials,

@@ -216,4 +216,82 @@ mod tests {
         let g = abilene().graph();
         build_mrc(&g, 1);
     }
+
+    /// The MRC recovery invariant, walked directly over the forwarding
+    /// tables: for every single-link failure that leaves the graph
+    /// connected, the isolating configuration's next hops deliver every
+    /// flow without ever crossing the failed link. This is the claim
+    /// [`mrc_recovers_any_single_failure_via_deflection`] tests through
+    /// the recovery machinery; here nothing can mask a violation.
+    #[test]
+    fn isolating_config_delivers_around_any_single_failure() {
+        let g = abilene().graph();
+        let k = full_protection_k(&g);
+        let mrc = build_mrc(&g, k);
+        let n = g.node_count();
+        for e in g.edge_ids() {
+            let mask = EdgeMask::from_failed(g.edge_count(), &[e]);
+            if !splice_graph::traversal::is_connected(&g, &mask) {
+                continue; // physics: no scheme can route across a cut
+            }
+            let slice = isolating_slice(&g, k, e).expect("fully protected");
+            for t in g.nodes() {
+                for s in g.nodes() {
+                    if s == t {
+                        continue;
+                    }
+                    let mut at = s;
+                    let mut hops = 0;
+                    while at != t {
+                        let (next, edge) = mrc
+                            .next_hop(slice, at, t)
+                            .expect("isolating config routes everything");
+                        assert_ne!(
+                            edge, e,
+                            "isolating config {slice} for {e:?} used the failed link \
+                             ({s:?} -> {t:?} at {at:?})"
+                        );
+                        at = next;
+                        hops += 1;
+                        assert!(hops <= n, "loop in isolating config {slice} for {e:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bridges admit no isolating configuration (removing one disconnects
+    /// the graph, violating MRC's validity condition), so they stay
+    /// unprotected at any k.
+    #[test]
+    fn bridges_are_never_protected() {
+        use splice_graph::graph::from_edges;
+        // Two triangles joined by a bridge (edge index 6: 2 -- 3).
+        let g = from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 3, 1.0),
+                (2, 3, 1.0),
+            ],
+        );
+        let bridge = EdgeId(6);
+        for k in 2..=8 {
+            assert_eq!(isolating_slice(&g, k, bridge), None, "k = {k}");
+        }
+        // With enough backups every cycle edge is protected — only the
+        // bridge stays out.
+        let assignment = mrc_assignment(&g, 7);
+        assert!(
+            assignment
+                .iter()
+                .enumerate()
+                .all(|(i, a)| (i == bridge.index()) == a.is_none()),
+            "{assignment:?}"
+        );
+    }
 }

@@ -89,7 +89,14 @@ impl HeaderStrategy {
                 .collect(),
             HeaderStrategy::FirstHopBiased { flip_prob } => (0..hops)
                 .map(|i| {
-                    let p = flip_prob * (hops - i) as f64 / hops as f64;
+                    // Linear decay that genuinely reaches 0 at the last
+                    // hop (i = hops - 1), so deflections concentrate
+                    // where they help: near the source.
+                    let p = if hops > 1 {
+                        flip_prob * (hops - 1 - i) as f64 / (hops - 1) as f64
+                    } else {
+                        flip_prob
+                    };
                     if rng.gen_bool(p.clamp(0.0, 1.0)) {
                         other(base_slice, rng) as u8
                     } else {
@@ -443,6 +450,71 @@ mod tests {
             back += hops[15..].iter().filter(|&&h| h != 0).count();
         }
         assert!(front > back * 2, "front {front} vs back {back}");
+    }
+
+    #[test]
+    fn first_hop_biased_decays_to_zero_at_last_hop() {
+        // With flip_prob = 1.0 the decay schedule is fully observable:
+        // the first hop always flips, the last hop never does.
+        let mut rng = StdRng::seed_from_u64(21);
+        let strat = HeaderStrategy::FirstHopBiased { flip_prob: 1.0 };
+        for _ in 0..300 {
+            let hops = strat.generate_hops(0, 20, 4, &mut rng);
+            assert_ne!(hops[0], 0, "hop 0 must flip at flip_prob = 1");
+            assert_eq!(hops[19], 0, "last hop's flip probability must be 0");
+        }
+    }
+
+    #[test]
+    fn first_hop_biased_single_hop_uses_full_flip_prob() {
+        // A 1-hop header has no room for decay: the single hop flips
+        // with the full probability, not 0/0.
+        let mut rng = StdRng::seed_from_u64(22);
+        let strat = HeaderStrategy::FirstHopBiased { flip_prob: 1.0 };
+        for _ in 0..50 {
+            let hops = strat.generate_hops(2, 1, 4, &mut rng);
+            assert_ne!(hops[0], 2);
+        }
+    }
+
+    #[test]
+    fn no_revisit_with_certain_flips_walks_distinct_slices() {
+        // flip_prob = 1.0 forces a fresh slice every hop until all k are
+        // used, then stays put: the hop sequence's distinct values are a
+        // prefix-free chain of exactly k slices.
+        let mut rng = StdRng::seed_from_u64(23);
+        let strat = HeaderStrategy::NoRevisit { flip_prob: 1.0 };
+        for _ in 0..100 {
+            let hops = strat.generate_hops(0, 20, 4, &mut rng);
+            let mut distinct: Vec<u8> = Vec::new();
+            for &h in &hops {
+                if distinct.last() != Some(&h) {
+                    distinct.push(h);
+                }
+            }
+            assert_eq!(distinct.len(), 3, "3 fresh slices beyond base: {hops:?}");
+            let mut sorted = distinct.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "no slice repeats: {hops:?}");
+            assert!(
+                hops[19 - 3..].iter().all(|&h| h == hops[19]),
+                "parks once exhausted"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_switches_zero_cap_never_switches() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let strat = HeaderStrategy::BoundedSwitches {
+            flip_prob: 1.0,
+            max_switches: 0,
+        };
+        for _ in 0..50 {
+            let hops = strat.generate_hops(1, 20, 4, &mut rng);
+            assert!(hops.iter().all(|&h| h == 1), "{hops:?}");
+        }
     }
 
     #[test]

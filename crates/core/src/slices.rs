@@ -162,6 +162,35 @@ impl Splicing {
         }
     }
 
+    /// Assemble a deployment from explicit state: per-slice weight
+    /// vectors, a pre-populated arena, and the failure mask that arena
+    /// is meant to reflect.
+    ///
+    /// Production deployments come from [`Splicing::build`] and
+    /// [`Splicing::repair`], which keep these three consistent by
+    /// construction. This constructor exists for test harnesses that
+    /// need to break that consistency on purpose — `splice-testkit`
+    /// uses it to inject corrupted forwarding state (e.g. a slice whose
+    /// columns skipped a repair) and prove its oracles catch it.
+    ///
+    /// # Panics
+    /// Panics when the shapes disagree: no slices, mismatched
+    /// weight-vector lengths, or an arena of a different `k`/`n`.
+    pub fn from_parts(weights: Vec<Vec<f64>>, fib: SpliceFib, failed: EdgeMask) -> Splicing {
+        assert!(!weights.is_empty(), "need at least one slice");
+        assert_eq!(weights.len(), fib.k(), "weight vectors vs arena planes");
+        let m = failed.len();
+        for (i, w) in weights.iter().enumerate() {
+            assert_eq!(w.len(), m, "slice {i} weight length vs failure mask");
+        }
+        Splicing {
+            k: weights.len(),
+            weights: weights.into(),
+            fib: Arc::new(fib),
+            failed: Arc::new(failed),
+        }
+    }
+
     /// Build `cfg.k` slices over `g`, deterministically from `seed`.
     ///
     /// Each perturbed slice draws from its own seeded RNG stream, so

@@ -8,21 +8,10 @@ use splice_core::perturb::{DegreeBased, Perturbation, TheoremA1, Uniform};
 use splice_core::recovery::HeaderStrategy;
 use splice_core::slices::{RepairEvent, Splicing, SplicingConfig};
 use splice_graph::graph::from_edges;
-use splice_graph::{EdgeId, EdgeMask, Graph, SpfWorkspace};
-
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (3usize..=9).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32, 0.5f64..9.0), 0..14).prop_map(
-            move |extra| {
-                let mut edges: Vec<(u32, u32, f64)> = (0..n as u32)
-                    .map(|i| (i, (i + 1) % n as u32, 1.0))
-                    .collect();
-                edges.extend(extra.into_iter().filter(|(u, v, _)| u != v));
-                from_edges(n, &edges)
-            },
-        )
-    })
-}
+use splice_graph::{EdgeId, EdgeMask, SpfWorkspace};
+// Ring-backbone graphs (always initially connected) from the shared
+// testkit strategy library.
+use splice_testkit::strategies::arb_backbone_graph as arb_graph;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -6,48 +6,15 @@
 
 use proptest::prelude::*;
 use splice_graph::bellman_ford::bellman_ford;
-use splice_graph::graph::from_edges;
 use splice_graph::maxflow::{edge_connectivity_st, global_edge_connectivity};
 use splice_graph::mincut::min_cut_links;
 use splice_graph::traversal::{components, connected, disconnected_pairs, reachable_from};
-use splice_graph::{
-    dijkstra, dijkstra_masked, EdgeId, EdgeMask, Graph, NodeId, SpfWorkspace, UnionFind,
+use splice_graph::{dijkstra, dijkstra_masked, EdgeId, EdgeMask, NodeId, SpfWorkspace, UnionFind};
+// The random-graph strategies live in the shared testkit so every
+// crate's property suite draws from the same distributions.
+use splice_testkit::strategies::{
+    arb_multigraph as arb_graph, arb_multigraph_with_mask as arb_graph_with_mask,
 };
-
-/// Strategy: a random connected-ish multigraph with 2..=12 nodes and
-/// 1..=30 weighted edges (weights in [0.5, 10]).
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..=12).prop_flat_map(|n| {
-        let edge = (0..n as u32, 0..n as u32, 0.5f64..10.0);
-        proptest::collection::vec(edge, 1..=30).prop_map(move |raw| {
-            let edges: Vec<(u32, u32, f64)> = raw.into_iter().filter(|(u, v, _)| u != v).collect();
-            // Ensure at least one edge survives the self-loop filter
-            // (n >= 2, so a 0-1 edge always exists).
-            let edges = if edges.is_empty() {
-                vec![(0, 1, 1.0)]
-            } else {
-                edges
-            };
-            from_edges(n, &edges)
-        })
-    })
-}
-
-/// Strategy: a graph plus a random failure mask over its edges.
-fn arb_graph_with_mask() -> impl Strategy<Value = (Graph, EdgeMask)> {
-    arb_graph().prop_flat_map(|g| {
-        let m = g.edge_count();
-        proptest::collection::vec(any::<bool>(), m).prop_map(move |fails| {
-            let mut mask = EdgeMask::all_up(m);
-            for (i, f) in fails.iter().enumerate() {
-                if *f {
-                    mask.fail(EdgeId(i as u32));
-                }
-            }
-            (g.clone(), mask)
-        })
-    })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

@@ -1,0 +1,102 @@
+//! Soak driver: generate random scenarios, replay each against the
+//! differential oracles, and shrink + report the first divergence.
+//!
+//! Quick mode (CI on push):  `soak --trials 40 --seed 7`
+//! Soak mode (scheduled CI): `soak --trials 2000 --seed 7 --budget-secs 600`
+//!
+//! Exit status: 0 if every trial replayed clean, 1 on divergence (after
+//! printing the shrunk scenario and its one-line replay command), 2 on
+//! bad usage.
+
+use splice_testkit::{derive_seed, replay, shrink, Divergence, ReplayOptions, Scenario};
+use std::time::Instant;
+
+struct Args {
+    trials: u64,
+    seed: u64,
+    budget_secs: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        trials: 200,
+        seed: 7,
+        budget_secs: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("bad {name} value: {e}"))
+        };
+        match flag.as_str() {
+            "--trials" => args.trials = grab("--trials")?,
+            "--seed" => args.seed = grab("--seed")?,
+            "--budget-secs" => args.budget_secs = Some(grab("--budget-secs")?),
+            "--help" | "-h" => {
+                println!("usage: soak [--trials N] [--seed S] [--budget-secs T]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("soak: {e}");
+            std::process::exit(2);
+        }
+    };
+    let opts = ReplayOptions::default();
+    let started = Instant::now();
+    let mut events_total = 0usize;
+    let mut walks_total = 0usize;
+    let mut ran = 0u64;
+
+    for trial in 0..args.trials {
+        if let Some(budget) = args.budget_secs {
+            if started.elapsed().as_secs() >= budget {
+                println!("soak: budget of {budget}s reached after {ran} trials; stopping early");
+                break;
+            }
+        }
+        let sc = Scenario::generate(derive_seed(args.seed, 0, trial));
+        ran += 1;
+        match replay(&sc, &opts) {
+            Ok(report) => {
+                events_total += report.events_applied;
+                walks_total += report.walks_checked;
+            }
+            Err(div) => {
+                eprintln!("soak: trial {trial} diverged: {div}");
+                eprintln!("soak: original scenario: {}", sc.spec());
+                let check = |c: &Scenario| replay(c, &opts).err().map(|b| *b);
+                let out = shrink(&sc, *div, check);
+                report_failure(&out.scenario, &out.divergence, out.attempts);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!(
+        "soak: {ran} trials clean in {:.1}s ({events_total} events, {walks_total} walks checked) seed={}",
+        started.elapsed().as_secs_f64(),
+        args.seed
+    );
+}
+
+fn report_failure(sc: &Scenario, div: &Divergence, attempts: usize) {
+    eprintln!(
+        "soak: shrunk to ({attempts} candidates tried): {}",
+        sc.spec()
+    );
+    eprintln!("soak: divergence: {div}");
+    eprintln!("soak: reproduce with:");
+    eprintln!("  {}", sc.replay_command());
+}

@@ -1,0 +1,126 @@
+//! Shared proptest strategies for the whole workspace.
+//!
+//! Before the testkit, every crate's `tests/properties.rs` carried its
+//! own near-identical copy of "a random (connected-ish) graph" and "a
+//! graph plus a failure mask". These are the canonical versions; the
+//! graph, core, and root test suites import them from here.
+//!
+//! Two graph shapes, because the suites genuinely need both:
+//!
+//! * [`arb_multigraph`] — possibly disconnected multigraphs, the right
+//!   shape for pure graph-algorithm properties (Dijkstra vs.
+//!   Bellman–Ford must agree on unreachable nodes too);
+//! * [`arb_backbone_graph`] — a ring backbone plus random chords, always
+//!   initially connected, the right shape for splicing-deployment
+//!   properties (a clean build should reach everything).
+
+use proptest::prelude::*;
+use splice_graph::graph::from_edges;
+use splice_graph::{EdgeId, EdgeMask, Graph};
+
+use crate::scenario::{EventSpec, PerturbationSpec, Scenario, TopologySpec};
+
+/// A random multigraph with 2..=12 nodes and 1..=30 weighted edges
+/// (weights in `[0.5, 10)`); may be disconnected.
+pub fn arb_multigraph() -> impl Strategy<Value = Graph> {
+    (2usize..=12).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.5f64..10.0);
+        proptest::collection::vec(edge, 1..=30).prop_map(move |raw| {
+            let edges: Vec<(u32, u32, f64)> = raw.into_iter().filter(|(u, v, _)| u != v).collect();
+            // Ensure at least one edge survives the self-loop filter
+            // (n >= 2, so a 0-1 edge always exists).
+            let edges = if edges.is_empty() {
+                vec![(0, 1, 1.0)]
+            } else {
+                edges
+            };
+            from_edges(n, &edges)
+        })
+    })
+}
+
+/// A ring backbone over 3..=10 nodes (unit weights, guaranteeing
+/// initial connectivity) plus up to 16 random chords.
+pub fn arb_backbone_graph() -> impl Strategy<Value = Graph> {
+    (3usize..=10).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0.5f64..9.0), 0..16).prop_map(
+            move |extra| {
+                let mut edges: Vec<(u32, u32, f64)> = (0..n as u32)
+                    .map(|i| (i, (i + 1) % n as u32, 1.0))
+                    .collect();
+                edges.extend(extra.into_iter().filter(|(u, v, _)| u != v));
+                from_edges(n, &edges)
+            },
+        )
+    })
+}
+
+/// Attach a random failure mask to any graph strategy.
+pub fn with_mask(graphs: impl Strategy<Value = Graph>) -> impl Strategy<Value = (Graph, EdgeMask)> {
+    graphs.prop_flat_map(|g| {
+        let m = g.edge_count();
+        proptest::collection::vec(any::<bool>(), m).prop_map(move |fails| {
+            let mut mask = EdgeMask::all_up(m);
+            for (i, f) in fails.iter().enumerate() {
+                if *f {
+                    mask.fail(EdgeId(i as u32));
+                }
+            }
+            (g.clone(), mask)
+        })
+    })
+}
+
+/// [`arb_multigraph`] plus a random failure mask.
+pub fn arb_multigraph_with_mask() -> impl Strategy<Value = (Graph, EdgeMask)> {
+    with_mask(arb_multigraph())
+}
+
+/// [`arb_backbone_graph`] plus a random failure mask and a build seed:
+/// the workspace-level "anything can happen" scenario shape.
+pub fn arb_backbone_scenario() -> impl Strategy<Value = (Graph, EdgeMask, u64)> {
+    with_mask(arb_backbone_graph()).prop_flat_map(|(g, mask)| {
+        any::<u64>().prop_map(move |seed| (g.clone(), mask.clone(), seed))
+    })
+}
+
+/// A full replayable [`Scenario`]: random topology spec, slice count,
+/// perturbation family, and event schedule (ids guaranteed in range).
+pub fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    let topo = prop_oneof![
+        8 => (3u32..=10, 0u32..=14, any::<u64>())
+            .prop_map(|(nodes, extra, seed)| TopologySpec::Random { nodes, extra, seed }),
+        1 => Just(TopologySpec::Named("abilene".into())),
+    ];
+    (topo, 1usize..=5, any::<bool>(), any::<u64>()).prop_flat_map(
+        |(topology, k, thm_a1, build_seed)| {
+            let g = topology
+                .graph()
+                .expect("strategy topologies always materialize");
+            let (n, m) = (g.node_count() as u32, g.edge_count() as u32);
+            let event = prop_oneof![
+                4 => (0..m).prop_map(EventSpec::FailLink),
+                2 => proptest::collection::vec(0..m, 2..=3).prop_map(|mut ids| {
+                    ids.sort_unstable();
+                    ids.dedup();
+                    EventSpec::FailGroup(ids)
+                }),
+                1 => (0..n).prop_map(EventSpec::FailNode),
+                2 => (0..k as u32, 0..m, prop_oneof![150u32..900, 1100u32..6000])
+                    .prop_map(|(slice, edge, milli)| EventSpec::Reweight { slice, edge, milli }),
+                1 => (0..m).prop_map(EventSpec::Recover),
+            ];
+            proptest::collection::vec(event, 0..=5).prop_map(move |events| Scenario {
+                topology: topology.clone(),
+                k,
+                perturbation: if thm_a1 {
+                    PerturbationSpec::TheoremA1
+                } else {
+                    PerturbationSpec::DegreeBased
+                },
+                build_seed,
+                events,
+            })
+        },
+    )
+}

@@ -1,38 +1,13 @@
 //! Workspace-level property tests: splicing invariants under arbitrary
 //! topologies, failure sets, and headers.
 
-use path_splicing::graph::graph::from_edges;
-use path_splicing::graph::{EdgeId, EdgeMask, Graph, NodeId};
+use path_splicing::graph::NodeId;
 use path_splicing::splicing::prelude::*;
 use path_splicing::splicing::slices::SplicingConfig;
 use proptest::prelude::*;
-
-/// A connected-ish random multigraph plus a failure mask.
-fn arb_scenario() -> impl Strategy<Value = (Graph, EdgeMask, u64)> {
-    (3usize..=10).prop_flat_map(|n| {
-        let extra = proptest::collection::vec((0..n as u32, 0..n as u32, 0.5f64..8.0), 0..16);
-        (
-            extra,
-            proptest::collection::vec(any::<bool>(), 0..40),
-            any::<u64>(),
-        )
-            .prop_map(move |(extra, fails, seed)| {
-                // Ring backbone guarantees connectivity; extras add mesh.
-                let mut edges: Vec<(u32, u32, f64)> = (0..n as u32)
-                    .map(|i| (i, (i + 1) % n as u32, 1.0))
-                    .collect();
-                edges.extend(extra.into_iter().filter(|(u, v, _)| u != v));
-                let g = from_edges(n, &edges);
-                let mut mask = EdgeMask::all_up(g.edge_count());
-                for (i, f) in fails.iter().enumerate() {
-                    if *f && i < g.edge_count() {
-                        mask.fail(EdgeId(i as u32));
-                    }
-                }
-                (g, mask, seed)
-            })
-    })
-}
+// Ring-backbone graph + failure mask + seed, from the shared testkit
+// strategy library.
+use splice_testkit::strategies::arb_backbone_scenario as arb_scenario;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
