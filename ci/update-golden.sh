@@ -12,8 +12,8 @@ cd "$(dirname "$0")/.."
 
 out=ci-golden-tmp
 rm -rf "$out"
-cargo run --release -p splice-bench --bin fig3_reliability -- \
-    --topology abilene --trials 3 --seed 11 --out "$out"
+cargo run --release -p splice-bench --bin splice-lab -- \
+    run fig3_reliability --topology abilene --trials 3 --seed 11 --out "$out"
 (cd "$out" && sha256sum fig3_reliability_abilene_union.csv) \
     > ci/golden/fig3_abilene_s11.sha256
 rm -rf "$out"

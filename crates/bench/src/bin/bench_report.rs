@@ -51,9 +51,7 @@ fn main() {
                 i += 2;
             }
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: bench_report [--topology sprint|geant|abilene] [--seed N] [--out DIR]"
-                );
+                eprintln!("usage: bench_report [--topology NAME] [--seed N] [--out DIR]");
                 std::process::exit(0);
             }
             other => {

@@ -1,0 +1,16 @@
+//! `splice-lab`: the one binary behind every experiment.
+//!
+//! ```text
+//! splice-lab list
+//! splice-lab run fig3_reliability --topology abilene --trials 250
+//! splice-lab run-all --out results
+//! splice-lab resume --out results
+//! ```
+//!
+//! All logic lives in [`splice_bench::lab_main`] so the dispatch is unit
+//! tested; this shim only owns the process boundary.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(splice_bench::lab_main(&argv));
+}

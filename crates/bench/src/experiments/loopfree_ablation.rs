@@ -1,0 +1,129 @@
+//! Ablation (§4.4/§5): loop-handling strategies for recovery headers —
+//! the free Bernoulli re-toss, first-hop-biased flipping, never-revisit
+//! (provably no persistent loops), and bounded switches — trading loop
+//! frequency against recovery success.
+//!
+//! ```text
+//! splice-lab run loopfree_ablation
+//! ```
+
+use crate::banner;
+use splice_core::prelude::*;
+use splice_core::recovery::HeaderStrategy;
+use splice_core::slices::SplicingConfig;
+use splice_sim::lab::{Experiment, ExperimentOutput, LabError, RunContext};
+use splice_sim::loops::{loop_experiment, LoopConfig};
+use splice_sim::output::Artifact;
+use splice_sim::recovery::{recovery_experiment, RecoveryConfig, RecoveryScheme};
+
+/// Loop-handling strategy ablation at k=5.
+pub struct LoopfreeAblation;
+
+impl Experiment for LoopfreeAblation {
+    fn name(&self) -> &'static str {
+        "loopfree_ablation"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Ablation: loop-handling header strategies vs recovery success"
+    }
+
+    fn default_trials(&self) -> usize {
+        60
+    }
+
+    fn run(&self, ctx: &mut RunContext<'_>) -> Result<ExperimentOutput, LabError> {
+        let g = ctx.graph();
+        banner(&format!(
+            "Ablation — loop-handling strategies, {} topology, k=5, {} trials",
+            ctx.topology.name, ctx.config.trials
+        ));
+
+        let strategies: Vec<(&str, HeaderStrategy)> = vec![
+            (
+                "bernoulli(0.5)",
+                HeaderStrategy::Bernoulli { flip_prob: 0.5 },
+            ),
+            (
+                "first-hop-biased(0.8)",
+                HeaderStrategy::FirstHopBiased { flip_prob: 0.8 },
+            ),
+            (
+                "no-revisit(0.5)",
+                HeaderStrategy::NoRevisit { flip_prob: 0.5 },
+            ),
+            (
+                "bounded-switches(0.5, 2)",
+                HeaderStrategy::BoundedSwitches {
+                    flip_prob: 0.5,
+                    max_switches: 2,
+                },
+            ),
+        ];
+
+        let mut rows = Vec::new();
+        for (name, strategy) in strategies {
+            // Recovery success with this strategy.
+            let rec_cfg = RecoveryConfig {
+                ks: vec![5],
+                ps: vec![0.02, 0.05, 0.08],
+                trials: ctx.config.trials,
+                splicing: SplicingConfig::degree_based(5, 0.0, 3.0),
+                scheme: RecoveryScheme::EndSystem(EndSystemRecovery {
+                    max_trials: 5,
+                    header_hops: 20,
+                    strategy,
+                }),
+                semantics: Default::default(),
+                seed: ctx.config.seed,
+            };
+            let rec = recovery_experiment(&g, &ctx.topology.latencies(), &rec_cfg);
+            let st = &rec.stats[0];
+
+            // Loop frequency with this strategy.
+            let loop_cfg = LoopConfig {
+                ks: vec![5],
+                p: 0.05,
+                trials: ctx.config.trials,
+                splicing: SplicingConfig::degree_based(5, 0.0, 3.0),
+                strategy,
+                header_hops: 20,
+                seed: ctx.config.seed,
+            };
+            let loops = &loop_experiment(&g, &loop_cfg)[0];
+
+            rows.push(vec![
+                name.to_string(),
+                format!(
+                    "{:.1}%",
+                    100.0 * st.recovered as f64 / st.attempts.max(1) as f64
+                ),
+                format!("{:.2}", st.avg_trials),
+                format!("{:.3}", st.avg_latency_stretch),
+                format!("{:.4}", loops.two_hop_rate()),
+                format!("{:.4}", loops.longer_rate()),
+                loops.persistent.to_string(),
+            ]);
+        }
+
+        Ok(ExperimentOutput {
+            artifacts: vec![Artifact::table(
+                format!("loopfree_ablation_{}.txt", ctx.topology.name),
+                &[
+                    "strategy",
+                    "recovered",
+                    "avg trials",
+                    "lat stretch",
+                    "2-hop loops/trial",
+                    ">2-hop/trial",
+                    "persistent",
+                ],
+                rows,
+            )],
+            notes: vec![
+                "expectation: no-revisit eliminates persistent loops at a small recovery cost"
+                    .to_string(),
+            ],
+        })
+    }
+}

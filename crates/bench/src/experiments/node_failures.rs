@@ -1,0 +1,62 @@
+//! Extension: reliability under *node* failures (router outages) rather
+//! than link failures — pairs involving the failed router are excluded;
+//! the question is whether survivors stay connected.
+//!
+//! ```text
+//! splice-lab run node_failures
+//! ```
+
+use crate::banner;
+use splice_core::slices::SplicingConfig;
+use splice_sim::lab::{Experiment, ExperimentOutput, LabError, RunContext};
+use splice_sim::node_failures::{node_failure_experiment, NodeFailureConfig};
+use splice_sim::output::Artifact;
+
+/// Reliability curves under router (node) outages.
+pub struct NodeFailures;
+
+impl Experiment for NodeFailures {
+    fn name(&self) -> &'static str {
+        "node_failures"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Extension: reliability under node (router) failures"
+    }
+
+    fn default_trials(&self) -> usize {
+        200
+    }
+
+    fn run(&self, ctx: &mut RunContext<'_>) -> Result<ExperimentOutput, LabError> {
+        let g = ctx.graph();
+        banner(&format!(
+            "Extension — node-failure reliability, {} topology, {} trials",
+            ctx.topology.name, ctx.config.trials
+        ));
+
+        let cfg = NodeFailureConfig {
+            ks: vec![1, 2, 3, 5, 10],
+            ps: (1..=10).map(|i| i as f64 * 0.01).collect(),
+            trials: ctx.config.trials,
+            splicing: SplicingConfig::degree_based(10, 0.0, 3.0),
+            semantics: ctx.config.splice_semantics(),
+            seed: ctx.config.seed,
+        };
+        let out = node_failure_experiment(&g, &cfg);
+
+        let mut series = out.curves.clone();
+        series.push(out.best_possible.clone());
+
+        Ok(ExperimentOutput {
+            artifacts: vec![Artifact::series(
+                format!("node_failures_{}.csv", ctx.topology.name),
+                "p",
+                2,
+                false,
+                series,
+            )],
+            notes: Vec::new(),
+        })
+    }
+}

@@ -1,0 +1,84 @@
+//! §6 extension: transient downtime during protocol convergence, with
+//! and without splicing. For every single-link failure we model
+//! detection, LSA flooding at real link latencies, and staggered SPF
+//! installs; pairs are walked over the mixed old/new tables and
+//! pair-downtime (pair·ms) integrated over the episode.
+//!
+//! ```text
+//! splice-lab run routing_dynamics
+//! ```
+
+use crate::banner;
+use splice_core::slices::SplicingConfig;
+use splice_routing::dynamics::DynamicsConfig;
+use splice_sim::dynamics_exp::downtime_sweep;
+use splice_sim::lab::{Experiment, ExperimentOutput, LabError, RunContext};
+use splice_sim::output::Artifact;
+
+/// Transient pair-downtime during convergence episodes.
+pub struct RoutingDynamics;
+
+impl Experiment for RoutingDynamics {
+    fn name(&self) -> &'static str {
+        "routing_dynamics"
+    }
+
+    fn describe(&self) -> &'static str {
+        "§6: transient downtime during convergence, with and without splicing"
+    }
+
+    fn default_trials(&self) -> usize {
+        0
+    }
+
+    fn run(&self, ctx: &mut RunContext<'_>) -> Result<ExperimentOutput, LabError> {
+        let g = ctx.graph();
+        banner(&format!(
+            "§6 — transient downtime during convergence, {} topology",
+            ctx.topology.name
+        ));
+        println!("timing: 50 ms detection, 100 ms SPF hold, LSAs at link latency + 1 ms/hop\n");
+
+        let dyncfg = DynamicsConfig::default();
+        let mut rows = Vec::new();
+        for k in [1usize, 2, 3, 5, 10] {
+            let sweep = downtime_sweep(
+                &g,
+                &ctx.topology.latencies(),
+                &SplicingConfig::degree_based(k, 0.0, 3.0),
+                &dyncfg,
+                ctx.config.seed,
+            );
+            let plain: f64 = sweep.iter().map(|&(_, p, _)| p).sum::<f64>() / sweep.len() as f64;
+            let spliced: f64 = sweep.iter().map(|&(_, _, s)| s).sum::<f64>() / sweep.len() as f64;
+            let worst = sweep.iter().map(|&(_, _, s)| s).fold(0.0f64, f64::max);
+            rows.push(vec![
+                k.to_string(),
+                format!("{:.0}", plain),
+                format!("{:.0}", spliced),
+                format!("{:.1}x", plain / spliced.max(1e-9)),
+                format!("{:.0}", worst),
+            ]);
+        }
+
+        Ok(ExperimentOutput {
+            artifacts: vec![Artifact::table(
+                format!("routing_dynamics_{}.txt", ctx.topology.name),
+                &[
+                    "k",
+                    "downtime plain (pair*ms)",
+                    "downtime spliced",
+                    "reduction",
+                    "worst link (spliced)",
+                ],
+                rows,
+            )],
+            notes: vec![
+                "splicing deflects onto stale alternate slices during the window, cutting the"
+                    .to_string(),
+                "transient blackhole/micro-loop cost — §6's 'routing can react more slowly'."
+                    .to_string(),
+            ],
+        })
+    }
+}

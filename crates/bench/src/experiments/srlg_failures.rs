@@ -1,0 +1,103 @@
+//! Extension: shared-risk link groups. Real outages are correlated — a
+//! conduit cut at a PoP takes every fiber leaving it. We model one SRLG
+//! per PoP (its incident links) and compare splicing's reliability under
+//! correlated failures against independent failures with the *same
+//! expected number of failed links*.
+//!
+//! ```text
+//! splice-lab run srlg_failures
+//! ```
+
+use crate::banner;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splice_core::slices::SplicingConfig;
+use splice_sim::failure::FailureModel;
+use splice_sim::lab::{Experiment, ExperimentOutput, LabError, RunContext};
+use splice_sim::output::Artifact;
+
+/// Correlated (SRLG) vs independent failure reliability.
+pub struct SrlgFailures;
+
+impl Experiment for SrlgFailures {
+    fn name(&self) -> &'static str {
+        "srlg_failures"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Extension: correlated SRLG (PoP conduit) vs independent failures"
+    }
+
+    fn default_trials(&self) -> usize {
+        300
+    }
+
+    fn run(&self, ctx: &mut RunContext<'_>) -> Result<ExperimentOutput, LabError> {
+        let g = ctx.graph();
+        banner(&format!(
+            "Extension — correlated (SRLG) vs independent failures, {} topology, {} trials",
+            ctx.topology.name, ctx.config.trials
+        ));
+
+        // One SRLG per PoP: all its incident links share the conduit.
+        let groups: Vec<Vec<splice_graph::EdgeId>> = g
+            .nodes()
+            .map(|n| g.neighbors(n).iter().map(|&(_, e)| e).collect())
+            .collect();
+        // A group failure downs deg(n) links; match expected failed links:
+        // E[iid] = p_link * m; E[srlg] ≈ p_group * sum(deg) = p_group * 2m
+        // (links counted by both endpoint groups overlap, so this slightly
+        // overshoots; the comparison is qualitative).
+        let n = g.node_count();
+        let pairs = (n * (n - 1)) as f64;
+        let splicing = ctx.deployment(
+            &g,
+            &SplicingConfig::degree_based(10, 0.0, 3.0),
+            ctx.config.seed,
+        );
+
+        let mut rows = Vec::new();
+        for &p_link in &[0.02f64, 0.05, 0.08] {
+            let p_group = p_link / 2.0;
+            let mut acc = [[0.0f64; 3]; 2]; // [model][k index] for k in {1,5,10}
+            for trial in 0..ctx.config.trials as u64 {
+                let mut rng = StdRng::seed_from_u64(ctx.config.seed + trial);
+                let iid = FailureModel::IidLinks { p: p_link }.sample(&g, &mut rng);
+                let srlg = FailureModel::Srlg {
+                    groups: groups.clone(),
+                    p: p_group,
+                }
+                .sample(&g, &mut rng);
+                for (mi, mask) in [&iid, &srlg].into_iter().enumerate() {
+                    for (ki, &k) in [1usize, 5, 10].iter().enumerate() {
+                        acc[mi][ki] += splicing.union_disconnected_pairs(k, mask) as f64 / pairs;
+                    }
+                }
+            }
+            let t = ctx.config.trials as f64;
+            for (mi, name) in ["independent", "SRLG (PoP conduits)"].iter().enumerate() {
+                rows.push(vec![
+                    format!("{p_link}"),
+                    name.to_string(),
+                    format!("{:.4}", acc[mi][0] / t),
+                    format!("{:.4}", acc[mi][1] / t),
+                    format!("{:.4}", acc[mi][2] / t),
+                ]);
+            }
+        }
+
+        Ok(ExperimentOutput {
+            artifacts: vec![Artifact::table(
+                format!("srlg_failures_{}.txt", ctx.topology.name),
+                &["p (link-equivalent)", "failure model", "k=1", "k=5", "k=10"],
+                rows,
+            )],
+            notes: vec![
+                "correlated conduit cuts behave like node failures: splicing still closes most"
+                    .to_string(),
+                "of the k=1 shortfall, but the irreducible (cut-induced) floor sits higher."
+                    .to_string(),
+            ],
+        })
+    }
+}

@@ -1,0 +1,101 @@
+//! §4.3's stretch numbers: per-slice path-stretch distributions (the
+//! paper: "in any particular slice, 99% of all paths in each tree have
+//! stretch of less than 2.6") and recovered-path stretch (≈1.3× latency,
+//! +50% hops for end-system recovery; ≈1.33× and +55% for network-based).
+//!
+//! ```text
+//! splice-lab run stretch_stats
+//! ```
+
+use crate::banner;
+use splice_core::slices::SplicingConfig;
+use splice_sim::lab::{Experiment, ExperimentOutput, LabError, RunContext};
+use splice_sim::output::{render_table, Artifact};
+use splice_sim::recovery::{recovery_experiment, RecoveryConfig};
+use splice_sim::stretch_exp::{slice_stretch_experiment, worst_slice_p99};
+
+/// Per-slice and recovered-path stretch statistics.
+pub struct StretchStats;
+
+impl Experiment for StretchStats {
+    fn name(&self) -> &'static str {
+        "stretch_stats"
+    }
+
+    fn describe(&self) -> &'static str {
+        "§4.3: per-slice and recovered-path stretch distributions"
+    }
+
+    fn default_trials(&self) -> usize {
+        60
+    }
+
+    fn run(&self, ctx: &mut RunContext<'_>) -> Result<ExperimentOutput, LabError> {
+        let g = ctx.graph();
+        let latencies = ctx.topology.latencies();
+
+        banner(&format!(
+            "§4.3 — per-slice stretch, {} topology, degree-based Weight(0,3)",
+            ctx.topology.name
+        ));
+        let template = SplicingConfig::degree_based(10, 0.0, 3.0);
+        let seeds: Vec<u64> = (0..10).map(|i| ctx.config.seed + i).collect();
+        let stats = slice_stretch_experiment(&g, &latencies, &template, &seeds);
+        let rows: Vec<Vec<String>> = stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                vec![
+                    if i == 0 {
+                        "0 (base)".to_string()
+                    } else {
+                        i.to_string()
+                    },
+                    format!("{:.3}", s.mean),
+                    format!("{:.3}", s.p50),
+                    format!("{:.3}", s.p95),
+                    format!("{:.3}", s.p99),
+                    format!("{:.3}", s.max),
+                ]
+            })
+            .collect();
+        let table = render_table(&["slice", "mean", "p50", "p95", "p99", "max"], &rows);
+
+        let es = recovery_experiment(
+            &g,
+            &latencies,
+            &RecoveryConfig::figure4(ctx.config.trials, ctx.config.seed),
+        );
+        let nb = recovery_experiment(
+            &g,
+            &latencies,
+            &RecoveryConfig::figure5(ctx.config.trials, ctx.config.seed),
+        );
+        let mut out = String::new();
+        for (name, curves) in [("end-system", &es), ("network-based", &nb)] {
+            for st in &curves.stats {
+                out.push_str(&format!(
+                    "{name} k={}: avg trials {:.2} | latency stretch {:.3} (paper ~{}) | hop stretch {:.3} (paper ~{})\n",
+                    st.k,
+                    st.avg_trials,
+                    st.avg_latency_stretch,
+                    if name == "end-system" { "1.30" } else { "1.33" },
+                    st.avg_hop_stretch,
+                    if name == "end-system" { "1.50" } else { "1.55" },
+                ));
+            }
+        }
+        out.push_str(&table);
+
+        Ok(ExperimentOutput {
+            artifacts: vec![Artifact::text(
+                format!("stretch_stats_{}.txt", ctx.topology.name),
+                out,
+            )],
+            notes: vec![format!(
+                "worst per-slice p99 stretch: {:.3}  (paper: < 2.6)",
+                worst_slice_p99(&stats)
+            )],
+        })
+    }
+}

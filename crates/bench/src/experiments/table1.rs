@@ -1,0 +1,63 @@
+//! Table 1: the paper's summary of results, assembled from fresh runs of
+//! the reliability, recovery, and loop experiments.
+//!
+//! ```text
+//! splice-lab run table1
+//! ```
+
+use crate::banner;
+use splice_sim::lab::{Experiment, ExperimentOutput, LabError, RunContext};
+use splice_sim::loops::{loop_experiment, LoopConfig};
+use splice_sim::output::Artifact;
+use splice_sim::recovery::{recovery_experiment, RecoveryConfig};
+use splice_sim::reliability::{reliability_experiment, ReliabilityConfig};
+use splice_sim::summary::Table1;
+
+/// The paper's summary table.
+pub struct Table1Summary;
+
+impl Experiment for Table1Summary {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Table 1: summary assembled from reliability + recovery + loop runs"
+    }
+
+    fn default_trials(&self) -> usize {
+        100
+    }
+
+    fn run(&self, ctx: &mut RunContext<'_>) -> Result<ExperimentOutput, LabError> {
+        let g = ctx.graph();
+        banner(&format!(
+            "Table 1 — summary of results, {} topology, {} trials per experiment",
+            ctx.topology.name, ctx.config.trials
+        ));
+
+        let reliability = reliability_experiment(
+            &g,
+            &ReliabilityConfig::figure3(ctx.config.trials, ctx.config.seed),
+        );
+        let recovery = recovery_experiment(
+            &g,
+            &ctx.topology.latencies(),
+            &RecoveryConfig::figure4(ctx.config.trials, ctx.config.seed + 1),
+        );
+        let loops = loop_experiment(
+            &g,
+            &LoopConfig::paper(vec![2, 5, 10], ctx.config.trials, ctx.config.seed + 2),
+        );
+
+        let rendered = Table1::assemble(&reliability, &recovery, &loops).render();
+
+        Ok(ExperimentOutput {
+            artifacts: vec![Artifact::text(
+                format!("table1_{}.txt", ctx.topology.name),
+                rendered,
+            )],
+            notes: Vec::new(),
+        })
+    }
+}

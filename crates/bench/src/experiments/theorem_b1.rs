@@ -1,0 +1,65 @@
+//! Theorem B.1: the Chebyshev concentration bound on perturbed path
+//! lengths, validated empirically on the topology's real shortest paths.
+//!
+//! ```text
+//! splice-lab run theorem_b1
+//! ```
+
+use crate::banner;
+use splice_sim::lab::{Experiment, ExperimentOutput, LabError, RunContext};
+use splice_sim::output::Artifact;
+use splice_sim::theory::theorem_b1_experiment;
+
+/// Empirical check of the Theorem B.1 concentration bound.
+pub struct TheoremB1;
+
+impl Experiment for TheoremB1 {
+    fn name(&self) -> &'static str {
+        "theorem_b1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Theorem B.1: perturbed path-length concentration vs the 1/r^2 bound"
+    }
+
+    fn default_trials(&self) -> usize {
+        20000
+    }
+
+    fn run(&self, ctx: &mut RunContext<'_>) -> Result<ExperimentOutput, LabError> {
+        let g = ctx.graph();
+        banner(&format!(
+            "Theorem B.1 — perturbed path-length concentration, {} topology, {} samples per r",
+            ctx.topology.name, ctx.config.trials
+        ));
+
+        let rs = [1.2, 1.5, 2.0, 3.0, 5.0, 8.0];
+        let mut all_rows = Vec::new();
+        for &c in &[0.25, 0.5, 0.75] {
+            let rows = theorem_b1_experiment(&g, c, &rs, ctx.config.trials, ctx.config.seed);
+            for row in rows {
+                all_rows.push(vec![
+                    format!("{c}"),
+                    format!("{}", row.r),
+                    format!("{:.5}", row.bound),
+                    format!("{:.5}", row.observed),
+                    if row.observed <= row.bound {
+                        "ok"
+                    } else {
+                        "VIOLATED"
+                    }
+                    .to_string(),
+                ]);
+            }
+        }
+
+        Ok(ExperimentOutput {
+            artifacts: vec![Artifact::table(
+                format!("theorem_b1_{}.txt", ctx.topology.name),
+                &["c", "r", "bound 1/r^2", "observed", "check"],
+                all_rows,
+            )],
+            notes: Vec::new(),
+        })
+    }
+}

@@ -12,7 +12,9 @@ use splice_core::forwarding::{Forwarder, ForwarderOptions};
 use splice_core::header::ForwardingBits;
 use splice_core::slices::{Splicing, SplicingConfig};
 use splice_graph::EdgeMask;
+use splice_sim::lab::LabError;
 use splice_telemetry::{JsonArray, JsonObject};
+use splice_topology::TopologyError;
 use std::path::Path;
 use std::time::Instant;
 
@@ -38,10 +40,15 @@ pub struct FibBenchEntry {
 }
 
 /// Measure builds, walks, and prefix views on `topology` for each k.
-pub fn measure(topology: &str, ks: &[usize], seed: u64) -> Vec<FibBenchEntry> {
-    let topo = load_topology(topology);
+pub fn measure(
+    topology: &str,
+    ks: &[usize],
+    seed: u64,
+) -> Result<Vec<FibBenchEntry>, TopologyError> {
+    let topo = load_topology(topology)?;
     let g = topo.graph();
-    ks.iter()
+    let entries = ks
+        .iter()
         .map(|&k| {
             let cfg = SplicingConfig::degree_based(k, 0.0, 3.0);
             let t0 = Instant::now();
@@ -81,7 +88,8 @@ pub fn measure(topology: &str, ks: &[usize], seed: u64) -> Vec<FibBenchEntry> {
                 prefix_view_seconds,
             }
         })
-        .collect()
+        .collect();
+    Ok(entries)
 }
 
 /// Schema version stamped into every `BENCH_fib.json`. Bump when a field
@@ -131,8 +139,8 @@ pub fn write_fib_report(
     topology: &str,
     ks: &[usize],
     seed: u64,
-) -> std::io::Result<()> {
-    let entries = measure(topology, ks, seed);
+) -> Result<(), LabError> {
+    let entries = measure(topology, ks, seed)?;
     let mut text = render(topology, seed, &entries);
     text.push('\n');
     if let Some(parent) = path.as_ref().parent() {
@@ -140,7 +148,8 @@ pub fn write_fib_report(
             std::fs::create_dir_all(parent)?;
         }
     }
-    std::fs::write(path, text)
+    std::fs::write(path, text)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -149,7 +158,7 @@ mod tests {
 
     #[test]
     fn measured_entries_are_sane() {
-        let entries = measure("abilene", &[1, 2], 7);
+        let entries = measure("abilene", &[1, 2], 7).unwrap();
         assert_eq!(entries.len(), 2);
         // §4.2: arena bytes exactly linear in k.
         assert_eq!(entries[1].arena_bytes, 2 * entries[0].arena_bytes);
@@ -165,7 +174,7 @@ mod tests {
 
     #[test]
     fn report_renders_and_writes() {
-        let entries = measure("abilene", &[1], 7);
+        let entries = measure("abilene", &[1], 7).unwrap();
         let json = render("abilene", 7, &entries);
         assert!(json.contains(r#""benchmark":"fib_arena""#));
         assert!(json.contains(r#""schema_version":1"#));

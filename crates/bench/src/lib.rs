@@ -1,226 +1,162 @@
 //! # splice-bench
 //!
-//! The benchmark harness: one binary per figure/table of the paper, plus
-//! Criterion micro-benchmarks of the primitives.
+//! The benchmark harness: the `splice-lab` binary drives every
+//! figure/table of the paper (plus the extensions, ablations, and
+//! baselines) through one [`splice_sim::lab`] engine, and Criterion
+//! micro-benchmarks cover the primitives.
 //!
-//! | Paper artifact | Binary |
+//! | Paper artifact | `splice-lab run …` |
 //! |---|---|
-//! | Figure 3 (reliability) | `fig3_reliability` |
-//! | Figure 4 (end-system recovery) | `fig4_end_system_recovery` |
-//! | Figure 5 (network-based recovery) | `fig5_network_recovery` |
+//! | Figure 3 (reliability) | `fig3_reliability` (alias `fig3`) |
+//! | Figure 4 (end-system recovery) | `fig4_end_system_recovery` (alias `fig4`) |
+//! | Figure 5 (network-based recovery) | `fig5_network_recovery` (alias `fig5`) |
 //! | Table 1 (summary) | `table1` |
 //! | §4.3 stretch/trials numbers | `stretch_stats` |
 //! | §4.4 loop frequencies | `loop_stats` |
 //! | Theorem A.1 scaling | `scaling_lognslices` |
 //! | Theorem B.1 concentration | `theorem_b1` |
 //! | §4.2 linear cost vs diversity | `state_vs_diversity` |
-//! | §5 TE interaction (extension) | `te_load_balance` |
+//! | §5 TE interaction (extension) | `te_load_balance`, `te_vs_tuning` |
 //! | §5 multipath capacity (extension) | `capacity_multipath` |
 //! | §5 interdomain splicing (extension) | `bgp_splicing` |
-//! | loop-handling ablation | `loopfree_ablation` |
-//! | perturbation ablation | `perturbation_ablation` |
+//! | §5 overlay splicing (extension) | `overlay_splicing` |
+//! | §5 slice-construction studies | `slicing_vs_mrc`, `coverage_ablation` |
+//! | §6 convergence studies | `convergence_window`, `routing_dynamics` |
+//! | ablations | `loopfree_ablation`, `perturbation_ablation`, `header_encoding_ablation` |
+//! | failure-model extensions | `node_failures`, `srlg_failures` |
+//! | baselines | `ecmp_baseline`, `explicit_paths_baseline` |
 //!
-//! Every binary accepts `--trials N` (Monte-Carlo trials; defaults keep a
-//! laptop run in seconds), `--seed N`, `--topology sprint|geant|abilene`,
-//! and `--out DIR` (default `results/`). Output goes to stdout as a table
-//! and to `DIR/<name>.csv` / `<name>.json` for plotting.
+//! Every experiment accepts the shared flags `--trials N`, `--seed N`,
+//! `--topology NAME` (built-ins or generator specs like `rand-24-40-7`),
+//! `--out DIR` (default `results/`), and `--semantics union|directed`.
+//! Output goes to stdout as a table and to `DIR/<name>.csv` / `.txt` /
+//! `.json` for plotting, next to a schema-stamped `*_manifest.json`.
+//! `splice-lab run-all` journals per-experiment JSONL shards under
+//! `DIR/shards/` so `splice-lab resume` can skip completed work.
 
+pub mod experiments;
 pub mod fib_report;
 pub mod repair_report;
 
-use splice_telemetry::{JsonArray, JsonObject, Registry};
-use splice_topology::{abilene::abilene, geant::geant, sprint::sprint, Topology};
-use std::path::{Path, PathBuf};
-use std::time::Instant;
+pub use experiments::registry;
 
-/// Common command-line options for experiment binaries.
-#[derive(Clone, Debug)]
-pub struct BenchArgs {
-    /// Monte-Carlo trials.
-    pub trials: usize,
-    /// Base RNG seed.
-    pub seed: u64,
-    /// Base topology name.
-    pub topology: String,
-    /// Output directory for CSV/JSON artifacts.
-    pub out: PathBuf,
-    /// Spliced-path semantics: "union" (the paper's accounting) or
-    /// "directed" (operationally exact forwarding reachability).
-    pub semantics: String,
+use splice_sim::lab::{
+    run_all, run_experiment, ArgsError, DeploymentCache, LabArgs, LabError, USAGE_FLAGS,
+};
+use splice_topology::{Topology, TopologyError};
+
+/// Load a topology by name: the built-ins (`sprint`, `geant`, `abilene`)
+/// or any generator spec understood by [`splice_topology::resolve`].
+pub fn load_topology(name: &str) -> Result<Topology, TopologyError> {
+    splice_topology::resolve(name)
 }
 
-impl BenchArgs {
-    /// Parse from `std::env::args`, with a per-binary default trial count.
-    ///
-    /// Exits the process with a usage message on malformed input.
-    pub fn parse(default_trials: usize) -> BenchArgs {
-        let mut args = BenchArgs {
-            trials: default_trials,
-            seed: 20080817, // SIGCOMM 2008's opening day
-            topology: "sprint".into(),
-            out: PathBuf::from("results"),
-            semantics: "union".into(),
-        };
-        let argv: Vec<String> = std::env::args().skip(1).collect();
-        let mut i = 0;
-        while i < argv.len() {
-            let need_value = |i: usize| {
-                argv.get(i + 1).unwrap_or_else(|| {
-                    eprintln!("missing value for {}", argv[i]);
-                    std::process::exit(2);
-                })
-            };
-            match argv[i].as_str() {
-                "--trials" => {
-                    args.trials = need_value(i).parse().unwrap_or_else(|e| {
-                        eprintln!("bad --trials: {e}");
-                        std::process::exit(2);
-                    });
-                    i += 2;
-                }
-                "--seed" => {
-                    args.seed = need_value(i).parse().unwrap_or_else(|e| {
-                        eprintln!("bad --seed: {e}");
-                        std::process::exit(2);
-                    });
-                    i += 2;
-                }
-                "--topology" => {
-                    args.topology = need_value(i).clone();
-                    i += 2;
-                }
-                "--out" => {
-                    args.out = PathBuf::from(need_value(i));
-                    i += 2;
-                }
-                "--semantics" => {
-                    args.semantics = need_value(i).clone();
-                    if args.semantics != "union" && args.semantics != "directed" {
-                        eprintln!("--semantics must be union or directed");
-                        std::process::exit(2);
-                    }
-                    i += 2;
-                }
-                "--help" | "-h" => {
-                    eprintln!(
-                        "usage: [--trials N] [--seed N] [--topology sprint|geant|abilene] [--out DIR] [--semantics union|directed]"
-                    );
-                    std::process::exit(0);
-                }
-                other => {
-                    eprintln!("unknown argument {other:?} (try --help)");
-                    std::process::exit(2);
-                }
-            }
-        }
-        args
-    }
-
-    /// Resolve the selected base topology.
-    pub fn topology(&self) -> Topology {
-        load_topology(&self.topology)
-    }
-
-    /// Output path for an artifact of this run.
-    pub fn artifact(&self, name: &str) -> PathBuf {
-        self.out.join(name)
-    }
-
-    /// The selected splice-path semantics as the simulator's enum.
-    pub fn splice_semantics(&self) -> splice_sim::reliability::SpliceSemantics {
-        match self.semantics.as_str() {
-            "directed" => splice_sim::reliability::SpliceSemantics::Directed,
-            _ => splice_sim::reliability::SpliceSemantics::UnionGraph,
-        }
-    }
-}
-
-/// Load a named built-in topology.
-pub fn load_topology(name: &str) -> Topology {
-    match name {
-        "sprint" => sprint(),
-        "geant" => geant(),
-        "abilene" => abilene(),
-        other => {
-            eprintln!("unknown topology {other:?}; expected sprint|geant|abilene");
-            std::process::exit(2);
-        }
-    }
-}
-
-/// Print a section header for binary output.
+/// Print a section header for experiment output.
 pub fn banner(title: &str) {
     println!("\n=== {title} ===");
 }
 
-/// A machine-readable record of one experiment run: what was asked for,
-/// how long each phase took, and the final telemetry snapshot. Written
-/// next to the run's CSV artifacts so a plot can always be traced back
-/// to its exact configuration.
-pub struct RunManifest {
-    experiment: String,
-    args: BenchArgs,
-    phases: Vec<(String, f64)>,
-    started: Instant,
-    phase_start: Instant,
+fn print_usage(out: &mut dyn std::io::Write) {
+    let _ = writeln!(
+        out,
+        "splice-lab — one engine behind every Path Splicing experiment\n\
+         \n\
+         usage:\n\
+         \x20 splice-lab list                      list the experiment catalogue\n\
+         \x20 splice-lab run <experiment> [flags]  run one experiment\n\
+         \x20 splice-lab run-all [flags]           run every experiment, journaling shards\n\
+         \x20 splice-lab resume [flags]            like run-all, skipping completed shards\n\
+         \x20 splice-lab help                      this message\n\
+         \n\
+         flags: {USAGE_FLAGS}"
+    );
 }
 
-impl RunManifest {
-    /// Start the run clock for `experiment`.
-    pub fn start(experiment: &str, args: &BenchArgs) -> RunManifest {
-        let now = Instant::now();
-        RunManifest {
-            experiment: experiment.to_string(),
-            args: args.clone(),
-            phases: Vec::new(),
-            started: now,
-            phase_start: now,
+/// Parse the shared flags, handling `--help` (usage to stdout, exit 0)
+/// and malformed input (message to stderr, exit 2) uniformly.
+fn parse_flags(argv: &[String]) -> Result<LabArgs, i32> {
+    match LabArgs::parse(argv) {
+        Ok(args) => Ok(args),
+        Err(ArgsError::Help) => {
+            print_usage(&mut std::io::stdout());
+            Err(0)
+        }
+        Err(e) => {
+            eprintln!("splice-lab: {e}");
+            Err(2)
         }
     }
+}
 
-    /// Close the current phase: records the wall time since the previous
-    /// mark (or since [`RunManifest::start`]) under `name`.
-    pub fn phase_done(&mut self, name: &str) {
-        let now = Instant::now();
-        self.phases
-            .push((name.to_string(), (now - self.phase_start).as_secs_f64()));
-        self.phase_start = now;
-    }
-
-    /// Render the manifest as one JSON object, embedding the current
-    /// snapshot of `registry`.
-    pub fn render(&self, registry: &Registry) -> String {
-        let mut phases = JsonArray::new();
-        for (name, secs) in &self.phases {
-            phases = phases.push_raw(
-                &JsonObject::new()
-                    .field_str("name", name)
-                    .field_f64("seconds", *secs)
-                    .finish(),
-            );
+/// The `splice-lab` entry point, factored out of the binary so the exit
+/// path stays testable: returns the process exit code instead of calling
+/// `std::process::exit` itself.
+pub fn lab_main(argv: &[String]) -> i32 {
+    let registry = experiments::registry();
+    let Some(cmd) = argv.first() else {
+        print_usage(&mut std::io::stderr());
+        return 2;
+    };
+    match cmd.as_str() {
+        "list" => {
+            println!("experiments ({}):", registry.len());
+            for exp in registry.iter() {
+                let aliases = if exp.aliases().is_empty() {
+                    String::new()
+                } else {
+                    format!(" (alias: {})", exp.aliases().join(", "))
+                };
+                println!("  {:<26} {}{}", exp.name(), exp.describe(), aliases);
+            }
+            0
         }
-        JsonObject::new()
-            .field_str("experiment", &self.experiment)
-            .field_str("topology", &self.args.topology)
-            .field_u64("trials", self.args.trials as u64)
-            .field_u64("seed", self.args.seed)
-            .field_str("semantics", &self.args.semantics)
-            .field_raw("phases", &phases.finish())
-            .field_f64("total_seconds", self.started.elapsed().as_secs_f64())
-            .field_raw("metrics", &registry.render_json())
-            .finish()
-    }
-
-    /// Write the rendered manifest to `path`, creating parent directories.
-    pub fn write(&self, path: impl AsRef<Path>, registry: &Registry) -> std::io::Result<()> {
-        if let Some(parent) = path.as_ref().parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
+        "run" => {
+            let Some(name) = argv.get(1) else {
+                eprintln!("usage: splice-lab run <experiment> {USAGE_FLAGS}");
+                return 2;
+            };
+            let Some(exp) = registry.find(name) else {
+                eprintln!(
+                    "splice-lab: {}",
+                    LabError::UnknownExperiment { name: name.clone() }
+                );
+                return 2;
+            };
+            let args = match parse_flags(&argv[2..]) {
+                Ok(args) => args,
+                Err(code) => return code,
+            };
+            let cache = DeploymentCache::new();
+            match run_experiment(exp, &args, &cache) {
+                Ok(_) => 0,
+                Err(e) => {
+                    eprintln!("splice-lab: {e}");
+                    1
+                }
             }
         }
-        let mut text = self.render(registry);
-        text.push('\n');
-        std::fs::write(path, text)
+        "run-all" | "resume" => {
+            let resume = cmd == "resume";
+            let args = match parse_flags(&argv[1..]) {
+                Ok(args) => args,
+                Err(code) => return code,
+            };
+            match run_all(&registry, &args, resume) {
+                Ok(_) => 0,
+                Err(e) => {
+                    eprintln!("splice-lab: {e}");
+                    1
+                }
+            }
+        }
+        "help" | "--help" | "-h" => {
+            print_usage(&mut std::io::stdout());
+            0
+        }
+        other => {
+            eprintln!("splice-lab: unknown command {other:?} (try `splice-lab help`)");
+            2
+        }
     }
 }
 
@@ -230,47 +166,25 @@ mod tests {
 
     #[test]
     fn topologies_resolve() {
-        assert_eq!(load_topology("sprint").node_count(), 52);
-        assert_eq!(load_topology("geant").node_count(), 23);
-        assert_eq!(load_topology("abilene").node_count(), 11);
-    }
-
-    fn test_args() -> BenchArgs {
-        BenchArgs {
-            trials: 42,
-            seed: 7,
-            topology: "abilene".into(),
-            out: PathBuf::from("results"),
-            semantics: "union".into(),
-        }
+        assert_eq!(load_topology("sprint").unwrap().node_count(), 52);
+        assert_eq!(load_topology("geant").unwrap().node_count(), 23);
+        assert_eq!(load_topology("abilene").unwrap().node_count(), 11);
+        assert_eq!(load_topology("rand-24-40-7").unwrap().node_count(), 24);
     }
 
     #[test]
-    fn manifest_records_config_and_phases() {
-        let mut m = RunManifest::start("fig3_reliability", &test_args());
-        m.phase_done("experiment");
-        m.phase_done("artifacts");
-        let reg = Registry::new();
-        reg.counter("splice_trials_total", "Trials").add(42);
-        let json = m.render(&reg);
-        assert!(json.contains(r#""experiment":"fig3_reliability""#));
-        assert!(json.contains(r#""topology":"abilene""#));
-        assert!(json.contains(r#""trials":42"#));
-        assert!(json.contains(r#""seed":7"#));
-        assert!(json.contains(r#""name":"experiment""#));
-        assert!(json.contains(r#""name":"artifacts""#));
-        assert!(json.contains(r#""name":"splice_trials_total","labels":{},"value":42"#));
+    fn unknown_topology_is_a_typed_error() {
+        assert!(load_topology("atlantis").is_err());
     }
 
     #[test]
-    fn manifest_writes_to_disk() {
-        let dir = std::env::temp_dir().join("splice-bench-manifest");
-        let path = dir.join("run_manifest.json");
-        let m = RunManifest::start("t", &test_args());
-        m.write(&path, &Registry::new()).unwrap();
-        let back = std::fs::read_to_string(&path).unwrap();
-        assert!(back.contains(r#""experiment":"t""#));
-        assert!(back.ends_with('\n'));
-        std::fs::remove_dir_all(&dir).ok();
+    fn lab_main_rejects_unknowns_without_exiting() {
+        let argv = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(lab_main(&argv(&["frobnicate"])), 2);
+        assert_eq!(lab_main(&argv(&["run"])), 2);
+        assert_eq!(lab_main(&argv(&["run", "no_such_experiment"])), 2);
+        assert_eq!(lab_main(&argv(&["run", "fig3", "--bogus"])), 2);
+        assert_eq!(lab_main(&argv(&["help"])), 0);
+        assert_eq!(lab_main(&argv(&["list"])), 0);
     }
 }

@@ -10,7 +10,9 @@
 //! dependency-free so it runs even where criterion is absent.
 
 use splice_core::slices::{RepairEvent, Splicing, SplicingConfig};
+use splice_sim::lab::LabError;
 use splice_telemetry::{JsonArray, JsonObject};
+use splice_topology::TopologyError;
 use std::path::Path;
 use std::time::Instant;
 
@@ -41,10 +43,15 @@ pub struct RepairBenchEntry {
 }
 
 /// Measure full rebuilds vs. per-link repairs on `topology` for each k.
-pub fn measure(topology: &str, ks: &[usize], seed: u64) -> Vec<RepairBenchEntry> {
-    let topo = load_topology(topology);
+pub fn measure(
+    topology: &str,
+    ks: &[usize],
+    seed: u64,
+) -> Result<Vec<RepairBenchEntry>, TopologyError> {
+    let topo = load_topology(topology)?;
     let g = topo.graph();
-    ks.iter()
+    let entries = ks
+        .iter()
         .map(|&k| {
             let cfg = SplicingConfig::degree_based(k, 0.0, 3.0);
             let t0 = Instant::now();
@@ -82,7 +89,8 @@ pub fn measure(topology: &str, ks: &[usize], seed: u64) -> Vec<RepairBenchEntry>
                 columns_total: k * g.node_count(),
             }
         })
-        .collect()
+        .collect();
+    Ok(entries)
 }
 
 /// Schema version stamped into every `BENCH_spf_repair.json`. Bump when a
@@ -135,8 +143,8 @@ pub fn write_repair_report(
     topology: &str,
     ks: &[usize],
     seed: u64,
-) -> std::io::Result<()> {
-    let entries = measure(topology, ks, seed);
+) -> Result<(), LabError> {
+    let entries = measure(topology, ks, seed)?;
     let mut text = render(topology, seed, &entries);
     text.push('\n');
     if let Some(parent) = path.as_ref().parent() {
@@ -144,7 +152,8 @@ pub fn write_repair_report(
             std::fs::create_dir_all(parent)?;
         }
     }
-    std::fs::write(path, text)
+    std::fs::write(path, text)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -153,7 +162,7 @@ mod tests {
 
     #[test]
     fn measured_entries_are_sane() {
-        let entries = measure("abilene", &[1, 2], 7);
+        let entries = measure("abilene", &[1, 2], 7).unwrap();
         assert_eq!(entries.len(), 2);
         for e in &entries {
             assert!(e.rebuild_seconds > 0.0);
@@ -168,7 +177,7 @@ mod tests {
 
     #[test]
     fn report_renders_and_writes() {
-        let entries = measure("abilene", &[1], 7);
+        let entries = measure("abilene", &[1], 7).unwrap();
         let json = render("abilene", 7, &entries);
         assert!(json.contains(r#""benchmark":"spf_repair""#));
         assert!(json.contains(r#""schema_version":1"#));

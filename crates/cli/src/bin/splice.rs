@@ -10,6 +10,7 @@
 //!   reliability  quick Monte-Carlo disconnection numbers
 //!   slices       per-slice stretch statistics
 //!   testkit      replay a fault-injection scenario by seed-spec
+//!   exp          the experiment engine (same as `splice-lab`)
 //! ```
 //!
 //! Run `splice help` for the full flag list.
@@ -44,10 +45,12 @@ commands:
   reliability  quick Monte-Carlo disconnection numbers
   slices       per-slice stretch statistics
   testkit      replay a fault-injection scenario by seed-spec
+  exp          the experiment engine (same as `splice-lab`; try `splice exp list`)
   help         this message
 
 common flags:
-  --topology sprint|geant|abilene   built-in topology (default sprint)
+  --topology NAME                   built-in (sprint|geant|abilene) or a
+                                    generator spec like rand-24-40-7 (default sprint)
   --file PATH                       edge-list topology file instead
   --k N                             number of slices (default 5)
   --seed N                          RNG seed (default 1)
@@ -90,6 +93,11 @@ fn main() {
             fail(&e);
         }
         return;
+    }
+    // `exp` forwards to the splice-lab experiment engine, which has its
+    // own subcommand grammar (positional operands included).
+    if command == "exp" {
+        std::process::exit(splice_bench::lab_main(&argv[1..]));
     }
     let flags = match Flags::parse(&argv[1..]) {
         Ok(f) => f,

@@ -93,6 +93,10 @@ impl Flags {
 }
 
 /// Resolve the topology from `--topology name` or `--file path`.
+///
+/// Names accept the built-ins (`sprint`, `geant`, `abilene`) and any
+/// generator spec understood by [`splice_topology::resolve`], e.g.
+/// `rand-24-40-7` or `grid-4-6`.
 pub fn resolve_topology(flags: &Flags) -> Result<Topology, String> {
     if let Some(path) = flags.get("file") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -102,14 +106,7 @@ pub fn resolve_topology(flags: &Flags) -> Result<Topology, String> {
             .unwrap_or("file");
         return parse::parse_edge_list(name, &text).map_err(|e| e.to_string());
     }
-    match flags.get("topology").unwrap_or("sprint") {
-        "sprint" => Ok(splice_topology::sprint::sprint()),
-        "geant" => Ok(splice_topology::geant::geant()),
-        "abilene" => Ok(splice_topology::abilene::abilene()),
-        other => Err(format!(
-            "unknown topology {other:?}; expected sprint|geant|abilene or --file"
-        )),
-    }
+    splice_topology::resolve(flags.get("topology").unwrap_or("sprint")).map_err(|e| e.to_string())
 }
 
 /// Resolve a node by name (exact, then case-insensitive).
@@ -196,6 +193,8 @@ mod tests {
         assert!(resolve_topology(&f).is_err());
         let f = flags(&[]);
         assert_eq!(resolve_topology(&f).unwrap().name, "sprint");
+        let f = flags(&["--topology", "rand-24-40-7"]);
+        assert_eq!(resolve_topology(&f).unwrap().node_count(), 24);
     }
 
     #[test]

@@ -21,14 +21,27 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// splitmix64 finalizer: FNV's low bits are weakly mixed (its prime only
-/// propagates low bits upward), so we avalanche before reducing modulo k.
-fn mix(mut h: u64) -> u64 {
+/// SplitMix64's finalizer: a full-avalanche bijection on `u64`.
+///
+/// Used directly where the input is already well-spread (FNV output below:
+/// FNV's low bits are weakly mixed — its prime only propagates low bits
+/// upward — so we avalanche before reducing modulo k), and via
+/// [`splitmix64`] where inputs may be small or sequential.
+#[inline]
+pub fn splitmix64_mix(mut h: u64) -> u64 {
     h ^= h >> 30;
     h = h.wrapping_mul(0xbf58476d1ce4e5b9);
     h ^= h >> 27;
     h = h.wrapping_mul(0x94d049bb133111eb);
     h ^ (h >> 31)
+}
+
+/// One SplitMix64 step: golden-ratio increment then finalizer. The
+/// workspace's single definition — `splice_sim::parallel` re-exports it
+/// for seed derivation.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    splitmix64_mix(x.wrapping_add(0x9e3779b97f4a7c15))
 }
 
 /// The slice a bit-less packet from `src` to `dst` uses, out of `k`.
@@ -40,7 +53,7 @@ pub fn slice_for_flow(src: NodeId, dst: NodeId, k: usize) -> usize {
     let mut bytes = [0u8; 8];
     bytes[..4].copy_from_slice(&src.0.to_be_bytes());
     bytes[4..].copy_from_slice(&dst.0.to_be_bytes());
-    (mix(fnv1a(&bytes)) % k as u64) as usize
+    (splitmix64_mix(fnv1a(&bytes)) % k as u64) as usize
 }
 
 #[cfg(test)]

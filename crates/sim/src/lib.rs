@@ -20,11 +20,16 @@
 //!
 //! Trials run in parallel ([`parallel`]) and are reproducible from a
 //! single seed. Results serialize to CSV/JSON ([`output`]).
+//!
+//! Experiments themselves are driven through the [`lab`] engine: one
+//! [`lab::Experiment`] trait behind every figure/table driver, with a
+//! shared deployment cache and resumable `run-all` sweeps.
 
 pub mod convergence;
 pub mod diversity;
 pub mod dynamics_exp;
 pub mod failure;
+pub mod lab;
 pub mod loops;
 pub mod node_failures;
 pub mod output;
@@ -39,5 +44,6 @@ pub mod telemetry;
 pub mod theory;
 
 pub use failure::FailureModel;
+pub use lab::{DeploymentCache, Experiment, ExperimentRegistry, LabArgs, LabError, RunContext};
 pub use reliability::{ReliabilityConfig, ReliabilityCurves};
 pub use telemetry::{ExperimentTelemetry, TrialTelemetry};

@@ -1,10 +1,16 @@
 //! Result serialization: CSV for plotting, JSON for archival, and fixed-
 //! width tables for the terminal.
+//!
+//! Experiments describe their results as structured [`Artifact`]s (a
+//! series family, a table, or plain text); the engine renders each one
+//! exactly once to the terminal ([`artifact_to_terminal`]) and once to
+//! disk ([`write_artifact`]), so every driver shares identical CSV/JSON
+//! and table formatting.
 
 use crate::stats::Series;
 use std::fmt;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A family of series cannot be rendered as one CSV table.
 #[derive(Clone, Debug, PartialEq)]
@@ -145,6 +151,197 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// One experiment result: a file name plus the structured value that
+/// renders into it (and onto the terminal).
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// File name relative to the run's output directory.
+    pub file: String,
+    /// What the file holds.
+    pub kind: ArtifactKind,
+}
+
+/// The structured payload of an [`Artifact`].
+#[derive(Clone, Debug)]
+pub enum ArtifactKind {
+    /// A family of series sharing one x grid: written as CSV (plus an
+    /// optional pretty-JSON twin), shown as a fixed-width table.
+    Series {
+        /// The series, in column order.
+        series: Vec<Series>,
+        /// Header of the x column in the terminal table.
+        x_label: String,
+        /// Decimal places for x in the terminal table (CSV keeps full
+        /// precision).
+        x_decimals: usize,
+        /// Also write `<stem>.json` next to the CSV.
+        json_twin: bool,
+    },
+    /// A fixed-width table, written and shown verbatim.
+    Table {
+        /// Column headers.
+        headers: Vec<String>,
+        /// Row cells, one `Vec` per row.
+        rows: Vec<Vec<String>>,
+    },
+    /// Preformatted text, written and shown verbatim.
+    Text(String),
+}
+
+impl Artifact {
+    /// A series-family artifact (CSV on disk, table on the terminal).
+    pub fn series(
+        file: impl Into<String>,
+        x_label: impl Into<String>,
+        x_decimals: usize,
+        json_twin: bool,
+        series: Vec<Series>,
+    ) -> Artifact {
+        Artifact {
+            file: file.into(),
+            kind: ArtifactKind::Series {
+                series,
+                x_label: x_label.into(),
+                x_decimals,
+                json_twin,
+            },
+        }
+    }
+
+    /// A table artifact.
+    pub fn table(file: impl Into<String>, headers: &[&str], rows: Vec<Vec<String>>) -> Artifact {
+        Artifact {
+            file: file.into(),
+            kind: ArtifactKind::Table {
+                headers: headers.iter().map(|h| h.to_string()).collect(),
+                rows,
+            },
+        }
+    }
+
+    /// A preformatted-text artifact.
+    pub fn text(file: impl Into<String>, text: impl Into<String>) -> Artifact {
+        Artifact {
+            file: file.into(),
+            kind: ArtifactKind::Text(text.into()),
+        }
+    }
+
+    /// The file name without its final extension — the stem shared by a
+    /// CSV, its JSON twin, and the run manifest.
+    pub fn base_name(&self) -> &str {
+        match self.file.rsplit_once('.') {
+            Some((stem, ext)) if !stem.is_empty() && !ext.contains('/') => stem,
+            _ => &self.file,
+        }
+    }
+}
+
+/// Why an [`Artifact`] failed to render or write.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The series family does not share one x grid.
+    Csv(CsvError),
+    /// Filesystem failure writing the artifact.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Csv(e) => write!(f, "{e}"),
+            ArtifactError::Io(e) => write!(f, "writing artifact: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<CsvError> for ArtifactError {
+    fn from(e: CsvError) -> ArtifactError {
+        ArtifactError::Csv(e)
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> ArtifactError {
+        ArtifactError::Io(e)
+    }
+}
+
+/// Render an artifact for the terminal: series become the familiar
+/// fixed-width table (x at `x_decimals`, y at 4 decimals), tables render
+/// via [`render_table`], text passes through.
+pub fn artifact_to_terminal(artifact: &Artifact) -> String {
+    match &artifact.kind {
+        ArtifactKind::Series {
+            series,
+            x_label,
+            x_decimals,
+            ..
+        } => {
+            let headers: Vec<&str> = std::iter::once(x_label.as_str())
+                .chain(series.iter().map(|s| s.label.as_str()))
+                .collect();
+            let rows: Vec<Vec<String>> = match series.first() {
+                None => Vec::new(),
+                Some(first) => first
+                    .points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(x, _))| {
+                        std::iter::once(format!("{x:.prec$}", prec = x_decimals))
+                            .chain(series.iter().map(|s| {
+                                s.points
+                                    .get(i)
+                                    .map(|&(_, y)| format!("{y:.4}"))
+                                    .unwrap_or_default()
+                            }))
+                            .collect()
+                    })
+                    .collect(),
+            };
+            render_table(&headers, &rows)
+        }
+        ArtifactKind::Table { headers, rows } => {
+            let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+            render_table(&headers, rows)
+        }
+        ArtifactKind::Text(text) => text.clone(),
+    }
+}
+
+/// Write an artifact under `dir`, returning every path written (a series
+/// artifact with a JSON twin writes two files).
+pub fn write_artifact(dir: &Path, artifact: &Artifact) -> Result<Vec<PathBuf>, ArtifactError> {
+    match &artifact.kind {
+        ArtifactKind::Series {
+            series, json_twin, ..
+        } => {
+            let csv = series_to_csv(series)?;
+            let path = dir.join(&artifact.file);
+            write_text(&path, &csv)?;
+            let mut written = vec![path];
+            if *json_twin {
+                let twin = dir.join(format!("{}.json", artifact.base_name()));
+                write_json(&twin, series)?;
+                written.push(twin);
+            }
+            Ok(written)
+        }
+        ArtifactKind::Table { .. } => {
+            let path = dir.join(&artifact.file);
+            write_text(&path, &artifact_to_terminal(artifact))?;
+            Ok(vec![path])
+        }
+        ArtifactKind::Text(text) => {
+            let path = dir.join(&artifact.file);
+            write_text(&path, text)?;
+            Ok(vec![path])
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +425,67 @@ mod tests {
         write_json(&path, &vec![1, 2, 3]).unwrap();
         let back = std::fs::read_to_string(&path).unwrap();
         assert!(back.contains('1'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn series_artifact_matches_handwritten_rendering() {
+        let series = vec![
+            Series::new("k = 1", vec![(0.01, 0.123456), (0.02, 0.2)]),
+            Series::new("k = 2", vec![(0.01, 0.05), (0.02, 0.1)]),
+        ];
+        let a = Artifact::series("fig.csv", "p", 3, false, series.clone());
+        // Exactly what the old per-binary code produced by hand.
+        let rows: Vec<Vec<String>> = series[0]
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, _))| {
+                let mut row = vec![format!("{x:.3}")];
+                for s in &series {
+                    row.push(format!("{:.4}", s.points[i].1));
+                }
+                row
+            })
+            .collect();
+        let expected = render_table(&["p", "k = 1", "k = 2"], &rows);
+        assert_eq!(artifact_to_terminal(&a), expected);
+    }
+
+    #[test]
+    fn artifact_base_name_strips_extension() {
+        assert_eq!(Artifact::text("a_b.csv", "").base_name(), "a_b");
+        assert_eq!(Artifact::text("noext", "").base_name(), "noext");
+    }
+
+    #[test]
+    fn write_series_artifact_with_twin() {
+        let dir = std::env::temp_dir().join("splice-sim-artifact");
+        std::fs::remove_dir_all(&dir).ok();
+        let series = vec![Series::new("k = 1", vec![(0.01, 0.1)])];
+        let a = Artifact::series("fam.csv", "p", 3, true, series.clone());
+        let written = write_artifact(&dir, &a).unwrap();
+        assert_eq!(written.len(), 2);
+        let csv = std::fs::read_to_string(&written[0]).unwrap();
+        assert_eq!(csv, series_to_csv(&series).unwrap());
+        let json = std::fs::read_to_string(&written[1]).unwrap();
+        assert!(json.contains("k = 1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_table_and_text_artifacts() {
+        let dir = std::env::temp_dir().join("splice-sim-artifact-tt");
+        std::fs::remove_dir_all(&dir).ok();
+        let t = Artifact::table("t.txt", &["k"], vec![vec!["1".into()]]);
+        let written = write_artifact(&dir, &t).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&written[0]).unwrap(),
+            artifact_to_terminal(&t)
+        );
+        let x = Artifact::text("x.txt", "hello\n");
+        let written = write_artifact(&dir, &x).unwrap();
+        assert_eq!(std::fs::read_to_string(&written[0]).unwrap(), "hello\n");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,14 +10,7 @@ use crate::telemetry::TrialTelemetry;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// SplitMix64's finalizer: a full-avalanche bijection on `u64`.
-#[inline]
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
-}
+pub use splice_core::hash::splitmix64;
 
 /// Derive the seed of trial `index` in RNG stream `stream` of experiment
 /// `base_seed`.

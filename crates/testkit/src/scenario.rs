@@ -14,7 +14,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use splice_graph::graph::from_edges;
 use splice_graph::Graph;
 
 /// Split-mix the trial index into an independent seed stream (same
@@ -54,31 +53,22 @@ impl TopologySpec {
     /// Materialize the graph. Deterministic: same spec, same graph.
     pub fn graph(&self) -> Result<Graph, String> {
         match self {
-            TopologySpec::Named(name) => match name.as_str() {
-                "abilene" => Ok(splice_topology::abilene::abilene().graph()),
-                "geant" => Ok(splice_topology::geant::geant().graph()),
-                "sprint" => Ok(splice_topology::sprint::sprint().graph()),
-                other => Err(format!(
-                    "unknown topology {other:?}; expected abilene|geant|sprint or rand-N-X-SEED"
-                )),
-            },
+            // Shared resolver: named ISP maps, and (transitively) any
+            // generator spec the CLI accepts.
+            TopologySpec::Named(name) => splice_topology::resolve(name)
+                .map(|t| t.graph())
+                .map_err(|e| e.to_string()),
             TopologySpec::Random { nodes, extra, seed } => {
                 let n = *nodes;
                 if n < 3 {
                     return Err(format!("random topology needs >= 3 nodes, got {n}"));
                 }
-                let mut edges: Vec<(u32, u32, f64)> =
-                    (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
-                let mut rng = StdRng::seed_from_u64(*seed);
-                for _ in 0..*extra {
-                    // Exactly three draws per chord; `v = u + d` with
-                    // `d in 1..n` can never be a self-loop.
-                    let u = rng.gen_range(0..n);
-                    let d = rng.gen_range(1..n);
-                    let w = rng.gen_range(0.5f64..8.0);
-                    edges.push((u, (u + d) % n, w));
-                }
-                Ok(from_edges(n as usize, &edges))
+                // The chord construction lives in the topology crate now
+                // (`--topology rand-N-M-S` resolves to the same graphs);
+                // the draw sequence there is frozen for prefix stability.
+                Ok(splice_topology::generators::ring_with_chords(
+                    n, *extra, *seed,
+                ))
             }
         }
     }

@@ -18,6 +18,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use splice_graph::graph::from_edges;
 use splice_graph::{Graph, GraphBuilder, NodeId};
 
 /// G(n, p): each of the n(n-1)/2 possible edges appears independently
@@ -132,15 +133,50 @@ pub fn complete(n: usize) -> Graph {
 /// Keep regenerating an Erdős–Rényi graph until it is connected (bounded
 /// retries), for experiments that require a connected base topology.
 pub fn connected_erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    try_connected_erdos_renyi(n, p, seed).unwrap_or_else(|| {
+        panic!("could not generate a connected G({n}, {p}) in 1000 tries — p too small")
+    })
+}
+
+/// Non-panicking [`connected_erdos_renyi`]: `None` when 1000 draws all
+/// come out disconnected (`p` too small for `n`).
+pub fn try_connected_erdos_renyi(n: usize, p: f64, seed: u64) -> Option<Graph> {
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..1000 {
         let g = erdos_renyi(n, p, &mut rng);
         let mask = splice_graph::EdgeMask::all_up(g.edge_count());
         if splice_graph::traversal::is_connected(&g, &mask) {
-            return g;
+            return Some(g);
         }
     }
-    panic!("could not generate a connected G({n}, {p}) in 1000 tries — p too small");
+    None
+}
+
+/// Ring backbone `0..n` (unit weights, guaranteeing initial connectivity)
+/// plus `extra` random chords — the testkit's `rand-N-M-S` scenario
+/// grammar, shared here so the same graphs are reachable from the CLI and
+/// the experiment engine via `--topology rand-N-M-S`.
+///
+/// Chords are drawn one at a time with exactly three RNG draws each, so
+/// `extra - 1` yields a strict prefix of the same graph — the property the
+/// testkit shrinker's remove-edges pass relies on. Do not change the draw
+/// sequence: replay specs recorded anywhere would stop reproducing.
+///
+/// # Panics
+/// Panics if `n < 3` (callers that must not panic check first).
+pub fn ring_with_chords(n: u32, extra: u32, seed: u64) -> Graph {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let mut edges: Vec<(u32, u32, f64)> = (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..extra {
+        // Exactly three draws per chord; `v = u + d` with `d in 1..n`
+        // can never be a self-loop.
+        let u = rng.gen_range(0..n);
+        let d = rng.gen_range(1..n);
+        let w = rng.gen_range(0.5f64..8.0);
+        edges.push((u, (u + d) % n, w));
+    }
+    from_edges(n as usize, &edges)
 }
 
 #[cfg(test)]

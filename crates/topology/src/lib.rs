@@ -23,6 +23,8 @@
 //!   families, used by the Theorem A.1 scaling experiments.
 //! * [`parse`] — a plain edge-list format and a Rocketfuel-style
 //!   `weights`-file parser, plus serializers for both.
+//! * [`resolve`] — the one name → topology resolver every binary shares
+//!   (named maps plus seeded generator specs like `rand-24-40-7`).
 
 pub mod abilene;
 pub mod geant;
@@ -30,6 +32,8 @@ pub mod generators;
 pub mod geo;
 pub mod model;
 pub mod parse;
+pub mod resolve;
 pub mod sprint;
 
 pub use model::{LinkSpec, NodeSpec, Topology};
+pub use resolve::{resolve, TopologyError};

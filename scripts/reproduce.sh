@@ -3,43 +3,47 @@
 # Artifacts land in results/. Full paper scale (1000 trials for Figure 3;
 # recovery figures at 200 which already gives <1% confidence intervals);
 # pass a number to scale every trial count, e.g. `scripts/reproduce.sh 4`.
+#
+# Every experiment runs through the one `splice-lab` engine; the explicit
+# per-experiment lines (rather than `splice-lab run-all`) carry the
+# paper-scale trial counts and the geant/directed variants.
 set -u
 cd "$(dirname "$0")/.."
 SCALE=${1:-1}
 t() { echo $(( $2 * SCALE )); }
 cargo build --release -p splice-bench || exit 1
-B=target/release
+LAB=target/release/splice-lab
 run() { echo "=== $* ==="; "$@" || echo "FAILED: $*"; }
 
 # The paper's own artifacts.
-run $B/fig3_reliability --trials "$(t fig3 1000)"
-run $B/fig3_reliability --trials "$(t fig3 1000)" --topology geant
-run $B/fig3_reliability --trials "$(t fig3 500)" --semantics directed
-run $B/fig4_end_system_recovery --trials "$(t fig4 200)"
-run $B/fig4_end_system_recovery --trials "$(t fig4 150)" --semantics directed
-run $B/fig5_network_recovery --trials "$(t fig5 200)"
-run $B/table1 --trials "$(t table1 150)"
-run $B/stretch_stats --trials "$(t stretch 100)"
-run $B/loop_stats --trials "$(t loops 300)"
-run $B/scaling_lognslices --trials "$(t scaling 60)"
-run $B/theorem_b1
-run $B/state_vs_diversity
+run $LAB run fig3_reliability --trials "$(t fig3 1000)"
+run $LAB run fig3_reliability --trials "$(t fig3 1000)" --topology geant
+run $LAB run fig3_reliability --trials "$(t fig3 500)" --semantics directed
+run $LAB run fig4_end_system_recovery --trials "$(t fig4 200)"
+run $LAB run fig4_end_system_recovery --trials "$(t fig4 150)" --semantics directed
+run $LAB run fig5_network_recovery --trials "$(t fig5 200)"
+run $LAB run table1 --trials "$(t table1 150)"
+run $LAB run stretch_stats --trials "$(t stretch 100)"
+run $LAB run loop_stats --trials "$(t loops 300)"
+run $LAB run scaling_lognslices --trials "$(t scaling 60)"
+run $LAB run theorem_b1
+run $LAB run state_vs_diversity
 
 # Everything §5-§6 sketch, built and measured.
-run $B/te_load_balance
-run $B/te_vs_tuning --trials "$(t tune 1500)"
-run $B/capacity_multipath
-run $B/bgp_splicing --trials "$(t bgp 200)"
-run $B/overlay_splicing --trials "$(t overlay 250)"
-run $B/slicing_vs_mrc --trials "$(t mrc 250)"
-run $B/coverage_ablation --trials "$(t coverage 100)"
-run $B/loopfree_ablation --trials "$(t loopfree 60)"
-run $B/perturbation_ablation --trials "$(t perturb 120)"
-run $B/header_encoding_ablation --trials "$(t header 100)"
-run $B/node_failures --trials "$(t nodes 200)"
-run $B/srlg_failures --trials "$(t srlg 200)"
-run $B/convergence_window
-run $B/routing_dynamics
-run $B/ecmp_baseline --trials "$(t ecmp 200)"
-run $B/explicit_paths_baseline
+run $LAB run te_load_balance
+run $LAB run te_vs_tuning --trials "$(t tune 1500)"
+run $LAB run capacity_multipath
+run $LAB run bgp_splicing --trials "$(t bgp 200)"
+run $LAB run overlay_splicing --trials "$(t overlay 250)"
+run $LAB run slicing_vs_mrc --trials "$(t mrc 250)"
+run $LAB run coverage_ablation --trials "$(t coverage 100)"
+run $LAB run loopfree_ablation --trials "$(t loopfree 60)"
+run $LAB run perturbation_ablation --trials "$(t perturb 120)"
+run $LAB run header_encoding_ablation --trials "$(t header 100)"
+run $LAB run node_failures --trials "$(t nodes 200)"
+run $LAB run srlg_failures --trials "$(t srlg 200)"
+run $LAB run convergence_window
+run $LAB run routing_dynamics
+run $LAB run ecmp_baseline --trials "$(t ecmp 200)"
+run $LAB run explicit_paths_baseline
 echo "all experiments done; see results/"
