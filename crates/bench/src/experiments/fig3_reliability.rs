@@ -11,7 +11,6 @@ use crate::banner;
 use splice_sim::lab::{Experiment, ExperimentOutput, LabError, RunContext};
 use splice_sim::output::Artifact;
 use splice_sim::reliability::{reliability_experiment_instrumented, ReliabilityConfig};
-use splice_sim::telemetry::ExperimentTelemetry;
 
 /// The paper's headline figure.
 pub struct Fig3Reliability;
@@ -49,7 +48,8 @@ impl Experiment for Fig3Reliability {
             "semantics: {} (use --semantics directed for forwarding-exact accounting)",
             ctx.config.semantics
         );
-        let telemetry = ExperimentTelemetry::register(&ctx.registry)
+        let telemetry = ctx
+            .experiment_telemetry()
             .with_heartbeat((ctx.config.trials / 10).max(1) as u64);
         let out = reliability_experiment_instrumented(&g, &cfg, Some(&telemetry));
 

@@ -10,7 +10,6 @@ use crate::banner;
 use splice_sim::lab::{Experiment, ExperimentOutput, LabError, RunContext};
 use splice_sim::output::Artifact;
 use splice_sim::recovery::{recovery_experiment_instrumented, RecoveryConfig};
-use splice_sim::telemetry::ExperimentTelemetry;
 
 /// End-system (host-driven) recovery curves.
 pub struct Fig4EndSystemRecovery;
@@ -41,7 +40,8 @@ impl Experiment for Fig4EndSystemRecovery {
 
         let mut cfg = RecoveryConfig::figure4(ctx.config.trials, ctx.config.seed);
         cfg.semantics = ctx.config.splice_semantics();
-        let telemetry = ExperimentTelemetry::register(&ctx.registry)
+        let telemetry = ctx
+            .experiment_telemetry()
             .with_heartbeat((ctx.config.trials / 10).max(1) as u64);
         let out =
             recovery_experiment_instrumented(&g, &ctx.topology.latencies(), &cfg, Some(&telemetry));

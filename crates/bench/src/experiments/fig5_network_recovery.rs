@@ -9,7 +9,6 @@ use crate::banner;
 use splice_sim::lab::{Experiment, ExperimentOutput, LabError, RunContext};
 use splice_sim::output::Artifact;
 use splice_sim::recovery::{recovery_experiment_instrumented, RecoveryConfig};
-use splice_sim::telemetry::ExperimentTelemetry;
 
 /// Network-based (router-driven) recovery curves.
 pub struct Fig5NetworkRecovery;
@@ -40,7 +39,8 @@ impl Experiment for Fig5NetworkRecovery {
 
         let mut cfg = RecoveryConfig::figure5(ctx.config.trials, ctx.config.seed);
         cfg.semantics = ctx.config.splice_semantics();
-        let telemetry = ExperimentTelemetry::register(&ctx.registry)
+        let telemetry = ctx
+            .experiment_telemetry()
             .with_heartbeat((ctx.config.trials / 10).max(1) as u64);
         let out =
             recovery_experiment_instrumented(&g, &ctx.topology.latencies(), &cfg, Some(&telemetry));

@@ -11,7 +11,7 @@
 
 use splice_core::slices::{RepairEvent, Splicing, SplicingConfig};
 use splice_sim::lab::LabError;
-use splice_telemetry::{JsonArray, JsonObject};
+use splice_telemetry::{Histogram, JsonArray, JsonObject};
 use splice_topology::TopologyError;
 use std::path::Path;
 use std::time::Instant;
@@ -28,6 +28,10 @@ pub struct RepairBenchEntry {
     /// Mean wall time of `Splicing::repair` over every single-link
     /// failure event on the topology.
     pub repair_seconds_mean: f64,
+    /// Median single-event repair time (log2-bucket interpolated).
+    pub repair_seconds_p50: f64,
+    /// Tail single-event repair time (p99, log2-bucket interpolated).
+    pub repair_seconds_p99: f64,
     /// Worst single-event repair time.
     pub repair_seconds_max: f64,
     /// `rebuild_seconds / repair_seconds_mean` — the incremental win.
@@ -60,6 +64,9 @@ pub fn measure(
 
             let mut repair_total = 0.0f64;
             let mut repair_max = 0.0f64;
+            // Per-event durations in nanoseconds; quantiles come out in
+            // seconds via the scale, same as the registry histograms.
+            let repair_hist = Histogram::with_scale(1e-9);
             let mut patched = 0usize;
             let mut frontier = 0usize;
             let mut events = 0usize;
@@ -67,20 +74,24 @@ pub fn measure(
                 let event = RepairEvent::LinkFailure(e);
                 let t0 = Instant::now();
                 let (repaired, stats) = sp.repair_report(&g, &event);
-                let dt = t0.elapsed().as_secs_f64();
+                let elapsed = t0.elapsed();
                 std::hint::black_box(repaired);
-                repair_total += dt;
-                repair_max = repair_max.max(dt);
+                repair_total += elapsed.as_secs_f64();
+                repair_max = repair_max.max(elapsed.as_secs_f64());
+                repair_hist.record_duration(elapsed);
                 patched += stats.patched_columns;
                 frontier += stats.frontier_nodes;
                 events += 1;
             }
             let repair_seconds_mean = repair_total / events.max(1) as f64;
+            let (repair_seconds_p50, _, repair_seconds_p99) = repair_hist.quantiles();
 
             RepairBenchEntry {
                 k,
                 rebuild_seconds,
                 repair_seconds_mean,
+                repair_seconds_p50,
+                repair_seconds_p99,
                 repair_seconds_max: repair_max,
                 speedup_mean: rebuild_seconds / repair_seconds_mean.max(1e-12),
                 events,
@@ -95,8 +106,9 @@ pub fn measure(
 
 /// Schema version stamped into every `BENCH_spf_repair.json`. Bump when a
 /// field is renamed, removed, or changes meaning; adding fields is
-/// compatible.
-pub const SCHEMA_VERSION: u64 = 1;
+/// compatible. Version 2 added `repair_seconds_p50`/`repair_seconds_p99`
+/// (log2-bucket interpolated quantiles) to every entry.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Render entries as the `BENCH_spf_repair.json` document.
 ///
@@ -105,7 +117,7 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// ```json
 /// {
 ///   "benchmark": "spf_repair",
-///   "schema_version": 1,
+///   "schema_version": 2,
 ///   "topology": "<name>",
 ///   "seed": <u64>,
 ///   "entries": [ { one object per k, fields as in RepairBenchEntry } ]
@@ -119,6 +131,8 @@ pub fn render(topology: &str, seed: u64, entries: &[RepairBenchEntry]) -> String
                 .field_u64("k", e.k as u64)
                 .field_f64("rebuild_seconds", e.rebuild_seconds)
                 .field_f64("repair_seconds_mean", e.repair_seconds_mean)
+                .field_f64("repair_seconds_p50", e.repair_seconds_p50)
+                .field_f64("repair_seconds_p99", e.repair_seconds_p99)
                 .field_f64("repair_seconds_max", e.repair_seconds_max)
                 .field_f64("speedup_mean", e.speedup_mean)
                 .field_u64("events", e.events as u64)
@@ -167,6 +181,10 @@ mod tests {
         for e in &entries {
             assert!(e.rebuild_seconds > 0.0);
             assert!(e.repair_seconds_mean > 0.0);
+            assert!(e.repair_seconds_p50 > 0.0);
+            // Quantiles are bucket upper bounds, so p99 can exceed the
+            // raw max by at most one bucket width — never fall below p50.
+            assert!(e.repair_seconds_p99 >= e.repair_seconds_p50);
             assert_eq!(e.events, 14); // Abilene's link count
             assert_eq!(e.columns_total, e.k * 11);
             // Repair never rewrites more columns than a full rebuild.
@@ -180,9 +198,11 @@ mod tests {
         let entries = measure("abilene", &[1], 7).unwrap();
         let json = render("abilene", 7, &entries);
         assert!(json.contains(r#""benchmark":"spf_repair""#));
-        assert!(json.contains(r#""schema_version":1"#));
+        assert!(json.contains(r#""schema_version":2"#));
         assert!(json.contains(r#""topology":"abilene""#));
         assert!(json.contains(r#""repair_seconds_mean""#));
+        assert!(json.contains(r#""repair_seconds_p50""#));
+        assert!(json.contains(r#""repair_seconds_p99""#));
         assert!(json.contains(r#""patched_columns_mean""#));
 
         let dir = std::env::temp_dir().join("splice-bench-repair-report");

@@ -22,6 +22,8 @@ fn lab_args(trials: usize, seed: u64, out: &PathBuf) -> LabArgs {
         topology: "abilene".into(),
         out: out.clone(),
         semantics: "union".into(),
+        listen: None,
+        linger_secs: 0,
     }
 }
 

@@ -9,6 +9,7 @@
 //!   recover      break links and run end-system or network recovery
 //!   reliability  quick Monte-Carlo disconnection numbers
 //!   slices       per-slice stretch statistics
+//!   observe      standing churn loop with a live scrape endpoint
 //!   testkit      replay a fault-injection scenario by seed-spec
 //!   exp          the experiment engine (same as `splice-lab`)
 //! ```
@@ -17,20 +18,20 @@
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use splice_cli::{resolve_failures, resolve_node, resolve_topology, Flags};
 use splice_core::prelude::*;
-use splice_core::slices::SplicingConfig;
+use splice_core::slices::{RepairEvent, SplicingConfig};
 use splice_core::stretch::{per_slice_stretch, StretchStats};
 use splice_dataplane::{NetTelemetry, Packet, RouterConfig, SimNetwork};
 use splice_graph::mincut::min_cut_links;
-use splice_graph::{EdgeMask, NodeId};
+use splice_graph::{EdgeId, EdgeMask, NodeId};
 use splice_sim::reliability::{
     reliability_experiment_instrumented, ReliabilityConfig, SpliceSemantics,
 };
 use splice_sim::telemetry::ExperimentTelemetry;
 use splice_sim::FailureModel;
-use splice_telemetry::{Registry, TraceSink};
+use splice_telemetry::{FlightRecorder, Registry, Span, TraceSink};
 use splice_topology::Topology;
 
 const HELP: &str = "\
@@ -44,6 +45,8 @@ commands:
   recover      break links and run recovery
   reliability  quick Monte-Carlo disconnection numbers
   slices       per-slice stretch statistics
+  observe      standing fail/repair/forward churn loop with a live
+               scrape endpoint (/metrics, /healthz, /snapshot)
   testkit      replay a fault-injection scenario by seed-spec
   exp          the experiment engine (same as `splice-lab`; try `splice exp list`)
   help         this message
@@ -68,6 +71,13 @@ reliability flags:
   --p 0.02,0.05,0.1                 failure probabilities (comma list)
   --trials N                        Monte-Carlo trials (default 200)
   --semantics union|directed        spliced-path accounting (default union)
+
+observe flags:
+  --listen ADDR                     scrape address (default 127.0.0.1:0;
+                                    the bound address is printed)
+  --duration-secs N                 how long to churn (default 30; 0 = forever)
+  --interval-ms N                   pause between churn rounds (default 200)
+  --walks N                         spliced packets injected per round (default 4)
 
 telemetry flags (recover, reliability):
   --metrics PATH                    write a Prometheus metric snapshot
@@ -109,6 +119,7 @@ fn main() {
         "recover" => cmd_recover(&flags),
         "reliability" => cmd_reliability(&flags),
         "slices" => cmd_slices(&flags),
+        "observe" => cmd_observe(&flags),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())
@@ -520,6 +531,112 @@ fn cmd_reliability(flags: &Flags) -> Result<(), String> {
     if let Some(path) = metrics {
         write_metrics(path, &registry)?;
     }
+    Ok(())
+}
+
+/// `splice observe` — a standing churn loop behind a live scrape
+/// endpoint: fail a random link, incrementally repair the slices,
+/// push a few spliced packets through the broken data plane, restore,
+/// sleep, repeat. Everything the loop does lands in one registry and
+/// one flight recorder, so `curl <addr>/metrics` shows span-duration
+/// histograms with quantile gauges and `<addr>/snapshot` shows the
+/// most recent repairs and walk anomalies while the loop is running.
+fn cmd_observe(flags: &Flags) -> Result<(), String> {
+    let topo = resolve_topology(flags)?;
+    let (g, splicing) = build(&topo, flags)?;
+    let seed: u64 = flags.get_parsed("seed", 1)?;
+    let listen = flags.get("listen").unwrap_or("127.0.0.1:0");
+    let duration_secs: u64 = flags.get_parsed("duration-secs", 30)?;
+    let interval_ms: u64 = flags.get_parsed("interval-ms", 200)?;
+    let walks: usize = flags.get_parsed("walks", 4)?;
+
+    let registry = Registry::new();
+    let flight = FlightRecorder::new(1024);
+    let telemetry = ExperimentTelemetry::register(&registry).with_flight(flight.clone());
+    let server = splice_telemetry::serve(listen, registry.clone(), Some(flight.clone()))
+        .map_err(|e| format!("cannot bind --listen {listen}: {e}"))?;
+    println!(
+        "observe: {} (k = {}), churn every {interval_ms} ms for {}",
+        topo.name,
+        splicing.k(),
+        if duration_secs == 0 {
+            "ever (interrupt to stop)".to_string()
+        } else {
+            format!("{duration_secs}s")
+        }
+    );
+    println!(
+        "observe: scrape http://{}/metrics — also /healthz, /snapshot",
+        server.local_addr()
+    );
+
+    let mut net = SimNetwork::new(
+        g.clone(),
+        &splicing,
+        topo.latencies(),
+        RouterConfig {
+            splicing_enabled: true,
+            network_recovery: true,
+        },
+    );
+    net.set_telemetry(NetTelemetry::register(&registry));
+    net.set_flight_recorder(flight.clone());
+
+    let round_span = Span::new(
+        "splice_observe_round",
+        registry.histogram_seconds(
+            "splice_observe_round_seconds",
+            "One fail/repair/forward/restore churn round",
+        ),
+    )
+    .with_flight(flight.clone());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.node_count() as u32;
+    let m = g.edge_count() as u32;
+    if m == 0 {
+        return Err("topology has no links to churn".into());
+    }
+    let started = std::time::Instant::now();
+    let mut rounds = 0u64;
+    while duration_secs == 0 || started.elapsed().as_secs() < duration_secs {
+        {
+            let _round = round_span.enter();
+            let edge = EdgeId(rng.gen_range(0..m));
+            let event = RepairEvent::LinkFailure(edge);
+            let repaired = splicing
+                .try_repair_with_telemetry(&g, &event, Some(&telemetry.spf))
+                .map_err(|e| format!("repair failed: {e}"))?
+                .0;
+            debug_assert_eq!(repaired.k(), splicing.k());
+            net.fail_link(edge);
+            for _ in 0..walks {
+                let (src, dst) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                if src == dst {
+                    continue;
+                }
+                net.inject(Packet::spliced(
+                    NodeId(src),
+                    NodeId(dst),
+                    64,
+                    ForwardingBits::stay_in_slice(0, splicing.k()),
+                    Bytes::from_static(b"observe"),
+                ));
+            }
+            net.restore_link(edge);
+        }
+        rounds += 1;
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+    let (p50, _, p99) = telemetry.spf.spf_repair_seconds.quantiles();
+    println!(
+        "observe: {rounds} round(s) in {:.1}s; repair p50 {p50:.6}s p99 {p99:.6}s; \
+         flight {} event(s) recorded, {} dropped",
+        started.elapsed().as_secs_f64(),
+        flight.recorded(),
+        flight.dropped()
+    );
+    server.shutdown();
     Ok(())
 }
 

@@ -15,7 +15,7 @@ use splice_graph::traversal::reverse_reachable;
 use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
 use splice_routing::arena::{RepairStats, SpliceFib};
 use splice_routing::spf::{
-    spf_fill_arena, spf_repair_arena_failures, spf_repair_arena_reweight, SpfTelemetry,
+    spf_fill_arena, spf_repair_arena_failures, spf_repair_arena_reweight, FlightEvent, SpfTelemetry,
 };
 use splice_routing::RoutingTables;
 use std::sync::Arc;
@@ -42,6 +42,19 @@ pub enum RepairEvent {
         /// Its new weight (must be positive and finite).
         new_weight: f64,
     },
+}
+
+impl RepairEvent {
+    /// A static label for the event class — the `name` flight-recorder
+    /// entries and log lines file this event under.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            RepairEvent::LinkFailure(_) => "link_failure",
+            RepairEvent::LinkSetFailure(_) => "link_set_failure",
+            RepairEvent::NodeFailure(_) => "node_failure",
+            RepairEvent::SliceReweight { .. } => "slice_reweight",
+        }
+    }
 }
 
 /// Which perturbation strategy a config uses (a closed enum so configs
@@ -381,6 +394,20 @@ impl Splicing {
     ) -> Result<(Splicing, RepairStats), WeightError> {
         let mut ws = SpfWorkspace::new();
         let mut stats = RepairStats::default();
+        // The trigger goes into the flight recorder before any plane is
+        // touched, so a dump reads trigger-then-repairs in causal order.
+        if let Some(flight) = telemetry.and_then(|t| t.flight.as_ref()) {
+            let ev = FlightEvent::new("repair_event", event.kind_label());
+            let ev = match event {
+                RepairEvent::LinkFailure(e) => ev.field("edge", e.index() as u64),
+                RepairEvent::LinkSetFailure(es) => ev.field("links", es.len() as u64),
+                RepairEvent::NodeFailure(n) => ev.field("node", n.index() as u64),
+                RepairEvent::SliceReweight { slice, edge, .. } => ev
+                    .field("slice", *slice as u64)
+                    .field("edge", edge.index() as u64),
+            };
+            flight.record(ev);
+        }
         match event {
             RepairEvent::LinkFailure(_)
             | RepairEvent::LinkSetFailure(_)
@@ -1010,6 +1037,58 @@ mod tests {
             )
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn repair_records_trigger_and_planes_in_flight_order() {
+        use splice_routing::spf::{FlightRecorder, Registry};
+
+        let g = diamond();
+        let sp = Splicing::build(&g, &SplicingConfig::uniform(2, 1.0), 1);
+        let rec = FlightRecorder::new(32);
+        let tel = SpfTelemetry::register(&Registry::new()).with_flight(rec.clone());
+        let (repaired, _) = sp
+            .try_repair_with_telemetry(&g, &RepairEvent::LinkFailure(EdgeId(0)), Some(&tel))
+            .unwrap();
+        let rebuilt = sp.repair(&g, &RepairEvent::LinkFailure(EdgeId(0)));
+        for slice in 0..repaired.k() {
+            assert_eq!(repaired.tables(slice), rebuilt.tables(slice));
+        }
+        let events = rec.snapshot();
+        assert_eq!(events[0].event.kind, "repair_event");
+        assert_eq!(events[0].event.name, "link_failure");
+        assert_eq!(events[0].event.fields[0], ("edge", 0));
+        // One per-plane repair event per slice follows the trigger.
+        let planes = events
+            .iter()
+            .filter(|e| e.event.kind == "repair" && e.event.name == "patch_failures")
+            .count();
+        assert_eq!(planes, 2);
+    }
+
+    #[test]
+    fn kind_labels_name_every_event_class() {
+        assert_eq!(
+            RepairEvent::LinkFailure(EdgeId(0)).kind_label(),
+            "link_failure"
+        );
+        assert_eq!(
+            RepairEvent::LinkSetFailure(vec![EdgeId(0)]).kind_label(),
+            "link_set_failure"
+        );
+        assert_eq!(
+            RepairEvent::NodeFailure(NodeId(0)).kind_label(),
+            "node_failure"
+        );
+        assert_eq!(
+            RepairEvent::SliceReweight {
+                slice: 0,
+                edge: EdgeId(0),
+                new_weight: 1.0
+            }
+            .kind_label(),
+            "slice_reweight"
+        );
     }
 
     #[test]

@@ -8,10 +8,10 @@
 
 use crate::packet::Packet;
 use crate::router::{DropReason, Router, RouterAction, RouterConfig};
-use crate::telemetry::{report_to_json, NetTelemetry};
+use crate::telemetry::{drop_reason_label, report_to_json, NetTelemetry};
 use splice_core::slices::Splicing;
 use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
-use splice_telemetry::TraceSink;
+use splice_telemetry::{FlightEvent, FlightRecorder, TraceSink};
 
 /// A scheduled link state change during a packet's flight:
 /// before hop `at_hop` is processed, the link goes down or up.
@@ -66,6 +66,7 @@ pub struct SimNetwork {
     stats: Vec<RouterStats>,
     telemetry: Option<NetTelemetry>,
     trace: Option<TraceSink>,
+    flight: Option<FlightRecorder>,
 }
 
 impl SimNetwork {
@@ -94,6 +95,7 @@ impl SimNetwork {
             stats,
             telemetry: None,
             trace: None,
+            flight: None,
         }
     }
 
@@ -120,6 +122,7 @@ impl SimNetwork {
             stats,
             telemetry: None,
             trace: None,
+            flight: None,
         }
     }
 
@@ -132,6 +135,13 @@ impl SimNetwork {
     /// Emit every completed packet walk as one JSON line on `sink`.
     pub fn set_trace_sink(&mut self, sink: TraceSink) {
         self.trace = Some(sink);
+    }
+
+    /// Record walk anomalies — drops and revisited-node loops — into a
+    /// flight recorder. Clean deliveries stay out of the recorder so its
+    /// ring holds the interesting tail, not the happy path.
+    pub fn set_flight_recorder(&mut self, flight: FlightRecorder) {
+        self.flight = Some(flight);
     }
 
     /// Per-router operational counters accumulated so far.
@@ -173,6 +183,7 @@ impl SimNetwork {
 
     /// Inject with scheduled mid-flight link events.
     pub fn inject_with_events(&mut self, packet: Packet, events: &[LinkEvent]) -> DeliveryReport {
+        let (src, dst) = (packet.src, packet.dst);
         let mut at = packet.src;
         let mut current_slice = 0usize;
         let mut path = vec![at];
@@ -196,28 +207,36 @@ impl SimNetwork {
                     if let Some(tel) = &self.telemetry {
                         tel.delivered.inc();
                     }
-                    return self.finish(DeliveryReport {
-                        delivered: true,
-                        path,
-                        slices,
-                        latency_ms,
-                        drop: None,
-                        final_packet: Some(p),
-                    });
+                    return self.finish(
+                        src,
+                        dst,
+                        DeliveryReport {
+                            delivered: true,
+                            path,
+                            slices,
+                            latency_ms,
+                            drop: None,
+                            final_packet: Some(p),
+                        },
+                    );
                 }
                 RouterAction::Drop(reason) => {
                     self.stats[at.index()].dropped += 1;
                     if let Some(tel) = &self.telemetry {
                         tel.drop_counter(&reason).inc();
                     }
-                    return self.finish(DeliveryReport {
-                        delivered: false,
-                        path,
-                        slices,
-                        latency_ms,
-                        drop: Some(reason),
-                        final_packet: None,
-                    });
+                    return self.finish(
+                        src,
+                        dst,
+                        DeliveryReport {
+                            delivered: false,
+                            path,
+                            slices,
+                            latency_ms,
+                            drop: Some(reason),
+                            final_packet: None,
+                        },
+                    );
                 }
                 RouterAction::Forward {
                     edge,
@@ -254,14 +273,43 @@ impl SimNetwork {
         }
     }
 
-    /// Emit the completed walk to the trace sink (if any) and hand the
-    /// report back to the caller.
-    fn finish(&self, report: DeliveryReport) -> DeliveryReport {
+    /// Emit the completed walk to the trace sink (if any), record walk
+    /// anomalies in the flight recorder (if any), and hand the report
+    /// back to the caller.
+    fn finish(&self, src: NodeId, dst: NodeId, report: DeliveryReport) -> DeliveryReport {
         if let Some(sink) = &self.trace {
             sink.emit(&report_to_json(&report));
         }
+        if let Some(flight) = &self.flight {
+            let (src, dst) = (src.0 as u64, dst.0 as u64);
+            let hops = report.path.len().saturating_sub(1) as u64;
+            if let Some(reason) = &report.drop {
+                flight.record(
+                    FlightEvent::new("walk", drop_reason_label(reason))
+                        .field("src", src)
+                        .field("dst", dst)
+                        .field("hops", hops),
+                );
+            }
+            if let Some(node) = first_revisited(&report.path) {
+                flight.record(
+                    FlightEvent::new("walk", "loop")
+                        .field("node", node.0 as u64)
+                        .field("src", src)
+                        .field("dst", dst)
+                        .field("hops", hops),
+                );
+            }
+        }
         report
     }
+}
+
+/// The first node a walk visits twice, if any — the anomaly marker for
+/// loopy walks (deflection ping-pong, transient micro-loops).
+fn first_revisited(path: &[NodeId]) -> Option<NodeId> {
+    let mut seen = std::collections::HashSet::with_capacity(path.len());
+    path.iter().find(|n| !seen.insert(**n)).copied()
 }
 
 #[cfg(test)]
@@ -538,6 +586,42 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains(r#""delivered":true"#));
         assert!(lines[1].contains(r#""drop":"link_down""#));
+    }
+
+    #[test]
+    fn flight_recorder_captures_drop_anomalies_only() {
+        let (_, sp, mut net) = setup(false);
+        let rec = FlightRecorder::new(16);
+        net.set_flight_recorder(rec.clone());
+        // A clean delivery records nothing.
+        let report = net.inject(spliced(0, 10, sp.k()));
+        assert!(report.delivered);
+        assert_eq!(rec.recorded(), 0, "happy path stays out of the ring");
+        // A link-down drop is an anomaly.
+        let (_, edge) = sp.next_hop(0, NodeId(0), NodeId(10)).unwrap();
+        net.fail_link(edge);
+        net.inject(spliced(0, 10, sp.k()));
+        // So is a TTL expiry.
+        net.restore_link(edge);
+        let mut p = spliced(0, 10, sp.k());
+        p.ttl = 1;
+        net.inject(p);
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].event.kind, "walk");
+        assert_eq!(events[0].event.name, "link_down");
+        assert_eq!(events[0].event.fields[0], ("src", 0));
+        assert_eq!(events[0].event.fields[1], ("dst", 10));
+        assert_eq!(events[1].event.name, "ttl_expired");
+        assert!(rec.to_jsonl().contains(r#""name":"ttl_expired""#));
+    }
+
+    #[test]
+    fn first_revisited_flags_loops() {
+        let walk = |ids: &[u32]| ids.iter().map(|&i| NodeId(i)).collect::<Vec<_>>();
+        assert_eq!(first_revisited(&walk(&[0, 3, 7, 10])), None);
+        assert_eq!(first_revisited(&walk(&[0, 3, 7, 3, 10])), Some(NodeId(3)));
+        assert_eq!(first_revisited(&walk(&[])), None);
     }
 
     #[test]

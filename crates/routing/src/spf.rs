@@ -9,7 +9,10 @@ use crate::fib::RoutingTables;
 use crate::lsdb::LinkStateDb;
 use splice_graph::dijkstra::{all_destinations, SpfWorkspace};
 use splice_graph::{EdgeId, EdgeMask, Graph};
-use splice_telemetry::{Histogram, Registry};
+use splice_telemetry::Histogram;
+// Re-exported so downstream crates (splice-core) can build flight events
+// and registries without a direct telemetry dependency.
+pub use splice_telemetry::{FlightEvent, FlightRecorder, Registry};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -38,6 +41,10 @@ pub struct SpfTelemetry {
     /// frontiers are the whole point of repairing instead of rebuilding;
     /// this histogram is the evidence.
     pub spf_repair_frontier: Arc<Histogram>,
+    /// When set, every repaired plane also drops one structured event
+    /// into the flight recorder (slice, frontier, patched columns), so a
+    /// failure's dump shows what the repair engine just did.
+    pub flight: Option<FlightRecorder>,
 }
 
 impl SpfTelemetry {
@@ -64,7 +71,14 @@ impl SpfTelemetry {
                 "splice_spf_repair_frontier",
                 "Re-relaxed nodes per repaired slice plane (repair frontier size)",
             ),
+            flight: None,
         }
+    }
+
+    /// Also record per-plane repair events into `flight`.
+    pub fn with_flight(mut self, flight: FlightRecorder) -> SpfTelemetry {
+        self.flight = Some(flight);
+        self
     }
 }
 
@@ -127,6 +141,9 @@ pub fn spf_fill_arena(
     let t0 = Instant::now();
     fib.fill_slice(g, weights, slice, ws);
     tel.spf_seconds.record_duration(t0.elapsed());
+    if let Some(flight) = &tel.flight {
+        flight.record(FlightEvent::new("spf", "fill_slice").field("slice", slice as u64));
+    }
 }
 
 /// The delta-SPF counterpart of [`spf_fill_arena`]: repair plane `slice`
@@ -151,6 +168,15 @@ pub fn spf_repair_arena_failures(
     let stats = fib.patch_slice_failures(g, weights, slice, mask, newly_failed, ws);
     tel.spf_repair_seconds.record_duration(t0.elapsed());
     tel.spf_repair_frontier.record(stats.frontier_nodes as u64);
+    if let Some(flight) = &tel.flight {
+        flight.record(
+            FlightEvent::new("repair", "patch_failures")
+                .field("slice", slice as u64)
+                .field("frontier", stats.frontier_nodes as u64)
+                .field("patched", stats.patched_columns as u64)
+                .field("skipped", stats.skipped_columns as u64),
+        );
+    }
     stats
 }
 
@@ -176,6 +202,15 @@ pub fn spf_repair_arena_reweight(
     let stats = fib.patch_slice_reweight(g, weights, slice, mask, edge, old_weight, ws);
     tel.spf_repair_seconds.record_duration(t0.elapsed());
     tel.spf_repair_frontier.record(stats.frontier_nodes as u64);
+    if let Some(flight) = &tel.flight {
+        flight.record(
+            FlightEvent::new("repair", "patch_reweight")
+                .field("slice", slice as u64)
+                .field("frontier", stats.frontier_nodes as u64)
+                .field("patched", stats.patched_columns as u64)
+                .field("skipped", stats.skipped_columns as u64),
+        );
+    }
     stats
 }
 
@@ -265,6 +300,29 @@ mod tests {
         assert!(reg
             .render_prometheus()
             .contains("splice_spf_repair_seconds"));
+    }
+
+    #[test]
+    fn repairs_land_in_the_flight_recorder_when_attached() {
+        let g = from_edges(4, &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 2.0), (2, 3, 2.0)]);
+        let w = g.base_weights();
+        let mut ws = SpfWorkspace::new();
+        let mut fib = SpliceFib::empty(1, g.node_count());
+        let reg = Registry::new();
+        let rec = FlightRecorder::new(16);
+        let tel = SpfTelemetry::register(&reg).with_flight(rec.clone());
+        spf_fill_arena(&g, &w, &mut fib, 0, &mut ws, Some(&tel));
+        let failed = splice_graph::EdgeId(0);
+        let mut mask = EdgeMask::all_up(g.edge_count());
+        mask.fail(failed);
+        spf_repair_arena_failures(&g, &w, &mut fib, 0, &mask, &[failed], &mut ws, Some(&tel));
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].event.kind, "spf");
+        assert_eq!(events[0].event.name, "fill_slice");
+        assert_eq!(events[1].event.kind, "repair");
+        assert_eq!(events[1].event.name, "patch_failures");
+        assert!(rec.to_jsonl().contains(r#""frontier":"#));
     }
 
     #[test]

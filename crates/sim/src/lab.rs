@@ -29,22 +29,27 @@ use crate::reliability::SpliceSemantics;
 use splice_core::perturb::Perturbation;
 use splice_core::slices::{Splicing, SplicingConfig};
 use splice_graph::Graph;
-use splice_telemetry::{JsonArray, JsonObject, Registry};
+use splice_telemetry::{FlightRecorder, JsonArray, JsonObject, Registry, Span};
 use splice_topology::{Topology, TopologyError};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Version stamped into every manifest and shard header. Bump when the
 /// manifest or shard layout changes incompatibly.
 pub const SCHEMA_VERSION: u32 = 1;
 
+/// Flight-recorder depth per run: enough to hold every repair trigger
+/// and span closure of a full default sweep without wrapping.
+pub const FLIGHT_CAPACITY: usize = 4096;
+
 /// The flags shared by every experiment:
-/// `[--trials N] [--seed N] [--topology NAME] [--out DIR] [--semantics union|directed]`.
-pub const USAGE_FLAGS: &str =
-    "[--trials N] [--seed N] [--topology NAME] [--out DIR] [--semantics union|directed]";
+/// `[--trials N] [--seed N] [--topology NAME] [--out DIR] [--semantics union|directed]
+/// [--listen ADDR] [--linger-secs N]`.
+pub const USAGE_FLAGS: &str = "[--trials N] [--seed N] [--topology NAME] [--out DIR] \
+     [--semantics union|directed] [--listen ADDR] [--linger-secs N]";
 
 /// Why the shared experiment flags failed to parse.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -106,6 +111,14 @@ pub struct LabArgs {
     pub out: PathBuf,
     /// `--semantics` (default `union`): `union` or `directed`.
     pub semantics: String,
+    /// `--listen`, if given: serve `/metrics`, `/healthz` and
+    /// `/snapshot` on this address for the duration of the run (port
+    /// `0` picks an ephemeral port, printed at startup).
+    pub listen: Option<String>,
+    /// `--linger-secs` (default 0): keep the scrape endpoint up this
+    /// many seconds after the run finishes, so a scraper can collect
+    /// the final state of a short run.
+    pub linger_secs: u64,
 }
 
 impl Default for LabArgs {
@@ -116,6 +129,8 @@ impl Default for LabArgs {
             topology: "sprint".into(),
             out: PathBuf::from("results"),
             semantics: "union".into(),
+            listen: None,
+            linger_secs: 0,
         }
     }
 }
@@ -154,6 +169,8 @@ impl LabArgs {
                     }
                     args.semantics = v;
                 }
+                "--listen" => args.listen = Some(value()?.clone()),
+                "--linger-secs" => args.linger_secs = number(value()?)?,
                 "--help" | "-h" => return Err(ArgsError::Help),
                 other => {
                     return Err(ArgsError::UnknownFlag {
@@ -302,6 +319,9 @@ pub struct RunContext<'a> {
     pub topology: Topology,
     /// Fresh per-run metric registry; snapshot lands in the manifest.
     pub registry: Registry,
+    /// Per-run flight recorder: repair triggers, span closures and walk
+    /// anomalies land here, scrape-able via `--listen` at `/snapshot`.
+    pub flight: FlightRecorder,
     cache: &'a DeploymentCache,
 }
 
@@ -316,6 +336,7 @@ impl<'a> RunContext<'a> {
             config,
             topology,
             registry: Registry::new(),
+            flight: FlightRecorder::new(FLIGHT_CAPACITY),
             cache,
         }
     }
@@ -325,11 +346,28 @@ impl<'a> RunContext<'a> {
         self.topology.graph()
     }
 
+    /// The run's full metric bundle, with the flight recorder already
+    /// attached: repair triggers and per-plane repairs recorded through
+    /// it land in this context's [`RunContext::flight`].
+    pub fn experiment_telemetry(&self) -> crate::telemetry::ExperimentTelemetry {
+        crate::telemetry::ExperimentTelemetry::register(&self.registry)
+            .with_flight(self.flight.clone())
+    }
+
     /// A spliced deployment over `g`, served from the run's
     /// [`DeploymentCache`] (built at most once per `(topology, cfg,
-    /// seed)` across the whole sweep).
+    /// seed)` across the whole sweep). Each fetch — hit or build — is
+    /// timed under the `splice_lab_deployment` span.
     pub fn deployment(&self, g: &Graph, cfg: &SplicingConfig, seed: u64) -> Arc<Splicing> {
-        self.cache.get_or_build(&self.config.topology, g, cfg, seed)
+        let span = Span::new(
+            "splice_lab_deployment",
+            self.registry.histogram_seconds(
+                "splice_lab_deployment_seconds",
+                "Deployment fetch (cache hit or slice build) wall time",
+            ),
+        )
+        .with_flight(self.flight.clone());
+        span.time(|| self.cache.get_or_build(&self.config.topology, g, cfg, seed))
     }
 
     /// Seed of `index` in RNG stream `stream` of this run's base seed
@@ -591,8 +629,31 @@ pub fn run_experiment(
     let config = exp.configure(args);
     let topology = splice_topology::resolve(&config.topology)?;
     let mut ctx = RunContext::new(config, topology, cache);
+    // The scrape endpoint observes the run's registry and flight
+    // recorder live; it never feeds back into the run, so `--listen`
+    // runs stay byte-identical to plain ones.
+    let server = match &args.listen {
+        Some(addr) => {
+            let server =
+                splice_telemetry::serve(addr, ctx.registry.clone(), Some(ctx.flight.clone()))?;
+            println!("[splice-lab] listening on http://{}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
     let mut manifest = RunManifest::start(exp.name(), &ctx.config);
-    let output = exp.run(&mut ctx)?;
+    let experiment_span = Span::new(
+        "splice_lab_experiment",
+        ctx.registry.histogram_seconds(
+            "splice_lab_experiment_seconds",
+            "Wall time of the experiment phase (excludes artifact writing)",
+        ),
+    )
+    .with_flight(ctx.flight.clone());
+    let output = {
+        let _g = experiment_span.enter();
+        exp.run(&mut ctx)?
+    };
     manifest.phase_done("experiment");
     let mut written = Vec::new();
     for artifact in &output.artifacts {
@@ -614,6 +675,17 @@ pub fn run_experiment(
     let manifest_path = ctx.config.artifact(&format!("{stem}_manifest.json"));
     manifest.write(&manifest_path, &ctx.registry, &cache.stats())?;
     println!("wrote {}", manifest_path.display());
+    if let Some(server) = server {
+        if args.linger_secs > 0 {
+            println!(
+                "[splice-lab] lingering {}s for final scrapes (http://{})",
+                args.linger_secs,
+                server.local_addr()
+            );
+            std::thread::sleep(Duration::from_secs(args.linger_secs));
+        }
+        server.shutdown();
+    }
     Ok(RunSummary {
         experiment: exp.name().to_string(),
         artifacts: written,
@@ -753,6 +825,10 @@ mod tests {
             "o",
             "--semantics",
             "directed",
+            "--listen",
+            "127.0.0.1:0",
+            "--linger-secs",
+            "3",
         ]))
         .unwrap();
         assert_eq!(a.trials, Some(7));
@@ -761,6 +837,8 @@ mod tests {
         assert_eq!(a.topology, "abilene");
         assert_eq!(a.out, PathBuf::from("o"));
         assert_eq!(a.configure(1).splice_semantics(), SpliceSemantics::Directed);
+        assert_eq!(a.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(a.linger_secs, 3);
     }
 
     #[test]
@@ -862,6 +940,43 @@ mod tests {
         assert!(manifest.contains(r#""name":"artifacts""#));
         assert!(manifest.contains(r#""deployment_cache":{"hits":0,"misses":1}"#));
         assert!(manifest.contains(r#""name":"dummy_runs_total""#));
+        std::fs::remove_dir_all(&args.out).ok();
+    }
+
+    #[test]
+    fn deployment_fetches_are_spanned_into_the_flight_recorder() {
+        let args = temp_out("flight");
+        let config = args.configure(1);
+        let topology = splice_topology::resolve("ring-4").unwrap();
+        let cache = DeploymentCache::new();
+        let ctx = RunContext::new(config, topology, &cache);
+        let g = ctx.graph();
+        ctx.deployment(&g, &degree_cfg(2), 7);
+        ctx.deployment(&g, &degree_cfg(2), 7); // cache hit, still spanned
+        let events = ctx.flight.snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(events
+            .iter()
+            .all(|e| e.event.kind == "span" && e.event.name == "splice_lab_deployment"));
+        assert!(ctx
+            .registry
+            .render_prometheus()
+            .contains("splice_lab_deployment_seconds_count 2"));
+        // The bundled telemetry shares both the registry and the recorder.
+        let tel = ctx.experiment_telemetry();
+        assert!(tel.spf.flight.is_some());
+        std::fs::remove_dir_all(&args.out).ok();
+    }
+
+    #[test]
+    fn listen_flag_serves_the_run_and_stamps_span_histograms() {
+        let mut args = temp_out("listen");
+        args.listen = Some("127.0.0.1:0".into());
+        let cache = DeploymentCache::new();
+        let summary = run_experiment(&Dummy, &args, &cache).unwrap();
+        let manifest = std::fs::read_to_string(&summary.manifest).unwrap();
+        assert!(manifest.contains(r#""name":"splice_lab_experiment_seconds""#));
+        assert!(manifest.contains(r#""name":"splice_lab_deployment_seconds""#));
         std::fs::remove_dir_all(&args.out).ok();
     }
 

@@ -66,6 +66,14 @@ impl ExperimentTelemetry {
         self.trials = self.trials.with_heartbeat(every);
         self
     }
+
+    /// Attach a flight recorder: repair triggers and per-plane repairs
+    /// land in it alongside the histograms (see
+    /// [`SpfTelemetry::with_flight`]).
+    pub fn with_flight(mut self, flight: splice_telemetry::FlightRecorder) -> ExperimentTelemetry {
+        self.spf = self.spf.with_flight(flight);
+        self
+    }
 }
 
 #[cfg(test)]

@@ -130,6 +130,55 @@ impl Histogram {
             self.sum_scaled() / n as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0 < q <= 1`) of recorded values in
+    /// exposition units; 0 when empty.
+    ///
+    /// The rank is located in the log2 buckets and linearly interpolated
+    /// between the bucket's bounds, so the estimate is exact to within
+    /// the bucket's factor-of-two width — plenty for latency tails,
+    /// where the decade matters more than the digit. The open-ended last
+    /// bucket interpolates toward twice its lower bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        // 1-based rank of the target observation.
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut below = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if below + c >= rank {
+                let lower = if b == 0 {
+                    0.0
+                } else {
+                    bucket_bound(b - 1) as f64
+                };
+                let upper = if b >= NUM_BUCKETS - 1 {
+                    lower * 2.0
+                } else {
+                    bucket_bound(b) as f64
+                };
+                let frac = (rank - below) as f64 / c as f64;
+                return (lower + frac * (upper - lower)) * self.scale;
+            }
+            below += c;
+        }
+        unreachable!("rank is clamped to the total count")
+    }
+
+    /// The (p50, p90, p99) estimates in exposition units.
+    pub fn quantiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+        )
+    }
 }
 
 impl Default for Histogram {
@@ -218,6 +267,58 @@ mod tests {
         let cum = h.cumulative_buckets();
         // 1500 ns lands in bucket (1024, 2048]; bound exposed in seconds.
         assert!((cum.last().unwrap().0 - 2048e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_fill_interpolate_exactly() {
+        // 1..=1000 fills every log2 bucket uniformly, so linear
+        // interpolation inside a bucket recovers the true rank value.
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert!(
+            (h.quantile(0.5) - 500.0).abs() < 1.0,
+            "p50 = {}",
+            h.quantile(0.5)
+        );
+        let (p50, p90, p99) = h.quantiles();
+        assert!(p50 <= p90 && p90 <= p99, "quantiles are monotone");
+        // p99 (rank 990) lands in bucket (512, 1024]; interpolation
+        // cannot leave the bucket.
+        assert!(p99 > 512.0 && p99 <= 1024.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn quantile_of_a_single_value_is_its_bucket_upper_bound() {
+        let h = Histogram::new();
+        h.record(100); // bucket (64, 128]
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 128.0);
+        }
+    }
+
+    #[test]
+    fn quantiles_respect_the_scale() {
+        let h = Histogram::with_scale(1e-9);
+        h.record_duration(Duration::from_nanos(1500)); // bucket (1024, 2048]
+        assert!((h.quantile(0.99) - 2048e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.quantiles(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn last_bucket_quantile_stays_finite() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let p = h.quantile(0.99);
+        assert!(p.is_finite());
+        assert!(p >= bucket_bound(NUM_BUCKETS - 2) as f64);
     }
 
     #[test]

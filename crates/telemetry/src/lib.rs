@@ -2,8 +2,12 @@
 //!
 //! Observability primitives for the path-splicing workspace: lock-free
 //! [`Counter`]s, fixed-bucket log2 [`Histogram`]s (zero allocation on the
-//! hot path), span-style [`Timer`]s, and a global-free [`Registry`] that
-//! snapshots everything to Prometheus text exposition or JSON.
+//! hot path, with p50/p90/p99 quantile estimates), nesting [`Span`]s,
+//! a bounded [`FlightRecorder`] keeping the last N structured events,
+//! span-style [`Timer`]s, a global-free [`Registry`] that snapshots
+//! everything to Prometheus text exposition or JSON, and a thread-based
+//! scrape endpoint ([`serve`]) exposing `/metrics`, `/healthz`, and
+//! `/snapshot` over plain `std::net`.
 //!
 //! Design constraints, in order:
 //!
@@ -32,15 +36,21 @@
 //! ```
 
 pub mod counter;
+pub mod flight;
 pub mod histogram;
 pub mod json;
 pub mod registry;
+pub mod serve;
+pub mod span;
 pub mod timer;
 pub mod trace;
 
 pub use counter::Counter;
+pub use flight::{FlightEvent, FlightRecorder, RecordedEvent};
 pub use histogram::{Histogram, NUM_BUCKETS};
 pub use json::{JsonArray, JsonObject};
 pub use registry::Registry;
+pub use serve::{serve, MetricsServer};
+pub use span::{current_span, Span, SpanGuard};
 pub use timer::Timer;
 pub use trace::TraceSink;

@@ -106,56 +106,85 @@ impl Registry {
     }
 
     /// Render every metric as Prometheus text exposition (version 0.0.4).
+    ///
+    /// The exposition format requires every sample of a family to sit
+    /// contiguously under a single `# HELP`/`# TYPE` header, so series
+    /// are grouped by family (in first-registration order) regardless of
+    /// the order labeled variants were registered in. Each histogram
+    /// family is followed by a `<name>_quantile` companion gauge family
+    /// carrying the p50/p90/p99 estimates (quantile series cannot live
+    /// inside a `histogram`-typed family, so they get their own).
     pub fn render_prometheus(&self) -> String {
         let metrics = self.metrics.lock().expect("registry lock");
-        let mut out = String::new();
-        let mut seen_family: Vec<String> = Vec::new();
+        let mut families: Vec<&str> = Vec::new();
         for m in metrics.iter() {
-            if !seen_family.contains(&m.name) {
-                seen_family.push(m.name.clone());
-                out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
-                let kind = match m.handle {
-                    Handle::Counter(_) => "counter",
-                    Handle::Histogram(_) => "histogram",
-                };
-                out.push_str(&format!("# TYPE {} {}\n", m.name, kind));
+            if !families.contains(&m.name.as_str()) {
+                families.push(&m.name);
             }
-            match &m.handle {
-                Handle::Counter(c) => {
-                    out.push_str(&format!(
-                        "{}{} {}\n",
-                        m.name,
-                        label_text(&m.labels, None),
-                        c.get()
-                    ));
-                }
-                Handle::Histogram(h) => {
-                    for (le, cum) in h.cumulative_buckets() {
+        }
+        let mut out = String::new();
+        for family in families {
+            let members: Vec<&Metric> = metrics.iter().filter(|m| m.name == family).collect();
+            out.push_str(&format!(
+                "# HELP {} {}\n",
+                family,
+                escape_help(&members[0].help)
+            ));
+            let kind = match members[0].handle {
+                Handle::Counter(_) => "counter",
+                Handle::Histogram(_) => "histogram",
+            };
+            out.push_str(&format!("# TYPE {family} {kind}\n"));
+            for m in &members {
+                match &m.handle {
+                    Handle::Counter(c) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            m.name,
+                            label_text(&m.labels, None),
+                            c.get()
+                        ));
+                    }
+                    Handle::Histogram(h) => {
+                        for (le, cum) in h.cumulative_buckets() {
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                m.name,
+                                label_text(&m.labels, Some(&format!("{le}"))),
+                                cum
+                            ));
+                        }
                         out.push_str(&format!(
                             "{}_bucket{} {}\n",
                             m.name,
-                            label_text(&m.labels, Some(&format!("{le}"))),
-                            cum
+                            label_text(&m.labels, Some("+Inf")),
+                            h.count()
+                        ));
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            m.name,
+                            label_text(&m.labels, None),
+                            h.sum_scaled()
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            m.name,
+                            label_text(&m.labels, None),
+                            h.count()
                         ));
                     }
-                    out.push_str(&format!(
-                        "{}_bucket{} {}\n",
-                        m.name,
-                        label_text(&m.labels, Some("+Inf")),
-                        h.count()
-                    ));
-                    out.push_str(&format!(
-                        "{}_sum{} {}\n",
-                        m.name,
-                        label_text(&m.labels, None),
-                        h.sum_scaled()
-                    ));
-                    out.push_str(&format!(
-                        "{}_count{} {}\n",
-                        m.name,
-                        label_text(&m.labels, None),
-                        h.count()
-                    ));
+                }
+            }
+            // Histograms are unlabeled (one member per family); emit the
+            // quantile companion right after its parent family.
+            if let Handle::Histogram(h) = &members[0].handle {
+                out.push_str(&format!(
+                    "# HELP {family}_quantile Estimated quantiles of {family} (log2-bucket interpolation)\n"
+                ));
+                out.push_str(&format!("# TYPE {family}_quantile gauge\n"));
+                let (p50, p90, p99) = h.quantiles();
+                for (q, v) in [("0.5", p50), ("0.9", p90), ("0.99", p99)] {
+                    out.push_str(&format!("{family}_quantile{{quantile=\"{q}\"}} {v}\n"));
                 }
             }
         }
@@ -193,12 +222,16 @@ impl Registry {
                                 .finish(),
                         );
                     }
+                    let (p50, p90, p99) = h.quantiles();
                     histograms = histograms.push_raw(
                         &JsonObject::new()
                             .field_str("name", &m.name)
                             .field_u64("count", h.count())
                             .field_f64("sum", h.sum_scaled())
                             .field_f64("mean", h.mean_scaled())
+                            .field_f64("p50", p50)
+                            .field_f64("p90", p90)
+                            .field_f64("p99", p99)
                             .field_raw("buckets", &buckets.finish())
                             .finish(),
                     );
@@ -218,6 +251,13 @@ fn label_eq(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
             .iter()
             .zip(want)
             .all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+/// Escape a HELP string for the text exposition format, which gives
+/// backslash and line feed special meaning (a raw newline would start a
+/// bogus sample line).
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 /// Render a Prometheus label set, optionally with a trailing `le`.
@@ -287,6 +327,135 @@ mod tests {
         assert!(text.contains("splice_trial_duration_seconds_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("splice_trial_duration_seconds_sum 7"));
         assert!(text.contains("splice_trial_duration_seconds_count 2"));
+    }
+
+    /// A promtool-flavored validity check of text exposition: every
+    /// family is announced exactly once by `# HELP` then `# TYPE`, all
+    /// of its samples sit contiguously under that header (histograms may
+    /// only add the `_bucket`/`_sum`/`_count` suffixes), every sample
+    /// value parses, and every histogram family ends with a `+Inf`
+    /// bucket.
+    fn assert_promtool_valid(text: &str) {
+        let close_family = |family: &Option<(String, String)>, saw_inf: bool| {
+            if let Some((name, kind)) = family {
+                assert!(!kind.is_empty(), "family {name} has HELP but no TYPE");
+                if kind == "histogram" {
+                    assert!(saw_inf, "histogram {name} is missing its +Inf bucket");
+                }
+            }
+        };
+        let mut announced: Vec<String> = Vec::new();
+        let mut family: Option<(String, String)> = None;
+        let mut saw_inf = false;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap().to_string();
+                assert!(!announced.contains(&name), "family {name} announced twice");
+                close_family(&family, saw_inf);
+                announced.push(name.clone());
+                family = Some((name, String::new()));
+                saw_inf = false;
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let name = it.next().unwrap();
+                let kind = it.next().expect("TYPE names a kind");
+                let fam = family.as_mut().expect("TYPE without a preceding HELP");
+                assert_eq!(fam.0, name, "TYPE must follow its own family's HELP");
+                fam.1 = kind.to_string();
+            } else if !line.is_empty() {
+                let (fam, kind) = family.as_ref().expect("sample before any header");
+                let sample = line.split(['{', ' ']).next().unwrap();
+                let suffixed = |s: &str| sample == format!("{fam}{s}");
+                assert!(
+                    sample == fam
+                        || (kind == "histogram"
+                            && (suffixed("_bucket") || suffixed("_sum") || suffixed("_count"))),
+                    "sample {sample} is outside its family block ({fam})"
+                );
+                if suffixed("_bucket") && line.contains("le=\"+Inf\"") {
+                    saw_inf = true;
+                }
+                let value = line.rsplit(' ').next().unwrap();
+                assert!(
+                    value.parse::<f64>().is_ok(),
+                    "sample value {value:?} does not parse"
+                );
+            }
+        }
+        close_family(&family, saw_inf);
+    }
+
+    #[test]
+    fn exposition_passes_promtool_style_parsing() {
+        let reg = Registry::new();
+        reg.counter_with("drops_total", "Drops", &[("reason", "ttl")])
+            .inc();
+        let h = reg.histogram_seconds("repair_seconds", "Repair wall time");
+        h.record(1500);
+        // Registered after the histogram, but the exposition must fold
+        // it back into the drops_total family block.
+        reg.counter_with("drops_total", "Drops", &[("reason", "no_route")])
+            .add(2);
+        let text = reg.render_prometheus();
+        assert_promtool_valid(&text);
+        let lines: Vec<&str> = text.lines().collect();
+        let ttl = lines
+            .iter()
+            .position(|l| l.starts_with("drops_total{reason=\"ttl\"}"))
+            .expect("ttl sample present");
+        assert!(
+            lines[ttl + 1].starts_with("drops_total{reason=\"no_route\"}"),
+            "family samples must be contiguous, got {:?}",
+            lines[ttl + 1]
+        );
+        assert_eq!(text.matches("# TYPE drops_total counter").count(), 1);
+    }
+
+    #[test]
+    fn histograms_export_quantile_companion_gauges() {
+        let reg = Registry::new();
+        let h = reg.histogram_seconds("splice_spf_repair_seconds", "Delta repair wall time");
+        for _ in 0..99 {
+            h.record(1_000); // ~1 µs
+        }
+        h.record(1_000_000); // one 1 ms outlier
+        let text = reg.render_prometheus();
+        assert_promtool_valid(&text);
+        assert!(text.contains("# TYPE splice_spf_repair_seconds_quantile gauge"));
+        let p99_line = text
+            .lines()
+            .find(|l| l.starts_with("splice_spf_repair_seconds_quantile{quantile=\"0.99\"}"))
+            .expect("p99 gauge present");
+        let p99: f64 = p99_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(p99 > 0.0, "p99 reflects recorded data: {p99_line}");
+        // Empty histograms still expose the family (gauges read 0).
+        let reg = Registry::new();
+        reg.histogram_seconds("empty_seconds", "Never recorded");
+        let text = reg.render_prometheus();
+        assert_promtool_valid(&text);
+        assert!(text.contains("empty_seconds_quantile{quantile=\"0.99\"} 0"));
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let reg = Registry::new();
+        reg.counter("c_total", "line one\nline two \\ done").inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains("# HELP c_total line one\\nline two \\\\ done\n"));
+        assert_promtool_valid(&text);
+    }
+
+    #[test]
+    fn json_snapshot_carries_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("h", "A histogram");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let json = reg.render_json();
+        assert!(json.contains(r#""p50":"#));
+        assert!(json.contains(r#""p90":"#));
+        assert!(json.contains(r#""p99":"#));
     }
 
     #[test]

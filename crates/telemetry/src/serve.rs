@@ -1,0 +1,306 @@
+//! A minimal HTTP scrape endpoint: `std::net::TcpListener`, one accept
+//! thread, no async runtime.
+//!
+//! [`serve`] binds an address (port `0` picks an ephemeral port — see
+//! [`MetricsServer::local_addr`]) and answers three `GET` routes:
+//!
+//! - `/metrics` — Prometheus text exposition of the [`Registry`]
+//!   (histogram families plus their `_quantile` companion gauges);
+//! - `/healthz` — `ok`, for liveness probes;
+//! - `/snapshot` — one JSON object: the registry snapshot plus the
+//!   flight recorder's recent tail.
+//!
+//! Requests are served inline on the accept thread: a scrape is a small
+//! snapshot read, and serializing them keeps the server from ever
+//! holding more than one registry lock at a time. Slow or stuck clients
+//! are cut off by read/write timeouts rather than threads piling up.
+//! The server observes and never perturbs: a run with `--listen` is
+//! byte-identical to one without.
+
+use crate::flight::FlightRecorder;
+use crate::json::JsonObject;
+use crate::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How many flight-recorder events `/snapshot` includes.
+const SNAPSHOT_TAIL: usize = 256;
+
+/// Per-connection socket timeout; a scrape that cannot complete in this
+/// window is abandoned.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running scrape endpoint. Shuts down when dropped or via
+/// [`MetricsServer::shutdown`].
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:9090"`, or port `0` for an ephemeral
+/// port) and serve `/metrics`, `/healthz`, and `/snapshot` from a
+/// background thread until the returned server is shut down or dropped.
+pub fn serve(
+    addr: &str,
+    registry: Registry,
+    flight: Option<FlightRecorder>,
+) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("splice-observe".into())
+        .spawn(move || accept_loop(listener, registry, flight, accept_stop))?;
+    Ok(MetricsServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+impl MetricsServer {
+    /// The address actually bound — the one to scrape when the caller
+    /// asked for port `0`.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; a throwaway connection
+        // wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: Registry,
+    flight: Option<FlightRecorder>,
+    stop: Arc<AtomicBool>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        // Best-effort, like the trace sink: a dead client must not take
+        // down the run being observed.
+        let _ = handle_request(&mut stream, &registry, flight.as_ref());
+    }
+}
+
+fn handle_request(
+    stream: &mut TcpStream,
+    registry: &Registry,
+    flight: Option<&FlightRecorder>,
+) -> std::io::Result<()> {
+    // Read the request head (tiny; 4 KiB is plenty for a scrape).
+    let mut buf = [0u8; 4096];
+    let mut len = 0;
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is served\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                registry.render_prometheus(),
+            ),
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/snapshot" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                snapshot_json(registry, flight),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                format!("no route for {path}\n"),
+            ),
+        }
+    };
+
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The `/snapshot` body: registry metrics plus the flight tail.
+fn snapshot_json(registry: &Registry, flight: Option<&FlightRecorder>) -> String {
+    let mut obj = JsonObject::new().field_raw("metrics", &registry.render_json());
+    if let Some(rec) = flight {
+        let mut events = crate::json::JsonArray::new();
+        for ev in rec.tail(SNAPSHOT_TAIL) {
+            events = events.push_raw(&ev.to_json());
+        }
+        obj = obj
+            .field_u64("flight_recorded", rec.recorded())
+            .field_u64("flight_dropped", rec.dropped())
+            .field_raw("flight", &events.finish());
+    }
+    obj.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::FlightEvent;
+
+    /// A bare-hands HTTP GET, returning (status line, body).
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect to test server");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status = response.lines().next().unwrap_or("").to_string();
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn test_server() -> (MetricsServer, Registry, FlightRecorder) {
+        let registry = Registry::new();
+        let flight = FlightRecorder::new(16);
+        let server = serve("127.0.0.1:0", registry.clone(), Some(flight.clone()))
+            .expect("bind an ephemeral port");
+        (server, registry, flight)
+    }
+
+    #[test]
+    fn metrics_route_serves_the_live_registry() {
+        let (server, registry, _flight) = test_server();
+        registry
+            .counter("splice_packets_forwarded_total", "Packets forwarded")
+            .add(3);
+        let (status, body) = get(server.local_addr(), "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("splice_packets_forwarded_total 3"));
+        registry
+            .counter("splice_packets_forwarded_total", "Packets forwarded")
+            .inc();
+        let (_, body) = get(server.local_addr(), "/metrics");
+        assert!(
+            body.contains("splice_packets_forwarded_total 4"),
+            "scrapes are live"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let (server, _registry, _flight) = test_server();
+        let (status, body) = get(server.local_addr(), "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "ok\n");
+        let (status, _) = get(server.local_addr(), "/nope");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+        server.shutdown();
+    }
+
+    #[test]
+    fn snapshot_includes_metrics_and_flight_tail() {
+        let (server, registry, flight) = test_server();
+        registry.counter("c_total", "A counter").inc();
+        flight.record(FlightEvent::new("repair", "link_failure").field("frontier", 5));
+        let (status, body) = get(server.local_addr(), "/snapshot");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains(r#""name":"c_total""#));
+        assert!(body.contains(r#""kind":"repair""#));
+        assert!(body.contains(r#""frontier":5"#));
+        assert!(body.contains(r#""flight_recorded":1"#));
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let (server, _registry, _flight) = test_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_and_stops_serving() {
+        let (server, _registry, _flight) = test_server();
+        let addr = server.local_addr();
+        let (status, _) = get(addr, "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        server.shutdown();
+        // The listener is gone: either the connect fails outright or the
+        // connection is never answered.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut stream) => {
+                let _ = write!(stream, "GET /healthz HTTP/1.1\r\n\r\n");
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                let mut out = String::new();
+                assert!(
+                    stream.read_to_string(&mut out).is_err() || out.is_empty(),
+                    "no response after shutdown"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Allocation-free structured spans.
+//!
+//! A [`Span`] is a pre-registered handle — a static name, a duration
+//! histogram, and optionally a [`FlightRecorder`] — for one named region
+//! of the system (an SPF build, a delta-repair, a lab phase). Entering
+//! it returns a [`SpanGuard`] that records the elapsed wall time into
+//! the histogram on drop; the hot path therefore costs one `Instant`
+//! read on entry and a histogram record on exit, with no allocation.
+//!
+//! Spans nest: each thread keeps a stack of the names it has entered,
+//! so a guard knows its parent and [`current_span`] lets the flight
+//! recorder attribute events to the innermost active span. The stack is
+//! thread-local, which is why [`SpanGuard`] is deliberately not `Send`.
+//!
+//! Like the rest of the crate, spans observe and never perturb: no
+//! randomness, no locks on the hot path, no effect on scheduling —
+//! instrumented runs stay bit-identical to uninstrumented ones.
+
+use crate::flight::{FlightEvent, FlightRecorder};
+use crate::histogram::Histogram;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = RefCell::new(Vec::with_capacity(8));
+}
+
+/// The innermost span entered on this thread, if any.
+pub fn current_span() -> Option<&'static str> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// A named, reusable region handle. Clone it freely; clones share the
+/// same histogram and recorder.
+///
+/// ```
+/// use splice_telemetry::{Registry, Span};
+///
+/// let reg = Registry::new();
+/// let span = Span::new(
+///     "splice_spf_build",
+///     reg.histogram_seconds("splice_spf_build_seconds", "SPF build wall time"),
+/// );
+/// {
+///     let _g = span.enter();
+///     // ... timed work ...
+/// }
+/// assert!(reg.render_prometheus().contains("splice_spf_build_seconds_count 1"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Span {
+    name: &'static str,
+    hist: Arc<Histogram>,
+    flight: Option<FlightRecorder>,
+}
+
+impl Span {
+    /// A span recording durations into `hist`.
+    pub fn new(name: &'static str, hist: Arc<Histogram>) -> Span {
+        Span {
+            name,
+            hist,
+            flight: None,
+        }
+    }
+
+    /// Also emit a `kind="span"` closure event to `flight` each time the
+    /// span exits.
+    pub fn with_flight(mut self, flight: FlightRecorder) -> Span {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// The span's static name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Enter the span: push it on the thread's stack and start timing.
+    pub fn enter(&self) -> SpanGuard<'_> {
+        let parent = current_span().unwrap_or("");
+        SPAN_STACK.with(|s| s.borrow_mut().push(self.name));
+        SpanGuard {
+            span: self,
+            parent,
+            started: Instant::now(),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Run a closure under this span.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _g = self.enter();
+        f()
+    }
+}
+
+/// An entered span: records its duration and pops the nesting stack on
+/// drop. Not `Send` — it belongs to the thread whose stack it sits on.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    span: &'a Span,
+    parent: &'static str,
+    started: Instant,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard<'_> {
+    /// The name of the span this guard entered.
+    pub fn name(&self) -> &'static str {
+        self.span.name
+    }
+
+    /// The span that was active when this one was entered (`""` at top
+    /// level).
+    pub fn parent(&self) -> &'static str {
+        self.parent
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed();
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        self.span.hist.record_duration(elapsed);
+        if let Some(flight) = &self.span.flight {
+            let mut ev = FlightEvent::new("span", self.span.name)
+                .field("nanos", elapsed.as_nanos().min(u64::MAX as u128) as u64);
+            // Attribute the closure to the parent, not to itself: the
+            // span just popped off the stack.
+            ev.span = self.parent;
+            flight.record(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str) -> Span {
+        Span::new(name, Arc::new(Histogram::new()))
+    }
+
+    #[test]
+    fn records_duration_on_drop() {
+        let h = Arc::new(Histogram::new());
+        let s = Span::new("region", Arc::clone(&h));
+        {
+            let _g = s.enter();
+        }
+        {
+            let _g = s.enter();
+        }
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn nesting_tracks_parents() {
+        assert_eq!(current_span(), None);
+        let outer = span("outer");
+        let inner = span("inner");
+        let og = outer.enter();
+        assert_eq!(og.parent(), "");
+        assert_eq!(current_span(), Some("outer"));
+        {
+            let ig = inner.enter();
+            assert_eq!(ig.parent(), "outer");
+            assert_eq!(current_span(), Some("inner"));
+        }
+        assert_eq!(current_span(), Some("outer"));
+        drop(og);
+        assert_eq!(current_span(), None);
+    }
+
+    #[test]
+    fn time_returns_the_closure_value() {
+        let h = Arc::new(Histogram::new());
+        let s = Span::new("calc", Arc::clone(&h));
+        let out = s.time(|| 40 + 2);
+        assert_eq!(out, 42);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn span_stack_is_per_thread() {
+        let outer = span("outer");
+        let _g = outer.enter();
+        std::thread::spawn(|| {
+            assert_eq!(current_span(), None, "stacks do not leak across threads");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn exit_emits_a_flight_event_attributed_to_the_parent() {
+        let rec = crate::flight::FlightRecorder::new(8);
+        let outer = span("outer");
+        let inner = Span::new("inner", Arc::new(Histogram::new())).with_flight(rec.clone());
+        {
+            let _og = outer.enter();
+            let _ig = inner.enter();
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].event.kind, "span");
+        assert_eq!(events[0].event.name, "inner");
+        assert_eq!(events[0].event.span, "outer");
+        assert_eq!(events[0].event.fields[0].0, "nanos");
+    }
+}

@@ -126,6 +126,57 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// N threads interleave JSONL emission; every captured line must be
+    /// one of the exact lines some thread emitted — a torn write would
+    /// surface as a spliced or truncated line.
+    #[test]
+    fn concurrent_writers_never_tear_lines() {
+        let (sink, buf) = TraceSink::in_memory();
+        let threads = 8u64;
+        let per_thread = 250u64;
+        // Long enough to straddle internal buffer boundaries.
+        fn line_for(t: u64, i: u64) -> String {
+            let pad = "x".repeat(97);
+            format!(r#"{{"thread":{t},"seq":{i},"pad":"{pad}"}}"#)
+        }
+
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let sink = sink.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        sink.emit(&line_for(t, i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.line_count(), threads * per_thread);
+        assert_eq!(sink.error_count(), 0);
+
+        let bytes = buf.lock().unwrap();
+        let text = std::str::from_utf8(&bytes).expect("output is valid UTF-8");
+        let mut expected = std::collections::HashSet::new();
+        for t in 0..threads {
+            for i in 0..per_thread {
+                expected.insert(line_for(t, i));
+            }
+        }
+        let mut seen = 0u64;
+        for line in text.lines() {
+            assert!(
+                expected.remove(line),
+                "line is torn, duplicated, or corrupted: {line:?}"
+            );
+            seen += 1;
+        }
+        assert_eq!(seen, threads * per_thread, "every emitted line arrived");
+        assert!(expected.is_empty());
+    }
+
     #[test]
     fn clones_share_the_stream() {
         let dir = std::env::temp_dir().join("splice-telemetry-trace-clone");

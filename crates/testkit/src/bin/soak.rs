@@ -8,8 +8,13 @@
 //! printing the shrunk scenario and its one-line replay command), 2 on
 //! bad usage.
 
-use splice_testkit::{derive_seed, replay, shrink, Divergence, ReplayOptions, Scenario};
+use splice_testkit::{
+    derive_seed, flight_tail, replay, shrink, Divergence, ReplayOptions, Scenario,
+};
 use std::time::Instant;
+
+/// Flight-recorder events dumped after a failure report.
+const FLIGHT_TAIL: usize = 16;
 
 struct Args {
     trials: u64,
@@ -78,7 +83,7 @@ fn main() {
                 eprintln!("soak: original scenario: {}", sc.spec());
                 let check = |c: &Scenario| replay(c, &opts).err().map(|b| *b);
                 let out = shrink(&sc, *div, check);
-                report_failure(&out.scenario, &out.divergence, out.attempts);
+                report_failure(&out.scenario, &out.divergence, out.attempts, &opts);
                 std::process::exit(1);
             }
         }
@@ -91,7 +96,7 @@ fn main() {
     );
 }
 
-fn report_failure(sc: &Scenario, div: &Divergence, attempts: usize) {
+fn report_failure(sc: &Scenario, div: &Divergence, attempts: usize, opts: &ReplayOptions) {
     eprintln!(
         "soak: shrunk to ({attempts} candidates tried): {}",
         sc.spec()
@@ -99,4 +104,8 @@ fn report_failure(sc: &Scenario, div: &Divergence, attempts: usize) {
     eprintln!("soak: divergence: {div}");
     eprintln!("soak: reproduce with:");
     eprintln!("  {}", sc.replay_command());
+    eprintln!("soak: flight recorder, last {FLIGHT_TAIL} events of the shrunk replay:");
+    for line in flight_tail(sc, opts, FLIGHT_TAIL).lines() {
+        eprintln!("  {line}");
+    }
 }

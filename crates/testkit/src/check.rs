@@ -33,6 +33,7 @@ use splice_core::recovery::HeaderStrategy;
 use splice_core::slices::{PerturbationKind, RepairEvent, Splicing, SplicingConfig};
 use splice_graph::bellman_ford::bellman_ford_masked;
 use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
+use splice_routing::spf::{FlightEvent, FlightRecorder};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -105,6 +106,32 @@ pub enum Divergence {
     },
 }
 
+impl Divergence {
+    /// Stable short label for the divergence class, used as the flight
+    /// recorder's event name.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Divergence::Setup(_) => "setup",
+            Divergence::NextHop { .. } => "next_hop",
+            Divergence::Distance { .. } => "distance",
+            Divergence::Walk { .. } => "walk",
+            Divergence::Invariant { .. } => "invariant",
+        }
+    }
+
+    /// The replay step the divergence appeared at (0 for setup failures
+    /// and the initial build).
+    pub fn step(&self) -> usize {
+        match self {
+            Divergence::Setup(_) => 0,
+            Divergence::NextHop { step, .. }
+            | Divergence::Distance { step, .. }
+            | Divergence::Walk { step, .. }
+            | Divergence::Invariant { step, .. } => *step,
+        }
+    }
+}
+
 impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -163,6 +190,10 @@ pub struct ReplayOptions {
     /// forgot to patch this slice's columns on every incremental event —
     /// the bug class the harness exists to catch. `None` in real runs.
     pub skip_patch_slice: Option<usize>,
+    /// Flight recorder to narrate the replay into: every incremental
+    /// repair lands as a `repair_event`, and a failing replay ends with
+    /// a `divergence` event. See [`flight_tail`] for the one-call dump.
+    pub flight: Option<FlightRecorder>,
 }
 
 impl Default for ReplayOptions {
@@ -171,6 +202,7 @@ impl Default for ReplayOptions {
             walk_samples: 24,
             ttl: 64,
             skip_patch_slice: None,
+            flight: None,
         }
     }
 }
@@ -190,6 +222,30 @@ pub struct ReplayReport {
 
 /// Replay `sc` and differentially check every checkpoint.
 pub fn replay(sc: &Scenario, opts: &ReplayOptions) -> Result<ReplayReport, Box<Divergence>> {
+    let result = replay_inner(sc, opts);
+    if let Err(div) = &result {
+        if let Some(flight) = &opts.flight {
+            flight.record(
+                FlightEvent::new("divergence", div.kind_label()).field("step", div.step() as u64),
+            );
+        }
+    }
+    result
+}
+
+/// Re-replay `sc` with a fresh flight recorder attached and return the
+/// last `tail` recorded events as JSONL — the black-box dump a failure
+/// report ends with. The replay's outcome is discarded; only the
+/// recorder's contents matter here.
+pub fn flight_tail(sc: &Scenario, opts: &ReplayOptions, tail: usize) -> String {
+    let flight = FlightRecorder::new(tail.max(1) * 4);
+    let mut opts = opts.clone();
+    opts.flight = Some(flight.clone());
+    let _ = replay(sc, &opts);
+    flight.tail_jsonl(tail)
+}
+
+fn replay_inner(sc: &Scenario, opts: &ReplayOptions) -> Result<ReplayReport, Box<Divergence>> {
     let g = sc.topology.graph().map_err(Divergence::Setup)?;
     validate_events(sc, &g)?;
 
@@ -356,6 +412,14 @@ fn apply_repair(
     opts: &ReplayOptions,
 ) -> Result<Splicing, Box<Divergence>> {
     let (next, stats) = sp.repair_report(g, event);
+    if let Some(flight) = &opts.flight {
+        flight.record(
+            FlightEvent::new("repair_event", event.kind_label())
+                .field("step", step as u64)
+                .field("patched", stats.patched_columns as u64)
+                .field("skipped", stats.skipped_columns as u64),
+        );
+    }
     let columns = sp.k() * g.node_count();
     if stats.patched_columns + stats.skipped_columns > columns {
         return Err(Box::new(Divergence::Invariant {

@@ -27,7 +27,7 @@ pub mod scenario;
 pub mod shrink;
 pub mod strategies;
 
-pub use check::{replay, Divergence, ReplayOptions, ReplayReport};
+pub use check::{flight_tail, replay, Divergence, ReplayOptions, ReplayReport};
 pub use oracle::{naive_walk, outcome_signature, OracleTables};
 pub use scenario::{derive_seed, EventSpec, PerturbationSpec, Scenario, TopologySpec};
 pub use shrink::{shrink, ShrinkResult};

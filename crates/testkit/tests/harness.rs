@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use splice_testkit::strategies::arb_scenario;
 use splice_testkit::{
-    derive_seed, replay, shrink, Divergence, EventSpec, PerturbationSpec, ReplayOptions, Scenario,
-    TopologySpec,
+    derive_seed, flight_tail, replay, shrink, Divergence, EventSpec, PerturbationSpec,
+    ReplayOptions, Scenario, TopologySpec,
 };
 
 proptest! {
@@ -110,6 +110,29 @@ fn sabotaged_repair_is_caught_shrunk_and_replayable() {
     // And the same spec replayed against the healthy stack is clean:
     // the counterexample blames the injected bug, not the scenario.
     assert!(replay(&reparsed, &ReplayOptions::default()).is_ok());
+
+    // The failure report's black-box dump: re-replaying the shrunk
+    // scenario under a flight recorder must end with the divergence
+    // event, preceded by the repair that triggered it.
+    let dump = flight_tail(&out.scenario, &sabotage, 16);
+    let lines: Vec<&str> = dump.lines().collect();
+    assert!(!lines.is_empty(), "dump must not be empty");
+    assert!(
+        lines.last().unwrap().contains(r#""kind":"divergence""#),
+        "dump must end with the divergence event: {dump}"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains(r#""kind":"repair_event""#) && l.contains(r#""patched":"#)),
+        "dump must show the repairs that led up to it: {dump}"
+    );
+
+    // A clean replay under a recorder narrates repairs but reports no
+    // divergence.
+    let clean = flight_tail(&out.scenario, &ReplayOptions::default(), 16);
+    assert!(!clean.contains(r#""kind":"divergence""#));
+    assert!(clean.contains(r#""kind":"repair_event""#));
 }
 
 /// Replays accumulate the advertised coverage denominators.
