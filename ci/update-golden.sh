@@ -1,11 +1,13 @@
 #!/bin/sh
-# Regenerate the pinned golden checksum for the fig3 CI smoke run.
+# Regenerate the pinned golden checksums for the fig3 CI smoke runs.
 #
 # The smoke run (abilene, 3 trials, seed 11) is bit-deterministic, so its
-# reliability-curve CSV can be pinned: CI verifies every build against
-# ci/golden/fig3_abilene_s11.sha256 when that file is non-empty. Run this
-# script after any *intentional* change to the curves (new semantics, new
-# RNG stream, changed sweep) and commit the result; an unintentional
+# reliability-curve CSV can be pinned — once per slice strategy: the
+# default perturbed-spf gate plus the `tree` and `arc` strategy gates.
+# CI verifies each build against ci/golden/fig3_abilene_s11*.sha256
+# whenever the file is non-empty. Run this script after any *intentional*
+# change to the curves (new semantics, new RNG stream, changed sweep,
+# changed slice construction) and commit the result; an unintentional
 # change will then fail the `build and test` job.
 set -eu
 cd "$(dirname "$0")/.."
@@ -17,5 +19,18 @@ cargo run --release -p splice-bench --bin splice-lab -- \
 (cd "$out" && sha256sum fig3_reliability_abilene_union.csv) \
     > ci/golden/fig3_abilene_s11.sha256
 rm -rf "$out"
+
+for s in tree arc; do
+    rm -rf "$out"
+    cargo run --release -p splice-bench --bin splice-lab -- \
+        run fig3_reliability --topology abilene --trials 3 --seed 11 \
+        --strategy "$s" --out "$out"
+    (cd "$out" && sha256sum fig3_reliability_abilene_union.csv) \
+        > "ci/golden/fig3_abilene_s11_$s.sha256"
+    rm -rf "$out"
+done
+
 echo "pinned:"
-cat ci/golden/fig3_abilene_s11.sha256
+cat ci/golden/fig3_abilene_s11.sha256 \
+    ci/golden/fig3_abilene_s11_tree.sha256 \
+    ci/golden/fig3_abilene_s11_arc.sha256

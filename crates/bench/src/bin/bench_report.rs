@@ -2,11 +2,13 @@
 //!
 //! `BENCH_fib.json` and `BENCH_spf_repair.json` used to exist only as a
 //! side effect of running the criterion suites; this binary produces both
-//! on demand — by default into the repository root, where CI and the §4.2
-//! state-size discussion pick them up — without pulling in criterion at
-//! all. The documents carry a `schema_version` field (see
-//! [`splice_bench::fib_report::SCHEMA_VERSION`] and
-//! [`splice_bench::repair_report::SCHEMA_VERSION`]); consumers should
+//! on demand — plus the per-strategy `BENCH_strategy.json` summary — by
+//! default into the repository root, where CI and the §4.2 state-size
+//! discussion pick them up — without pulling in criterion at all. The
+//! documents carry a `schema_version` field (see
+//! [`splice_bench::fib_report::SCHEMA_VERSION`],
+//! [`splice_bench::repair_report::SCHEMA_VERSION`] and
+//! [`splice_bench::strategy_report::SCHEMA_VERSION`]); consumers should
 //! check it before parsing.
 //!
 //! ```text
@@ -19,6 +21,11 @@ use std::path::PathBuf;
 /// rigorous timings describe the same sweep.
 const FIB_KS: &[usize] = &[1, 2, 5, 10];
 const REPAIR_KS: &[usize] = &[1, 5, 10];
+
+/// Slice count and Monte-Carlo depth for the per-strategy summary —
+/// k = 5 is the paper's headline operating point.
+const STRATEGY_K: usize = 5;
+const STRATEGY_TRIALS: usize = 100;
 
 fn main() {
     let mut topology = String::from("sprint");
@@ -76,4 +83,17 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {}", repair_path.display());
+
+    let strategy_path = out.join("BENCH_strategy.json");
+    if let Err(e) = splice_bench::strategy_report::write_strategy_report(
+        &strategy_path,
+        &topology,
+        STRATEGY_K,
+        STRATEGY_TRIALS,
+        seed,
+    ) {
+        eprintln!("writing {}: {e}", strategy_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", strategy_path.display());
 }

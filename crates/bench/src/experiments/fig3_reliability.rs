@@ -44,6 +44,10 @@ impl Experiment for Fig3Reliability {
 
         let mut cfg = ReliabilityConfig::figure3(ctx.config.trials, ctx.config.seed);
         cfg.semantics = ctx.config.splice_semantics();
+        cfg.splicing = cfg.splicing.with_strategy(ctx.config.strategy);
+        if ctx.config.strategy != splice_core::strategy::StrategyKind::PerturbedSpf {
+            println!("strategy: {}", ctx.config.strategy.name());
+        }
         println!(
             "semantics: {} (use --semantics directed for forwarding-exact accounting)",
             ctx.config.semantics

@@ -29,6 +29,7 @@ pub mod scaling_lognslices;
 pub mod slicing_vs_mrc;
 pub mod srlg_failures;
 pub mod state_vs_diversity;
+pub mod strategy_sweep;
 pub mod stretch_stats;
 pub mod table1;
 pub mod te_load_balance;
@@ -49,6 +50,7 @@ pub fn registry() -> ExperimentRegistry {
     reg.register(Box::new(scaling_lognslices::ScalingLogNSlices));
     reg.register(Box::new(theorem_b1::TheoremB1));
     reg.register(Box::new(state_vs_diversity::StateVsDiversity));
+    reg.register(Box::new(strategy_sweep::StrategySweep));
     reg.register(Box::new(te_load_balance::TeLoadBalance));
     reg.register(Box::new(te_vs_tuning::TeVsTuning));
     reg.register(Box::new(capacity_multipath::CapacityMultipath));
@@ -75,7 +77,7 @@ mod tests {
     #[test]
     fn registry_holds_all_experiments_with_unique_names() {
         let reg = registry();
-        assert_eq!(reg.len(), 25);
+        assert_eq!(reg.len(), 26);
         // Uniqueness is enforced by `register` (it panics on duplicates);
         // here we spot-check lookups by both canonical name and alias.
         assert!(reg.find("fig3_reliability").is_some());
@@ -83,6 +85,8 @@ mod tests {
         assert!(reg.find("fig4").is_some());
         assert!(reg.find("fig5").is_some());
         assert!(reg.find("explicit_paths_baseline").is_some());
+        assert!(reg.find("strategy_sweep").is_some());
+        assert!(reg.find("strategies").is_some());
         assert!(reg.find("nope").is_none());
     }
 }

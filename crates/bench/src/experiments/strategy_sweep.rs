@@ -1,0 +1,140 @@
+//! Cross-strategy sweep: every slice-construction strategy measured on
+//! the same topology and seed — reliability curves, per-slice stretch,
+//! recovery loop rates, path diversity, and routing state — so the
+//! trade-off each strategy makes (state vs stretch vs diversity) sits in
+//! one table.
+//!
+//! ```text
+//! splice-lab run strategy_sweep
+//! splice-lab run strategies --topology abilene --trials 40
+//! ```
+
+use crate::banner;
+use splice_core::slices::SplicingConfig;
+use splice_core::strategy::StrategyKind;
+use splice_sim::diversity::state_vs_diversity;
+use splice_sim::lab::{Experiment, ExperimentOutput, LabError, RunContext};
+use splice_sim::loops::{loop_experiment, LoopConfig};
+use splice_sim::output::Artifact;
+use splice_sim::reliability::{reliability_experiment, ReliabilityConfig};
+use splice_sim::stats::Series;
+use splice_sim::stretch_exp::slice_stretch_experiment;
+
+/// Slice count every strategy is compared at.
+const K: usize = 5;
+
+/// Every strategy under the same instruments.
+pub struct StrategySweep;
+
+impl Experiment for StrategySweep {
+    fn name(&self) -> &'static str {
+        "strategy_sweep"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["strategies"]
+    }
+
+    fn describe(&self) -> &'static str {
+        "slice strategies compared: reliability, stretch, loops, diversity, state"
+    }
+
+    fn default_trials(&self) -> usize {
+        40
+    }
+
+    fn run(&self, ctx: &mut RunContext<'_>) -> Result<ExperimentOutput, LabError> {
+        let g = ctx.graph();
+        let latencies = ctx.topology.latencies();
+        banner(&format!(
+            "strategy sweep — {} ({} nodes / {} links), k={K}, {} trials per point",
+            ctx.topology.name,
+            ctx.topology.node_count(),
+            ctx.topology.link_count(),
+            ctx.config.trials
+        ));
+
+        let mut curves: Vec<Series> = Vec::new();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for kind in StrategyKind::ALL {
+            let template = SplicingConfig::degree_based(K, 0.0, 3.0).with_strategy(kind);
+
+            // Reliability: the fig3 sweep at k = K only.
+            let mut rcfg = ReliabilityConfig::figure3(ctx.config.trials, ctx.config.seed);
+            rcfg.ks = vec![K];
+            rcfg.splicing = rcfg.splicing.with_strategy(kind);
+            rcfg.semantics = ctx.config.splice_semantics();
+            let rel = reliability_experiment(&g, &rcfg);
+            let curve = rel.for_k(K).expect("k evaluated").clone();
+            let rel_at = |p: f64| curve.y_at(p).unwrap_or(f64::NAN);
+            curves.push(Series::new(
+                format!("{} k={K}", kind.name()),
+                curve.points.clone(),
+            ));
+
+            // Stretch: distribution across all K slices, a few seeds.
+            let seeds: Vec<u64> = (0..3).map(|i| ctx.config.seed + i).collect();
+            let stretch = slice_stretch_experiment(&g, &latencies, &template, &seeds);
+            let mean_stretch = stretch.iter().map(|s| s.mean).sum::<f64>() / stretch.len() as f64;
+            let worst_p99 = stretch.iter().map(|s| s.p99).fold(f64::MIN, f64::max);
+
+            // Loops: §4.4 recovery-header loop frequency.
+            let mut lcfg = LoopConfig::paper(vec![K], ctx.config.trials, ctx.config.seed);
+            lcfg.splicing = lcfg.splicing.with_strategy(kind);
+            let loops = loop_experiment(&g, &lcfg);
+            let loop_rate = loops[0].two_hop_rate() + loops[0].longer_rate();
+
+            // Diversity + state: header-sampled distinct paths, plus the
+            // physical arena and the strategy's logical routing state.
+            let pts =
+                state_vs_diversity(&g, &template, &[K], ctx.config.trials, 40, ctx.config.seed);
+            let sp = ctx.deployment(&g, &template, ctx.config.seed);
+
+            rows.push(vec![
+                kind.name().to_string(),
+                format!("{:.4}", rel_at(0.02)),
+                format!("{:.4}", rel_at(0.05)),
+                format!("{:.3}", mean_stretch),
+                format!("{:.3}", worst_p99),
+                format!("{:.4}", loop_rate),
+                format!("{:.2}", pts[0].distinct_paths),
+                sp.state_bytes().to_string(),
+                sp.logical_state_bytes().to_string(),
+            ]);
+        }
+
+        Ok(ExperimentOutput {
+            artifacts: vec![
+                Artifact::series(
+                    format!(
+                        "strategy_sweep_reliability_{}_{}.csv",
+                        ctx.topology.name, ctx.config.semantics
+                    ),
+                    "p",
+                    3,
+                    true,
+                    curves,
+                ),
+                Artifact::table(
+                    format!("strategy_sweep_{}.txt", ctx.topology.name),
+                    &[
+                        "strategy",
+                        "disc@0.02",
+                        "disc@0.05",
+                        "mean stretch",
+                        "worst p99",
+                        "loop rate",
+                        "paths/pair",
+                        "arena bytes",
+                        "logical bytes",
+                    ],
+                    rows,
+                ),
+            ],
+            notes: vec![format!(
+                "all strategies measured at k={K}, topology {}, seed {}",
+                ctx.topology.name, ctx.config.seed
+            )],
+        })
+    }
+}

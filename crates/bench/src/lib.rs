@@ -20,7 +20,7 @@
 //! | §5 multipath capacity (extension) | `capacity_multipath` |
 //! | §5 interdomain splicing (extension) | `bgp_splicing` |
 //! | §5 overlay splicing (extension) | `overlay_splicing` |
-//! | §5 slice-construction studies | `slicing_vs_mrc`, `coverage_ablation` |
+//! | §5 slice-construction studies | `slicing_vs_mrc`, `coverage_ablation`, `strategy_sweep` |
 //! | §6 convergence studies | `convergence_window`, `routing_dynamics` |
 //! | ablations | `loopfree_ablation`, `perturbation_ablation`, `header_encoding_ablation` |
 //! | failure-model extensions | `node_failures`, `srlg_failures` |
@@ -28,7 +28,9 @@
 //!
 //! Every experiment accepts the shared flags `--trials N`, `--seed N`,
 //! `--topology NAME` (built-ins or generator specs like `rand-24-40-7`),
-//! `--out DIR` (default `results/`), and `--semantics union|directed`.
+//! `--out DIR` (default `results/`),
+//! `--strategy perturbed-spf|tree|lst|arc`, and
+//! `--semantics union|directed`.
 //! Output goes to stdout as a table and to `DIR/<name>.csv` / `.txt` /
 //! `.json` for plotting, next to a schema-stamped `*_manifest.json`.
 //! `splice-lab run-all` journals per-experiment JSONL shards under
@@ -37,6 +39,7 @@
 pub mod experiments;
 pub mod fib_report;
 pub mod repair_report;
+pub mod strategy_report;
 
 pub use experiments::registry;
 

@@ -1,0 +1,219 @@
+//! Per-strategy headline numbers, written to `BENCH_strategy.json`.
+//!
+//! The `strategy_sweep` experiment plots the full curves; this module
+//! produces the committed machine-readable summary: for every
+//! [`StrategyKind`] at one k, the disconnected-pair fraction at two
+//! failure rates, the mean per-slice latency stretch, and both state
+//! accounts (the physical FIB arena and the strategy's logical routing
+//! state). Everything here is deterministic in `(topology, k, seed)`, so
+//! the document can live in the repository and regenerate byte-identically.
+
+use splice_core::slices::{Splicing, SplicingConfig};
+use splice_core::strategy::StrategyKind;
+use splice_core::stretch::per_slice_stretch;
+use splice_sim::lab::LabError;
+use splice_sim::reliability::{reliability_experiment, ReliabilityConfig};
+use splice_telemetry::{JsonArray, JsonObject};
+use splice_topology::TopologyError;
+use std::path::Path;
+
+use crate::load_topology;
+
+/// Failure probabilities the reliability column is read at.
+pub const PS: &[f64] = &[0.02, 0.05];
+
+/// Measured numbers for one strategy.
+#[derive(Clone, Debug)]
+pub struct StrategyBenchEntry {
+    /// Strategy name (the `--strategy` token).
+    pub strategy: &'static str,
+    /// Fraction of ordered pairs disconnected at `PS[0]`.
+    pub disconnected_p02: f64,
+    /// Fraction of ordered pairs disconnected at `PS[1]`.
+    pub disconnected_p05: f64,
+    /// Mean latency stretch over all slices and routed pairs.
+    pub mean_stretch: f64,
+    /// Physical FIB arena footprint (k·2n² u16 cells).
+    pub arena_bytes: usize,
+    /// The strategy's logical routing state (trees: one parent arc per
+    /// node; matrix strategies: the full arena).
+    pub logical_bytes: usize,
+}
+
+/// Measure every strategy on `topology` at slice count `k`.
+pub fn measure(
+    topology: &str,
+    k: usize,
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<StrategyBenchEntry>, TopologyError> {
+    let topo = load_topology(topology)?;
+    let g = topo.graph();
+    let latencies = topo.latencies();
+    let entries = StrategyKind::ALL
+        .iter()
+        .map(|&kind| {
+            let template = SplicingConfig::degree_based(k, 0.0, 3.0).with_strategy(kind);
+            let cfg = ReliabilityConfig {
+                ks: vec![k],
+                ps: PS.to_vec(),
+                trials,
+                splicing: template.clone(),
+                semantics: Default::default(),
+                seed,
+            };
+            let rel = reliability_experiment(&g, &cfg);
+            let curve = rel.for_k(k).expect("k evaluated");
+            let at = |p: f64| curve.y_at(p).unwrap_or(f64::NAN);
+
+            let sp = Splicing::build(&g, &template, seed);
+            let samples: Vec<f64> = per_slice_stretch(&sp, &g, &latencies)
+                .into_iter()
+                .flatten()
+                .collect();
+            let mean_stretch = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+
+            StrategyBenchEntry {
+                strategy: kind.name(),
+                disconnected_p02: at(PS[0]),
+                disconnected_p05: at(PS[1]),
+                mean_stretch,
+                arena_bytes: sp.state_bytes(),
+                logical_bytes: sp.logical_state_bytes(),
+            }
+        })
+        .collect();
+    Ok(entries)
+}
+
+/// Schema version stamped into every `BENCH_strategy.json`. Bump when a
+/// field is renamed, removed, or changes meaning; adding fields is
+/// compatible.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Render entries as the `BENCH_strategy.json` document.
+///
+/// Stable schema (version [`SCHEMA_VERSION`]):
+///
+/// ```json
+/// {
+///   "benchmark": "strategy",
+///   "schema_version": 1,
+///   "topology": "<name>",
+///   "k": <usize>,
+///   "trials": <usize>,
+///   "seed": <u64>,
+///   "entries": [ { one object per strategy, fields as in StrategyBenchEntry } ]
+/// }
+/// ```
+pub fn render(
+    topology: &str,
+    k: usize,
+    trials: usize,
+    seed: u64,
+    entries: &[StrategyBenchEntry],
+) -> String {
+    let mut arr = JsonArray::new();
+    for e in entries {
+        arr = arr.push_raw(
+            &JsonObject::new()
+                .field_str("strategy", e.strategy)
+                .field_f64("disconnected_p02", e.disconnected_p02)
+                .field_f64("disconnected_p05", e.disconnected_p05)
+                .field_f64("mean_stretch", e.mean_stretch)
+                .field_u64("arena_bytes", e.arena_bytes as u64)
+                .field_u64("logical_bytes", e.logical_bytes as u64)
+                .finish(),
+        );
+    }
+    JsonObject::new()
+        .field_str("benchmark", "strategy")
+        .field_u64("schema_version", SCHEMA_VERSION)
+        .field_str("topology", topology)
+        .field_u64("k", k as u64)
+        .field_u64("trials", trials as u64)
+        .field_u64("seed", seed)
+        .field_raw("entries", &arr.finish())
+        .finish()
+}
+
+/// Measure on `topology` and write `BENCH_strategy.json` to `path`.
+pub fn write_strategy_report(
+    path: impl AsRef<Path>,
+    topology: &str,
+    k: usize,
+    trials: usize,
+    seed: u64,
+) -> Result<(), LabError> {
+    let entries = measure(topology, k, trials, seed)?;
+    let mut text = render(topology, k, trials, seed, &entries);
+    text.push('\n');
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, text)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_entries_cover_every_strategy() {
+        let entries = measure("abilene", 3, 5, 7).unwrap();
+        assert_eq!(entries.len(), StrategyKind::ALL.len());
+        for e in &entries {
+            assert!(e.disconnected_p02 >= 0.0 && e.disconnected_p02 <= 1.0);
+            assert!(e.disconnected_p05 >= 0.0 && e.disconnected_p05 <= 1.0);
+            assert!(
+                e.mean_stretch >= 1.0 - 1e-9,
+                "{}: {}",
+                e.strategy,
+                e.mean_stretch
+            );
+            assert!(e.arena_bytes > 0);
+            assert!(e.logical_bytes > 0);
+            assert!(e.logical_bytes <= e.arena_bytes);
+        }
+        // Tree strategies carry linear state; matrices the full arena.
+        let by = |n: &str| entries.iter().find(|e| e.strategy == n).unwrap();
+        assert_eq!(
+            by("perturbed-spf").logical_bytes,
+            by("perturbed-spf").arena_bytes
+        );
+        assert!(by("tree").logical_bytes < by("tree").arena_bytes);
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let a = measure("abilene", 2, 5, 11).unwrap();
+        let b = measure("abilene", 2, 5, 11).unwrap();
+        assert_eq!(
+            render("abilene", 2, 5, 11, &a),
+            render("abilene", 2, 5, 11, &b)
+        );
+    }
+
+    #[test]
+    fn report_renders_and_writes() {
+        let entries = measure("abilene", 2, 5, 7).unwrap();
+        let json = render("abilene", 2, 5, 7, &entries);
+        assert!(json.contains(r#""benchmark":"strategy""#));
+        assert!(json.contains(r#""schema_version":1"#));
+        assert!(json.contains(r#""strategy":"perturbed-spf""#));
+        assert!(json.contains(r#""strategy":"arc""#));
+        assert!(json.contains(r#""mean_stretch""#));
+        assert!(json.contains(r#""logical_bytes""#));
+
+        let dir = std::env::temp_dir().join("splice-bench-strategy-report");
+        let path = dir.join("BENCH_strategy.json");
+        write_strategy_report(&path, "abilene", 2, 5, 7).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains(r#""benchmark":"strategy""#));
+        assert!(back.ends_with('\n'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -22,6 +22,7 @@ fn lab_args(trials: usize, seed: u64, out: &PathBuf) -> LabArgs {
         topology: "abilene".into(),
         out: out.clone(),
         semantics: "union".into(),
+        strategy: splice_core::strategy::StrategyKind::PerturbedSpf,
         listen: None,
         linger_secs: 0,
     }
@@ -61,12 +62,14 @@ fn run_all_stamps_manifests_shares_deployments_and_resumes() {
     let first = run_all(&reg, &args, false).unwrap();
     assert_eq!(first.ran.len(), reg.len());
     assert!(first.skipped.is_empty());
-    // Cache-sharing acceptance: te_load_balance (k=5), te_vs_tuning
-    // (k=1), and capacity_multipath (k=10) are the only cold builds;
-    // te_vs_tuning's k=5, ecmp_baseline's and srlg_failures' k=10 reuse
-    // them. Per-trial builders bypass the cache by design.
-    assert_eq!(first.cache.misses, 3);
-    assert_eq!(first.cache.hits, 3);
+    // Cache-sharing acceptance: strategy_sweep cold-builds its four k=5
+    // deployments (one per strategy), te_vs_tuning adds k=1 and
+    // capacity_multipath k=10; te_load_balance's k=5 (same key as the
+    // sweep's perturbed-spf build), te_vs_tuning's k=5, ecmp_baseline's
+    // and srlg_failures' k=10 reuse them. Per-trial builders bypass the
+    // cache by design.
+    assert_eq!(first.cache.misses, 6);
+    assert_eq!(first.cache.hits, 4);
 
     let manifests: Vec<PathBuf> = std::fs::read_dir(&dir)
         .unwrap()

@@ -22,6 +22,7 @@ use rand::{Rng, SeedableRng};
 use splice_cli::{resolve_failures, resolve_node, resolve_topology, Flags};
 use splice_core::prelude::*;
 use splice_core::slices::{RepairEvent, SplicingConfig};
+use splice_core::strategy::StrategyKind;
 use splice_core::stretch::{per_slice_stretch, StretchStats};
 use splice_dataplane::{NetTelemetry, Packet, RouterConfig, SimNetwork};
 use splice_graph::mincut::min_cut_links;
@@ -57,6 +58,8 @@ common flags:
   --file PATH                       edge-list topology file instead
   --k N                             number of slices (default 5)
   --seed N                          RNG seed (default 1)
+  --strategy NAME                   slice construction: perturbed-spf
+                                    (default), tree, lst or arc
   --fail A-B                        fail the named link (repeatable)
   --fail-edge ID                    fail a link by edge id (repeatable)
 
@@ -170,14 +173,25 @@ fn cmd_testkit(args: &[String]) -> Result<(), String> {
     }
 }
 
+fn strategy_flag(flags: &Flags) -> Result<StrategyKind, String> {
+    match flags.get("strategy") {
+        None => Ok(StrategyKind::PerturbedSpf),
+        Some(name) => StrategyKind::parse(name).ok_or_else(|| {
+            format!("--strategy {name:?} unknown (perturbed-spf, tree, lst or arc)")
+        }),
+    }
+}
+
 fn build(topo: &Topology, flags: &Flags) -> Result<(splice_graph::Graph, Splicing), String> {
     let k: usize = flags.get_parsed("k", 5)?;
     if k == 0 {
         return Err("--k must be at least 1".into());
     }
     let seed: u64 = flags.get_parsed("seed", 1)?;
+    let strategy = strategy_flag(flags)?;
     let g = topo.graph();
-    let splicing = Splicing::build(&g, &SplicingConfig::degree_based(k, 0.0, 3.0), seed);
+    let cfg = SplicingConfig::degree_based(k, 0.0, 3.0).with_strategy(strategy);
+    let splicing = Splicing::build(&g, &cfg, seed);
     Ok((g, splicing))
 }
 
@@ -444,11 +458,12 @@ fn cmd_reliability(flags: &Flags) -> Result<(), String> {
     if ps.is_empty() {
         return Err("--p list empty".into());
     }
+    let strategy = strategy_flag(flags)?;
     let cfg = ReliabilityConfig {
         ks: ks.clone(),
         ps: ps.clone(),
         trials,
-        splicing: SplicingConfig::degree_based(kmax.max(1), 0.0, 3.0),
+        splicing: SplicingConfig::degree_based(kmax.max(1), 0.0, 3.0).with_strategy(strategy),
         semantics,
         seed,
     };

@@ -11,6 +11,7 @@
 //! |---|---|
 //! | §3.1.1 link-weight perturbations (`L' = L + Weight(a,b,i,j)·Random(0,L)`) | [`perturb`] |
 //! | §3.1.2 multiple routing instances → k forwarding tables | [`slices`] |
+//! | §3.1 generalized: alternative slice constructions (trees, arc-disjoint) | [`strategy`] |
 //! | §3.2 forwarding bits + Algorithm 1 | [`header`], [`forwarding`] |
 //! | §3.2/§4.3 recovery by changing bits | [`recovery`] |
 //! | §2 stretch metrics | [`stretch`] |
@@ -50,6 +51,7 @@ pub mod mrc;
 pub mod perturb;
 pub mod recovery;
 pub mod slices;
+pub mod strategy;
 pub mod stretch;
 
 /// One-stop imports for typical use.
@@ -59,6 +61,7 @@ pub mod prelude {
     pub use crate::perturb::{DegreeBased, Perturbation, Uniform};
     pub use crate::recovery::{EndSystemRecovery, NetworkRecovery, RecoveryOutcome};
     pub use crate::slices::{RepairEvent, Slice, Splicing, SplicingConfig};
+    pub use crate::strategy::{SliceStrategy, StrategyKind};
     pub use crate::stretch::StretchStats;
 }
 

@@ -8,14 +8,14 @@
 //! slices 1..k are independently perturbed.
 
 use crate::perturb::{DegreeBased, Perturbation, TheoremA1, Uniform};
+use crate::strategy::{with_spf_workspace, StrategyKind};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use splice_graph::dijkstra::{validate_weights, SpfWorkspace, WeightError};
+use splice_graph::dijkstra::{validate_weights, WeightError};
 use splice_graph::traversal::reverse_reachable;
 use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
 use splice_routing::arena::{RepairStats, SpliceFib};
 use splice_routing::spf::{
-    spf_fill_arena, spf_repair_arena_failures, spf_repair_arena_reweight, FlightEvent, SpfTelemetry,
+    spf_repair_arena_failures, spf_repair_arena_reweight, FlightEvent, SpfTelemetry,
 };
 use splice_routing::RoutingTables;
 use std::sync::Arc;
@@ -93,10 +93,13 @@ pub struct SplicingConfig {
     /// Number of slices `k ≥ 1`.
     pub k: usize,
     /// Perturbation applied to slices 1..k (slice 0 stays base when
-    /// `include_base_slice`).
+    /// `include_base_slice`). Only the perturbed-SPF strategy reads it.
     pub perturbation: PerturbationKind,
-    /// Keep slice 0 unperturbed (the paper's baseline convention).
+    /// Keep slice 0 unperturbed (the paper's baseline convention;
+    /// perturbed-SPF only — tree strategies own every slice).
     pub include_base_slice: bool,
+    /// How each slice's forwarding columns are constructed.
+    pub strategy: StrategyKind,
 }
 
 impl SplicingConfig {
@@ -106,6 +109,7 @@ impl SplicingConfig {
             k,
             perturbation: PerturbationKind::DegreeBased(DegreeBased::new(a, b)),
             include_base_slice: true,
+            strategy: StrategyKind::PerturbedSpf,
         }
     }
 
@@ -115,7 +119,14 @@ impl SplicingConfig {
             k,
             perturbation: PerturbationKind::Uniform(Uniform::new(strength)),
             include_base_slice: true,
+            strategy: StrategyKind::PerturbedSpf,
         }
+    }
+
+    /// The same config with a different slice-construction strategy.
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
     }
 }
 
@@ -151,6 +162,12 @@ pub struct Splicing {
     /// Cumulative failed-link set the arena's state reflects (all-up for
     /// a fresh build; grows as [`Splicing::repair`] absorbs failures).
     failed: Arc<EdgeMask>,
+    /// How the planes were constructed — consulted by [`Splicing::repair`]
+    /// to choose delta-patching vs masked rebuild.
+    strategy: StrategyKind,
+    /// The build seed, kept so rebuild-only strategies can regenerate a
+    /// slice's randomness (trees) deterministically during repair.
+    seed: u64,
 }
 
 impl Splicing {
@@ -172,6 +189,10 @@ impl Splicing {
             weights: weights.into(),
             fib: Arc::new(fib),
             failed: Arc::new(EdgeMask::all_up(edge_count)),
+            // Pre-built slices carry SPF-shaped state; repairs keep using
+            // the delta engine exactly as before the strategy extraction.
+            strategy: StrategyKind::PerturbedSpf,
+            seed: 0,
         }
     }
 
@@ -201,6 +222,8 @@ impl Splicing {
             weights: weights.into(),
             fib: Arc::new(fib),
             failed: Arc::new(failed),
+            strategy: StrategyKind::PerturbedSpf,
+            seed: 0,
         }
     }
 
@@ -243,8 +266,11 @@ impl Splicing {
     }
 
     /// [`Splicing::build_with_telemetry`] with weight validation surfaced
-    /// as a typed error. All k·n destination-rooted Dijkstras share one
-    /// [`SpfWorkspace`] and emit directly into the arena.
+    /// as a typed error. Each slice is produced by the configured
+    /// [`crate::strategy::SliceStrategy`]; for the default perturbed-SPF
+    /// strategy all k·n destination-rooted Dijkstras share one workspace
+    /// and emit directly into the arena, exactly as before the strategy
+    /// extraction.
     ///
     /// # Panics
     /// Panics if `cfg.k == 0` (a structural misuse, unlike bad weights
@@ -256,23 +282,19 @@ impl Splicing {
         telemetry: Option<&SpfTelemetry>,
     ) -> Result<Splicing, WeightError> {
         assert!(cfg.k >= 1, "need at least one slice");
+        let strategy = cfg.strategy.instance();
         let mut fib = SpliceFib::empty(cfg.k, g.node_count());
-        let mut ws = SpfWorkspace::new();
         let mut weights = Vec::with_capacity(cfg.k);
-        for id in 0..cfg.k {
-            let w = if id == 0 && cfg.include_base_slice {
-                g.base_weights()
-            } else {
-                // Distinct, independent stream per slice.
-                let mut rng = StdRng::seed_from_u64(
-                    seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(id as u64 + 1)),
-                );
-                cfg.perturbation.perturb(g, &mut rng)
-            };
-            validate_weights(g, &w)?;
-            spf_fill_arena(g, &w, &mut fib, id, &mut ws, telemetry);
-            weights.push(w);
-        }
+        let all_up = EdgeMask::all_up(g.edge_count());
+        with_spf_workspace(|ws| -> Result<(), WeightError> {
+            for id in 0..cfg.k {
+                let w = strategy.slice_weights(g, cfg, id, seed);
+                validate_weights(g, &w)?;
+                strategy.fill_slice(g, id, seed, &w, &all_up, ws, &mut fib, telemetry);
+                weights.push(w);
+            }
+            Ok(())
+        })?;
         if let Some(tel) = telemetry {
             tel.arena_bytes.record(fib.state_bytes() as u64);
         }
@@ -280,7 +302,9 @@ impl Splicing {
             k: cfg.k,
             weights: weights.into(),
             fib: Arc::new(fib),
-            failed: Arc::new(EdgeMask::all_up(g.edge_count())),
+            failed: Arc::new(all_up),
+            strategy: cfg.strategy,
+            seed,
         })
     }
 
@@ -303,17 +327,21 @@ impl Splicing {
     ) -> Result<Splicing, WeightError> {
         assert!(!weight_vectors.is_empty(), "need at least one slice");
         let mut fib = SpliceFib::empty(weight_vectors.len(), g.node_count());
-        let mut ws = SpfWorkspace::new();
-        for (id, weights) in weight_vectors.iter().enumerate() {
-            assert_eq!(weights.len(), g.edge_count(), "slice {id} weight length");
-            validate_weights(g, weights)?;
-            spf_fill_arena(g, weights, &mut fib, id, &mut ws, None);
-        }
+        with_spf_workspace(|ws| -> Result<(), WeightError> {
+            for (id, weights) in weight_vectors.iter().enumerate() {
+                assert_eq!(weights.len(), g.edge_count(), "slice {id} weight length");
+                validate_weights(g, weights)?;
+                splice_routing::spf::spf_fill_arena(g, weights, &mut fib, id, ws, None);
+            }
+            Ok(())
+        })?;
         Ok(Splicing {
             k: weight_vectors.len(),
             weights: weight_vectors.into(),
             fib: Arc::new(fib),
             failed: Arc::new(EdgeMask::all_up(g.edge_count())),
+            strategy: StrategyKind::PerturbedSpf,
+            seed: 0,
         })
     }
 
@@ -338,7 +366,22 @@ impl Splicing {
             weights: Arc::clone(&self.weights),
             fib: Arc::clone(&self.fib),
             failed: Arc::clone(&self.failed),
+            strategy: self.strategy,
+            seed: self.seed,
         }
+    }
+
+    /// How this deployment's slices were constructed.
+    #[inline]
+    pub fn strategy(&self) -> StrategyKind {
+        self.strategy
+    }
+
+    /// The seed the deployment was built from (0 for assembled-from-parts
+    /// deployments, whose randomness lived outside the builder).
+    #[inline]
+    pub fn build_seed(&self) -> u64 {
+        self.seed
     }
 
     /// The cumulative failed-link set this deployment's forwarding state
@@ -392,7 +435,6 @@ impl Splicing {
         event: &RepairEvent,
         telemetry: Option<&SpfTelemetry>,
     ) -> Result<(Splicing, RepairStats), WeightError> {
-        let mut ws = SpfWorkspace::new();
         let mut stats = RepairStats::default();
         // The trigger goes into the flight recorder before any plane is
         // touched, so a dump reads trigger-then-repairs in causal order.
@@ -432,18 +474,40 @@ impl Splicing {
                 }
                 let mut fib = self.fib.clone_prefix(self.k);
                 if !newly.is_empty() {
-                    for slice in 0..self.k {
-                        stats.absorb(spf_repair_arena_failures(
-                            g,
-                            &self.weights[slice],
-                            &mut fib,
-                            slice,
-                            &mask,
-                            &newly,
-                            &mut ws,
-                            telemetry,
-                        ));
-                    }
+                    let strategy = self.strategy.instance();
+                    with_spf_workspace(|ws| {
+                        for slice in 0..self.k {
+                            if strategy.supports_delta_repair() {
+                                stats.absorb(spf_repair_arena_failures(
+                                    g,
+                                    &self.weights[slice],
+                                    &mut fib,
+                                    slice,
+                                    &mask,
+                                    &newly,
+                                    ws,
+                                    telemetry,
+                                ));
+                            } else {
+                                // Masked rebuild: by the determinism
+                                // contract this equals what the strategy
+                                // would have built on the failed topology,
+                                // so stacked repairs compose exactly like
+                                // the delta path's.
+                                strategy.fill_slice(
+                                    g,
+                                    slice,
+                                    self.seed,
+                                    &self.weights[slice],
+                                    &mask,
+                                    ws,
+                                    &mut fib,
+                                    telemetry,
+                                );
+                                stats.absorb(rebuild_stats(g));
+                            }
+                        }
+                    });
                 }
                 Ok((
                     Splicing {
@@ -451,6 +515,8 @@ impl Splicing {
                         weights: Arc::clone(&self.weights),
                         fib: Arc::new(fib),
                         failed: Arc::new(mask),
+                        strategy: self.strategy,
+                        seed: self.seed,
                     },
                     stats,
                 ))
@@ -475,23 +541,44 @@ impl Splicing {
                 let mut weights: Vec<Vec<f64>> = self.weights.to_vec();
                 weights[*slice][edge.index()] = *new_weight;
                 let mut fib = self.fib.clone_prefix(self.k);
-                stats.absorb(spf_repair_arena_reweight(
-                    g,
-                    &weights[*slice],
-                    &mut fib,
-                    *slice,
-                    &self.failed,
-                    *edge,
-                    old_weight,
-                    &mut ws,
-                    telemetry,
-                ));
+                let strategy = self.strategy.instance();
+                with_spf_workspace(|ws| {
+                    if strategy.supports_delta_repair() {
+                        stats.absorb(spf_repair_arena_reweight(
+                            g,
+                            &weights[*slice],
+                            &mut fib,
+                            *slice,
+                            &self.failed,
+                            *edge,
+                            old_weight,
+                            ws,
+                            telemetry,
+                        ));
+                    } else {
+                        // Only the reweighted slice can have changed;
+                        // rebuild it over the unchanged failure mask.
+                        strategy.fill_slice(
+                            g,
+                            *slice,
+                            self.seed,
+                            &weights[*slice],
+                            &self.failed,
+                            ws,
+                            &mut fib,
+                            telemetry,
+                        );
+                        stats.absorb(rebuild_stats(g));
+                    }
+                });
                 Ok((
                     Splicing {
                         k: self.k,
                         weights: weights.into(),
                         fib: Arc::new(fib),
                         failed: Arc::clone(&self.failed),
+                        strategy: self.strategy,
+                        seed: self.seed,
                     },
                     stats,
                 ))
@@ -535,6 +622,16 @@ impl Splicing {
     /// linearly in k".
     pub fn state_bytes(&self) -> usize {
         self.k * self.fib.plane_bytes()
+    }
+
+    /// Logical control-plane state in bytes: what the construction
+    /// actually has to disseminate, as accounted by the strategy. For
+    /// perturbed-SPF this equals [`Splicing::state_bytes`] (a dense
+    /// next-hop matrix per slice); tree splicers carry one parent pair
+    /// per node per slice, so this is the O(k·n) number the
+    /// state-vs-diversity tradeoff study compares against.
+    pub fn logical_state_bytes(&self) -> usize {
+        self.k * self.strategy.instance().slice_state_bytes(self.fib.n())
     }
 
     /// Installed FIB entries across this deployment's `k` slices (the
@@ -682,6 +779,18 @@ impl Splicing {
             .iter()
             .map(|s| s.len())
             .sum()
+    }
+}
+
+/// The [`RepairStats`] a masked full rebuild of one plane reports: every
+/// column rewritten, nothing provably skippable, and the frontier counted
+/// once per plane (one global pass recomputes the whole plane, unlike the
+/// delta engine's per-column frontiers).
+fn rebuild_stats(g: &Graph) -> RepairStats {
+    RepairStats {
+        patched_columns: g.node_count(),
+        skipped_columns: 0,
+        frontier_nodes: g.node_count(),
     }
 }
 
@@ -912,19 +1021,20 @@ mod tests {
     /// masked Dijkstra on `sp`'s own weight vectors — the repair ≡ rebuild
     /// oracle.
     fn assert_matches_masked_rebuild(g: &Graph, sp: &Splicing, mask: &EdgeMask) {
-        let mut ws = SpfWorkspace::new();
-        for slice in 0..sp.k() {
-            for t in g.nodes() {
-                ws.run(g, t, sp.weights(slice), Some(mask));
-                for u in g.nodes() {
-                    assert_eq!(
-                        sp.next_hop(slice, u, t),
-                        ws.parents()[u.index()],
-                        "slice {slice} {u:?}->{t:?}"
-                    );
+        with_spf_workspace(|ws| {
+            for slice in 0..sp.k() {
+                for t in g.nodes() {
+                    ws.run(g, t, sp.weights(slice), Some(mask));
+                    for u in g.nodes() {
+                        assert_eq!(
+                            sp.next_hop(slice, u, t),
+                            ws.parents()[u.index()],
+                            "slice {slice} {u:?}->{t:?}"
+                        );
+                    }
                 }
             }
-        }
+        });
     }
 
     #[test]

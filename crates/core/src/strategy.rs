@@ -1,0 +1,621 @@
+//! Slice-construction strategies: how a slice's forwarding columns are
+//! produced (§3.1, generalized).
+//!
+//! The paper builds every slice the same way — perturb link weights, run
+//! shortest-path-first. [`SliceStrategy`] extracts that choice behind a
+//! trait so a deployment can instead splice *random spanning trees*
+//! ("Expanders via Random Spanning Trees" shows a few uniform trees of a
+//! well-connected graph already union into an expander, i.e. carry the
+//! path diversity splicing needs at O(n) control state per tree) or
+//! *arc-disjoint failover DAGs* (the static-failover line of work:
+//! later slices avoid the out-arcs earlier slices committed to, so a
+//! slice switch after a failure lands on a genuinely different arc).
+//!
+//! The contract every strategy honors:
+//!
+//! * **Determinism.** A slice's columns are a pure function of
+//!   `(graph, weights, mask, seed, slice index)`. Rebuilding a plane with
+//!   the same inputs reproduces it bit-for-bit — the property
+//!   [`Splicing::repair`](crate::slices::Splicing::repair) leans on when
+//!   a strategy cannot delta-patch and must rebuild instead.
+//! * **k-independence.** Slice `i` never reads `k`, so a
+//!   [`prefix`](crate::slices::Splicing::prefix) view equals a smaller
+//!   build — the incremental-k methodology survives the trait.
+//! * **Loop-freedom.** Within one slice, following next hops toward a
+//!   destination never cycles (trees and SPF DAGs are loop-free by
+//!   construction; the arc-disjoint rounds are each a shortest-path tree
+//!   of a restricted subgraph).
+
+use crate::perturb::Perturbation;
+use crate::slices::SplicingConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splice_graph::dijkstra::SpfWorkspace;
+use splice_graph::{
+    arc_diverse_parents, low_stretch_forest, random_spanning_forest, EdgeMask, Graph,
+};
+use splice_routing::arena::SpliceFib;
+use splice_routing::spf::{spf_fill_arena, spf_refill_arena, FlightEvent, SpfTelemetry};
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// The seed of slice `slice`'s private RNG stream: the build seed xored
+/// with a golden-ratio multiple of the slice index. This is byte-for-byte
+/// the stream the pre-trait builder fed each perturbation, so
+/// perturbed-SPF slices stay bit-identical across the refactor, and tree
+/// strategies inherit the same slice-independence property (slice i's
+/// randomness does not depend on k).
+#[inline]
+pub fn slice_seed(seed: u64, slice: usize) -> u64 {
+    seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(slice as u64 + 1))
+}
+
+thread_local! {
+    static SPF_WORKSPACE: RefCell<SpfWorkspace> = RefCell::new(SpfWorkspace::new());
+}
+
+/// Run `f` with this thread's shared [`SpfWorkspace`], so builds, repairs
+/// and test oracles on the same thread reuse one set of Dijkstra scratch
+/// buffers instead of reallocating per call.
+///
+/// Not reentrant: `f` must not call `with_spf_workspace` again (the
+/// nested borrow would panic). Strategy hooks receive the workspace as an
+/// argument precisely so they never need to.
+pub fn with_spf_workspace<T>(f: impl FnOnce(&mut SpfWorkspace) -> T) -> T {
+    SPF_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+/// Which slice-construction strategy a config uses — a closed enum (like
+/// [`PerturbationKind`](crate::slices::PerturbationKind)) so configs stay
+/// `Copy`-cheap, comparable, and trivially serializable in run manifests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// The paper's construction: per-slice perturbed weights, full SPF.
+    PerturbedSpf,
+    /// One uniform random spanning tree per slice (Wilson's algorithm).
+    RandomSpanningTree,
+    /// One low-stretch tree proxy per slice (SPT from a random center).
+    LowStretchTree,
+    /// Arc-disjoint failover: slice `i` is the `i`-th greedy Dijkstra
+    /// round that forbids out-arcs used by rounds `0..i`.
+    ArcDisjointFailover,
+}
+
+impl StrategyKind {
+    /// Every strategy, in sweep order.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::PerturbedSpf,
+        StrategyKind::RandomSpanningTree,
+        StrategyKind::LowStretchTree,
+        StrategyKind::ArcDisjointFailover,
+    ];
+
+    /// Canonical token: the CLI `--strategy` value, the testkit scenario
+    /// segment, and the `strategy` telemetry label.
+    pub fn name(self) -> &'static str {
+        self.instance().name()
+    }
+
+    /// Parse a CLI / scenario token. Accepts the canonical names plus a
+    /// few self-explanatory aliases; returns `None` for anything else so
+    /// callers can produce their own error message.
+    pub fn parse(token: &str) -> Option<StrategyKind> {
+        match token {
+            "perturbed-spf" | "spf" | "perturbed" => Some(StrategyKind::PerturbedSpf),
+            "tree" | "rst" | "spanning-tree" => Some(StrategyKind::RandomSpanningTree),
+            "lst" | "low-stretch" => Some(StrategyKind::LowStretchTree),
+            "arc" | "arc-disjoint" => Some(StrategyKind::ArcDisjointFailover),
+            _ => None,
+        }
+    }
+
+    /// The strategy implementation behind this kind. Strategies are
+    /// stateless, so one static instance serves every deployment.
+    pub fn instance(self) -> &'static dyn SliceStrategy {
+        match self {
+            StrategyKind::PerturbedSpf => &PerturbedSpf,
+            StrategyKind::RandomSpanningTree => &RandomSpanningTree,
+            StrategyKind::LowStretchTree => &LowStretchTree,
+            StrategyKind::ArcDisjointFailover => &ArcDisjointFailover,
+        }
+    }
+}
+
+/// How one slice of a splicing is constructed.
+///
+/// [`Splicing::build`](crate::slices::Splicing::build) drives the two
+/// construction hooks per slice — [`slice_weights`] then [`fill_slice`] —
+/// and [`Splicing::repair`](crate::slices::Splicing::repair) consults the
+/// capability hooks to pick delta-patching or masked rebuild.
+///
+/// [`slice_weights`]: SliceStrategy::slice_weights
+/// [`fill_slice`]: SliceStrategy::fill_slice
+pub trait SliceStrategy: Send + Sync + std::fmt::Debug {
+    /// Canonical strategy name (see [`StrategyKind::name`]).
+    fn name(&self) -> &'static str;
+
+    /// The weight vector recorded for slice `slice`. For SPF strategies
+    /// this is the routing input; tree strategies route on structure, not
+    /// weights, and return the base vector so stretch accounting and
+    /// weight validation keep working.
+    fn slice_weights(&self, g: &Graph, cfg: &SplicingConfig, slice: usize, seed: u64) -> Vec<f64>;
+
+    /// (Re)compute every destination column of plane `slice` over the
+    /// `mask`-up subgraph and write it into `fib`. Must be deterministic
+    /// in its arguments and must tolerate a dirty plane (repairs rebuild
+    /// in place over a plane-level copy).
+    #[allow(clippy::too_many_arguments)]
+    fn fill_slice(
+        &self,
+        g: &Graph,
+        slice: usize,
+        seed: u64,
+        weights: &[f64],
+        mask: &EdgeMask,
+        ws: &mut SpfWorkspace,
+        fib: &mut SpliceFib,
+        telemetry: Option<&SpfTelemetry>,
+    );
+
+    /// Whether repairs may delta-patch this strategy's planes with the
+    /// incremental-SPF engine. Strategies that answer `false` get a
+    /// masked full rebuild of each plane instead — slower, but exactly
+    /// equivalent by the determinism contract.
+    fn supports_delta_repair(&self) -> bool {
+        false
+    }
+
+    /// Logical per-slice control state in bytes on an `n`-node graph —
+    /// what a compressed control plane would have to carry, as opposed to
+    /// the arena's physical (always dense) footprint. A full next-hop
+    /// matrix costs `2·n²·4` bytes; a shared tree costs one `(parent,
+    /// edge)` pair per node.
+    fn slice_state_bytes(&self, n: usize) -> usize;
+}
+
+/// Record one per-slice fill into the build-time histogram plus the
+/// flight recorder, tagged with the strategy that did the filling.
+fn record_fill(telemetry: Option<&SpfTelemetry>, name: &'static str, slice: usize, t0: Instant) {
+    if let Some(tel) = telemetry {
+        tel.spf_seconds.record_duration(t0.elapsed());
+        if let Some(flight) = &tel.flight {
+            flight.record(FlightEvent::new("fill", name).field("slice", slice as u64));
+        }
+    }
+}
+
+/// The paper's construction (§3.1): slice 0 keeps the base weights (when
+/// configured), slices 1..k perturb them, and every slice runs full SPF.
+/// The all-links-up path is literally the pre-trait
+/// [`spf_fill_arena`] call with the unchanged RNG stream, so fig. 3
+/// artifacts stay byte-identical across the refactor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerturbedSpf;
+
+impl SliceStrategy for PerturbedSpf {
+    fn name(&self) -> &'static str {
+        "perturbed-spf"
+    }
+
+    fn slice_weights(&self, g: &Graph, cfg: &SplicingConfig, slice: usize, seed: u64) -> Vec<f64> {
+        if slice == 0 && cfg.include_base_slice {
+            g.base_weights()
+        } else {
+            // Distinct, independent stream per slice.
+            let mut rng = StdRng::seed_from_u64(slice_seed(seed, slice));
+            cfg.perturbation.perturb(g, &mut rng)
+        }
+    }
+
+    fn fill_slice(
+        &self,
+        g: &Graph,
+        slice: usize,
+        _seed: u64,
+        weights: &[f64],
+        mask: &EdgeMask,
+        ws: &mut SpfWorkspace,
+        fib: &mut SpliceFib,
+        telemetry: Option<&SpfTelemetry>,
+    ) {
+        if mask.failed_count() == 0 {
+            spf_fill_arena(g, weights, fib, slice, ws, telemetry);
+        } else {
+            spf_refill_arena(g, weights, fib, slice, mask, ws, telemetry);
+        }
+    }
+
+    fn supports_delta_repair(&self) -> bool {
+        true
+    }
+
+    fn slice_state_bytes(&self, n: usize) -> usize {
+        2 * n * n * 4
+    }
+}
+
+/// Orient `forest` toward every destination and install the parent arrays
+/// as plane `slice` — the shared tree *is* the slice, every destination
+/// column is just a re-rooting of it.
+fn fill_from_forest(
+    g: &Graph,
+    forest: &splice_graph::SpanningForest,
+    fib: &mut SpliceFib,
+    slice: usize,
+) {
+    for t in g.nodes() {
+        fib.patch_column(slice, t, &forest.parents_toward(t));
+    }
+}
+
+/// One uniform random spanning tree per slice, sampled with Wilson's
+/// loop-erased random walk from the slice's private RNG stream.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomSpanningTree;
+
+impl SliceStrategy for RandomSpanningTree {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn slice_weights(
+        &self,
+        g: &Graph,
+        _cfg: &SplicingConfig,
+        _slice: usize,
+        _seed: u64,
+    ) -> Vec<f64> {
+        g.base_weights()
+    }
+
+    fn fill_slice(
+        &self,
+        g: &Graph,
+        slice: usize,
+        seed: u64,
+        _weights: &[f64],
+        mask: &EdgeMask,
+        _ws: &mut SpfWorkspace,
+        fib: &mut SpliceFib,
+        telemetry: Option<&SpfTelemetry>,
+    ) {
+        let t0 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(slice_seed(seed, slice));
+        let forest = random_spanning_forest(g, mask, &mut rng);
+        fill_from_forest(g, &forest, fib, slice);
+        record_fill(telemetry, self.name(), slice, t0);
+    }
+
+    fn slice_state_bytes(&self, n: usize) -> usize {
+        // One (parent node, out edge) pair per node.
+        n * 8
+    }
+}
+
+/// One low-stretch tree proxy per slice: the shortest-path tree from a
+/// random center, under the slice's weights.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LowStretchTree;
+
+impl SliceStrategy for LowStretchTree {
+    fn name(&self) -> &'static str {
+        "lst"
+    }
+
+    fn slice_weights(
+        &self,
+        g: &Graph,
+        _cfg: &SplicingConfig,
+        _slice: usize,
+        _seed: u64,
+    ) -> Vec<f64> {
+        g.base_weights()
+    }
+
+    fn fill_slice(
+        &self,
+        g: &Graph,
+        slice: usize,
+        seed: u64,
+        weights: &[f64],
+        mask: &EdgeMask,
+        _ws: &mut SpfWorkspace,
+        fib: &mut SpliceFib,
+        telemetry: Option<&SpfTelemetry>,
+    ) {
+        let t0 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(slice_seed(seed, slice));
+        let forest = low_stretch_forest(g, weights, mask, &mut rng);
+        fill_from_forest(g, &forest, fib, slice);
+        record_fill(telemetry, self.name(), slice, t0);
+    }
+
+    fn slice_state_bytes(&self, n: usize) -> usize {
+        n * 8
+    }
+}
+
+/// Arc-disjoint failover: slice `i`'s column toward each destination is
+/// the `i`-th greedy Dijkstra round where out-arcs spent by rounds
+/// `0..i` carry a path-dominating penalty, so a slice switch after a
+/// failure tries a different link at every router that has one to spare
+/// — while every slice still delivers (a router with exhausted arcs
+/// falls back to a spent one rather than going unrouted). Slice 0 is
+/// exactly the shortest-path tree.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ArcDisjointFailover;
+
+impl SliceStrategy for ArcDisjointFailover {
+    fn name(&self) -> &'static str {
+        "arc"
+    }
+
+    fn slice_weights(
+        &self,
+        g: &Graph,
+        _cfg: &SplicingConfig,
+        _slice: usize,
+        _seed: u64,
+    ) -> Vec<f64> {
+        g.base_weights()
+    }
+
+    fn fill_slice(
+        &self,
+        g: &Graph,
+        slice: usize,
+        _seed: u64,
+        weights: &[f64],
+        mask: &EdgeMask,
+        _ws: &mut SpfWorkspace,
+        fib: &mut SpliceFib,
+        telemetry: Option<&SpfTelemetry>,
+    ) {
+        let t0 = Instant::now();
+        // Recomputing rounds 0..slice keeps the fill a pure function of
+        // (slice, inputs) — the k-independence and rebuild-determinism
+        // contracts — at an O(k) factor the small k of splicing absorbs.
+        for t in g.nodes() {
+            let rounds = arc_diverse_parents(g, t, weights, mask, slice + 1);
+            fib.patch_column(slice, t, &rounds[slice]);
+        }
+        record_fill(telemetry, self.name(), slice, t0);
+    }
+
+    fn slice_state_bytes(&self, n: usize) -> usize {
+        2 * n * n * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slices::Splicing;
+    use splice_graph::{EdgeId, NodeId};
+    use splice_topology::abilene::abilene;
+
+    fn cfg_for(kind: StrategyKind, k: usize) -> SplicingConfig {
+        SplicingConfig::degree_based(k, 0.0, 3.0).with_strategy(kind)
+    }
+
+    /// Follow next hops from every router toward every destination: each
+    /// routed walk must reach the destination without revisiting a node.
+    fn assert_loop_free_and_delivering(g: &Graph, sp: &Splicing, require_delivery: bool) {
+        for slice in 0..sp.k() {
+            for t in g.nodes() {
+                for s in g.nodes() {
+                    let mut at = s;
+                    let mut hops = 0;
+                    while at != t {
+                        match sp.next_hop(slice, at, t) {
+                            Some((nh, _)) => at = nh,
+                            None => {
+                                assert!(
+                                    !require_delivery,
+                                    "slice {slice}: {s:?} unrouted toward {t:?}"
+                                );
+                                break;
+                            }
+                        }
+                        hops += 1;
+                        assert!(hops <= g.node_count(), "slice {slice}: loop {s:?}->{t:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_roundtrip_and_reject_garbage() {
+        for kind in StrategyKind::ALL {
+            assert_eq!(StrategyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(StrategyKind::parse("spf"), Some(StrategyKind::PerturbedSpf));
+        assert_eq!(
+            StrategyKind::parse("arc-disjoint"),
+            Some(StrategyKind::ArcDisjointFailover)
+        );
+        assert_eq!(StrategyKind::parse("ospf"), None);
+        assert_eq!(StrategyKind::parse(""), None);
+    }
+
+    #[test]
+    fn every_strategy_builds_loop_free_delivering_slices() {
+        let g = abilene().graph();
+        for kind in StrategyKind::ALL {
+            let sp = Splicing::build(&g, &cfg_for(kind, 3), 7);
+            assert_eq!(sp.strategy(), kind);
+            assert_loop_free_and_delivering(&g, &sp, true);
+        }
+    }
+
+    #[test]
+    fn perturbed_spf_stays_bit_identical_through_the_trait() {
+        // The golden guard: the default config routes exactly as the
+        // pre-trait builder did — slice 0 is the unperturbed SPF tree and
+        // perturbed slices draw from the unchanged per-slice streams.
+        let g = abilene().graph();
+        let cfg = SplicingConfig::degree_based(3, 0.0, 3.0);
+        assert_eq!(cfg.strategy, StrategyKind::PerturbedSpf);
+        let sp = Splicing::build(&g, &cfg, 11);
+        assert_eq!(sp.weights(0), g.base_weights());
+        with_spf_workspace(|ws| {
+            for t in g.nodes() {
+                ws.run(&g, t, &g.base_weights(), None);
+                for u in g.nodes() {
+                    assert_eq!(sp.next_hop(0, u, t), ws.parents()[u.index()]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn tree_slices_are_k_independent() {
+        let g = abilene().graph();
+        for kind in [
+            StrategyKind::RandomSpanningTree,
+            StrategyKind::LowStretchTree,
+            StrategyKind::ArcDisjointFailover,
+        ] {
+            let s2 = Splicing::build(&g, &cfg_for(kind, 2), 42);
+            let s4 = Splicing::build(&g, &cfg_for(kind, 4), 42);
+            for slice in 0..2 {
+                for u in g.nodes() {
+                    for t in g.nodes() {
+                        assert_eq!(
+                            s2.next_hop(slice, u, t),
+                            s4.next_hop(slice, u, t),
+                            "{kind:?} slice {slice} depends on k"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_only_repairs_match_from_scratch_masked_build() {
+        let g = abilene().graph();
+        for kind in [
+            StrategyKind::RandomSpanningTree,
+            StrategyKind::LowStretchTree,
+            StrategyKind::ArcDisjointFailover,
+        ] {
+            let sp = Splicing::build(&g, &cfg_for(kind, 3), 9);
+            assert!(!kind.instance().supports_delta_repair());
+            let (repaired, stats) =
+                sp.repair_report(&g, &crate::slices::RepairEvent::LinkFailure(EdgeId(2)));
+            assert_eq!(stats.patched_columns, 3 * g.node_count());
+            // Stacking a second failure equals the one-shot rebuild with
+            // the cumulative mask (determinism contract).
+            let stacked = repaired.repair(&g, &crate::slices::RepairEvent::LinkFailure(EdgeId(5)));
+            let batch = sp.repair(
+                &g,
+                &crate::slices::RepairEvent::LinkSetFailure(vec![EdgeId(2), EdgeId(5)]),
+            );
+            for slice in 0..3 {
+                assert_eq!(
+                    stacked.tables(slice),
+                    batch.tables(slice),
+                    "{kind:?} slice {slice}"
+                );
+            }
+            // No plane routes over a failed link.
+            for slice in 0..3 {
+                for t in g.nodes() {
+                    for u in g.nodes() {
+                        if let Some((_, e)) = stacked.next_hop(slice, u, t) {
+                            assert!(stacked.failed_mask().is_up(e));
+                        }
+                    }
+                }
+            }
+            assert_loop_free_and_delivering(&g, &stacked, false);
+        }
+    }
+
+    #[test]
+    fn arc_disjoint_slices_use_distinct_out_arcs() {
+        // Contract: every slice delivers every pair, and the greedy
+        // penalization yields real out-arc diversity. Full divergence is
+        // impossible on a sparse backbone (a degree-2 router whose spare
+        // neighbor is uphill must reuse, as must the neighbors of a
+        // destination whose incoming arcs slice 0 exhausted), so demand
+        // a healthy floor: 40% of (router, destination) pairs diverge
+        // between slices 0 and 1, and some spread across three arcs.
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &cfg_for(StrategyKind::ArcDisjointFailover, 3), 1);
+        let mut pairs = 0usize;
+        let mut diverge01 = 0usize;
+        let mut triple_diverse = 0usize;
+        for t in g.nodes() {
+            for u in g.nodes() {
+                if u == t {
+                    continue;
+                }
+                let arcs: Vec<EdgeId> = (0..3)
+                    .map(|slice| {
+                        sp.next_hop(slice, u, t)
+                            .unwrap_or_else(|| panic!("slice {slice}: {u:?} unrouted to {t:?}"))
+                            .1
+                    })
+                    .collect();
+                pairs += 1;
+                if arcs[0] != arcs[1] {
+                    diverge01 += 1;
+                }
+                let mut distinct = arcs.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                if distinct.len() == 3 {
+                    triple_diverse += 1;
+                }
+            }
+        }
+        assert!(
+            5 * diverge01 >= 2 * pairs,
+            "slices 0/1 diverge on only {diverge01}/{pairs} pairs"
+        );
+        assert!(
+            triple_diverse > 0,
+            "no router ever used three distinct arcs"
+        );
+    }
+
+    #[test]
+    fn logical_state_is_linear_for_trees_quadratic_for_matrices() {
+        let g = abilene().graph();
+        let n = g.node_count();
+        let spf = Splicing::build(&g, &cfg_for(StrategyKind::PerturbedSpf, 3), 5);
+        let tree = Splicing::build(&g, &cfg_for(StrategyKind::RandomSpanningTree, 3), 5);
+        assert_eq!(spf.logical_state_bytes(), 3 * 2 * n * n * 4);
+        assert_eq!(spf.logical_state_bytes(), spf.state_bytes());
+        assert_eq!(tree.logical_state_bytes(), 3 * n * 8);
+        assert!(tree.logical_state_bytes() < tree.state_bytes());
+        // Physical arena cost is strategy-independent (dense planes).
+        assert_eq!(tree.state_bytes(), spf.state_bytes());
+    }
+
+    #[test]
+    fn tree_strategies_vary_across_slices_and_seeds() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &cfg_for(StrategyKind::RandomSpanningTree, 4), 3);
+        let other = Splicing::build(&g, &cfg_for(StrategyKind::RandomSpanningTree, 4), 4);
+        let column = |sp: &Splicing, slice: usize| -> Vec<Option<NodeId>> {
+            g.nodes()
+                .map(|u| sp.next_hop(slice, u, NodeId(0)).map(|(nh, _)| nh))
+                .collect()
+        };
+        let distinct_slices = (0..4)
+            .map(|s| column(&sp, s))
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct_slices > 1, "4 tree slices should not coincide");
+        assert_ne!(column(&sp, 0), column(&other, 0), "seed must matter");
+        // Same seed, same deployment: deterministic.
+        let again = Splicing::build(&g, &cfg_for(StrategyKind::RandomSpanningTree, 4), 3);
+        for s in 0..4 {
+            assert_eq!(column(&sp, s), column(&again, s));
+        }
+    }
+}

@@ -73,6 +73,13 @@ impl StretchStats {
 /// pair `(s, t)`, the latency of the slice path divided by the latency of
 /// the base shortest path. Returns one vector of samples per slice.
 ///
+/// The slice path is read from the installed FIB column, not recomputed
+/// from slice weights — strategies whose slices are not shortest-path
+/// trees (spanning-tree and low-stretch splicers report base weights as
+/// their slice weights) would otherwise all read as stretch 1.0. For
+/// perturbed-SPF the FIB is built from the same Dijkstra run, so the
+/// samples are identical either way. Unrouted pairs contribute no sample.
+///
 /// This is the §4.3 "in any particular slice, 99% of all paths in each
 /// tree have stretch of less than 2.6" experiment.
 pub fn per_slice_stretch(splicing: &Splicing, g: &Graph, latencies: &[f64]) -> Vec<Vec<f64>> {
@@ -86,18 +93,36 @@ pub fn per_slice_stretch(splicing: &Splicing, g: &Graph, latencies: &[f64]) -> V
             .map(|s| base.path_from(s).map_or(f64::NAN, |p| p.length(latencies)))
             .collect();
         for si in 0..splicing.k() {
-            let spt = dijkstra(g, t, splicing.weights(si));
             for s in g.nodes() {
                 if s == t {
                     continue;
                 }
-                let (Some(p), bl) = (spt.path_from(s), base_latency[s.index()]) else {
-                    continue;
-                };
+                let bl = base_latency[s.index()];
                 if bl.is_nan() || bl <= 0.0 {
                     continue;
                 }
-                per_slice[si].push(p.length(latencies) / bl);
+                // Walk the slice's FIB column hop by hop; slices are
+                // loop-free, so the n-hop cap only guards corrupt state.
+                let mut len = 0.0;
+                let mut u = s;
+                let mut hops = 0usize;
+                let delivered = loop {
+                    if u == t {
+                        break true;
+                    }
+                    let Some((v, e)) = splicing.next_hop(si, u, t) else {
+                        break false;
+                    };
+                    len += latencies[e.index()];
+                    u = v;
+                    hops += 1;
+                    if hops > n {
+                        break false;
+                    }
+                };
+                if delivered {
+                    per_slice[si].push(len / bl);
+                }
             }
         }
     }

@@ -21,6 +21,10 @@
 //!   edge-disjoint paths (used by the Theorem A.1 scaling experiments).
 //! * [`unionfind`] — disjoint sets, used for fast connectivity under bulk
 //!   edge failures.
+//! * [`spanning`] — uniform random spanning trees (Wilson's walk) and a
+//!   low-stretch SPT proxy, the substrate of the tree-based splicers.
+//! * [`failover`] — greedy per-destination arc-disjoint routes, the
+//!   static-failover baseline strategy.
 //!
 //! ## Design notes
 //!
@@ -33,12 +37,14 @@
 
 pub mod bellman_ford;
 pub mod dijkstra;
+pub mod failover;
 pub mod graph;
 pub mod ids;
 pub mod mask;
 pub mod maxflow;
 pub mod mincut;
 pub mod paths;
+pub mod spanning;
 pub mod spt;
 pub mod traversal;
 pub mod unionfind;
@@ -46,8 +52,10 @@ pub mod yen;
 
 pub use crate::graph::{Edge, Graph, GraphBuilder};
 pub use dijkstra::{dijkstra, dijkstra_masked, validate_weights, SpfWorkspace, WeightError};
+pub use failover::{arc_disjoint_parents, arc_diverse_parents};
 pub use ids::{EdgeId, NodeId};
 pub use mask::EdgeMask;
 pub use paths::Path;
+pub use spanning::{low_stretch_forest, random_spanning_forest, SpanningForest};
 pub use spt::Spt;
 pub use unionfind::UnionFind;

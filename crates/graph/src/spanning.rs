@@ -1,0 +1,356 @@
+//! Random spanning trees and low-stretch trees for tree-based splicers.
+//!
+//! "Expanders via Random Spanning Trees" shows that the union of a few
+//! *uniform* random spanning trees of a well-connected graph is itself an
+//! expander: a handful of trees already carries the edge-disjoint path
+//! diversity splicing needs, at O(n) routing state per tree instead of a
+//! full shortest-path DAG. The uniform tree is sampled with Wilson's
+//! loop-erased random walk, which is exact (unlike random-weight Kruskal)
+//! and runs in expected time proportional to the mean hitting time.
+//!
+//! A [`SpanningForest`] is unrooted: slices orient it per destination by
+//! walking the tree from the destination outward ([`parents_toward`]),
+//! which is exactly the parent array an SPF run would produce if the tree
+//! were the whole topology.
+//!
+//! [`parents_toward`]: SpanningForest::parents_toward
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+use crate::mask::EdgeMask;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// An unrooted forest over a graph's nodes: one chosen edge set plus the
+/// tree-restricted adjacency needed to orient it toward any destination.
+///
+/// On a connected (sub)graph this is a spanning tree; under failures each
+/// connected component gets its own tree, hence "forest".
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanningForest {
+    edges: Vec<EdgeId>,
+    /// adjacency\[u\] = (neighbor, edge) pairs over tree edges only.
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl SpanningForest {
+    /// Build a forest from an explicit tree-edge set.
+    ///
+    /// The edges are trusted to be acyclic; orientation queries would
+    /// still terminate on a cyclic set but the result would not be a
+    /// routing tree, so generators keep this crate-internal discipline.
+    pub fn from_edges(g: &Graph, mut edges: Vec<EdgeId>) -> SpanningForest {
+        edges.sort_unstable();
+        edges.dedup();
+        let mut adjacency = vec![Vec::new(); g.node_count()];
+        for &e in &edges {
+            let edge = g.edge(e);
+            adjacency[edge.u.index()].push((edge.v, e));
+            adjacency[edge.v.index()].push((edge.u, e));
+        }
+        SpanningForest { edges, adjacency }
+    }
+
+    /// The chosen tree edges, in increasing id order.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of tree edges (`n - components` on a spanning forest).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `(neighbor, edge)` pairs of `n` restricted to tree edges.
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adjacency[n.index()]
+    }
+
+    /// Parent pointers of every node oriented toward `root`: exactly the
+    /// array an SPF run would produce if the tree were the topology.
+    /// Nodes in other components (and `root` itself) get `None`.
+    pub fn parents_toward(&self, root: NodeId) -> Vec<Option<(NodeId, EdgeId)>> {
+        let n = self.adjacency.len();
+        let mut parent = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[root.index()] = true;
+        let mut queue = VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for &(v, e) in &self.adjacency[u.index()] {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    parent[v.index()] = Some((u, e));
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+}
+
+/// Sample a uniform random spanning forest of the `mask`-up subgraph with
+/// Wilson's loop-erased random walk.
+///
+/// Each connected component is spanned by a tree drawn uniformly from
+/// that component's spanning trees. Deterministic given the RNG stream.
+pub fn random_spanning_forest<R: Rng>(g: &Graph, mask: &EdgeMask, rng: &mut R) -> SpanningForest {
+    let n = g.node_count();
+    let mut in_tree = vec![false; n];
+    // Walk pointers: the last exit taken from each node during the
+    // current walk. Following them after the walk hits the tree yields
+    // the loop-erased path for free.
+    let mut next: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+
+    // Component roots: the lowest-id node of each up-component seeds the
+    // tree so every walk has something to hit.
+    let roots = component_roots(g, mask);
+    for r in roots {
+        in_tree[r.index()] = true;
+    }
+
+    let mut scratch: Vec<(NodeId, EdgeId)> = Vec::new();
+    for start in g.nodes() {
+        if in_tree[start.index()] {
+            continue;
+        }
+        // Random walk from `start` until the tree is hit, remembering
+        // only the last exit per node (implicit loop erasure).
+        let mut u = start;
+        while !in_tree[u.index()] {
+            scratch.clear();
+            scratch.extend(
+                g.neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&(_, e)| mask.is_up(e)),
+            );
+            let &(v, e) = &scratch[rng.gen_range(0..scratch.len())];
+            next[u.index()] = Some((v, e));
+            u = v;
+        }
+        // Commit the loop-erased path.
+        let mut u = start;
+        while !in_tree[u.index()] {
+            let (v, e) = next[u.index()].expect("walk recorded an exit");
+            in_tree[u.index()] = true;
+            edges.push(e);
+            u = v;
+        }
+    }
+    SpanningForest::from_edges(g, edges)
+}
+
+/// A low-stretch tree proxy: the shortest-path tree of the `mask`-up
+/// subgraph rooted at a random node, under the supplied weights.
+///
+/// A true low-stretch spanning tree (Abraham–Bartal–Neiman) is overkill
+/// here; an SPT from a random center already keeps tree-path stretch
+/// small on ISP-scale graphs while being exactly reproducible from the
+/// RNG stream.
+pub fn low_stretch_forest<R: Rng>(
+    g: &Graph,
+    weights: &[f64],
+    mask: &EdgeMask,
+    rng: &mut R,
+) -> SpanningForest {
+    let n = g.node_count();
+    if n == 0 {
+        return SpanningForest::from_edges(g, Vec::new());
+    }
+    let root = NodeId(rng.gen_range(0..n as u32));
+    let mut ws = crate::dijkstra::SpfWorkspace::new();
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    // The SPT from `root` spans root's component; remaining components
+    // get their own SPTs from their lowest-id node, so the forest spans
+    // every up-component like the Wilson sampler does.
+    let mut covered = vec![false; n];
+    let mut pending = vec![root];
+    let mut next_probe = 0u32;
+    while let Some(r) = pending.pop() {
+        if covered[r.index()] {
+            continue;
+        }
+        ws.run(g, r, weights, Some(mask));
+        covered[r.index()] = true;
+        for (i, p) in ws.parents().iter().enumerate() {
+            if let Some((_, e)) = p {
+                covered[i] = true;
+                edges.push(*e);
+            }
+        }
+        while (next_probe as usize) < n && covered[next_probe as usize] {
+            next_probe += 1;
+        }
+        if (next_probe as usize) < n {
+            pending.push(NodeId(next_probe));
+        }
+    }
+    SpanningForest::from_edges(g, edges)
+}
+
+/// Lowest-id node of every connected component of the `mask`-up subgraph.
+fn component_roots(g: &Graph, mask: &EdgeMask) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut roots = Vec::new();
+    let mut queue = VecDeque::new();
+    for s in g.nodes() {
+        if seen[s.index()] {
+            continue;
+        }
+        roots.push(s);
+        seen[s.index()] = true;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &(v, e) in g.neighbors(u) {
+                if mask.is_up(e) && !seen[v.index()] {
+                    seen[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn grid() -> Graph {
+        // 3x3 grid, unit weights.
+        from_edges(
+            9,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (6, 7, 1.0),
+                (7, 8, 1.0),
+                (0, 3, 1.0),
+                (3, 6, 1.0),
+                (1, 4, 1.0),
+                (4, 7, 1.0),
+                (2, 5, 1.0),
+                (5, 8, 1.0),
+            ],
+        )
+    }
+
+    fn assert_spanning(g: &Graph, f: &SpanningForest, components: usize) {
+        assert_eq!(f.edge_count(), g.node_count() - components);
+        // n - c edges + exactly c tree-connected components = acyclic
+        // and spanning. Count components by flooding tree adjacency.
+        let n = g.node_count();
+        let mut seen = vec![false; n];
+        let mut found = 0usize;
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            found += 1;
+            seen[s] = true;
+            let mut stack = vec![NodeId(s as u32)];
+            while let Some(u) = stack.pop() {
+                for &(v, _) in f.neighbors(u) {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        assert_eq!(found, components);
+    }
+
+    #[test]
+    fn wilson_spans_connected_graph() {
+        let g = grid();
+        let mask = EdgeMask::all_up(g.edge_count());
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = random_spanning_forest(&g, &mask, &mut rng);
+        assert_spanning(&g, &f, 1);
+        // Every node other than the root has a parent toward any root.
+        for root in g.nodes() {
+            let parents = f.parents_toward(root);
+            for u in g.nodes() {
+                if u != root {
+                    assert!(
+                        parents[u.index()].is_some(),
+                        "{u:?} unrouted toward {root:?}"
+                    );
+                }
+            }
+            assert!(parents[root.index()].is_none());
+        }
+    }
+
+    #[test]
+    fn wilson_is_deterministic_per_seed_and_varies_across_seeds() {
+        let g = grid();
+        let mask = EdgeMask::all_up(g.edge_count());
+        let sample = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_spanning_forest(&g, &mask, &mut rng)
+        };
+        assert_eq!(sample(3), sample(3));
+        let distinct: HashSet<Vec<EdgeId>> = (0..16).map(|s| sample(s).edges().to_vec()).collect();
+        assert!(distinct.len() > 1, "16 seeds should not all pick one tree");
+    }
+
+    #[test]
+    fn wilson_respects_mask_and_spans_components() {
+        let g = grid();
+        // Cut the grid into left column {0,3,6} and the rest by failing
+        // the three horizontal edges out of the left column.
+        let mut mask = EdgeMask::all_up(g.edge_count());
+        for (i, e) in g.edges().iter().enumerate() {
+            let (a, b) = (e.u.0, e.v.0);
+            let left = |x: u32| x == 0 || x == 3 || x == 6;
+            if left(a) != left(b) {
+                mask.fail(EdgeId(i as u32));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = random_spanning_forest(&g, &mask, &mut rng);
+        for &e in f.edges() {
+            assert!(mask.is_up(e), "tree used a failed edge");
+        }
+        assert_spanning(&g, &f, 2);
+    }
+
+    #[test]
+    fn low_stretch_forest_is_a_shortest_path_tree() {
+        let g = grid();
+        let mask = EdgeMask::all_up(g.edge_count());
+        let w = g.base_weights();
+        let mut rng = StdRng::seed_from_u64(11);
+        let f = low_stretch_forest(&g, &w, &mask, &mut rng);
+        assert_spanning(&g, &f, 1);
+    }
+
+    #[test]
+    fn parents_toward_orients_the_tree() {
+        let g = from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let f = SpanningForest::from_edges(&g, vec![EdgeId(0), EdgeId(1), EdgeId(2)]);
+        let p = f.parents_toward(NodeId(3));
+        assert_eq!(p[0], Some((NodeId(1), EdgeId(0))));
+        assert_eq!(p[2], Some((NodeId(3), EdgeId(2))));
+        assert_eq!(p[3], None);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = from_edges(1, &[]);
+        let mask = EdgeMask::all_up(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = random_spanning_forest(&g, &mask, &mut rng);
+        assert_eq!(f.edge_count(), 0);
+    }
+}

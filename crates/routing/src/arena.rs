@@ -200,6 +200,32 @@ impl SpliceFib {
         }
     }
 
+    /// The mask-aware sibling of [`SpliceFib::fill_slice`]: run the n
+    /// destination-rooted Dijkstras over the `mask`-up subgraph and write
+    /// every column back whole. Unlike `fill_slice` this overwrites stale
+    /// entries (each column lands via [`SpliceFib::patch_column`]), so it
+    /// also serves as the full-rebuild path for strategies without delta
+    /// repair.
+    pub fn fill_slice_masked(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        slice: usize,
+        mask: &EdgeMask,
+        ws: &mut SpfWorkspace,
+    ) {
+        assert_eq!(self.n, g.node_count(), "arena built for a different graph");
+        assert!(
+            slice < self.k,
+            "slice {slice} out of range (k = {})",
+            self.k
+        );
+        for t in g.nodes() {
+            ws.run(g, t, weights, Some(mask));
+            self.patch_column(slice, t, ws.parents());
+        }
+    }
+
     /// A new arena holding copies of the first `k` planes — the starting
     /// point for an incremental repair, which then patches only the
     /// columns an event actually touched. The copy is two `memcpy`s; no
@@ -490,6 +516,20 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fill_slice_masked_matches_rebuild_and_clears_stale_entries() {
+        let g = diamond();
+        let w = g.base_weights();
+        let mut arena = SpliceFib::empty(1, g.node_count());
+        let mut ws = SpfWorkspace::new();
+        // Dirty plane: all-up fill, then refill under a failure.
+        arena.fill_slice(&g, &w, 0, &mut ws);
+        let mut mask = EdgeMask::all_up(g.edge_count());
+        mask.fail(EdgeId(0));
+        arena.fill_slice_masked(&g, &w, 0, &mask, &mut ws);
+        assert_plane_matches_rebuild(&arena, &g, &w, 0, &mask);
     }
 
     #[test]

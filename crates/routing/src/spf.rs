@@ -48,8 +48,19 @@ pub struct SpfTelemetry {
 }
 
 impl SpfTelemetry {
-    /// Register (or re-acquire) the SPF timing histograms in `registry`.
+    /// Register (or re-acquire) the SPF timing histograms in `registry`,
+    /// labeled for the default perturbed-SPF construction.
     pub fn register(registry: &Registry) -> SpfTelemetry {
+        SpfTelemetry::register_for_strategy(registry, "perturbed-spf")
+    }
+
+    /// Register the SPF timing histograms with the state and repair
+    /// series labeled `strategy="<name>"`, so a cross-strategy sweep
+    /// keeps one series per construction instead of aggregating them.
+    /// The per-slice SPF/FIB timings stay unlabeled: they time the same
+    /// Dijkstra substrate whichever strategy drives it.
+    pub fn register_for_strategy(registry: &Registry, strategy: &str) -> SpfTelemetry {
+        let labels: &[(&str, &str)] = &[("strategy", strategy)];
         SpfTelemetry {
             spf_seconds: registry.histogram_seconds(
                 "splice_spf_seconds",
@@ -59,17 +70,20 @@ impl SpfTelemetry {
                 "splice_fib_build_seconds",
                 "Per-slice FIB construction (SPT transpose) wall time",
             ),
-            arena_bytes: registry.histogram(
+            arena_bytes: registry.histogram_with(
                 "splice_fib_arena_bytes",
                 "Flat spliced-FIB arena size in bytes, one observation per splicing build",
+                labels,
             ),
-            spf_repair_seconds: registry.histogram_seconds(
+            spf_repair_seconds: registry.histogram_seconds_with(
                 "splice_spf_repair_seconds",
                 "Per-plane incremental SPF repair wall time",
+                labels,
             ),
-            spf_repair_frontier: registry.histogram(
+            spf_repair_frontier: registry.histogram_with(
                 "splice_spf_repair_frontier",
                 "Re-relaxed nodes per repaired slice plane (repair frontier size)",
+                labels,
             ),
             flight: None,
         }
@@ -143,6 +157,31 @@ pub fn spf_fill_arena(
     tel.spf_seconds.record_duration(t0.elapsed());
     if let Some(flight) = &tel.flight {
         flight.record(FlightEvent::new("spf", "fill_slice").field("slice", slice as u64));
+    }
+}
+
+/// The mask-aware counterpart of [`spf_fill_arena`], used by rebuild-only
+/// strategies: refill plane `slice` from scratch over the `mask`-up
+/// subgraph, overwriting stale entries. One `splice_spf_seconds`
+/// observation covers the pass.
+pub fn spf_refill_arena(
+    g: &Graph,
+    weights: &[f64],
+    fib: &mut SpliceFib,
+    slice: usize,
+    mask: &EdgeMask,
+    ws: &mut SpfWorkspace,
+    telemetry: Option<&SpfTelemetry>,
+) {
+    let Some(tel) = telemetry else {
+        fib.fill_slice_masked(g, weights, slice, mask, ws);
+        return;
+    };
+    let t0 = Instant::now();
+    fib.fill_slice_masked(g, weights, slice, mask, ws);
+    tel.spf_seconds.record_duration(t0.elapsed());
+    if let Some(flight) = &tel.flight {
+        flight.record(FlightEvent::new("spf", "refill_slice").field("slice", slice as u64));
     }
 }
 

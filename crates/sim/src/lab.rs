@@ -28,6 +28,7 @@ use crate::output::{artifact_to_terminal, write_artifact, write_text, Artifact, 
 use crate::reliability::SpliceSemantics;
 use splice_core::perturb::Perturbation;
 use splice_core::slices::{Splicing, SplicingConfig};
+use splice_core::strategy::StrategyKind;
 use splice_graph::Graph;
 use splice_telemetry::{FlightRecorder, JsonArray, JsonObject, Registry, Span};
 use splice_topology::{Topology, TopologyError};
@@ -47,9 +48,10 @@ pub const FLIGHT_CAPACITY: usize = 4096;
 
 /// The flags shared by every experiment:
 /// `[--trials N] [--seed N] [--topology NAME] [--out DIR] [--semantics union|directed]
-/// [--listen ADDR] [--linger-secs N]`.
+/// [--strategy NAME] [--listen ADDR] [--linger-secs N]`.
 pub const USAGE_FLAGS: &str = "[--trials N] [--seed N] [--topology NAME] [--out DIR] \
-     [--semantics union|directed] [--listen ADDR] [--linger-secs N]";
+     [--semantics union|directed] [--strategy perturbed-spf|tree|lst|arc] \
+     [--listen ADDR] [--linger-secs N]";
 
 /// Why the shared experiment flags failed to parse.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -111,6 +113,9 @@ pub struct LabArgs {
     pub out: PathBuf,
     /// `--semantics` (default `union`): `union` or `directed`.
     pub semantics: String,
+    /// `--strategy` (default perturbed-SPF): the slice-construction
+    /// strategy experiments that honor it build their deployments with.
+    pub strategy: StrategyKind,
     /// `--listen`, if given: serve `/metrics`, `/healthz` and
     /// `/snapshot` on this address for the duration of the run (port
     /// `0` picks an ephemeral port, printed at startup).
@@ -129,6 +134,7 @@ impl Default for LabArgs {
             topology: "sprint".into(),
             out: PathBuf::from("results"),
             semantics: "union".into(),
+            strategy: StrategyKind::PerturbedSpf,
             listen: None,
             linger_secs: 0,
         }
@@ -169,6 +175,14 @@ impl LabArgs {
                     }
                     args.semantics = v;
                 }
+                "--strategy" => {
+                    let v = value()?.clone();
+                    args.strategy = StrategyKind::parse(&v).ok_or_else(|| ArgsError::BadValue {
+                        flag: flag.clone(),
+                        value: v,
+                        reason: "must be perturbed-spf, tree, lst or arc".into(),
+                    })?;
+                }
                 "--listen" => args.listen = Some(value()?.clone()),
                 "--linger-secs" => args.linger_secs = number(value()?)?,
                 "--help" | "-h" => return Err(ArgsError::Help),
@@ -191,6 +205,7 @@ impl LabArgs {
             topology: self.topology.clone(),
             out: self.out.clone(),
             semantics: self.semantics.clone(),
+            strategy: self.strategy,
         }
     }
 }
@@ -209,6 +224,8 @@ pub struct RunConfig {
     /// Spliced-path semantics: "union" (the paper's accounting) or
     /// "directed" (operationally exact forwarding reachability).
     pub semantics: String,
+    /// Slice-construction strategy for experiments that honor it.
+    pub strategy: StrategyKind,
 }
 
 impl RunConfig {
@@ -259,10 +276,11 @@ impl Default for DeploymentCache {
 
 fn config_key(cfg: &SplicingConfig) -> String {
     format!(
-        "k={};{};base={}",
+        "k={};{};base={};strategy={}",
         cfg.k,
         cfg.perturbation.label(),
-        cfg.include_base_slice
+        cfg.include_base_slice,
+        cfg.strategy.name()
     )
 }
 
@@ -348,10 +366,15 @@ impl<'a> RunContext<'a> {
 
     /// The run's full metric bundle, with the flight recorder already
     /// attached: repair triggers and per-plane repairs recorded through
-    /// it land in this context's [`RunContext::flight`].
+    /// it land in this context's [`RunContext::flight`]. Arena-size and
+    /// repair histograms carry the run's strategy as a label, so a
+    /// cross-strategy sweep's metrics stay separable in one registry.
     pub fn experiment_telemetry(&self) -> crate::telemetry::ExperimentTelemetry {
-        crate::telemetry::ExperimentTelemetry::register(&self.registry)
-            .with_flight(self.flight.clone())
+        crate::telemetry::ExperimentTelemetry::register_for_strategy(
+            &self.registry,
+            self.config.strategy.name(),
+        )
+        .with_flight(self.flight.clone())
     }
 
     /// A spliced deployment over `g`, served from the run's
@@ -532,6 +555,7 @@ impl RunManifest {
             .field_u64("trials", self.config.trials as u64)
             .field_u64("seed", self.config.seed)
             .field_str("semantics", &self.config.semantics)
+            .field_str("strategy", self.config.strategy.name())
             .field_raw("phases", &phases.finish())
             .field_f64("total_seconds", self.started.elapsed().as_secs_f64())
             .field_raw(
@@ -710,6 +734,7 @@ pub fn shard_header(experiment: &str, config: &RunConfig) -> String {
         .field_u64("trials", config.trials as u64)
         .field_u64("seed", config.seed)
         .field_str("semantics", &config.semantics)
+        .field_str("strategy", config.strategy.name())
         .finish()
 }
 
@@ -825,6 +850,8 @@ mod tests {
             "o",
             "--semantics",
             "directed",
+            "--strategy",
+            "tree",
             "--listen",
             "127.0.0.1:0",
             "--linger-secs",
@@ -837,8 +864,14 @@ mod tests {
         assert_eq!(a.topology, "abilene");
         assert_eq!(a.out, PathBuf::from("o"));
         assert_eq!(a.configure(1).splice_semantics(), SpliceSemantics::Directed);
+        assert_eq!(a.strategy, StrategyKind::RandomSpanningTree);
+        assert_eq!(a.configure(1).strategy, StrategyKind::RandomSpanningTree);
         assert_eq!(a.listen.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(a.linger_secs, 3);
+        // Aliases parse; the default is the paper's construction.
+        let spf = LabArgs::parse(&argv(&["--strategy", "spf"])).unwrap();
+        assert_eq!(spf.strategy, StrategyKind::PerturbedSpf);
+        assert_eq!(LabArgs::default().strategy, StrategyKind::PerturbedSpf);
     }
 
     #[test]
@@ -853,6 +886,10 @@ mod tests {
         ));
         assert!(matches!(
             LabArgs::parse(&argv(&["--semantics", "both"])),
+            Err(ArgsError::BadValue { .. })
+        ));
+        assert!(matches!(
+            LabArgs::parse(&argv(&["--strategy", "ospf"])),
             Err(ArgsError::BadValue { .. })
         ));
         assert!(matches!(
@@ -882,6 +919,14 @@ mod tests {
         cache.get_or_build("abilene", &g, &degree_cfg(2), 7);
         cache.get_or_build("abilene2", &g, &degree_cfg(3), 7);
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 4 });
+        // A different slice-construction strategy is a distinct key.
+        cache.get_or_build(
+            "abilene",
+            &g,
+            &degree_cfg(3).with_strategy(StrategyKind::RandomSpanningTree),
+            7,
+        );
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 5 });
     }
 
     struct Dummy;

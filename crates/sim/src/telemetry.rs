@@ -61,6 +61,17 @@ impl ExperimentTelemetry {
         }
     }
 
+    /// Like [`ExperimentTelemetry::register`], but the SPF arena-size and
+    /// repair histograms carry `strategy` as a label (see
+    /// [`SpfTelemetry::register_for_strategy`]), so one registry can hold
+    /// several strategies' control-plane metrics side by side.
+    pub fn register_for_strategy(registry: &Registry, strategy: &str) -> ExperimentTelemetry {
+        ExperimentTelemetry {
+            spf: SpfTelemetry::register_for_strategy(registry, strategy),
+            trials: TrialTelemetry::register(registry),
+        }
+    }
+
     /// Enable the trial heartbeat (see [`TrialTelemetry::with_heartbeat`]).
     pub fn with_heartbeat(mut self, every: u64) -> ExperimentTelemetry {
         self.trials = self.trials.with_heartbeat(every);

@@ -95,9 +95,43 @@ impl Registry {
         self.histogram_scaled(name, help, 1e-9)
     }
 
+    /// A labeled `*_seconds` duration histogram, e.g.
+    /// `histogram_seconds_with("splice_spf_repair_seconds", "...", &[("strategy", "tree")])`.
+    pub fn histogram_seconds_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        self.histogram_scaled_with(name, help, 1e-9, labels)
+    }
+
+    /// A labeled histogram of raw values (exposition scale 1).
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        self.histogram_scaled_with(name, help, 1.0, labels)
+    }
+
     /// A histogram with an explicit exposition scale.
     pub fn histogram_scaled(&self, name: &str, help: &str, scale: f64) -> Arc<Histogram> {
-        match self.get_or_insert(name, help, &[], || {
+        self.histogram_scaled_with(name, help, scale, &[])
+    }
+
+    /// A labeled histogram with an explicit exposition scale. Like
+    /// counters, every distinct label set is its own series under one
+    /// family name.
+    pub fn histogram_scaled_with(
+        &self,
+        name: &str,
+        help: &str,
+        scale: f64,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, labels, || {
             Handle::Histogram(Arc::new(Histogram::with_scale(scale)))
         }) {
             Handle::Histogram(h) => h,
@@ -175,16 +209,25 @@ impl Registry {
                     }
                 }
             }
-            // Histograms are unlabeled (one member per family); emit the
-            // quantile companion right after its parent family.
-            if let Handle::Histogram(h) = &members[0].handle {
+            // Emit the quantile companion right after its parent family,
+            // one gauge triple per member so labeled histogram variants
+            // (e.g. per-strategy repair timings) keep distinct quantiles.
+            if matches!(members[0].handle, Handle::Histogram(_)) {
                 out.push_str(&format!(
                     "# HELP {family}_quantile Estimated quantiles of {family} (log2-bucket interpolation)\n"
                 ));
                 out.push_str(&format!("# TYPE {family}_quantile gauge\n"));
-                let (p50, p90, p99) = h.quantiles();
-                for (q, v) in [("0.5", p50), ("0.9", p90), ("0.99", p99)] {
-                    out.push_str(&format!("{family}_quantile{{quantile=\"{q}\"}} {v}\n"));
+                for m in &members {
+                    let Handle::Histogram(h) = &m.handle else {
+                        continue;
+                    };
+                    let (p50, p90, p99) = h.quantiles();
+                    for (q, v) in [("0.5", p50), ("0.9", p90), ("0.99", p99)] {
+                        out.push_str(&format!(
+                            "{family}_quantile{} {v}\n",
+                            quantile_label_text(&m.labels, q)
+                        ));
+                    }
                 }
             }
         }
@@ -258,6 +301,18 @@ fn label_eq(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
 /// bogus sample line).
 fn escape_help(help: &str) -> String {
     help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Render a Prometheus label set with a trailing `quantile` pair — the
+/// companion-gauge analogue of [`label_text`], so labeled histogram
+/// families keep their identifying labels on the quantile series.
+fn quantile_label_text(labels: &[(String, String)], q: &str) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    parts.push(format!("quantile=\"{q}\""));
+    format!("{{{}}}", parts.join(","))
 }
 
 /// Render a Prometheus label set, optionally with a trailing `le`.
@@ -434,6 +489,39 @@ mod tests {
         let text = reg.render_prometheus();
         assert_promtool_valid(&text);
         assert!(text.contains("empty_seconds_quantile{quantile=\"0.99\"} 0"));
+    }
+
+    #[test]
+    fn labeled_histograms_export_per_member_quantiles() {
+        let reg = Registry::new();
+        let spf = reg.histogram_with(
+            "splice_fib_arena_bytes",
+            "Arena footprint",
+            &[("strategy", "perturbed-spf")],
+        );
+        let tree = reg.histogram_with(
+            "splice_fib_arena_bytes",
+            "Arena footprint",
+            &[("strategy", "tree")],
+        );
+        spf.record(4096);
+        tree.record(128);
+        let text = reg.render_prometheus();
+        assert_promtool_valid(&text);
+        // Each family member gets its own quantile gauges, identifying
+        // labels first and the quantile pair last.
+        assert!(text.contains(
+            "splice_fib_arena_bytes_quantile{strategy=\"perturbed-spf\",quantile=\"0.99\"}"
+        ));
+        assert!(
+            text.contains("splice_fib_arena_bytes_quantile{strategy=\"tree\",quantile=\"0.5\"}")
+        );
+        // The TYPE header appears once per family, not per member.
+        let headers = text
+            .lines()
+            .filter(|l| *l == "# TYPE splice_fib_arena_bytes_quantile gauge")
+            .count();
+        assert_eq!(headers, 1);
     }
 
     #[test]

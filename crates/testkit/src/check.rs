@@ -7,16 +7,22 @@
 //! build and after every event compares the full forwarding state
 //! against from-scratch oracles:
 //!
-//! 1. every (slice, router, dst) next hop vs. a fresh masked Dijkstra;
-//! 2. every (slice, dst, node) distance vs. Bellman–Ford;
+//! 1. every (slice, router, dst) next hop vs. a from-scratch oracle — a
+//!    fresh masked Dijkstra for perturbed-SPF scenarios, or the
+//!    strategy's own deterministic masked reconstruction for rebuild-only
+//!    strategies (trees, arc-disjoint);
+//! 2. every (slice, dst, node) distance vs. Bellman–Ford (SPF family
+//!    only — tree slices do not route on shortest paths);
 //! 3. sampled data-plane walks (`Forwarder::forward`) vs. an independent
 //!    naive walker over the oracle tables;
 //! 4. invariants: the shadow failure mask and weight vectors match the
-//!    deployment's, repair stats stay within arena bounds, NoRevisit
-//!    headers never produce a persistent loop, BoundedSwitches walks
-//!    never exceed their switch cap, and (until a slice is reweighted)
-//!    per-slice distances respect the perturbation's stretch bound
-//!    (Theorem A.1's `2Dk`, or `1 + b` for degree-based `Weight(0, b)`).
+//!    deployment's, repair stats stay within arena bounds, no installed
+//!    next hop rides a failed link, every slice is loop-free toward every
+//!    destination, NoRevisit headers never produce a persistent loop,
+//!    BoundedSwitches walks never exceed their switch cap, and (until a
+//!    slice is reweighted; SPF family only) per-slice distances respect
+//!    the perturbation's stretch bound (Theorem A.1's `2Dk`, or `1 + b`
+//!    for degree-based `Weight(0, b)`).
 //!
 //! [`EventSpec::Recover`] has no incremental production path (real
 //! control planes re-converge on link-up), so it replays as a fresh
@@ -31,6 +37,7 @@ use splice_core::forwarding::{Forwarder, ForwarderOptions, ForwardingOutcome};
 use splice_core::perturb::TheoremA1;
 use splice_core::recovery::HeaderStrategy;
 use splice_core::slices::{PerturbationKind, RepairEvent, Splicing, SplicingConfig};
+use splice_core::strategy::{with_spf_workspace, StrategyKind};
 use splice_graph::bellman_ford::bellman_ford_masked;
 use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
 use splice_routing::spf::{FlightEvent, FlightRecorder};
@@ -255,8 +262,10 @@ fn replay_inner(sc: &Scenario, opts: &ReplayOptions) -> Result<ReplayReport, Box
             k: sc.k,
             perturbation: PerturbationKind::TheoremA1(TheoremA1::new(THEOREM_A1_D, sc.k)),
             include_base_slice: true,
+            strategy: StrategyKind::PerturbedSpf,
         },
-    };
+    }
+    .with_strategy(sc.strategy);
     let base = Splicing::build(&g, &cfg, sc.build_seed);
     let mut sp = base.clone();
 
@@ -459,6 +468,40 @@ fn apply_repair(
     }
 }
 
+/// Oracle tables for rebuild-only strategies: re-run the strategy's
+/// deterministic construction from scratch over the cumulative mask. The
+/// production arena — whatever stack of incremental repairs produced it —
+/// must hold exactly these columns. Shortest-path distances are not
+/// defined for tree-shaped slices, so `dist` stays empty; the SPF-family
+/// checks that read it are gated off for these strategies.
+fn strategy_oracle(
+    g: &Graph,
+    kind: StrategyKind,
+    seed: u64,
+    weights: &[&[f64]],
+    mask: &EdgeMask,
+) -> OracleTables {
+    let k = weights.len();
+    let strategy = kind.instance();
+    let mut fib = splice_routing::arena::SpliceFib::empty(k, g.node_count());
+    with_spf_workspace(|ws| {
+        for (slice, w) in weights.iter().enumerate() {
+            strategy.fill_slice(g, slice, seed, w, mask, ws, &mut fib, None);
+        }
+    });
+    let next = (0..k)
+        .map(|slice| {
+            g.nodes()
+                .map(|t| g.nodes().map(|u| fib.lookup(slice, u, t)).collect())
+                .collect()
+        })
+        .collect();
+    OracleTables {
+        next,
+        dist: vec![Vec::new(); k],
+    }
+}
+
 /// Compare one deployment against every oracle and invariant.
 #[allow(clippy::too_many_arguments)]
 fn check_deployment(
@@ -498,26 +541,39 @@ fn check_deployment(
         }
     }
 
-    // Oracle 1 + 2: from-scratch masked Dijkstra per (slice, dst), with
-    // Bellman–Ford pinning the distances themselves.
+    // Oracle 1 + 2: from-scratch reconstruction per (slice, dst). For
+    // perturbed-SPF the oracle is a fresh masked Dijkstra with
+    // Bellman–Ford pinning the distances themselves; for rebuild-only
+    // strategies the oracle re-runs the strategy's own deterministic
+    // construction on the cumulative mask — any stacked incremental
+    // repair must land on exactly that state. Distance cross-checks only
+    // apply to the SPF family (tree strategies do not route on shortest
+    // paths).
+    let spf_family = sc.strategy == StrategyKind::PerturbedSpf;
     let weights: Vec<&[f64]> = (0..k).map(|s| sp.weights(s)).collect();
-    let oracle = OracleTables::build(g, &weights, shadow_mask);
+    let oracle = if spf_family {
+        OracleTables::build(g, &weights, shadow_mask)
+    } else {
+        strategy_oracle(g, sc.strategy, sc.build_seed, &weights, shadow_mask)
+    };
     for slice in 0..k {
         for t in g.nodes() {
-            let bf = bellman_ford_masked(g, t, weights[slice], Some(shadow_mask));
-            let dist = &oracle.dist[slice][t.index()];
+            let bf =
+                spf_family.then(|| bellman_ford_masked(g, t, weights[slice], Some(shadow_mask)));
             for u in g.nodes() {
-                let (du, bu) = (dist[u.index()], bf[u.index()]);
-                report.distance_checks += 1;
-                if !((du.is_infinite() && bu.is_infinite()) || (du - bu).abs() < 1e-9) {
-                    return fail(Divergence::Distance {
-                        step,
-                        slice,
-                        dst: t.0,
-                        node: u.0,
-                        dijkstra: du,
-                        bellman_ford: bu,
-                    });
+                if let Some(bf) = &bf {
+                    let (du, bu) = (oracle.dist[slice][t.index()][u.index()], bf[u.index()]);
+                    report.distance_checks += 1;
+                    if !((du.is_infinite() && bu.is_infinite()) || (du - bu).abs() < 1e-9) {
+                        return fail(Divergence::Distance {
+                            step,
+                            slice,
+                            dst: t.0,
+                            node: u.0,
+                            dijkstra: du,
+                            bellman_ford: bu,
+                        });
+                    }
                 }
                 let got = sp.next_hop(slice, u, t);
                 let want = oracle.next_hop(slice, u, t);
@@ -537,14 +593,54 @@ fn check_deployment(
         }
     }
 
-    // Stretch bound: until a slice's weights are changed by a reweight
-    // event, its masked distances stay within the perturbation factor of
-    // the masked base (slice 0) distances.
+    // Strategy-agnostic structural invariants: no installed next hop
+    // rides a failed link, and following one slice's columns toward a
+    // destination never cycles (every construction promises loop-free
+    // slices).
+    for slice in 0..k {
+        for t in g.nodes() {
+            for u in g.nodes() {
+                if let Some((_, e)) = sp.next_hop(slice, u, t) {
+                    if !shadow_mask.is_up(e) {
+                        return fail(Divergence::Invariant {
+                            step,
+                            name: "failed-link-next-hop".into(),
+                            detail: format!(
+                                "slice {slice}: router {} -> dst {} uses failed edge {}",
+                                u.0, t.0, e.0
+                            ),
+                        });
+                    }
+                }
+                let mut at = u;
+                let mut hops = 0;
+                while at != t {
+                    let Some((nh, _)) = sp.next_hop(slice, at, t) else {
+                        break;
+                    };
+                    at = nh;
+                    hops += 1;
+                    if hops > g.node_count() {
+                        return fail(Divergence::Invariant {
+                            step,
+                            name: "slice-loop-freedom".into(),
+                            detail: format!("slice {slice}: walk {} -> dst {} cycles", u.0, t.0),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Stretch bound (SPF family only: tree slices trade stretch away by
+    // design): until a slice's weights are changed by a reweight event,
+    // its masked distances stay within the perturbation factor of the
+    // masked base (slice 0) distances.
     let factor = match sc.perturbation {
         PerturbationSpec::DegreeBased => 1.0 + 3.0,
         PerturbationSpec::TheoremA1 => 2.0 * THEOREM_A1_D * k as f64,
     };
-    if !reweighted_slices.contains(&0) {
+    if spf_family && !reweighted_slices.contains(&0) {
         for slice in 1..k {
             if reweighted_slices.contains(&slice) {
                 continue;

@@ -9,11 +9,16 @@
 //! failure anywhere prints one token that reproduces it exactly:
 //!
 //! ```text
-//! splice testkit replay rand-8-12-99/k3d/s7/f4+g2.7+n1+w2.5.1500+r4
+//! splice testkit replay rand-8-12-99/k3d/tree/s7/f4+g2.7+n1+w2.5.1500+r4
 //! ```
+//!
+//! The third segment names the slice-construction strategy
+//! ([`StrategyKind::parse`] tokens); legacy four-segment specs without it
+//! parse as perturbed-SPF, so pre-strategy repro tokens keep replaying.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use splice_core::strategy::StrategyKind;
 use splice_graph::Graph;
 
 /// Split-mix the trial index into an independent seed stream (same
@@ -204,6 +209,8 @@ pub struct Scenario {
     pub k: usize,
     /// Slice-construction family.
     pub perturbation: PerturbationSpec,
+    /// Slice-construction strategy (perturbed-SPF, trees, arc-disjoint).
+    pub strategy: StrategyKind,
     /// Seed for `Splicing::build`.
     pub build_seed: u64,
     /// The ordered event schedule.
@@ -211,8 +218,9 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// The canonical one-token spec: `<topo>/k<k><p>/s<seed>/<events>`,
-    /// events `+`-joined (empty segment for none).
+    /// The canonical one-token spec:
+    /// `<topo>/k<k><p>/<strategy>/s<seed>/<events>`, events `+`-joined
+    /// (empty segment for none).
     pub fn spec(&self) -> String {
         let p = match self.perturbation {
             PerturbationSpec::DegreeBased => 'd',
@@ -220,23 +228,34 @@ impl Scenario {
         };
         let events: Vec<String> = self.events.iter().map(EventSpec::spec).collect();
         format!(
-            "{}/k{}{}/s{}/{}",
+            "{}/k{}{}/{}/s{}/{}",
             self.topology.spec(),
             self.k,
             p,
+            self.strategy.name(),
             self.build_seed,
             events.join("+")
         )
     }
 
-    /// Parse a spec produced by [`Scenario::spec`].
+    /// Parse a spec produced by [`Scenario::spec`]. The strategy segment
+    /// is optional on input (legacy four-segment specs replay as
+    /// perturbed-SPF) but always present in emitted specs.
     pub fn from_spec(spec: &str) -> Result<Scenario, String> {
         let parts: Vec<&str> = spec.split('/').collect();
-        if parts.len() != 4 {
-            return Err(format!(
-                "bad scenario spec {spec:?}; want <topo>/k<k><p>/s<seed>/<events>"
-            ));
-        }
+        let (strategy, seed_seg, events_seg) = match parts.len() {
+            4 => (StrategyKind::PerturbedSpf, parts[2], parts[3]),
+            5 => {
+                let strategy = StrategyKind::parse(parts[2])
+                    .ok_or_else(|| format!("bad strategy token {:?} in {spec:?}", parts[2]))?;
+                (strategy, parts[3], parts[4])
+            }
+            _ => {
+                return Err(format!(
+                    "bad scenario spec {spec:?}; want <topo>/k<k><p>/<strategy>/s<seed>/<events>"
+                ));
+            }
+        };
         let topology = TopologySpec::from_spec(parts[0])?;
         let kseg = parts[1]
             .strip_prefix('k')
@@ -253,14 +272,14 @@ impl Scenario {
         if k == 0 {
             return Err(format!("slice count must be >= 1 in {spec:?}"));
         }
-        let build_seed: u64 = parts[2]
+        let build_seed: u64 = seed_seg
             .strip_prefix('s')
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| format!("bad seed segment {:?} in {spec:?}", parts[2]))?;
-        let events = if parts[3].is_empty() {
+            .ok_or_else(|| format!("bad seed segment {seed_seg:?} in {spec:?}"))?;
+        let events = if events_seg.is_empty() {
             Vec::new()
         } else {
-            parts[3]
+            events_seg
                 .split('+')
                 .map(EventSpec::from_spec)
                 .collect::<Result<Vec<_>, _>>()?
@@ -269,6 +288,7 @@ impl Scenario {
             topology,
             k,
             perturbation,
+            strategy,
             build_seed,
             events,
         })
@@ -299,6 +319,14 @@ impl Scenario {
             PerturbationSpec::TheoremA1
         } else {
             PerturbationSpec::DegreeBased
+        };
+        // Mostly the paper's perturbed-SPF (it exercises the delta-repair
+        // engine); the rebuild-only constructions each keep a lane.
+        let strategy = match rng.gen_range(0..8u32) {
+            0 => StrategyKind::RandomSpanningTree,
+            1 => StrategyKind::LowStretchTree,
+            2 => StrategyKind::ArcDisjointFailover,
+            _ => StrategyKind::PerturbedSpf,
         };
         let n_events = rng.gen_range(0..=6usize);
         let mut events = Vec::with_capacity(n_events);
@@ -340,6 +368,7 @@ impl Scenario {
             topology,
             k,
             perturbation,
+            strategy,
             build_seed: rng.gen(),
             events,
         }
@@ -365,6 +394,7 @@ mod tests {
             },
             k: 3,
             perturbation: PerturbationSpec::DegreeBased,
+            strategy: StrategyKind::PerturbedSpf,
             build_seed: 7,
             events: vec![
                 EventSpec::FailLink(4),
@@ -378,18 +408,48 @@ mod tests {
                 EventSpec::Recover(4),
             ],
         };
-        assert_eq!(sc.spec(), "rand-8-12-99/k3d/s7/f4+g2.7+n1+w2.5.1500+r4");
+        assert_eq!(
+            sc.spec(),
+            "rand-8-12-99/k3d/perturbed-spf/s7/f4+g2.7+n1+w2.5.1500+r4"
+        );
         assert_eq!(Scenario::from_spec(&sc.spec()).unwrap(), sc);
+
+        let tree = Scenario {
+            strategy: StrategyKind::RandomSpanningTree,
+            ..sc.clone()
+        };
+        assert_eq!(
+            tree.spec(),
+            "rand-8-12-99/k3d/tree/s7/f4+g2.7+n1+w2.5.1500+r4"
+        );
+        assert_eq!(Scenario::from_spec(&tree.spec()).unwrap(), tree);
 
         let named = Scenario {
             topology: TopologySpec::Named("abilene".into()),
             k: 5,
             perturbation: PerturbationSpec::TheoremA1,
+            strategy: StrategyKind::ArcDisjointFailover,
             build_seed: 123,
             events: vec![],
         };
-        assert_eq!(named.spec(), "abilene/k5a/s123/");
+        assert_eq!(named.spec(), "abilene/k5a/arc/s123/");
         assert_eq!(Scenario::from_spec(&named.spec()).unwrap(), named);
+    }
+
+    #[test]
+    fn legacy_specs_without_strategy_parse_as_perturbed_spf() {
+        let sc = Scenario::from_spec("rand-8-12-99/k3d/s7/f4+n1").unwrap();
+        assert_eq!(sc.strategy, StrategyKind::PerturbedSpf);
+        assert_eq!(sc.k, 3);
+        assert_eq!(sc.build_seed, 7);
+        assert_eq!(sc.events.len(), 2);
+        // Re-emitting upgrades to the five-segment form.
+        assert_eq!(sc.spec(), "rand-8-12-99/k3d/perturbed-spf/s7/f4+n1");
+        // Aliases parse to the same strategy as the canonical token.
+        assert_eq!(
+            Scenario::from_spec("abilene/k2d/spf/s1/").unwrap().strategy,
+            StrategyKind::PerturbedSpf
+        );
     }
 
     #[test]
@@ -409,6 +469,9 @@ mod tests {
             "abilene/k3d/s7/w1.2.0",
             "abilene/k3d/s7/g",
             "rand-3-4/k1d/s0/",
+            "abilene/k3d/bogus/s7/",
+            "abilene/k3d/tree/7/",
+            "abilene/k3d/tree/s7/f1/extra",
         ] {
             let parsed = Scenario::from_spec(bad).and_then(|sc| sc.topology.graph());
             assert!(parsed.is_err(), "accepted {bad:?}");

@@ -152,6 +152,7 @@ where
 mod tests {
     use super::*;
     use crate::scenario::{EventSpec, PerturbationSpec};
+    use splice_core::strategy::StrategyKind;
 
     fn scenario(nodes: u32, extra: u32, k: usize, events: Vec<EventSpec>) -> Scenario {
         Scenario {
@@ -162,6 +163,7 @@ mod tests {
             },
             k,
             perturbation: PerturbationSpec::DegreeBased,
+            strategy: StrategyKind::PerturbedSpf,
             build_seed: 1,
             events,
         }

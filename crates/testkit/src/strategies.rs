@@ -18,6 +18,8 @@ use proptest::prelude::*;
 use splice_graph::graph::from_edges;
 use splice_graph::{EdgeId, EdgeMask, Graph};
 
+use splice_core::strategy::StrategyKind;
+
 use crate::scenario::{EventSpec, PerturbationSpec, Scenario, TopologySpec};
 
 /// A random multigraph with 2..=12 nodes and 1..=30 weighted edges
@@ -85,15 +87,23 @@ pub fn arb_backbone_scenario() -> impl Strategy<Value = (Graph, EdgeMask, u64)> 
 }
 
 /// A full replayable [`Scenario`]: random topology spec, slice count,
-/// perturbation family, and event schedule (ids guaranteed in range).
+/// perturbation family, slice-construction strategy (biased toward
+/// perturbed-SPF, the paper's default), and event schedule (ids
+/// guaranteed in range).
 pub fn arb_scenario() -> impl Strategy<Value = Scenario> {
     let topo = prop_oneof![
         8 => (3u32..=10, 0u32..=14, any::<u64>())
             .prop_map(|(nodes, extra, seed)| TopologySpec::Random { nodes, extra, seed }),
         1 => Just(TopologySpec::Named("abilene".into())),
     ];
-    (topo, 1usize..=5, any::<bool>(), any::<u64>()).prop_flat_map(
-        |(topology, k, thm_a1, build_seed)| {
+    let strategy = prop_oneof![
+        5 => Just(StrategyKind::PerturbedSpf),
+        1 => Just(StrategyKind::RandomSpanningTree),
+        1 => Just(StrategyKind::LowStretchTree),
+        1 => Just(StrategyKind::ArcDisjointFailover),
+    ];
+    (topo, 1usize..=5, any::<bool>(), strategy, any::<u64>()).prop_flat_map(
+        |(topology, k, thm_a1, strategy, build_seed)| {
             let g = topology
                 .graph()
                 .expect("strategy topologies always materialize");
@@ -118,6 +128,7 @@ pub fn arb_scenario() -> impl Strategy<Value = Scenario> {
                 } else {
                     PerturbationSpec::DegreeBased
                 },
+                strategy,
                 build_seed,
                 events,
             })

@@ -3,6 +3,7 @@
 //! scenario, and the printed spec reproduces the failure.
 
 use proptest::prelude::*;
+use splice_core::strategy::StrategyKind;
 use splice_testkit::strategies::arb_scenario;
 use splice_testkit::{
     derive_seed, flight_tail, replay, shrink, Divergence, EventSpec, PerturbationSpec,
@@ -72,6 +73,7 @@ fn sabotaged_repair_is_caught_shrunk_and_replayable() {
                 topology: topology.clone(),
                 k: 3,
                 perturbation: PerturbationSpec::DegreeBased,
+                strategy: StrategyKind::PerturbedSpf,
                 build_seed: seed,
                 events: vec![EventSpec::FailLink(edge)],
             };
@@ -146,6 +148,7 @@ fn replay_reports_cover_all_oracles() {
         },
         k: 2,
         perturbation: PerturbationSpec::DegreeBased,
+        strategy: StrategyKind::PerturbedSpf,
         build_seed: 11,
         events: vec![EventSpec::FailLink(0), EventSpec::Recover(0)],
     };
