@@ -2,14 +2,18 @@
 //!
 //! `BENCH_fib.json` and `BENCH_spf_repair.json` used to exist only as a
 //! side effect of running the criterion suites; this binary produces both
-//! on demand — plus the per-strategy `BENCH_strategy.json` summary — by
-//! default into the repository root, where CI and the §4.2 state-size
-//! discussion pick them up — without pulling in criterion at all. The
-//! documents carry a `schema_version` field (see
+//! on demand — plus the per-strategy `BENCH_strategy.json` summary and
+//! the batched-repair `BENCH_churn.json` sweep — by default into the
+//! repository root, where CI and the §4.2 state-size discussion pick
+//! them up — without pulling in criterion at all. The documents carry a
+//! `schema_version` field (see
 //! [`splice_bench::fib_report::SCHEMA_VERSION`],
-//! [`splice_bench::repair_report::SCHEMA_VERSION`] and
-//! [`splice_bench::strategy_report::SCHEMA_VERSION`]); consumers should
-//! check it before parsing.
+//! [`splice_bench::repair_report::SCHEMA_VERSION`],
+//! [`splice_bench::strategy_report::SCHEMA_VERSION`] and
+//! [`splice_bench::churn_report::SCHEMA_VERSION`]); consumers should
+//! check it before parsing. Before writing, the repair and churn
+//! summaries are sanity-checked: every quantile must sit at or below its
+//! tracked max, so a committed BENCH file can never report p99 > max.
 //!
 //! ```text
 //! cargo run -p splice-bench --bin bench_report -- [--topology NAME] [--seed N] [--out DIR]
@@ -26,6 +30,12 @@ const REPAIR_KS: &[usize] = &[1, 5, 10];
 /// k = 5 is the paper's headline operating point.
 const STRATEGY_K: usize = 5;
 const STRATEGY_TRIALS: usize = 100;
+
+/// Churn sweep: the paper's k = 5 operating point, a schedule long
+/// enough for steady-state throughput, and the batch sizes CI compares.
+const CHURN_K: usize = 5;
+const CHURN_SCHEDULE_LEN: usize = 400;
+const CHURN_BATCH_SIZES: &[usize] = &[1, 2, 4, 8, 16];
 
 fn main() {
     let mut topology = String::from("sprint");
@@ -76,13 +86,67 @@ fn main() {
     println!("wrote {}", fib_path.display());
 
     let repair_path = out.join("BENCH_spf_repair.json");
-    if let Err(e) =
-        splice_bench::repair_report::write_repair_report(&repair_path, &topology, REPAIR_KS, seed)
-    {
+    let repair_entries = splice_bench::repair_report::measure(&topology, REPAIR_KS, seed)
+        .unwrap_or_else(|e| {
+            eprintln!("measuring spf repair: {e}");
+            std::process::exit(1);
+        });
+    for e in &repair_entries {
+        // A committed summary must never claim a tail above its own max.
+        assert!(
+            e.repair_seconds_p50 <= e.repair_seconds_p99
+                && e.repair_seconds_p99 <= e.repair_seconds_max,
+            "repair quantiles out of order at k={}: p50={} p99={} max={}",
+            e.k,
+            e.repair_seconds_p50,
+            e.repair_seconds_p99,
+            e.repair_seconds_max
+        );
+    }
+    let mut repair_json = splice_bench::repair_report::render(&topology, seed, &repair_entries);
+    repair_json.push('\n');
+    if let Err(e) = std::fs::write(&repair_path, repair_json) {
         eprintln!("writing {}: {e}", repair_path.display());
         std::process::exit(1);
     }
     println!("wrote {}", repair_path.display());
+
+    let churn_path = out.join("BENCH_churn.json");
+    let churn_entries = splice_bench::churn_report::measure(
+        &topology,
+        CHURN_K,
+        CHURN_SCHEDULE_LEN,
+        CHURN_BATCH_SIZES,
+        seed,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("measuring churn: {e}");
+        std::process::exit(1);
+    });
+    for e in &churn_entries {
+        assert!(
+            e.repair_seconds_p50 <= e.repair_seconds_p99
+                && e.repair_seconds_p99 <= e.repair_seconds_max,
+            "churn quantiles out of order at batch={}: p50={} p99={} max={}",
+            e.batch_size,
+            e.repair_seconds_p50,
+            e.repair_seconds_p99,
+            e.repair_seconds_max
+        );
+    }
+    let mut churn_json = splice_bench::churn_report::render(
+        &topology,
+        CHURN_K,
+        CHURN_SCHEDULE_LEN,
+        seed,
+        &churn_entries,
+    );
+    churn_json.push('\n');
+    if let Err(e) = std::fs::write(&churn_path, churn_json) {
+        eprintln!("writing {}: {e}", churn_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", churn_path.display());
 
     let strategy_path = out.join("BENCH_strategy.json");
     if let Err(e) = splice_bench::strategy_report::write_strategy_report(

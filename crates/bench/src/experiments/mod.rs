@@ -11,6 +11,7 @@ use splice_sim::lab::ExperimentRegistry;
 
 pub mod bgp_splicing;
 pub mod capacity_multipath;
+pub mod churn;
 pub mod convergence_window;
 pub mod coverage_ablation;
 pub mod ecmp_baseline;
@@ -64,6 +65,7 @@ pub fn registry() -> ExperimentRegistry {
     reg.register(Box::new(node_failures::NodeFailures));
     reg.register(Box::new(srlg_failures::SrlgFailures));
     reg.register(Box::new(convergence_window::ConvergenceWindow));
+    reg.register(Box::new(churn::Churn));
     reg.register(Box::new(routing_dynamics::RoutingDynamics));
     reg.register(Box::new(ecmp_baseline::EcmpBaseline));
     reg.register(Box::new(explicit_paths_baseline::ExplicitPathsBaseline));
@@ -77,7 +79,8 @@ mod tests {
     #[test]
     fn registry_holds_all_experiments_with_unique_names() {
         let reg = registry();
-        assert_eq!(reg.len(), 26);
+        assert_eq!(reg.len(), 27);
+        assert!(reg.find("churn").is_some());
         // Uniqueness is enforced by `register` (it panics on duplicates);
         // here we spot-check lookups by both canonical name and alias.
         assert!(reg.find("fig3_reliability").is_some());

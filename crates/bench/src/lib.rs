@@ -25,6 +25,7 @@
 //! | ablations | `loopfree_ablation`, `perturbation_ablation`, `header_encoding_ablation` |
 //! | failure-model extensions | `node_failures`, `srlg_failures` |
 //! | baselines | `ecmp_baseline`, `explicit_paths_baseline` |
+//! | batched-repair throughput | `churn` |
 //!
 //! Every experiment accepts the shared flags `--trials N`, `--seed N`,
 //! `--topology NAME` (built-ins or generator specs like `rand-24-40-7`),
@@ -36,6 +37,7 @@
 //! `splice-lab run-all` journals per-experiment JSONL shards under
 //! `DIR/shards/` so `splice-lab resume` can skip completed work.
 
+pub mod churn_report;
 pub mod experiments;
 pub mod fib_report;
 pub mod repair_report;

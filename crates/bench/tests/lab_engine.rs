@@ -25,6 +25,7 @@ fn lab_args(trials: usize, seed: u64, out: &PathBuf) -> LabArgs {
         strategy: splice_core::strategy::StrategyKind::PerturbedSpf,
         listen: None,
         linger_secs: 0,
+        batch_size: None,
     }
 }
 

@@ -81,6 +81,9 @@ observe flags:
   --duration-secs N                 how long to churn (default 30; 0 = forever)
   --interval-ms N                   pause between churn rounds (default 200)
   --walks N                         spliced packets injected per round (default 4)
+  --batch-size N                    distinct link failures coalesced into one
+                                    repair_batch call per round (default 1 =
+                                    the single-event repair path)
 
 telemetry flags (recover, reliability):
   --metrics PATH                    write a Prometheus metric snapshot
@@ -564,6 +567,10 @@ fn cmd_observe(flags: &Flags) -> Result<(), String> {
     let duration_secs: u64 = flags.get_parsed("duration-secs", 30)?;
     let interval_ms: u64 = flags.get_parsed("interval-ms", 200)?;
     let walks: usize = flags.get_parsed("walks", 4)?;
+    let batch_size: usize = flags.get_parsed("batch-size", 1)?;
+    if batch_size == 0 {
+        return Err("--batch-size must be at least 1".into());
+    }
 
     let registry = Registry::new();
     let flight = FlightRecorder::new(1024);
@@ -617,14 +624,34 @@ fn cmd_observe(flags: &Flags) -> Result<(), String> {
     while duration_secs == 0 || started.elapsed().as_secs() < duration_secs {
         {
             let _round = round_span.enter();
-            let edge = EdgeId(rng.gen_range(0..m));
-            let event = RepairEvent::LinkFailure(edge);
-            let repaired = splicing
-                .try_repair_with_telemetry(&g, &event, Some(&telemetry.spf))
-                .map_err(|e| format!("repair failed: {e}"))?
-                .0;
+            // Draw `batch_size` distinct links; at 1 this is the classic
+            // single-event repair path, above it the round exercises the
+            // coalesced repair_batch path instead.
+            let mut edges: Vec<EdgeId> = Vec::with_capacity(batch_size.min(m as usize));
+            while edges.len() < batch_size.min(m as usize) {
+                let e = EdgeId(rng.gen_range(0..m));
+                if !edges.contains(&e) {
+                    edges.push(e);
+                }
+            }
+            let repaired = if batch_size <= 1 {
+                let event = RepairEvent::LinkFailure(edges[0]);
+                splicing
+                    .try_repair_with_telemetry(&g, &event, Some(&telemetry.spf))
+                    .map_err(|e| format!("repair failed: {e}"))?
+                    .0
+            } else {
+                let events: Vec<RepairEvent> =
+                    edges.iter().map(|&e| RepairEvent::LinkFailure(e)).collect();
+                splicing
+                    .try_repair_batch_with_telemetry(&g, &events, Some(&telemetry.spf))
+                    .map_err(|e| format!("batched repair failed: {e}"))?
+                    .0
+            };
             debug_assert_eq!(repaired.k(), splicing.k());
-            net.fail_link(edge);
+            for &edge in &edges {
+                net.fail_link(edge);
+            }
             for _ in 0..walks {
                 let (src, dst) = (rng.gen_range(0..n), rng.gen_range(0..n));
                 if src == dst {
@@ -638,7 +665,9 @@ fn cmd_observe(flags: &Flags) -> Result<(), String> {
                     Bytes::from_static(b"observe"),
                 ));
             }
-            net.restore_link(edge);
+            for &edge in &edges {
+                net.restore_link(edge);
+            }
         }
         rounds += 1;
         std::thread::sleep(std::time::Duration::from_millis(interval_ms));

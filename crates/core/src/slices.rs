@@ -8,14 +8,15 @@
 //! slices 1..k are independently perturbed.
 
 use crate::perturb::{DegreeBased, Perturbation, TheoremA1, Uniform};
-use crate::strategy::{with_spf_workspace, StrategyKind};
+use crate::strategy::{with_spf_workspace, SliceStrategy, StrategyKind};
 use rand::rngs::StdRng;
-use splice_graph::dijkstra::{validate_weights, WeightError};
+use splice_graph::dijkstra::{validate_weights, SpfWorkspace, WeightError};
 use splice_graph::traversal::reverse_reachable;
 use splice_graph::{EdgeId, EdgeMask, Graph, NodeId};
-use splice_routing::arena::{RepairStats, SpliceFib};
+use splice_routing::arena::{PlaneMut, RepairStats, SpliceFib};
 use splice_routing::spf::{
-    spf_repair_arena_failures, spf_repair_arena_reweight, FlightEvent, SpfTelemetry,
+    spf_repair_arena_failures, spf_repair_arena_reweight, spf_repair_plane_failures,
+    spf_repair_plane_reweight, FlightEvent, SpfTelemetry,
 };
 use splice_routing::RoutingTables;
 use std::sync::Arc;
@@ -454,9 +455,15 @@ impl Splicing {
             RepairEvent::LinkFailure(_)
             | RepairEvent::LinkSetFailure(_)
             | RepairEvent::NodeFailure(_) => {
+                // The cloned mask doubles as the new-failure dedup set:
+                // an edge is newly failed exactly when it is still up,
+                // and failing it on sight keeps SRLG-sized sets linear
+                // (the old `newly.contains` scan was quadratic).
+                let mut mask = (*self.failed).clone();
                 let mut newly: Vec<EdgeId> = Vec::new();
                 let mut note = |e: EdgeId| {
-                    if self.failed.is_up(e) && !newly.contains(&e) {
+                    if mask.is_up(e) {
+                        mask.fail(e);
                         newly.push(e);
                     }
                 };
@@ -468,47 +475,57 @@ impl Splicing {
                     }
                     RepairEvent::SliceReweight { .. } => unreachable!(),
                 }
-                let mut mask = (*self.failed).clone();
-                for &e in &newly {
-                    mask.fail(e);
+                if newly.is_empty() {
+                    // No new failures (e.g. re-failing an already-failed
+                    // link): nothing in the arena can change, so share
+                    // every Arc instead of deep-copying k·n² entries.
+                    return Ok((
+                        Splicing {
+                            k: self.k,
+                            weights: Arc::clone(&self.weights),
+                            fib: Arc::clone(&self.fib),
+                            failed: Arc::clone(&self.failed),
+                            strategy: self.strategy,
+                            seed: self.seed,
+                        },
+                        stats,
+                    ));
                 }
                 let mut fib = self.fib.clone_prefix(self.k);
-                if !newly.is_empty() {
-                    let strategy = self.strategy.instance();
-                    with_spf_workspace(|ws| {
-                        for slice in 0..self.k {
-                            if strategy.supports_delta_repair() {
-                                stats.absorb(spf_repair_arena_failures(
-                                    g,
-                                    &self.weights[slice],
-                                    &mut fib,
-                                    slice,
-                                    &mask,
-                                    &newly,
-                                    ws,
-                                    telemetry,
-                                ));
-                            } else {
-                                // Masked rebuild: by the determinism
-                                // contract this equals what the strategy
-                                // would have built on the failed topology,
-                                // so stacked repairs compose exactly like
-                                // the delta path's.
-                                strategy.fill_slice(
-                                    g,
-                                    slice,
-                                    self.seed,
-                                    &self.weights[slice],
-                                    &mask,
-                                    ws,
-                                    &mut fib,
-                                    telemetry,
-                                );
-                                stats.absorb(rebuild_stats(g));
-                            }
+                let strategy = self.strategy.instance();
+                with_spf_workspace(|ws| {
+                    for slice in 0..self.k {
+                        if strategy.supports_delta_repair() {
+                            stats.absorb(spf_repair_arena_failures(
+                                g,
+                                &self.weights[slice],
+                                &mut fib,
+                                slice,
+                                &mask,
+                                &newly,
+                                ws,
+                                telemetry,
+                            ));
+                        } else {
+                            // Masked rebuild: by the determinism
+                            // contract this equals what the strategy
+                            // would have built on the failed topology,
+                            // so stacked repairs compose exactly like
+                            // the delta path's.
+                            strategy.fill_slice(
+                                g,
+                                slice,
+                                self.seed,
+                                &self.weights[slice],
+                                &mask,
+                                ws,
+                                &mut fib,
+                                telemetry,
+                            );
+                            stats.absorb(rebuild_stats(g));
                         }
-                    });
-                }
+                    }
+                });
                 Ok((
                     Splicing {
                         k: self.k,
@@ -584,6 +601,253 @@ impl Splicing {
                 ))
             }
         }
+    }
+
+    /// Absorb a whole batch of repair events in one coalesced pass —
+    /// the sustained-churn fast path.
+    ///
+    /// Semantically this is exactly `events.iter().fold(self, repair)`:
+    /// the result is bit-identical to stacking the events one at a time
+    /// (property-tested across every strategy). The difference is cost.
+    /// Folding runs one delta-SPF pass over every slice *per event*;
+    /// the batch path first composes all failures into one mask delta
+    /// and dedups reweights per `(slice, edge)`, then runs one failure
+    /// pass per slice for the whole union plus one short reweight chain
+    /// on just the reweighted slices — and repairs the (disjoint) slice
+    /// planes on parallel workers.
+    ///
+    /// Bit-exactness falls out of the delta-repair invariant: every
+    /// pass leaves a plane equal to a masked rebuild at its current
+    /// (weights, mask), and the deterministic tie-break makes parents a
+    /// pure function of exact distances, so any event order that ends
+    /// at the same final (weights, mask) ends at the same bytes.
+    ///
+    /// An empty or fully-absorbed batch (e.g. re-failing already-failed
+    /// links) returns a deployment sharing this one's arena — no copy.
+    ///
+    /// # Panics
+    /// Panics on an invalid reweight (see
+    /// [`Splicing::try_repair_batch_with_telemetry`] for the typed
+    /// error); the batch is atomic — nothing is applied on error.
+    pub fn repair_batch(&self, g: &Graph, events: &[RepairEvent]) -> Splicing {
+        self.repair_batch_report(g, events).0
+    }
+
+    /// [`Splicing::repair_batch`], also returning the aggregate repair
+    /// stats folded across all slices and workers.
+    pub fn repair_batch_report(
+        &self,
+        g: &Graph,
+        events: &[RepairEvent],
+    ) -> (Splicing, RepairStats) {
+        match self.try_repair_batch_with_telemetry(g, events, None) {
+            Ok(pair) => pair,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Splicing::repair_batch_report`] with optional telemetry and
+    /// reweight validation surfaced as a typed error. On `Err` nothing
+    /// has been applied: the batch validates every reweight up front so
+    /// it is atomic.
+    pub fn try_repair_batch_with_telemetry(
+        &self,
+        g: &Graph,
+        events: &[RepairEvent],
+        telemetry: Option<&SpfTelemetry>,
+    ) -> Result<(Splicing, RepairStats), WeightError> {
+        // Validate the whole batch before touching anything.
+        for event in events {
+            if let RepairEvent::SliceReweight {
+                slice,
+                edge,
+                new_weight,
+            } = event
+            {
+                assert!(
+                    *slice < self.k,
+                    "slice {slice} out of range (k = {})",
+                    self.k
+                );
+                if !(new_weight.is_finite() && *new_weight > 0.0) {
+                    return Err(WeightError::BadWeight {
+                        edge: *edge,
+                        value: *new_weight,
+                    });
+                }
+            }
+        }
+
+        // Coalesce. The cloned mask doubles as the new-failure dedup
+        // set (same trick as the single-event path); reweights keep
+        // first-occurrence order per slice and only their final value —
+        // intermediate values are unobservable in the fold's result.
+        let mut mask = (*self.failed).clone();
+        let mut newly: Vec<EdgeId> = Vec::new();
+        let mut note = |e: EdgeId| {
+            if mask.is_up(e) {
+                mask.fail(e);
+                newly.push(e);
+            }
+        };
+        let mut reweighted: Vec<Vec<EdgeId>> = vec![Vec::new(); self.k];
+        let mut final_weights: Option<Vec<Vec<f64>>> = None;
+        for event in events {
+            match event {
+                RepairEvent::LinkFailure(e) => note(*e),
+                RepairEvent::LinkSetFailure(es) => es.iter().copied().for_each(&mut note),
+                RepairEvent::NodeFailure(n) => g.neighbors(*n).iter().for_each(|&(_, e)| note(e)),
+                RepairEvent::SliceReweight {
+                    slice,
+                    edge,
+                    new_weight,
+                } => {
+                    let w = final_weights.get_or_insert_with(|| self.weights.to_vec());
+                    if !reweighted[*slice].contains(edge) {
+                        reweighted[*slice].push(*edge);
+                    }
+                    w[*slice][edge.index()] = *new_weight;
+                }
+            }
+        }
+
+        if let Some(flight) = telemetry.and_then(|t| t.flight.as_ref()) {
+            flight.record(
+                FlightEvent::new("repair_event", "batch")
+                    .field("events", events.len() as u64)
+                    .field("links", newly.len() as u64),
+            );
+        }
+
+        if newly.is_empty() && final_weights.is_none() {
+            // Nothing survived coalescing: share everything.
+            return Ok((
+                Splicing {
+                    k: self.k,
+                    weights: Arc::clone(&self.weights),
+                    fib: Arc::clone(&self.fib),
+                    failed: Arc::clone(&self.failed),
+                    strategy: self.strategy,
+                    seed: self.seed,
+                },
+                RepairStats::default(),
+            ));
+        }
+
+        // A slice is dirty when any failure touched the topology (every
+        // plane shares the mask) or it was reweighted. Clean planes ride
+        // along untouched from the prefix copy.
+        let dirty: Vec<usize> = (0..self.k)
+            .filter(|&s| !newly.is_empty() || !reweighted[s].is_empty())
+            .collect();
+        let strategy = self.strategy.instance();
+        let seed = self.seed;
+        let base_weights: &[Vec<f64>] = &self.weights;
+        let finals = final_weights.as_ref();
+        let mut fib = self.fib.clone_prefix(self.k);
+        let mut stats = RepairStats::default();
+        {
+            // Per-slice planes are disjoint arena views, so workers can
+            // patch their columns concurrently and the "merge" is just
+            // handing the borrows back — no copying, no reconciliation.
+            let mut planes: Vec<Option<PlaneMut<'_>>> =
+                fib.planes_mut().into_iter().map(Some).collect();
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(dirty.len());
+            if threads <= 1 {
+                with_spf_workspace(|ws| {
+                    for &slice in &dirty {
+                        let plane = planes[slice].as_mut().expect("each plane taken once");
+                        stats.absorb(repair_plane_batched(
+                            g,
+                            slice,
+                            plane,
+                            strategy,
+                            seed,
+                            &base_weights[slice],
+                            finals.map_or(&base_weights[slice], |w| &w[slice]),
+                            &reweighted[slice],
+                            &self.failed,
+                            &mask,
+                            &newly,
+                            ws,
+                            telemetry,
+                        ));
+                    }
+                });
+            } else {
+                // Static round-robin assignment: worker w owns dirty
+                // slices w, w+threads, ... — deterministic, and stats
+                // fold commutatively so join order is immaterial.
+                let mut jobs: Vec<Vec<(usize, PlaneMut<'_>)>> =
+                    (0..threads).map(|_| Vec::new()).collect();
+                for (i, &slice) in dirty.iter().enumerate() {
+                    let plane = planes[slice].take().expect("each plane taken once");
+                    jobs[i % threads].push((slice, plane));
+                }
+                let old_mask: &EdgeMask = &self.failed;
+                let new_mask = &mask;
+                let newly_ref = &newly;
+                let reweighted_ref = &reweighted;
+                let per_worker: Vec<RepairStats> = crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = jobs
+                        .into_iter()
+                        .map(|job| {
+                            scope.spawn(move |_| {
+                                let mut ws = SpfWorkspace::new();
+                                let mut local = RepairStats::default();
+                                for (slice, mut plane) in job {
+                                    local.absorb(repair_plane_batched(
+                                        g,
+                                        slice,
+                                        &mut plane,
+                                        strategy,
+                                        seed,
+                                        &base_weights[slice],
+                                        finals.map_or(&base_weights[slice], |w| &w[slice]),
+                                        &reweighted_ref[slice],
+                                        old_mask,
+                                        new_mask,
+                                        newly_ref,
+                                        &mut ws,
+                                        telemetry,
+                                    ));
+                                }
+                                local
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("repair worker panicked"))
+                        .collect()
+                })
+                .expect("repair worker panicked");
+                for s in per_worker {
+                    stats.absorb(s);
+                }
+            }
+        }
+        Ok((
+            Splicing {
+                k: self.k,
+                weights: match final_weights {
+                    Some(w) => w.into(),
+                    None => Arc::clone(&self.weights),
+                },
+                fib: Arc::new(fib),
+                failed: if newly.is_empty() {
+                    Arc::clone(&self.failed)
+                } else {
+                    Arc::new(mask)
+                },
+                strategy: self.strategy,
+                seed: self.seed,
+            },
+            stats,
+        ))
     }
 
     /// The weight vector of `slice`.
@@ -792,6 +1056,75 @@ fn rebuild_stats(g: &Graph) -> RepairStats {
         skipped_columns: 0,
         frontier_nodes: g.node_count(),
     }
+}
+
+/// Repair one plane against a coalesced batch: chain the slice's deduped
+/// reweights (each pass exact, under the pre-batch mask), then one
+/// failure pass for the whole union under the final mask. Rebuild-only
+/// strategies collapse to a single masked rebuild at the final state.
+///
+/// `final_weights` must already hold every reweight's final value (it
+/// aliases `base_weights` when the slice was not reweighted), and
+/// `new_mask` must equal `old_mask` plus `newly_failed`.
+#[allow(clippy::too_many_arguments)]
+fn repair_plane_batched(
+    g: &Graph,
+    slice: usize,
+    plane: &mut PlaneMut<'_>,
+    strategy: &dyn SliceStrategy,
+    seed: u64,
+    base_weights: &[f64],
+    final_weights: &[f64],
+    reweighted: &[EdgeId],
+    old_mask: &EdgeMask,
+    new_mask: &EdgeMask,
+    newly_failed: &[EdgeId],
+    ws: &mut SpfWorkspace,
+    telemetry: Option<&SpfTelemetry>,
+) -> RepairStats {
+    let mut stats = RepairStats::default();
+    if !strategy.supports_delta_repair() {
+        // One masked rebuild at the batch's final (weights, mask) — by
+        // the determinism contract this equals folding the events.
+        strategy.fill_plane(
+            g,
+            slice,
+            seed,
+            final_weights,
+            new_mask,
+            ws,
+            plane,
+            telemetry,
+        );
+        stats.absorb(rebuild_stats(g));
+        return stats;
+    }
+    if !reweighted.is_empty() {
+        // Walk the cumulative weight vector from pre-batch to final,
+        // one exact delta pass per reweighted edge. The mask stays the
+        // pre-batch one; failures land in a single pass afterwards.
+        let mut cur = base_weights.to_vec();
+        for &edge in reweighted {
+            let old = cur[edge.index()];
+            cur[edge.index()] = final_weights[edge.index()];
+            stats.absorb(spf_repair_plane_reweight(
+                g, &cur, plane, slice, old_mask, edge, old, ws, telemetry,
+            ));
+        }
+    }
+    if !newly_failed.is_empty() {
+        stats.absorb(spf_repair_plane_failures(
+            g,
+            final_weights,
+            plane,
+            slice,
+            new_mask,
+            newly_failed,
+            ws,
+            telemetry,
+        ));
+    }
+    stats
 }
 
 #[cfg(test)]
@@ -1210,5 +1543,173 @@ mod tests {
             .repair(&g, &RepairEvent::LinkFailure(EdgeId(3)));
         assert_eq!(repaired.k(), 2);
         assert_matches_masked_rebuild(&g, &repaired, repaired.failed_mask());
+    }
+
+    #[test]
+    fn noop_repair_shares_the_arena_without_spf_work() {
+        use splice_routing::spf::{Registry, SpfTelemetry};
+
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(3, 0.0, 3.0), 7);
+        let failed = sp.repair(&g, &RepairEvent::LinkFailure(EdgeId(4)));
+        let tel = SpfTelemetry::register(&Registry::new());
+        let (again, stats) = failed
+            .try_repair_with_telemetry(&g, &RepairEvent::LinkFailure(EdgeId(4)), Some(&tel))
+            .unwrap();
+        // Re-failing a failed link is free: no arena copy, no SPF work.
+        assert_eq!(stats, RepairStats::default());
+        assert!(Arc::ptr_eq(again.arena(), failed.arena()));
+        assert_eq!(tel.spf_repair_seconds.count(), 0);
+        assert_eq!(tel.spf_seconds.count(), 0);
+    }
+
+    /// Assert two deployments are bit-identical: same mask, same weight
+    /// bits, same arena bytes on every plane.
+    fn assert_same_deployment(g: &Graph, a: &Splicing, b: &Splicing) {
+        assert_eq!(a.k(), b.k());
+        assert_eq!(
+            a.failed_mask().failed_edges().collect::<Vec<_>>(),
+            b.failed_mask().failed_edges().collect::<Vec<_>>()
+        );
+        for slice in 0..a.k() {
+            let (wa, wb) = (a.weights(slice), b.weights(slice));
+            assert_eq!(wa.len(), wb.len());
+            for (x, y) in wa.iter().zip(wb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "slice {slice} weight bits");
+            }
+            for u in g.nodes() {
+                for t in g.nodes() {
+                    assert_eq!(
+                        a.next_hop(slice, u, t),
+                        b.next_hop(slice, u, t),
+                        "slice {slice} {u:?}->{t:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn mixed_batch(sp: &Splicing) -> Vec<RepairEvent> {
+        vec![
+            RepairEvent::LinkFailure(EdgeId(0)),
+            RepairEvent::SliceReweight {
+                slice: 1,
+                edge: EdgeId(2),
+                new_weight: sp.weights(1)[2] * 4.0,
+            },
+            RepairEvent::LinkSetFailure(vec![EdgeId(5), EdgeId(0)]),
+            RepairEvent::NodeFailure(NodeId(3)),
+            // Reweight the same (slice, edge) twice: only the final
+            // value may matter.
+            RepairEvent::SliceReweight {
+                slice: 1,
+                edge: EdgeId(2),
+                new_weight: sp.weights(1)[2] * 0.5,
+            },
+            RepairEvent::SliceReweight {
+                slice: 2,
+                edge: EdgeId(7),
+                new_weight: sp.weights(2)[7] * 2.5,
+            },
+            RepairEvent::LinkFailure(EdgeId(5)),
+        ]
+    }
+
+    #[test]
+    fn repair_batch_matches_sequential_fold() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(3, 0.0, 3.0), 11);
+        let events = mixed_batch(&sp);
+        let folded = events.iter().fold(sp.clone(), |acc, ev| acc.repair(&g, ev));
+        let (batched, stats) = sp.repair_batch_report(&g, &events);
+        assert!(stats.patched_columns > 0);
+        assert_same_deployment(&g, &batched, &folded);
+        assert_matches_masked_rebuild(&g, &batched, batched.failed_mask());
+        // And batches stack like single events do.
+        let more = batched.repair_batch(&g, &[RepairEvent::LinkFailure(EdgeId(9))]);
+        assert_same_deployment(
+            &g,
+            &more,
+            &folded.repair(&g, &RepairEvent::LinkFailure(EdgeId(9))),
+        );
+    }
+
+    #[test]
+    fn repair_batch_parallel_on_many_slices_matches_rebuild() {
+        // k = 8 so the scoped-thread path actually fans out on multicore
+        // CI; the oracle is a from-scratch masked rebuild per plane.
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(8, 0.0, 3.0), 13);
+        let events = vec![
+            RepairEvent::LinkFailure(EdgeId(1)),
+            RepairEvent::SliceReweight {
+                slice: 6,
+                edge: EdgeId(3),
+                new_weight: sp.weights(6)[3] * 3.0,
+            },
+            RepairEvent::LinkFailure(EdgeId(8)),
+        ];
+        let batched = sp.repair_batch(&g, &events);
+        assert_eq!(batched.failed_mask().failed_count(), 2);
+        assert_matches_masked_rebuild(&g, &batched, batched.failed_mask());
+    }
+
+    #[test]
+    fn empty_and_absorbed_batches_share_state() {
+        let g = abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(2, 0.0, 3.0), 3);
+        let (same, stats) = sp.repair_batch_report(&g, &[]);
+        assert_eq!(stats, RepairStats::default());
+        assert!(Arc::ptr_eq(same.arena(), sp.arena()));
+        // A batch fully absorbed by the current mask is also free.
+        let failed = sp.repair(&g, &RepairEvent::LinkFailure(EdgeId(2)));
+        let (again, stats) = failed.repair_batch_report(
+            &g,
+            &[
+                RepairEvent::LinkFailure(EdgeId(2)),
+                RepairEvent::LinkSetFailure(vec![EdgeId(2)]),
+            ],
+        );
+        assert_eq!(stats, RepairStats::default());
+        assert!(Arc::ptr_eq(again.arena(), failed.arena()));
+    }
+
+    #[test]
+    fn repair_batch_rejects_bad_reweight_atomically() {
+        let g = diamond();
+        let sp = Splicing::build(&g, &SplicingConfig::uniform(2, 1.0), 1);
+        let err = sp
+            .try_repair_batch_with_telemetry(
+                &g,
+                &[
+                    RepairEvent::LinkFailure(EdgeId(0)),
+                    RepairEvent::SliceReweight {
+                        slice: 1,
+                        edge: EdgeId(1),
+                        new_weight: f64::NAN,
+                    },
+                ],
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, WeightError::BadWeight { .. }));
+        // Atomic: the valid failure earlier in the batch was not applied.
+        assert_eq!(sp.failed_mask().failed_count(), 0);
+    }
+
+    #[test]
+    fn repair_batch_matches_fold_for_rebuild_strategies() {
+        let g = abilene().graph();
+        for strategy in [
+            StrategyKind::RandomSpanningTree,
+            StrategyKind::LowStretchTree,
+        ] {
+            let config = SplicingConfig::degree_based(3, 0.0, 3.0).with_strategy(strategy);
+            let sp = Splicing::build(&g, &config, 17);
+            let events = mixed_batch(&sp);
+            let folded = events.iter().fold(sp.clone(), |acc, ev| acc.repair(&g, ev));
+            let batched = sp.repair_batch(&g, &events);
+            assert_same_deployment(&g, &batched, &folded);
+        }
     }
 }

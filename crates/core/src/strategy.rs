@@ -34,8 +34,8 @@ use splice_graph::dijkstra::SpfWorkspace;
 use splice_graph::{
     arc_diverse_parents, low_stretch_forest, random_spanning_forest, EdgeMask, Graph,
 };
-use splice_routing::arena::SpliceFib;
-use splice_routing::spf::{spf_fill_arena, spf_refill_arena, FlightEvent, SpfTelemetry};
+use splice_routing::arena::{PlaneMut, SpliceFib};
+use splice_routing::spf::{spf_fill_plane, spf_refill_plane, FlightEvent, SpfTelemetry};
 use std::cell::RefCell;
 use std::time::Instant;
 
@@ -140,10 +140,27 @@ pub trait SliceStrategy: Send + Sync + std::fmt::Debug {
     /// weight validation keep working.
     fn slice_weights(&self, g: &Graph, cfg: &SplicingConfig, slice: usize, seed: u64) -> Vec<f64>;
 
-    /// (Re)compute every destination column of plane `slice` over the
-    /// `mask`-up subgraph and write it into `fib`. Must be deterministic
-    /// in its arguments and must tolerate a dirty plane (repairs rebuild
-    /// in place over a plane-level copy).
+    /// (Re)compute every destination column of an already-borrowed slice
+    /// plane over the `mask`-up subgraph. `slice` names the plane for
+    /// seeding and telemetry labels only — the write target is `plane`,
+    /// which the parallel batch-repair path hands out per worker thread.
+    /// Must be deterministic in its arguments and must tolerate a dirty
+    /// plane (repairs rebuild in place over a plane-level copy).
+    #[allow(clippy::too_many_arguments)]
+    fn fill_plane(
+        &self,
+        g: &Graph,
+        slice: usize,
+        seed: u64,
+        weights: &[f64],
+        mask: &EdgeMask,
+        ws: &mut SpfWorkspace,
+        plane: &mut PlaneMut<'_>,
+        telemetry: Option<&SpfTelemetry>,
+    );
+
+    /// [`SliceStrategy::fill_plane`] through an owned arena — the
+    /// sequential build/repair convenience form.
     #[allow(clippy::too_many_arguments)]
     fn fill_slice(
         &self,
@@ -155,7 +172,18 @@ pub trait SliceStrategy: Send + Sync + std::fmt::Debug {
         ws: &mut SpfWorkspace,
         fib: &mut SpliceFib,
         telemetry: Option<&SpfTelemetry>,
-    );
+    ) {
+        self.fill_plane(
+            g,
+            slice,
+            seed,
+            weights,
+            mask,
+            ws,
+            &mut fib.plane_mut(slice),
+            telemetry,
+        );
+    }
 
     /// Whether repairs may delta-patch this strategy's planes with the
     /// incremental-SPF engine. Strategies that answer `false` get a
@@ -207,7 +235,7 @@ impl SliceStrategy for PerturbedSpf {
         }
     }
 
-    fn fill_slice(
+    fn fill_plane(
         &self,
         g: &Graph,
         slice: usize,
@@ -215,13 +243,13 @@ impl SliceStrategy for PerturbedSpf {
         weights: &[f64],
         mask: &EdgeMask,
         ws: &mut SpfWorkspace,
-        fib: &mut SpliceFib,
+        plane: &mut PlaneMut<'_>,
         telemetry: Option<&SpfTelemetry>,
     ) {
         if mask.failed_count() == 0 {
-            spf_fill_arena(g, weights, fib, slice, ws, telemetry);
+            spf_fill_plane(g, weights, plane, slice, ws, telemetry);
         } else {
-            spf_refill_arena(g, weights, fib, slice, mask, ws, telemetry);
+            spf_refill_plane(g, weights, plane, slice, mask, ws, telemetry);
         }
     }
 
@@ -235,16 +263,11 @@ impl SliceStrategy for PerturbedSpf {
 }
 
 /// Orient `forest` toward every destination and install the parent arrays
-/// as plane `slice` — the shared tree *is* the slice, every destination
+/// into `plane` — the shared tree *is* the slice, every destination
 /// column is just a re-rooting of it.
-fn fill_from_forest(
-    g: &Graph,
-    forest: &splice_graph::SpanningForest,
-    fib: &mut SpliceFib,
-    slice: usize,
-) {
+fn fill_from_forest(g: &Graph, forest: &splice_graph::SpanningForest, plane: &mut PlaneMut<'_>) {
     for t in g.nodes() {
-        fib.patch_column(slice, t, &forest.parents_toward(t));
+        plane.patch_column(t, &forest.parents_toward(t));
     }
 }
 
@@ -268,7 +291,7 @@ impl SliceStrategy for RandomSpanningTree {
         g.base_weights()
     }
 
-    fn fill_slice(
+    fn fill_plane(
         &self,
         g: &Graph,
         slice: usize,
@@ -276,13 +299,13 @@ impl SliceStrategy for RandomSpanningTree {
         _weights: &[f64],
         mask: &EdgeMask,
         _ws: &mut SpfWorkspace,
-        fib: &mut SpliceFib,
+        plane: &mut PlaneMut<'_>,
         telemetry: Option<&SpfTelemetry>,
     ) {
         let t0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(slice_seed(seed, slice));
         let forest = random_spanning_forest(g, mask, &mut rng);
-        fill_from_forest(g, &forest, fib, slice);
+        fill_from_forest(g, &forest, plane);
         record_fill(telemetry, self.name(), slice, t0);
     }
 
@@ -312,7 +335,7 @@ impl SliceStrategy for LowStretchTree {
         g.base_weights()
     }
 
-    fn fill_slice(
+    fn fill_plane(
         &self,
         g: &Graph,
         slice: usize,
@@ -320,13 +343,13 @@ impl SliceStrategy for LowStretchTree {
         weights: &[f64],
         mask: &EdgeMask,
         _ws: &mut SpfWorkspace,
-        fib: &mut SpliceFib,
+        plane: &mut PlaneMut<'_>,
         telemetry: Option<&SpfTelemetry>,
     ) {
         let t0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(slice_seed(seed, slice));
         let forest = low_stretch_forest(g, weights, mask, &mut rng);
-        fill_from_forest(g, &forest, fib, slice);
+        fill_from_forest(g, &forest, plane);
         record_fill(telemetry, self.name(), slice, t0);
     }
 
@@ -360,7 +383,7 @@ impl SliceStrategy for ArcDisjointFailover {
         g.base_weights()
     }
 
-    fn fill_slice(
+    fn fill_plane(
         &self,
         g: &Graph,
         slice: usize,
@@ -368,7 +391,7 @@ impl SliceStrategy for ArcDisjointFailover {
         weights: &[f64],
         mask: &EdgeMask,
         _ws: &mut SpfWorkspace,
-        fib: &mut SpliceFib,
+        plane: &mut PlaneMut<'_>,
         telemetry: Option<&SpfTelemetry>,
     ) {
         let t0 = Instant::now();
@@ -377,7 +400,7 @@ impl SliceStrategy for ArcDisjointFailover {
         // contracts — at an O(k) factor the small k of splicing absorbs.
         for t in g.nodes() {
             let rounds = arc_diverse_parents(g, t, weights, mask, slice + 1);
-            fib.patch_column(slice, t, &rounds[slice]);
+            plane.patch_column(t, &rounds[slice]);
         }
         record_fill(telemetry, self.name(), slice, t0);
     }

@@ -194,6 +194,76 @@ proptest! {
         }
     }
 
+    /// The batch-repair invariant: `repair_batch(events)` is bit-identical
+    /// to folding the events through `repair` one at a time — same failed
+    /// mask, same weight bits, same (next hop, out edge) for every
+    /// (slice, router, dst) — under every slice-construction strategy.
+    #[test]
+    fn batched_repairs_equal_folded_repairs(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        k in 1usize..=4,
+        strategy_sel in 0usize..4,
+        specs in proptest::collection::vec(
+            (0usize..4, any::<prop::sample::Index>(), any::<prop::sample::Index>(),
+             prop_oneof![0.2f64..0.9, 1.2f64..4.0]),
+            0..6,
+        ),
+    ) {
+        use splice_core::strategy::StrategyKind;
+        let strategy = [
+            StrategyKind::PerturbedSpf,
+            StrategyKind::RandomSpanningTree,
+            StrategyKind::LowStretchTree,
+            StrategyKind::ArcDisjointFailover,
+        ][strategy_sel];
+        let cfg = SplicingConfig::degree_based(k, 0.0, 3.0).with_strategy(strategy);
+        let sp = Splicing::build(&g, &cfg, seed);
+        let events: Vec<RepairEvent> = specs
+            .iter()
+            .map(|(which, a, b, factor)| match which {
+                0 => RepairEvent::LinkFailure(EdgeId(a.index(g.edge_count()) as u32)),
+                1 => RepairEvent::LinkSetFailure(vec![
+                    EdgeId(a.index(g.edge_count()) as u32),
+                    EdgeId(b.index(g.edge_count()) as u32),
+                ]),
+                2 => RepairEvent::NodeFailure(
+                    splice_graph::NodeId(a.index(g.node_count()) as u32),
+                ),
+                _ => {
+                    let slice = b.index(k);
+                    let edge = EdgeId(a.index(g.edge_count()) as u32);
+                    RepairEvent::SliceReweight {
+                        slice,
+                        edge,
+                        new_weight: sp.weights(slice)[edge.index()] * factor,
+                    }
+                }
+            })
+            .collect();
+        let folded = events.iter().fold(sp.clone(), |acc, ev| acc.repair(&g, ev));
+        let batched = sp.repair_batch(&g, &events);
+        prop_assert_eq!(
+            folded.failed_mask().failed_edges().collect::<Vec<_>>(),
+            batched.failed_mask().failed_edges().collect::<Vec<_>>()
+        );
+        for slice in 0..k {
+            for (x, y) in folded.weights(slice).iter().zip(batched.weights(slice)) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "slice {} weight bits", slice);
+            }
+            for u in g.nodes() {
+                for t in g.nodes() {
+                    prop_assert_eq!(
+                        folded.next_hop(slice, u, t),
+                        batched.next_hop(slice, u, t),
+                        "slice {} {:?} -> {:?} over {:?} with {:?}",
+                        slice, u, t, &events, strategy
+                    );
+                }
+            }
+        }
+    }
+
     /// Perturbations are total over any graph the constructor accepts —
     /// including near-degenerate tiny weights — and never produce an
     /// invalid vector from a valid one.

@@ -49,6 +49,204 @@ impl RepairStats {
     }
 }
 
+/// Edge-indexed membership bitmask for `edges`, built once per plane so
+/// the per-column pre-scan costs O(1) per entry instead of O(|edges|) —
+/// SRLG-sized failure sets stay linear instead of quadratic.
+fn edge_marks(edge_count: usize, edges: &[EdgeId]) -> Vec<bool> {
+    let mut marked = vec![false; edge_count];
+    for e in edges {
+        marked[e.index()] = true;
+    }
+    marked
+}
+
+/// A mutable view of one slice plane: that plane's `n·n` regions of the
+/// two slabs as disjoint `&mut` borrows.
+///
+/// Planes are contiguous and non-overlapping, so
+/// [`SpliceFib::planes_mut`] can hand every slice to a different worker
+/// thread — this is the unit the batched repair path parallelizes over.
+/// All column-granular fill/patch logic lives here; the arena-level
+/// methods on [`SpliceFib`] are thin delegations.
+#[derive(Debug)]
+pub struct PlaneMut<'a> {
+    n: usize,
+    next_hop: &'a mut [u32],
+    out_edge: &'a mut [u32],
+}
+
+impl PlaneMut<'_> {
+    /// Number of routers (= destinations) in the plane.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn idx(&self, router: usize, dst: usize) -> usize {
+        debug_assert!(router < self.n && dst < self.n);
+        router * self.n + dst
+    }
+
+    /// Next hop and outgoing edge of `router` toward `dst` in this plane.
+    #[inline]
+    pub fn lookup(&self, router: NodeId, dst: NodeId) -> Option<(NodeId, EdgeId)> {
+        let i = self.idx(router.index(), dst.index());
+        let nh = self.next_hop[i];
+        if nh == NO_ROUTE {
+            None
+        } else {
+            Some((NodeId(nh), EdgeId(self.out_edge[i])))
+        }
+    }
+
+    /// Overwrite the whole `dst` column from a router-indexed parent
+    /// array — the shape [`SpfWorkspace::parents`] produces. The repair
+    /// path's write primitive.
+    pub fn patch_column(&mut self, dst: NodeId, parents: &[Option<(NodeId, EdgeId)>]) {
+        assert_eq!(parents.len(), self.n, "parent array must be router-indexed");
+        let base = dst.index();
+        for (u, parent) in parents.iter().enumerate() {
+            let i = base + u * self.n;
+            match parent {
+                Some((nh, e)) => {
+                    self.next_hop[i] = nh.index() as u32;
+                    self.out_edge[i] = e.index() as u32;
+                }
+                None => {
+                    self.next_hop[i] = NO_ROUTE;
+                    self.out_edge[i] = NO_ROUTE;
+                }
+            }
+        }
+    }
+
+    /// Whether any router's installed out-edge in the `dst` column is
+    /// flagged in the edge-indexed `marked` bitmask — the O(n) pre-scan
+    /// that lets repairs skip columns an event cannot have touched.
+    fn column_uses_marked(&self, dst: NodeId, marked: &[bool]) -> bool {
+        let base = dst.index();
+        (0..self.n).any(|u| {
+            let oe = self.out_edge[base + u * self.n];
+            oe != NO_ROUTE && marked[oe as usize]
+        })
+    }
+
+    /// Run destination-rooted Dijkstra for every node under `weights` and
+    /// install the resulting next hops, reusing `ws` across all n roots.
+    /// Unreachable pairs are *left* alone, not overwritten — the plane
+    /// must be empty (or stale entries cleared).
+    pub fn fill(&mut self, g: &Graph, weights: &[f64], ws: &mut SpfWorkspace) {
+        assert_eq!(self.n, g.node_count(), "plane built for a different graph");
+        for t in g.nodes() {
+            ws.run(g, t, weights, None);
+            let parents = ws.parents();
+            let base = t.index();
+            for (u, parent) in parents.iter().enumerate() {
+                if let Some((nh, e)) = parent {
+                    let i = base + u * self.n;
+                    self.next_hop[i] = nh.index() as u32;
+                    self.out_edge[i] = e.index() as u32;
+                }
+            }
+        }
+    }
+
+    /// The mask-aware sibling of [`PlaneMut::fill`]: run the n
+    /// destination-rooted Dijkstras over the `mask`-up subgraph and write
+    /// every column back whole, overwriting stale entries.
+    pub fn fill_masked(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        mask: &EdgeMask,
+        ws: &mut SpfWorkspace,
+    ) {
+        assert_eq!(self.n, g.node_count(), "plane built for a different graph");
+        for t in g.nodes() {
+            ws.run(g, t, weights, Some(mask));
+            self.patch_column(t, ws.parents());
+        }
+    }
+
+    /// Incrementally repair this plane after the links in `newly_failed`
+    /// went down. `mask` is the new cumulative failure mask (with
+    /// `newly_failed` already failed) and `weights` the slice's weight
+    /// vector; the plane must hold the forwarding state that was correct
+    /// immediately before the event.
+    ///
+    /// Columns whose tree does not cross a newly failed link are skipped
+    /// after an O(n) bitmask scan — their entries are provably unchanged.
+    /// Touched columns are loaded into `ws`, repaired via
+    /// [`SpfWorkspace::repair_failures`], and written back whole.
+    pub fn patch_failures(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        mask: &EdgeMask,
+        newly_failed: &[EdgeId],
+        ws: &mut SpfWorkspace,
+    ) -> RepairStats {
+        assert_eq!(self.n, g.node_count(), "plane built for a different graph");
+        let marked = edge_marks(g.edge_count(), newly_failed);
+        let mut stats = RepairStats::default();
+        for t in g.nodes() {
+            if !self.column_uses_marked(t, &marked) {
+                stats.skipped_columns += 1;
+                continue;
+            }
+            ws.load_tree(g, t, weights, |u| self.lookup(NodeId(u as u32), t));
+            stats.frontier_nodes += ws.repair_failures(g, t, weights, mask, newly_failed);
+            self.patch_column(t, ws.parents());
+            stats.patched_columns += 1;
+        }
+        stats
+    }
+
+    /// Incrementally repair this plane after `edge`'s weight changed from
+    /// `old_weight` to `weights[edge]` (`weights` is the slice's new
+    /// vector). Weight increases skip columns that do not route over
+    /// `edge`; decreases probe every column, but a probe that changes
+    /// nothing costs one relaxation and skips the write-back.
+    pub fn patch_reweight(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        mask: &EdgeMask,
+        edge: EdgeId,
+        old_weight: f64,
+        ws: &mut SpfWorkspace,
+    ) -> RepairStats {
+        assert_eq!(self.n, g.node_count(), "plane built for a different graph");
+        let increase = weights[edge.index()] > old_weight;
+        let marked = edge_marks(g.edge_count(), &[edge]);
+        // Loaded trees must reconstruct the *pre-event* distances, so the
+        // chain walk sums the old vector; the repair then relaxes under
+        // the new one.
+        let mut old_weights = weights.to_vec();
+        old_weights[edge.index()] = old_weight;
+        let mut stats = RepairStats::default();
+        for t in g.nodes() {
+            // An increase on a link a column does not route over cannot
+            // change that column; a decrease can improve any column.
+            if increase && !self.column_uses_marked(t, &marked) {
+                stats.skipped_columns += 1;
+                continue;
+            }
+            ws.load_tree(g, t, &old_weights, |u| self.lookup(NodeId(u as u32), t));
+            let touched = ws.repair_reweight(g, t, weights, mask, edge, old_weight);
+            if touched == 0 {
+                stats.skipped_columns += 1;
+                continue;
+            }
+            stats.frontier_nodes += touched;
+            self.patch_column(t, ws.parents());
+            stats.patched_columns += 1;
+        }
+        stats
+    }
+}
+
 /// All routers' forwarding state for all k slices, as one flat arena.
 ///
 /// Layout: `plane(slice) → row(router) → column(dst)`, i.e. entry
@@ -180,24 +378,7 @@ impl SpliceFib {
     /// contains, for every router `u`, the next hop `u` uses toward `t`,
     /// so each Dijkstra writes one column of the plane.
     pub fn fill_slice(&mut self, g: &Graph, weights: &[f64], slice: usize, ws: &mut SpfWorkspace) {
-        assert_eq!(self.n, g.node_count(), "arena built for a different graph");
-        assert!(
-            slice < self.k,
-            "slice {slice} out of range (k = {})",
-            self.k
-        );
-        for t in g.nodes() {
-            ws.run(g, t, weights, None);
-            let parents = ws.parents();
-            let base = slice * self.n * self.n + t.index();
-            for (u, parent) in parents.iter().enumerate() {
-                if let Some((nh, e)) = parent {
-                    let i = base + u * self.n;
-                    self.next_hop[i] = nh.index() as u32;
-                    self.out_edge[i] = e.index() as u32;
-                }
-            }
-        }
+        self.plane_mut(slice).fill(g, weights, ws);
     }
 
     /// The mask-aware sibling of [`SpliceFib::fill_slice`]: run the n
@@ -214,16 +395,43 @@ impl SpliceFib {
         mask: &EdgeMask,
         ws: &mut SpfWorkspace,
     ) {
-        assert_eq!(self.n, g.node_count(), "arena built for a different graph");
+        self.plane_mut(slice).fill_masked(g, weights, mask, ws);
+    }
+
+    /// A mutable view of plane `slice` — the borrow the per-plane
+    /// fill/patch primitives operate on.
+    pub fn plane_mut(&mut self, slice: usize) -> PlaneMut<'_> {
         assert!(
             slice < self.k,
             "slice {slice} out of range (k = {})",
             self.k
         );
-        for t in g.nodes() {
-            ws.run(g, t, weights, Some(mask));
-            self.patch_column(slice, t, ws.parents());
+        let len = self.n * self.n;
+        let start = slice * len;
+        PlaneMut {
+            n: self.n,
+            next_hop: &mut self.next_hop[start..start + len],
+            out_edge: &mut self.out_edge[start..start + len],
         }
+    }
+
+    /// Every plane as an independent mutable view, in slice order.
+    ///
+    /// The views borrow pairwise-disjoint regions of the two slabs, so
+    /// they can be moved to worker threads and patched concurrently —
+    /// each thread owns its slice's forwarding state outright, and the
+    /// "merge" back into the arena is the no-op of dropping the borrows.
+    pub fn planes_mut(&mut self) -> Vec<PlaneMut<'_>> {
+        let len = self.n * self.n;
+        self.next_hop
+            .chunks_mut(len)
+            .zip(self.out_edge.chunks_mut(len))
+            .map(|(next_hop, out_edge)| PlaneMut {
+                n: self.n,
+                next_hop,
+                out_edge,
+            })
+            .collect()
     }
 
     /// A new arena holding copies of the first `k` planes — the starting
@@ -251,37 +459,7 @@ impl SpliceFib {
         dst: NodeId,
         parents: &[Option<(NodeId, EdgeId)>],
     ) {
-        assert_eq!(parents.len(), self.n, "parent array must be router-indexed");
-        assert!(
-            slice < self.k,
-            "slice {slice} out of range (k = {})",
-            self.k
-        );
-        let base = slice * self.n * self.n + dst.index();
-        for (u, parent) in parents.iter().enumerate() {
-            let i = base + u * self.n;
-            match parent {
-                Some((nh, e)) => {
-                    self.next_hop[i] = nh.index() as u32;
-                    self.out_edge[i] = e.index() as u32;
-                }
-                None => {
-                    self.next_hop[i] = NO_ROUTE;
-                    self.out_edge[i] = NO_ROUTE;
-                }
-            }
-        }
-    }
-
-    /// Whether any router's installed out-edge in the `(slice, dst)`
-    /// column is one of `edges` — the O(n) pre-scan that lets repairs
-    /// skip columns a failure cannot have touched.
-    fn column_uses_edge(&self, slice: usize, dst: NodeId, edges: &[EdgeId]) -> bool {
-        let base = slice * self.n * self.n + dst.index();
-        (0..self.n).any(|u| {
-            let oe = self.out_edge[base + u * self.n];
-            oe != NO_ROUTE && edges.contains(&EdgeId(oe))
-        })
+        self.plane_mut(slice).patch_column(dst, parents);
     }
 
     /// Incrementally repair plane `slice` after the links in
@@ -303,24 +481,8 @@ impl SpliceFib {
         newly_failed: &[EdgeId],
         ws: &mut SpfWorkspace,
     ) -> RepairStats {
-        assert_eq!(self.n, g.node_count(), "arena built for a different graph");
-        assert!(
-            slice < self.k,
-            "slice {slice} out of range (k = {})",
-            self.k
-        );
-        let mut stats = RepairStats::default();
-        for t in g.nodes() {
-            if !self.column_uses_edge(slice, t, newly_failed) {
-                stats.skipped_columns += 1;
-                continue;
-            }
-            ws.load_tree(g, t, weights, |u| self.lookup(slice, NodeId(u as u32), t));
-            stats.frontier_nodes += ws.repair_failures(g, t, weights, mask, newly_failed);
-            self.patch_column(slice, t, ws.parents());
-            stats.patched_columns += 1;
-        }
-        stats
+        self.plane_mut(slice)
+            .patch_failures(g, weights, mask, newly_failed, ws)
     }
 
     /// Incrementally repair plane `slice` after `edge`'s weight changed
@@ -338,39 +500,8 @@ impl SpliceFib {
         old_weight: f64,
         ws: &mut SpfWorkspace,
     ) -> RepairStats {
-        assert_eq!(self.n, g.node_count(), "arena built for a different graph");
-        assert!(
-            slice < self.k,
-            "slice {slice} out of range (k = {})",
-            self.k
-        );
-        let increase = weights[edge.index()] > old_weight;
-        // Loaded trees must reconstruct the *pre-event* distances, so the
-        // chain walk sums the old vector; the repair then relaxes under
-        // the new one.
-        let mut old_weights = weights.to_vec();
-        old_weights[edge.index()] = old_weight;
-        let mut stats = RepairStats::default();
-        for t in g.nodes() {
-            // An increase on a link a column does not route over cannot
-            // change that column; a decrease can improve any column.
-            if increase && !self.column_uses_edge(slice, t, &[edge]) {
-                stats.skipped_columns += 1;
-                continue;
-            }
-            ws.load_tree(g, t, &old_weights, |u| {
-                self.lookup(slice, NodeId(u as u32), t)
-            });
-            let touched = ws.repair_reweight(g, t, weights, mask, edge, old_weight);
-            if touched == 0 {
-                stats.skipped_columns += 1;
-                continue;
-            }
-            stats.frontier_nodes += touched;
-            self.patch_column(slice, t, ws.parents());
-            stats.patched_columns += 1;
-        }
-        stats
+        self.plane_mut(slice)
+            .patch_reweight(g, weights, mask, edge, old_weight, ws)
     }
 
     /// Pack legacy per-slice [`RoutingTables`] into an arena.
@@ -597,6 +728,40 @@ mod tests {
                 assert_plane_matches_rebuild(&arena, &g, &new_w, 0, &mask);
             }
         }
+    }
+
+    #[test]
+    fn planes_mut_views_are_disjoint_and_complete() {
+        let g = diamond();
+        let w0 = g.base_weights();
+        let w1 = [1.0, 10.0, 2.0, 2.0];
+        // Fill through per-plane views handed out together (as the
+        // parallel repair path does) ...
+        let mut via_planes = SpliceFib::empty(2, g.node_count());
+        {
+            let mut planes = via_planes.planes_mut();
+            assert_eq!(planes.len(), 2);
+            let mut ws = SpfWorkspace::new();
+            planes[0].fill(&g, &w0, &mut ws);
+            planes[1].fill(&g, &w1, &mut ws);
+        }
+        // ... and through the classic arena-level calls; bit-identical.
+        let mut direct = SpliceFib::empty(2, g.node_count());
+        let mut ws = SpfWorkspace::new();
+        direct.fill_slice(&g, &w0, 0, &mut ws);
+        direct.fill_slice(&g, &w1, 1, &mut ws);
+        assert_eq!(via_planes, direct);
+
+        // Per-plane repair equals arena-level repair.
+        let mut mask = EdgeMask::all_up(g.edge_count());
+        mask.fail(EdgeId(0));
+        let stats_direct = direct.patch_slice_failures(&g, &w0, 0, &mask, &[EdgeId(0)], &mut ws);
+        let stats_plane = {
+            let mut planes = via_planes.planes_mut();
+            planes[0].patch_failures(&g, &w0, &mask, &[EdgeId(0)], &mut ws)
+        };
+        assert_eq!(stats_plane, stats_direct);
+        assert_eq!(via_planes, direct);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod lsdb;
 pub mod multitopology;
 pub mod spf;
 
-pub use arena::{RepairStats, SpliceFib, NO_ROUTE};
+pub use arena::{PlaneMut, RepairStats, SpliceFib, NO_ROUTE};
 pub use fib::{Fib, RoutingTables};
 pub use lsa::LinkStateAd;
 pub use lsdb::LinkStateDb;

@@ -4,7 +4,7 @@
 //! the instance's weight vector from the database, run Dijkstra per
 //! destination, install FIBs.
 
-use crate::arena::{RepairStats, SpliceFib};
+use crate::arena::{PlaneMut, RepairStats, SpliceFib};
 use crate::fib::RoutingTables;
 use crate::lsdb::LinkStateDb;
 use splice_graph::dijkstra::{all_destinations, SpfWorkspace};
@@ -96,6 +96,15 @@ impl SpfTelemetry {
     }
 }
 
+// The batched repair path shares one `SpfTelemetry` across its per-plane
+// worker threads: every field is an `Arc` over atomics (or a
+// `FlightRecorder`, itself atomics plus mutexed slots). Keep that
+// property checked at compile time.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<SpfTelemetry>();
+};
+
 /// Compute the routing tables of `instance` from a (converged) database.
 ///
 /// Uses the database's reconstructed weight vector; during partial
@@ -148,12 +157,26 @@ pub fn spf_fill_arena(
     ws: &mut SpfWorkspace,
     telemetry: Option<&SpfTelemetry>,
 ) {
+    spf_fill_plane(g, weights, &mut fib.plane_mut(slice), slice, ws, telemetry)
+}
+
+/// [`spf_fill_arena`] on an already-borrowed [`PlaneMut`] — the form the
+/// parallel batch-repair workers call, where each thread holds one
+/// plane's view. `slice` only labels the flight event.
+pub fn spf_fill_plane(
+    g: &Graph,
+    weights: &[f64],
+    plane: &mut PlaneMut<'_>,
+    slice: usize,
+    ws: &mut SpfWorkspace,
+    telemetry: Option<&SpfTelemetry>,
+) {
     let Some(tel) = telemetry else {
-        fib.fill_slice(g, weights, slice, ws);
+        plane.fill(g, weights, ws);
         return;
     };
     let t0 = Instant::now();
-    fib.fill_slice(g, weights, slice, ws);
+    plane.fill(g, weights, ws);
     tel.spf_seconds.record_duration(t0.elapsed());
     if let Some(flight) = &tel.flight {
         flight.record(FlightEvent::new("spf", "fill_slice").field("slice", slice as u64));
@@ -173,12 +196,33 @@ pub fn spf_refill_arena(
     ws: &mut SpfWorkspace,
     telemetry: Option<&SpfTelemetry>,
 ) {
+    spf_refill_plane(
+        g,
+        weights,
+        &mut fib.plane_mut(slice),
+        slice,
+        mask,
+        ws,
+        telemetry,
+    )
+}
+
+/// [`spf_refill_arena`] on an already-borrowed [`PlaneMut`].
+pub fn spf_refill_plane(
+    g: &Graph,
+    weights: &[f64],
+    plane: &mut PlaneMut<'_>,
+    slice: usize,
+    mask: &EdgeMask,
+    ws: &mut SpfWorkspace,
+    telemetry: Option<&SpfTelemetry>,
+) {
     let Some(tel) = telemetry else {
-        fib.fill_slice_masked(g, weights, slice, mask, ws);
+        plane.fill_masked(g, weights, mask, ws);
         return;
     };
     let t0 = Instant::now();
-    fib.fill_slice_masked(g, weights, slice, mask, ws);
+    plane.fill_masked(g, weights, mask, ws);
     tel.spf_seconds.record_duration(t0.elapsed());
     if let Some(flight) = &tel.flight {
         flight.record(FlightEvent::new("spf", "refill_slice").field("slice", slice as u64));
@@ -200,11 +244,36 @@ pub fn spf_repair_arena_failures(
     ws: &mut SpfWorkspace,
     telemetry: Option<&SpfTelemetry>,
 ) -> RepairStats {
+    spf_repair_plane_failures(
+        g,
+        weights,
+        &mut fib.plane_mut(slice),
+        slice,
+        mask,
+        newly_failed,
+        ws,
+        telemetry,
+    )
+}
+
+/// [`spf_repair_arena_failures`] on an already-borrowed [`PlaneMut`] —
+/// the form the parallel batch-repair workers call.
+#[allow(clippy::too_many_arguments)]
+pub fn spf_repair_plane_failures(
+    g: &Graph,
+    weights: &[f64],
+    plane: &mut PlaneMut<'_>,
+    slice: usize,
+    mask: &EdgeMask,
+    newly_failed: &[EdgeId],
+    ws: &mut SpfWorkspace,
+    telemetry: Option<&SpfTelemetry>,
+) -> RepairStats {
     let Some(tel) = telemetry else {
-        return fib.patch_slice_failures(g, weights, slice, mask, newly_failed, ws);
+        return plane.patch_failures(g, weights, mask, newly_failed, ws);
     };
     let t0 = Instant::now();
-    let stats = fib.patch_slice_failures(g, weights, slice, mask, newly_failed, ws);
+    let stats = plane.patch_failures(g, weights, mask, newly_failed, ws);
     tel.spf_repair_seconds.record_duration(t0.elapsed());
     tel.spf_repair_frontier.record(stats.frontier_nodes as u64);
     if let Some(flight) = &tel.flight {
@@ -234,11 +303,37 @@ pub fn spf_repair_arena_reweight(
     ws: &mut SpfWorkspace,
     telemetry: Option<&SpfTelemetry>,
 ) -> RepairStats {
+    spf_repair_plane_reweight(
+        g,
+        weights,
+        &mut fib.plane_mut(slice),
+        slice,
+        mask,
+        edge,
+        old_weight,
+        ws,
+        telemetry,
+    )
+}
+
+/// [`spf_repair_arena_reweight`] on an already-borrowed [`PlaneMut`].
+#[allow(clippy::too_many_arguments)]
+pub fn spf_repair_plane_reweight(
+    g: &Graph,
+    weights: &[f64],
+    plane: &mut PlaneMut<'_>,
+    slice: usize,
+    mask: &EdgeMask,
+    edge: EdgeId,
+    old_weight: f64,
+    ws: &mut SpfWorkspace,
+    telemetry: Option<&SpfTelemetry>,
+) -> RepairStats {
     let Some(tel) = telemetry else {
-        return fib.patch_slice_reweight(g, weights, slice, mask, edge, old_weight, ws);
+        return plane.patch_reweight(g, weights, mask, edge, old_weight, ws);
     };
     let t0 = Instant::now();
-    let stats = fib.patch_slice_reweight(g, weights, slice, mask, edge, old_weight, ws);
+    let stats = plane.patch_reweight(g, weights, mask, edge, old_weight, ws);
     tel.spf_repair_seconds.record_duration(t0.elapsed());
     tel.spf_repair_frontier.record(stats.frontier_nodes as u64);
     if let Some(flight) = &tel.flight {

@@ -24,6 +24,11 @@ pub struct Histogram {
     buckets: [AtomicU64; NUM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    /// Largest recorded value. Quantile interpolation aims at bucket
+    /// upper bounds, which can overshoot the data by up to a factor of
+    /// two; clamping to the running max keeps every reported quantile
+    /// inside the observed range (`p99 <= max`, always).
+    max: AtomicU64,
     scale: f64,
 }
 
@@ -60,6 +65,7 @@ impl Histogram {
             buckets: [(); NUM_BUCKETS].map(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
             scale,
         }
     }
@@ -70,6 +76,7 @@ impl Histogram {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Record a duration in nanoseconds (pair with `scale = 1e-9` to
@@ -92,6 +99,11 @@ impl Histogram {
     /// The exposition scale factor.
     pub fn scale(&self) -> f64 {
         self.scale
+    }
+
+    /// Largest recorded value in exposition units, 0 when empty.
+    pub fn max_scaled(&self) -> f64 {
+        self.max.load(Ordering::Relaxed) as f64 * self.scale
     }
 
     /// Per-bucket counts (not cumulative).
@@ -138,7 +150,10 @@ impl Histogram {
     /// between the bucket's bounds, so the estimate is exact to within
     /// the bucket's factor-of-two width — plenty for latency tails,
     /// where the decade matters more than the digit. The open-ended last
-    /// bucket interpolates toward twice its lower bound.
+    /// bucket interpolates toward twice its lower bound. Interpolation
+    /// aims at bucket upper bounds, so the raw estimate can exceed every
+    /// recorded value; the result is clamped to the running maximum,
+    /// guaranteeing `quantile(q) <= max_scaled()` for any `q`.
     pub fn quantile(&self, q: f64) -> f64 {
         let counts = self.bucket_counts();
         let total: u64 = counts.iter().sum();
@@ -164,7 +179,9 @@ impl Histogram {
                     bucket_bound(b) as f64
                 };
                 let frac = (rank - below) as f64 / c as f64;
-                return (lower + frac * (upper - lower)) * self.scale;
+                let estimate = (lower + frac * (upper - lower)) * self.scale;
+                // Never report a quantile above the observed maximum.
+                return estimate.min(self.max_scaled());
             }
             below += c;
         }
@@ -290,11 +307,14 @@ mod tests {
     }
 
     #[test]
-    fn quantile_of_a_single_value_is_its_bucket_upper_bound() {
+    fn quantile_of_a_single_value_is_that_value() {
+        // One observation in bucket (64, 128]: interpolation aims at the
+        // bucket bound (128), but the clamp pulls every quantile back to
+        // the one value actually recorded.
         let h = Histogram::new();
-        h.record(100); // bucket (64, 128]
+        h.record(100);
         for q in [0.01, 0.5, 0.99, 1.0] {
-            assert_eq!(h.quantile(q), 128.0);
+            assert_eq!(h.quantile(q), 100.0);
         }
     }
 
@@ -302,7 +322,41 @@ mod tests {
     fn quantiles_respect_the_scale() {
         let h = Histogram::with_scale(1e-9);
         h.record_duration(Duration::from_nanos(1500)); // bucket (1024, 2048]
-        assert!((h.quantile(0.99) - 2048e-9).abs() < 1e-15);
+        assert!((h.quantile(0.99) - 1500e-9).abs() < 1e-15);
+        assert!((h.max_scaled() - 1500e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantiles_never_exceed_the_recorded_max() {
+        // The BENCH_spf_repair regression this clamp fixes: a lone
+        // straggler in a sparse tail bucket used to report a p99 above
+        // the worst value ever observed.
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1000); // tail bucket (512, 1024]
+        let (p50, p90, p99) = h.quantiles();
+        assert!(p50 <= p90 && p90 <= p99, "quantiles are monotone");
+        assert!(
+            p99 <= h.max_scaled(),
+            "p99 = {p99} > max = {}",
+            h.max_scaled()
+        );
+        assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn max_tracks_the_largest_observation() {
+        let h = Histogram::new();
+        assert_eq!(h.max_scaled(), 0.0, "empty histogram has max 0");
+        h.record(7);
+        h.record(3);
+        assert_eq!(h.max_scaled(), 7.0);
+        h.record(100);
+        assert_eq!(h.max_scaled(), 100.0);
+        h.record(50);
+        assert_eq!(h.max_scaled(), 100.0, "max never decreases");
     }
 
     #[test]
@@ -326,5 +380,43 @@ mod tests {
         let h = Histogram::new();
         h.record_duration(Duration::from_secs(u64::MAX / 2));
         assert_eq!(h.count(), 1);
+    }
+
+    mod properties {
+        use super::super::Histogram;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// For any sample set, quantiles are monotone in q and never
+            /// exceed the recorded maximum (the clamp invariant behind
+            /// every committed BENCH report's `p99 <= max`).
+            #[test]
+            fn quantiles_monotone_and_bounded_by_max(
+                samples in proptest::collection::vec(0u64..=1u64 << 48, 1..200),
+                qs in proptest::collection::vec(0.0f64..=1.0, 2..8),
+            ) {
+                let h = Histogram::new();
+                let mut max = 0u64;
+                for &s in &samples {
+                    h.record(s);
+                    max = max.max(s);
+                }
+                prop_assert_eq!(h.max_scaled(), max as f64);
+                let mut qs = qs;
+                qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let mut prev = 0.0f64;
+                for &q in &qs {
+                    let v = h.quantile(q);
+                    prop_assert!(v >= prev, "quantile({}) = {} < {}", q, v, prev);
+                    prop_assert!(
+                        v <= max as f64,
+                        "quantile({}) = {} exceeds max {}", q, v, max
+                    );
+                    prev = v;
+                }
+            }
+        }
     }
 }

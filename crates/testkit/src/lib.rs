@@ -24,10 +24,12 @@
 pub mod check;
 pub mod oracle;
 pub mod scenario;
+pub mod schedule;
 pub mod shrink;
 pub mod strategies;
 
 pub use check::{flight_tail, replay, Divergence, ReplayOptions, ReplayReport};
 pub use oracle::{naive_walk, outcome_signature, OracleTables};
 pub use scenario::{derive_seed, EventSpec, PerturbationSpec, Scenario, TopologySpec};
+pub use schedule::{apply_batches, churn_schedule, schedule_to_batches, BatchStep};
 pub use shrink::{shrink, ShrinkResult};
