@@ -2,18 +2,23 @@
 //!
 //! `BENCH_fib.json` and `BENCH_spf_repair.json` used to exist only as a
 //! side effect of running the criterion suites; this binary produces both
-//! on demand — plus the per-strategy `BENCH_strategy.json` summary and
-//! the batched-repair `BENCH_churn.json` sweep — by default into the
+//! on demand — plus the per-strategy `BENCH_strategy.json` summary, the
+//! batched-repair `BENCH_churn.json` sweep, and the batched-forwarding
+//! `BENCH_forward.json` engine comparison — by default into the
 //! repository root, where CI and the §4.2 state-size discussion pick
 //! them up — without pulling in criterion at all. The documents carry a
 //! `schema_version` field (see
 //! [`splice_bench::fib_report::SCHEMA_VERSION`],
 //! [`splice_bench::repair_report::SCHEMA_VERSION`],
-//! [`splice_bench::strategy_report::SCHEMA_VERSION`] and
-//! [`splice_bench::churn_report::SCHEMA_VERSION`]); consumers should
+//! [`splice_bench::strategy_report::SCHEMA_VERSION`],
+//! [`splice_bench::churn_report::SCHEMA_VERSION`] and
+//! [`splice_bench::forward_report::SCHEMA_VERSION`]); consumers should
 //! check it before parsing. Before writing, the repair and churn
 //! summaries are sanity-checked: every quantile must sit at or below its
 //! tracked max, so a committed BENCH file can never report p99 > max.
+//! The forwarding summary carries its own built-in gates: the three
+//! engines' merged outcome checksums must match, and its differential
+//! oracle must report zero divergences, or the measurement aborts.
 //!
 //! ```text
 //! cargo run -p splice-bench --bin bench_report -- [--topology NAME] [--seed N] [--out DIR]
@@ -147,6 +152,16 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {}", churn_path.display());
+
+    let forward_path = out.join("BENCH_forward.json");
+    let forward_cfg =
+        splice_bench::forward_report::ForwardBenchConfig::default_for(&topology, seed);
+    if let Err(e) = splice_bench::forward_report::write_forward_report(&forward_path, &forward_cfg)
+    {
+        eprintln!("writing {}: {e}", forward_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", forward_path.display());
 
     let strategy_path = out.join("BENCH_strategy.json");
     if let Err(e) = splice_bench::strategy_report::write_strategy_report(

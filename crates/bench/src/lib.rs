@@ -26,6 +26,7 @@
 //! | failure-model extensions | `node_failures`, `srlg_failures` |
 //! | baselines | `ecmp_baseline`, `explicit_paths_baseline` |
 //! | batched-repair throughput | `churn` |
+//! | batched-forwarding throughput | `forward_storm` (alias `forward`) |
 //!
 //! Every experiment accepts the shared flags `--trials N`, `--seed N`,
 //! `--topology NAME` (built-ins or generator specs like `rand-24-40-7`),
@@ -40,6 +41,7 @@
 pub mod churn_report;
 pub mod experiments;
 pub mod fib_report;
+pub mod forward_report;
 pub mod repair_report;
 pub mod strategy_report;
 

@@ -9,6 +9,8 @@
 //!   recover      break links and run end-system or network recovery
 //!   reliability  quick Monte-Carlo disconnection numbers
 //!   slices       per-slice stretch statistics
+//!   forward      drain seeded traffic bursts through the sharded
+//!                batch forwarding engine
 //!   observe      standing churn loop with a live scrape endpoint
 //!   testkit      replay a fault-injection scenario by seed-spec
 //!   exp          the experiment engine (same as `splice-lab`)
@@ -46,6 +48,8 @@ commands:
   recover      break links and run recovery
   reliability  quick Monte-Carlo disconnection numbers
   slices       per-slice stretch statistics
+  forward      drain seeded Zipf bursts through the sharded batch
+               forwarding engine and print throughput
   observe      standing fail/repair/forward churn loop with a live
                scrape endpoint (/metrics, /healthz, /snapshot)
   testkit      replay a fault-injection scenario by seed-spec
@@ -74,6 +78,11 @@ reliability flags:
   --p 0.02,0.05,0.1                 failure probabilities (comma list)
   --trials N                        Monte-Carlo trials (default 200)
   --semantics union|directed        spliced-path accounting (default union)
+
+forward flags:
+  --burst N                         packets per burst (default 256)
+  --bursts N                        bursts per shard (default 64)
+  --shards N                        batch workers on scoped threads (default 2)
 
 observe flags:
   --listen ADDR                     scrape address (default 127.0.0.1:0;
@@ -125,6 +134,7 @@ fn main() {
         "recover" => cmd_recover(&flags),
         "reliability" => cmd_reliability(&flags),
         "slices" => cmd_slices(&flags),
+        "forward" => cmd_forward(&flags),
         "observe" => cmd_observe(&flags),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
@@ -549,6 +559,124 @@ fn cmd_reliability(flags: &Flags) -> Result<(), String> {
     if let Some(path) = metrics {
         write_metrics(path, &registry)?;
     }
+    Ok(())
+}
+
+/// `splice forward` — drain seeded Zipf bursts through the sharded
+/// batch forwarding engine over this deployment's FIB arena (respecting
+/// `--fail`/`--fail-edge`), then print aggregate throughput, outcome
+/// classes, burst-latency quantiles, and the per-shard outcome
+/// checksums. The first burst is replayed through the scalar walk
+/// packet-for-packet, so every run carries its own batch-vs-scalar
+/// differential check.
+fn cmd_forward(flags: &Flags) -> Result<(), String> {
+    use splice_dataplane::{
+        outcomes_checksum, run_sharded, scalar_walk, ForwardTelemetry, RotatingSnapshots,
+        WalkOutcome,
+    };
+    use splice_traffic::{FlowConfig, FlowGen};
+
+    let topo = resolve_topology(flags)?;
+    let (g, splicing) = build(&topo, flags)?;
+    let mask = resolve_failures(&topo, flags)?;
+    let burst_size: usize = flags.get_parsed("burst", 256)?;
+    let bursts: u64 = flags.get_parsed("bursts", 64)?;
+    let shards: usize = flags.get_parsed("shards", 2)?;
+    if burst_size == 0 || bursts == 0 || shards == 0 {
+        return Err("--burst, --bursts and --shards must all be at least 1".into());
+    }
+    let seed: u64 = flags.get_parsed("seed", 1)?;
+    let opts = ForwarderOptions::default();
+    let gen = FlowGen::new(FlowConfig::new(g.node_count() as u32, splicing.k(), seed));
+    let source = RotatingSnapshots(vec![std::sync::Arc::clone(splicing.arena())]);
+
+    let registry = Registry::new();
+    let tel = ForwardTelemetry::register(&registry);
+    let reports = run_sharded(
+        shards,
+        opts,
+        &source,
+        &mask,
+        Some(&tel),
+        |shard, burst, buf| {
+            if burst < bursts {
+                gen.stream(shard as usize * bursts as usize + burst as usize)
+                    .fill_burst(burst_size, buf);
+            }
+        },
+    );
+
+    // Differential spot check: shard 0's first burst, scalar vs batch.
+    let mut buf = Vec::new();
+    gen.stream(0).fill_burst(burst_size, &mut buf);
+    let scalar: Vec<WalkOutcome> = buf
+        .iter()
+        .map(|&(s, d, h)| {
+            WalkOutcome::from_outcome(&scalar_walk(
+                splicing.arena(),
+                &mask,
+                NodeId(s),
+                NodeId(d),
+                h,
+                &opts,
+            ))
+        })
+        .collect();
+    let scalar_sum = outcomes_checksum(&scalar);
+    let mut check_engine = splice_dataplane::BatchForwarder::new(opts);
+    let batch_sum = outcomes_checksum(check_engine.forward_burst(splicing.arena(), &mask, &buf));
+
+    let mut stats = splice_dataplane::BatchStats::default();
+    let mut busy = 0.0;
+    println!(
+        "{}: {} shards x {} bursts x {} packets, k={}, {} links failed",
+        topo.name,
+        shards,
+        bursts,
+        burst_size,
+        splicing.k(),
+        mask.failed_count()
+    );
+    println!("  shard   packets     hops  busy_ms  checksum");
+    for r in &reports {
+        stats.merge(&r.stats);
+        busy += r.busy_seconds;
+        println!(
+            "  {:<5} {:>9} {:>8} {:>8.2}  {:016x}",
+            r.shard,
+            r.stats.packets,
+            r.stats.hops,
+            r.busy_seconds * 1e3,
+            r.checksum
+        );
+    }
+    let secs = busy.max(1e-12);
+    let (p50, _, p99) = tel.burst_seconds.quantiles();
+    println!(
+        "aggregate: {:.0} pps, {:.1} ns/hop, burst p50 {:.1}us p99 {:.1}us",
+        stats.packets as f64 / secs,
+        secs * 1e9 / stats.hops.max(1) as f64,
+        p50 * 1e6,
+        p99 * 1e6
+    );
+    println!(
+        "outcomes: {} delivered, {} dead-end, {} link-down, {} loop, {} ttl",
+        stats.delivered, stats.dead_end, stats.link_down, stats.persistent_loop, stats.ttl_exceeded
+    );
+    if scalar_sum == batch_sum {
+        println!(
+            "differential spot check: shard 0 burst 0 scalar == batch ({scalar_sum:016x}, {} packets)",
+            scalar.len()
+        );
+    } else {
+        return Err(format!(
+            "differential spot check FAILED: scalar {scalar_sum:016x} != batch {batch_sum:016x}"
+        ));
+    }
+    println!(
+        "merged checksum: {:016x}",
+        splice_dataplane::merged_checksum(&reports)
+    );
     Ok(())
 }
 

@@ -104,10 +104,20 @@ impl ForwardingBits {
             return None;
         }
         let mask = (1u128 << self.bph) - 1;
-        let raw = (self.bits & mask) as usize;
+        let mut raw = (self.bits & mask) as usize;
         self.bits >>= self.bph;
         self.len_bits -= self.bph;
-        Some(raw % k)
+        // Reduce modulo k without a hardware divide on the hot path: a
+        // header built for this k has `raw < 2^lg(k) < 2k`, so one
+        // subtract suffices; the real `%` only runs for wire headers
+        // whose `bph` is oversized for k.
+        if raw >= k {
+            raw -= k;
+            if raw >= k {
+                raw %= k;
+            }
+        }
+        Some(raw)
     }
 
     /// Hops still encoded in the stream.

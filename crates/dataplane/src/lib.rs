@@ -18,15 +18,34 @@
 //!   recovery on or off.
 //! * [`network`] — a simulated network of routers and links with failure
 //!   injection (including mid-flight flaps) and full delivery traces.
+//! * [`walk`] — the shared walk-outcome shape every forwarding engine
+//!   reduces to ([`WalkOutcome`]), plus the one-at-a-time scalar
+//!   reference walk the batch engine is measured against.
+//! * [`batch`] — the struct-of-arrays packet-burst engine
+//!   ([`BatchForwarder`]): parallel per-packet lanes over one FIB
+//!   snapshot, pooled loop-stamp tables, no per-packet allocation.
+//! * [`shard`] — per-core sharded batch workers on crossbeam scoped
+//!   threads, fed per-`(shard, burst)` and merged deterministically.
 //! * [`telemetry`] — the aggregate counter set networks report into
-//!   ([`NetTelemetry`]) and the JSONL serialization of packet walks.
+//!   ([`NetTelemetry`]), batch-forwarding throughput/latency metrics
+//!   ([`ForwardTelemetry`]), and the JSONL serialization of packet
+//!   walks.
 
+pub mod batch;
 pub mod network;
 pub mod packet;
 pub mod router;
+pub mod shard;
 pub mod telemetry;
+pub mod walk;
 
+pub use batch::{BatchForwarder, BatchStats, LaneStamps};
 pub use network::{DeliveryReport, LinkEvent, RouterStats, SimNetwork};
 pub use packet::{Packet, SPLICE_PROTO};
 pub use router::{Router, RouterAction, RouterConfig};
-pub use telemetry::{drop_reason_label, report_to_json, NetTelemetry};
+pub use shard::{merged_checksum, run_sharded, RotatingSnapshots, ShardReport, SnapshotSource};
+pub use telemetry::{drop_reason_label, report_to_json, ForwardTelemetry, NetTelemetry};
+pub use walk::{
+    fold_outcomes_checksum, outcomes_checksum, scalar_walk, PathHasher, WalkClass, WalkOutcome,
+    NO_SLICE,
+};

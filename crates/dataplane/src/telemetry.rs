@@ -8,10 +8,13 @@
 //! the same match arms in `inject_with_events`, so they can never
 //! disagree.
 
+use crate::batch::BatchStats;
 use crate::network::DeliveryReport;
 use crate::router::DropReason;
-use splice_telemetry::{Counter, JsonArray, JsonObject, Registry};
+use crate::walk::WalkOutcome;
+use splice_telemetry::{Counter, Histogram, JsonArray, JsonObject, Registry};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Aggregate data-plane counters, shared via `Arc` handles.
 #[derive(Clone, Debug)]
@@ -77,6 +80,81 @@ impl NetTelemetry {
             DropReason::TtlExpired => &self.dropped_ttl,
             DropReason::NoRoute => &self.dropped_no_route,
             DropReason::LinkDown => &self.dropped_link_down,
+        }
+    }
+}
+
+/// Batch-forwarding telemetry: throughput counters plus the latency
+/// histograms behind the `forward_storm` pps / per-hop-ns / tail
+/// numbers. Registered once per experiment; shard workers share the
+/// handles (everything inside is atomic).
+#[derive(Clone, Debug)]
+pub struct ForwardTelemetry {
+    /// Packets fully walked by the batch engine.
+    pub packets: Arc<Counter>,
+    /// Total hops taken across all walked packets.
+    pub hops: Arc<Counter>,
+    /// Bursts drained.
+    pub bursts: Arc<Counter>,
+    /// Packets dropped (any non-delivered class).
+    pub dropped: Arc<Counter>,
+    /// Wall time to drain one burst (tail latency lives here).
+    pub burst_seconds: Arc<Histogram>,
+    /// Amortized per-hop time within each burst.
+    pub hop_seconds: Arc<Histogram>,
+    /// Hops per walked packet.
+    pub walk_hops: Arc<Histogram>,
+}
+
+impl ForwardTelemetry {
+    /// Register (or re-acquire) the batch-forwarding metric set.
+    pub fn register(registry: &Registry) -> ForwardTelemetry {
+        ForwardTelemetry {
+            packets: registry.counter(
+                "splice_forward_packets_total",
+                "Packets fully walked by the batch forwarding engine",
+            ),
+            hops: registry.counter(
+                "splice_forward_hops_total",
+                "Hops taken across all batch-forwarded packets",
+            ),
+            bursts: registry.counter(
+                "splice_forward_bursts_total",
+                "Packet bursts drained by the batch forwarding engine",
+            ),
+            dropped: registry.counter(
+                "splice_forward_dropped_total",
+                "Batch-forwarded packets that did not reach their destination",
+            ),
+            burst_seconds: registry.histogram_seconds(
+                "splice_forward_burst_seconds",
+                "Wall time to drain one packet burst",
+            ),
+            hop_seconds: registry.histogram_seconds(
+                "splice_forward_hop_seconds",
+                "Amortized per-hop forwarding time within a burst",
+            ),
+            walk_hops: registry
+                .histogram("splice_forward_walk_hops", "Hops taken per walked packet"),
+        }
+    }
+
+    /// Fold one drained burst in: its outcomes and the wall time the
+    /// engine took to drain it.
+    pub fn observe_burst(&self, outcomes: &[WalkOutcome], elapsed: Duration) {
+        let mut stats = BatchStats::default();
+        for out in outcomes {
+            stats.record(out);
+            self.walk_hops.record(out.hops as u64);
+        }
+        self.bursts.inc();
+        self.packets.add(stats.packets);
+        self.hops.add(stats.hops);
+        self.dropped.add(stats.packets - stats.delivered);
+        self.burst_seconds.record_duration(elapsed);
+        if stats.hops > 0 {
+            self.hop_seconds
+                .record(elapsed.as_nanos() as u64 / stats.hops);
         }
     }
 }
@@ -169,6 +247,37 @@ mod tests {
             line,
             r#"{"delivered":true,"src":0,"dst":7,"hops":2,"latency_ms":12.5,"drop":null,"path":[0,3,7],"slices":[0,2]}"#
         );
+    }
+
+    #[test]
+    fn forward_telemetry_folds_bursts() {
+        use crate::walk::{WalkClass, NO_SLICE};
+        let reg = Registry::new();
+        let tel = ForwardTelemetry::register(&reg);
+        let outs = [
+            WalkOutcome {
+                class: WalkClass::Delivered,
+                hops: 3,
+                last: 1,
+                slice: NO_SLICE,
+                path_hash: 1,
+            },
+            WalkOutcome {
+                class: WalkClass::DeadEnd,
+                hops: 1,
+                last: 2,
+                slice: NO_SLICE,
+                path_hash: 2,
+            },
+        ];
+        tel.observe_burst(&outs, Duration::from_micros(8));
+        assert_eq!(tel.packets.get(), 2);
+        assert_eq!(tel.hops.get(), 4);
+        assert_eq!(tel.dropped.get(), 1);
+        assert_eq!(tel.bursts.get(), 1);
+        assert_eq!(tel.burst_seconds.count(), 1);
+        assert_eq!(tel.hop_seconds.count(), 1);
+        assert_eq!(tel.walk_hops.count(), 2);
     }
 
     #[test]

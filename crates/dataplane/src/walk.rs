@@ -1,0 +1,362 @@
+//! Shared walk-outcome types for every forwarding engine, plus the
+//! one-at-a-time scalar reference walk.
+//!
+//! Three engines walk packets over the spliced-FIB arena: the scalar
+//! [`scalar_walk`] (and [`Router::forward`](crate::Router::forward),
+//! which delegates to it), the struct-of-arrays
+//! [`BatchForwarder`](crate::BatchForwarder), and the testkit's naive
+//! oracle walker. For a differential oracle to compare them cheaply,
+//! each reduces a walk to the same fixed-size [`WalkOutcome`]: the
+//! outcome class, hop count, final node, blamed slice, and an FNV-1a
+//! digest of the full `(node, slice, edge)` step sequence. Two walks
+//! agree exactly when their outcomes are equal — path included, because
+//! the path is hashed, not stored.
+//!
+//! The scalar walk mirrors `Forwarder::forward` (splice-core) statement
+//! for statement — initial slice `Hash(src, dst)`, per-hop header read,
+//! `StayInCurrent` on exhaustion, persistent-loop detection by
+//! exhausted-(node, slice) revisit, hop budget checked after moving —
+//! but reads the `SpliceFib` arena directly, so it is the baseline the
+//! batch engine's speedup is measured against: identical semantics, one
+//! packet at a time, with the per-packet trace and hash-set allocations
+//! the batch engine exists to avoid.
+
+use splice_core::forwarding::{
+    ExhaustedPolicy, ForwarderOptions, ForwardingOutcome, Trace, TraceStep,
+};
+use splice_core::hash::slice_for_flow;
+use splice_core::header::ForwardingBits;
+use splice_graph::{EdgeMask, NodeId};
+use splice_routing::SpliceFib;
+use std::collections::HashSet;
+
+/// How a walk ended — `ForwardingOutcome` without the trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum WalkClass {
+    /// Reached the destination.
+    Delivered = 0,
+    /// The selected slice had no FIB entry at the current node.
+    DeadEnd = 1,
+    /// The selected slice's next-hop link is failed.
+    LinkDown = 2,
+    /// Header exhausted and a (node, slice) state revisited: the walk is
+    /// deterministically periodic.
+    PersistentLoop = 3,
+    /// Hop budget exhausted.
+    TtlExceeded = 4,
+}
+
+impl WalkClass {
+    /// Stable label for tables, CSV columns, and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WalkClass::Delivered => "delivered",
+            WalkClass::DeadEnd => "dead_end",
+            WalkClass::LinkDown => "link_down",
+            WalkClass::PersistentLoop => "persistent_loop",
+            WalkClass::TtlExceeded => "ttl_exceeded",
+        }
+    }
+}
+
+/// Sentinel for [`WalkOutcome::slice`] when no slice is blamed.
+pub const NO_SLICE: u32 = u32::MAX;
+
+/// A fixed-size, allocation-free walk result, identical across engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkOutcome {
+    /// Why the walk ended.
+    pub class: WalkClass,
+    /// Hops actually taken (edges crossed).
+    pub hops: u32,
+    /// Node the walk ended at.
+    pub last: u32,
+    /// Slice blamed by [`WalkClass::LinkDown`]; [`NO_SLICE`] otherwise.
+    pub slice: u32,
+    /// FNV-1a over the `(node, slice, edge)` step sequence.
+    pub path_hash: u64,
+}
+
+impl WalkOutcome {
+    /// One-line comparison key for divergence reports.
+    pub fn signature(&self) -> String {
+        format!(
+            "{} hops={} last={} slice={} path={:016x}",
+            self.class.label(),
+            self.hops,
+            self.last,
+            if self.slice == NO_SLICE {
+                "-".to_string()
+            } else {
+                self.slice.to_string()
+            },
+            self.path_hash
+        )
+    }
+
+    /// Collapse a splice-core [`ForwardingOutcome`] to the shared shape,
+    /// hashing its trace with the same digest every engine uses.
+    pub fn from_outcome(out: &ForwardingOutcome) -> WalkOutcome {
+        use ForwardingOutcome as O;
+        let (class, slice) = match out {
+            O::Delivered(_) => (WalkClass::Delivered, NO_SLICE),
+            O::DeadEnd(_) => (WalkClass::DeadEnd, NO_SLICE),
+            O::LinkDown { slice, .. } => (WalkClass::LinkDown, *slice as u32),
+            O::PersistentLoop(_) => (WalkClass::PersistentLoop, NO_SLICE),
+            O::TtlExceeded(_) => (WalkClass::TtlExceeded, NO_SLICE),
+        };
+        let trace = out.trace();
+        let mut h = PathHasher::new();
+        for s in &trace.steps {
+            h.step(s.node.0, s.slice as u32, s.edge.0);
+        }
+        WalkOutcome {
+            class,
+            hops: trace.steps.len() as u32,
+            last: trace.last.0,
+            slice,
+            path_hash: h.finish(),
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a-style digest over `(node, slice, edge)` hop
+/// triples: the one path digest every engine computes, so full-path
+/// agreement can be checked without any engine recording its path.
+///
+/// The fold runs word-at-a-time — two xor-multiply rounds per hop over
+/// `node | slice << 32` and `edge` — rather than byte-at-a-time: the
+/// digest sits on the batch engine's per-hop critical path, and a
+/// 24-round multiply chain per hop would cost more than the FIB lookup
+/// it rides along with. Collision resistance is equivalent for this
+/// use (diffing two walks of the same flow), and every engine shares
+/// the one implementation, so agreement checks are unaffected.
+#[derive(Clone, Copy, Debug)]
+pub struct PathHasher(u64);
+
+impl Default for PathHasher {
+    fn default() -> Self {
+        PathHasher::new()
+    }
+}
+
+impl PathHasher {
+    /// A fresh digest (the FNV offset basis).
+    #[inline]
+    pub fn new() -> PathHasher {
+        PathHasher(FNV_OFFSET)
+    }
+
+    /// Absorb one hop: two word rounds.
+    #[inline]
+    pub fn step(&mut self, node: u32, slice: u32, edge: u32) {
+        let mut h = self.0;
+        h = (h ^ ((node as u64) | ((slice as u64) << 32))).wrapping_mul(FNV_PRIME);
+        h = (h ^ (edge as u64)).wrapping_mul(FNV_PRIME);
+        self.0 = h;
+    }
+
+    /// The digest so far.
+    #[inline]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a-style word-fold digest over a sequence of walk outcomes,
+/// order-sensitive. Two engines that walked the same packets over the
+/// same FIB snapshots agree on this checksum exactly when they agree on
+/// every outcome — the number CI diffs between the batch and scalar
+/// paths.
+pub fn outcomes_checksum(outs: &[WalkOutcome]) -> u64 {
+    fold_outcomes_checksum(FNV_OFFSET, outs)
+}
+
+/// Fold one outcome batch into a running checksum (for streaming use:
+/// seed with [`outcomes_checksum`] of an empty slice, i.e. the offset
+/// basis, then fold burst after burst).
+pub fn fold_outcomes_checksum(mut h: u64, outs: &[WalkOutcome]) -> u64 {
+    let mut eat = |v: u64| {
+        h = (h ^ v).wrapping_mul(FNV_PRIME);
+    };
+    for o in outs {
+        eat(o.class as u64);
+        eat(o.hops as u64);
+        eat(o.last as u64);
+        eat(o.slice as u64);
+        eat(o.path_hash);
+    }
+    h
+}
+
+/// Walk one packet over the arena, one hop at a time, mirroring
+/// `Forwarder::forward`'s semantics statement for statement — including
+/// its per-packet costs: a `Trace` whose step `Vec` grows hop by hop and
+/// a fresh `HashSet` for exhausted-state loop detection. This is the
+/// honest one-at-a-time scalar baseline (BENCH_fib.json's ~0.5 µs/hop
+/// path): the batch engine exists to shed exactly these allocations.
+pub fn scalar_walk(
+    fib: &SpliceFib,
+    mask: &EdgeMask,
+    src: NodeId,
+    dst: NodeId,
+    mut header: ForwardingBits,
+    opts: &ForwarderOptions,
+) -> ForwardingOutcome {
+    let k = fib.k();
+    let mut current_slice = slice_for_flow(src, dst, k);
+    let mut steps = Vec::new();
+    let mut at = src;
+    let mut exhausted_states: HashSet<(NodeId, usize)> = HashSet::new();
+
+    macro_rules! trace {
+        () => {
+            Trace {
+                src,
+                dst,
+                steps,
+                last: at,
+            }
+        };
+    }
+
+    while at != dst {
+        match header.read_and_shift(k) {
+            Some(s) => current_slice = s,
+            None => match opts.exhausted {
+                ExhaustedPolicy::StayInCurrent => {}
+                ExhaustedPolicy::HashFallback => {
+                    current_slice = slice_for_flow(src, dst, k);
+                }
+            },
+        }
+        if header.is_exhausted() && !exhausted_states.insert((at, current_slice)) {
+            return ForwardingOutcome::PersistentLoop(trace!());
+        }
+        let Some((next, edge)) = fib.lookup(current_slice, at, dst) else {
+            return ForwardingOutcome::DeadEnd(trace!());
+        };
+        if mask.is_failed(edge) {
+            return ForwardingOutcome::LinkDown {
+                trace: trace!(),
+                slice: current_slice,
+            };
+        }
+        steps.push(TraceStep {
+            node: at,
+            slice: current_slice,
+            edge,
+        });
+        at = next;
+        if steps.len() > opts.ttl {
+            return ForwardingOutcome::TtlExceeded(trace!());
+        }
+    }
+    ForwardingOutcome::Delivered(trace!())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_core::forwarding::Forwarder;
+    use splice_core::slices::{Splicing, SplicingConfig};
+    use splice_graph::EdgeId;
+
+    fn setup() -> (splice_graph::Graph, Splicing) {
+        let g = splice_topology::abilene::abilene().graph();
+        let sp = Splicing::build(&g, &SplicingConfig::degree_based(4, 0.0, 3.0), 21);
+        (g, sp)
+    }
+
+    /// The scalar arena walk must agree with `Forwarder::forward` on
+    /// every pair, header shape, and failure state — outcome variant,
+    /// full trace included.
+    #[test]
+    fn scalar_walk_matches_core_forwarder() {
+        let (g, sp) = setup();
+        let opts = ForwarderOptions::default();
+        for mask in [
+            EdgeMask::all_up(g.edge_count()),
+            EdgeMask::from_failed(g.edge_count(), &[EdgeId(0), EdgeId(5)]),
+        ] {
+            let fwd = Forwarder::new(&sp, &g, &mask);
+            for hops in [vec![], vec![1], vec![2, 0, 1], vec![3, 3, 1, 0, 2]] {
+                for s in g.nodes() {
+                    for t in g.nodes() {
+                        if s == t {
+                            continue;
+                        }
+                        let h = ForwardingBits::from_hops(&hops, sp.k());
+                        let core = fwd.forward(s, t, h, &opts);
+                        let ours = scalar_walk(sp.arena(), &mask, s, t, h, &opts);
+                        assert_eq!(core, ours, "{s:?}->{t:?} hops={hops:?}");
+                        assert_eq!(
+                            WalkOutcome::from_outcome(&core),
+                            WalkOutcome::from_outcome(&ours)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ttl_matches_core_cutoff() {
+        let (g, sp) = setup();
+        let mask = EdgeMask::all_up(g.edge_count());
+        let fwd = Forwarder::new(&sp, &g, &mask);
+        let opts = ForwarderOptions {
+            ttl: 1,
+            ..Default::default()
+        };
+        let h = ForwardingBits::stay_in_slice(0, sp.k());
+        let core = fwd.forward(NodeId(0), NodeId(10), h, &opts);
+        assert!(matches!(core, ForwardingOutcome::TtlExceeded(_)));
+        let ours = scalar_walk(sp.arena(), &mask, NodeId(0), NodeId(10), h, &opts);
+        assert_eq!(core, ours);
+        assert_eq!(
+            WalkOutcome::from_outcome(&ours).class,
+            WalkClass::TtlExceeded
+        );
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive_and_foldable() {
+        let a = WalkOutcome {
+            class: WalkClass::Delivered,
+            hops: 3,
+            last: 7,
+            slice: NO_SLICE,
+            path_hash: 42,
+        };
+        let b = WalkOutcome {
+            class: WalkClass::DeadEnd,
+            hops: 1,
+            last: 2,
+            slice: NO_SLICE,
+            path_hash: 43,
+        };
+        assert_ne!(outcomes_checksum(&[a, b]), outcomes_checksum(&[b, a]));
+        let whole = outcomes_checksum(&[a, b]);
+        let folded =
+            fold_outcomes_checksum(fold_outcomes_checksum(outcomes_checksum(&[]), &[a]), &[b]);
+        assert_eq!(whole, folded);
+    }
+
+    #[test]
+    fn signatures_render_the_blamed_slice() {
+        let o = WalkOutcome {
+            class: WalkClass::LinkDown,
+            hops: 2,
+            last: 5,
+            slice: 3,
+            path_hash: 1,
+        };
+        assert!(o.signature().contains("link_down"));
+        assert!(o.signature().contains("slice=3"));
+    }
+}

@@ -247,6 +247,44 @@ impl PlaneMut<'_> {
     }
 }
 
+/// A read-only borrow of one slice's n×n plane (see
+/// [`SpliceFib::plane`]). `Copy`, pointer-sized-cheap, and shareable
+/// across threads — the read-side counterpart of [`PlaneMut`].
+#[derive(Clone, Copy, Debug)]
+pub struct Plane<'a> {
+    n: usize,
+    next_hop: &'a [u32],
+    out_edge: &'a [u32],
+}
+
+impl<'a> Plane<'a> {
+    /// Routers (= destinations) per side of the plane.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Raw `(next_hop, out_edge)` words at `(router, dst)`; either word
+    /// is [`NO_ROUTE`] for an uninstalled entry. No `Option` wrapping —
+    /// batch walkers branch on the sentinel themselves.
+    #[inline]
+    pub fn lookup_raw(&self, router: u32, dst: u32) -> (u32, u32) {
+        let i = router as usize * self.n + dst as usize;
+        (self.next_hop[i], self.out_edge[i])
+    }
+
+    /// Typed lookup, same contract as [`SpliceFib::lookup`].
+    #[inline]
+    pub fn lookup(&self, router: NodeId, dst: NodeId) -> Option<(NodeId, EdgeId)> {
+        let (nh, e) = self.lookup_raw(router.index() as u32, dst.index() as u32);
+        if nh == NO_ROUTE {
+            None
+        } else {
+            Some((NodeId(nh), EdgeId(e)))
+        }
+    }
+}
+
 /// All routers' forwarding state for all k slices, as one flat arena.
 ///
 /// Layout: `plane(slice) → row(router) → column(dst)`, i.e. entry
@@ -530,6 +568,38 @@ impl SpliceFib {
             }
         }
         arena
+    }
+
+    /// A read-only view of one slice's full n×n plane, for concurrent
+    /// walkers: the view borrows the arena, so any number of data-plane
+    /// threads can hold planes of one `Arc<SpliceFib>` snapshot while the
+    /// control plane repairs a *different* (cloned) arena and publishes
+    /// it through a [`crate::view::FibCell`].
+    #[inline]
+    pub fn plane(&self, slice: usize) -> Plane<'_> {
+        assert!(
+            slice < self.k,
+            "slice {slice} out of range (k = {})",
+            self.k
+        );
+        let start = self.idx(slice, 0, 0);
+        let len = self.n * self.n;
+        Plane {
+            n: self.n,
+            next_hop: &self.next_hop[start..start + len],
+            out_edge: &self.out_edge[start..start + len],
+        }
+    }
+
+    /// The whole arena's raw slabs, `(next_hop, out_edge)`, both indexed
+    /// by `(slice·n + router)·n + dst` with [`NO_ROUTE`] holes. This is
+    /// the batch-forwarding fast path: a walker precomputes one flat
+    /// plane base per packet (`slice·n·n + dst`) and advances with a
+    /// single multiply-add per hop, re-deriving the base only when the
+    /// packet switches slices.
+    #[inline]
+    pub fn slabs(&self) -> (&[u32], &[u32]) {
+        (&self.next_hop, &self.out_edge)
     }
 
     /// Materialize one plane back into the legacy nested shape, for

@@ -37,9 +37,11 @@ pub mod lsa;
 pub mod lsdb;
 pub mod multitopology;
 pub mod spf;
+pub mod view;
 
-pub use arena::{PlaneMut, RepairStats, SpliceFib, NO_ROUTE};
+pub use arena::{Plane, PlaneMut, RepairStats, SpliceFib, NO_ROUTE};
 pub use fib::{Fib, RoutingTables};
 pub use lsa::LinkStateAd;
 pub use lsdb::LinkStateDb;
 pub use multitopology::{MultiTopology, ResourceUsage};
+pub use view::FibCell;

@@ -9,7 +9,8 @@
 //! bad usage.
 
 use splice_testkit::{
-    derive_seed, flight_tail, replay, shrink, Divergence, ReplayOptions, Scenario,
+    derive_seed, flight_tail, forward_oracle, replay, shrink, Divergence, ForwardOracleOptions,
+    ReplayOptions, Scenario,
 };
 use std::time::Instant;
 
@@ -20,6 +21,7 @@ struct Args {
     trials: u64,
     seed: u64,
     budget_secs: Option<u64>,
+    forward_flows: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,6 +29,7 @@ fn parse_args() -> Result<Args, String> {
         trials: 200,
         seed: 7,
         budget_secs: None,
+        forward_flows: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -40,8 +43,11 @@ fn parse_args() -> Result<Args, String> {
             "--trials" => args.trials = grab("--trials")?,
             "--seed" => args.seed = grab("--seed")?,
             "--budget-secs" => args.budget_secs = Some(grab("--budget-secs")?),
+            "--forward-flows" => args.forward_flows = grab("--forward-flows")?,
             "--help" | "-h" => {
-                println!("usage: soak [--trials N] [--seed S] [--budget-secs T]");
+                println!(
+                    "usage: soak [--trials N] [--seed S] [--budget-secs T] [--forward-flows F]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -59,9 +65,14 @@ fn main() {
         }
     };
     let opts = ReplayOptions::default();
+    let fwd_opts = ForwardOracleOptions {
+        flows: args.forward_flows as usize,
+        ..Default::default()
+    };
     let started = Instant::now();
     let mut events_total = 0usize;
     let mut walks_total = 0usize;
+    let mut flows_total = 0usize;
     let mut ran = 0u64;
 
     for trial in 0..args.trials {
@@ -87,10 +98,26 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // Forwarding under churn: the same scenario's flows through
+        // batch, scalar, and naive engines at every repair checkpoint.
+        if args.forward_flows > 0 {
+            match forward_oracle(&sc, &fwd_opts) {
+                Ok(report) => flows_total += report.flows_checked,
+                Err(div) => {
+                    eprintln!("soak: trial {trial} forward-oracle diverged: {div}");
+                    eprintln!("soak: original scenario: {}", sc.spec());
+                    let check = |c: &Scenario| forward_oracle(c, &fwd_opts).err().map(|b| *b);
+                    let out = shrink(&sc, *div, check);
+                    report_failure(&out.scenario, &out.divergence, out.attempts, &opts);
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 
     println!(
-        "soak: {ran} trials clean in {:.1}s ({events_total} events, {walks_total} walks checked) seed={}",
+        "soak: {ran} trials clean in {:.1}s ({events_total} events, {walks_total} walks, \
+         {flows_total} flows checked) seed={}",
         started.elapsed().as_secs_f64(),
         args.seed
     );

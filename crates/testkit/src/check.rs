@@ -252,11 +252,11 @@ pub fn flight_tail(sc: &Scenario, opts: &ReplayOptions, tail: usize) -> String {
     flight.tail_jsonl(tail)
 }
 
-fn replay_inner(sc: &Scenario, opts: &ReplayOptions) -> Result<ReplayReport, Box<Divergence>> {
-    let g = sc.topology.graph().map_err(Divergence::Setup)?;
-    validate_events(sc, &g)?;
-
-    let cfg = match sc.perturbation {
+/// The splicing configuration a scenario's spec implies — shared by the
+/// replay engine and the batch-forwarding oracle so every harness builds
+/// the identical deployment from the same spec string.
+pub(crate) fn build_config(sc: &Scenario) -> SplicingConfig {
+    match sc.perturbation {
         PerturbationSpec::DegreeBased => SplicingConfig::degree_based(sc.k, 0.0, 3.0),
         PerturbationSpec::TheoremA1 => SplicingConfig {
             k: sc.k,
@@ -265,7 +265,14 @@ fn replay_inner(sc: &Scenario, opts: &ReplayOptions) -> Result<ReplayReport, Box
             strategy: StrategyKind::PerturbedSpf,
         },
     }
-    .with_strategy(sc.strategy);
+    .with_strategy(sc.strategy)
+}
+
+fn replay_inner(sc: &Scenario, opts: &ReplayOptions) -> Result<ReplayReport, Box<Divergence>> {
+    let g = sc.topology.graph().map_err(Divergence::Setup)?;
+    validate_events(sc, &g)?;
+
+    let cfg = build_config(sc);
     let base = Splicing::build(&g, &cfg, sc.build_seed);
     let mut sp = base.clone();
 
@@ -378,7 +385,7 @@ fn replay_inner(sc: &Scenario, opts: &ReplayOptions) -> Result<ReplayReport, Box
 /// Reject schedules whose ids fall outside the materialized graph (the
 /// shrinker produces such candidates; they must not masquerade as stack
 /// divergences).
-fn validate_events(sc: &Scenario, g: &Graph) -> Result<(), Box<Divergence>> {
+pub(crate) fn validate_events(sc: &Scenario, g: &Graph) -> Result<(), Box<Divergence>> {
     let (n, m) = (g.node_count() as u32, g.edge_count() as u32);
     let bad = |msg: String| Err(Box::new(Divergence::Setup(msg)));
     for ev in &sc.events {
@@ -474,7 +481,7 @@ fn apply_repair(
 /// must hold exactly these columns. Shortest-path distances are not
 /// defined for tree-shaped slices, so `dist` stays empty; the SPF-family
 /// checks that read it are gated off for these strategies.
-fn strategy_oracle(
+pub(crate) fn strategy_oracle(
     g: &Graph,
     kind: StrategyKind,
     seed: u64,

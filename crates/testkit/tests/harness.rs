@@ -3,12 +3,17 @@
 //! scenario, and the printed spec reproduces the failure.
 
 use proptest::prelude::*;
+use splice_core::forwarding::ForwarderOptions;
+use splice_core::slices::{Splicing, SplicingConfig};
 use splice_core::strategy::StrategyKind;
-use splice_testkit::strategies::arb_scenario;
+use splice_routing::FibCell;
+use splice_testkit::strategies::{arb_backbone_graph, arb_scenario};
 use splice_testkit::{
-    derive_seed, flight_tail, replay, shrink, Divergence, EventSpec, PerturbationSpec,
+    apply_batches, churn_schedule, derive_seed, flight_tail, forward_oracle, replay,
+    schedule_to_batches, shrink, Divergence, EventSpec, ForwardOracleOptions, PerturbationSpec,
     ReplayOptions, Scenario, TopologySpec,
 };
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -24,6 +29,104 @@ proptest! {
             sc.spec(),
             report.unwrap_err()
         );
+    }
+
+    /// Batch, scalar, and naive forwarding agree packet-for-packet on
+    /// arbitrary generated scenarios — the burst engine's analogue of
+    /// `random_scenarios_replay_clean`.
+    #[test]
+    fn random_scenarios_forward_identically(sc in arb_scenario()) {
+        let opts = ForwardOracleOptions { flows: 160, ..Default::default() };
+        let report = forward_oracle(&sc, &opts);
+        prop_assert!(
+            report.is_ok(),
+            "scenario {} diverged: {}",
+            sc.spec(),
+            report.unwrap_err()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A burst racing a `repair_batch` + publish never observes a torn
+    /// FIB: every burst's outcomes are a pure function of the one
+    /// snapshot it loaded — entirely pre-repair or entirely
+    /// post-repair, for every slice-construction strategy.
+    #[test]
+    fn bursts_never_observe_torn_columns(
+        (g, churn_seed, build_seed) in arb_backbone_graph()
+            .prop_flat_map(|g| (Just(g), any::<u64>(), any::<u64>())),
+    ) {
+        let k = 3;
+        let events = churn_schedule(&g, k, 8, churn_seed);
+        for strategy in StrategyKind::ALL {
+            let cfg = SplicingConfig::degree_based(k, 0.0, 3.0).with_strategy(strategy);
+            let before = Splicing::build(&g, &cfg, build_seed);
+            let weights: Vec<Vec<f64>> =
+                (0..k).map(|s| before.weights(s).to_vec()).collect();
+            let steps = schedule_to_batches(&g, &weights, &events, 4);
+            let after = apply_batches(&g, &before, &steps);
+            let mask = after.failed_mask().clone();
+
+            let flow_gen = splice_traffic::FlowGen::new(splice_traffic::FlowConfig::new(
+                g.node_count() as u32,
+                k,
+                build_seed ^ 0xb1a5,
+            ));
+            let mut pkts = Vec::new();
+            flow_gen.stream(0).fill_burst(64, &mut pkts);
+
+            let opts = ForwarderOptions::default();
+            let mut engine = splice_dataplane::BatchForwarder::new(opts);
+            let pure_before = engine.forward_burst(before.arena(), &mask, &pkts).to_vec();
+            let pure_after = engine.forward_burst(after.arena(), &mask, &pkts).to_vec();
+
+            // Race a reader draining bursts against the repair thread
+            // publishing the post-churn arena mid-run.
+            let cell = FibCell::new(Arc::clone(before.arena()));
+            let result: Result<(), String> = std::thread::scope(|scope| {
+                let publisher = scope.spawn(|| {
+                    // Redo the real repair work, then publish its arena.
+                    let repaired = apply_batches(&g, &before, &steps);
+                    cell.publish(Arc::clone(repaired.arena()));
+                });
+                let mut engine = splice_dataplane::BatchForwarder::new(opts);
+                let mut saw_after = false;
+                for _ in 0..200 {
+                    let snap = cell.load();
+                    let outcomes = engine.forward_burst(&snap, &mask, &pkts);
+                    let expect = if Arc::ptr_eq(&snap, before.arena()) {
+                        &pure_before
+                    } else {
+                        saw_after = true;
+                        &pure_after
+                    };
+                    if outcomes != expect.as_slice() {
+                        return Err(format!(
+                            "{strategy:?}: torn burst — outcomes match neither \
+                             deployment wholesale"
+                        ));
+                    }
+                    if saw_after {
+                        break;
+                    }
+                }
+                publisher.join().expect("publisher panicked");
+                // The publish must eventually be visible to the reader.
+                let snap = cell.load();
+                let outcomes = engine.forward_burst(&snap, &mask, &pkts);
+                if outcomes != pure_after.as_slice() {
+                    return Err(format!(
+                        "{strategy:?}: post-publish burst does not match the \
+                         repaired deployment"
+                    ));
+                }
+                Ok(())
+            });
+            prop_assert!(result.is_ok(), "{}", result.unwrap_err());
+        }
     }
 }
 

@@ -22,11 +22,17 @@
 //! tuned single-path baseline §5 compares against is built by
 //! [`optimize`]'s Fortz–Thorup-style weight search.
 
+//! A fourth, engine-facing piece rides along: [`flows`] generates the
+//! seeded, Zipf-skewed, per-shard-deterministic packet streams the
+//! batch forwarding engine and its differential oracle consume.
+
 pub mod capacity;
+pub mod flows;
 pub mod load;
 pub mod matrix;
 pub mod optimize;
 pub mod shift;
 
+pub use flows::{FlowConfig, FlowGen, FlowStream};
 pub use load::{LoadReport, RoutingMode};
 pub use matrix::TrafficMatrix;
