@@ -56,34 +56,12 @@ pub struct ChurnBenchEntry {
 /// FNV-1a digest over the deployment's forwarding state: every
 /// `(slice, node, dst)` next hop plus the failed-edge set. Two
 /// deployments with equal checksums forward identically.
-pub fn fib_checksum(g: &splice_graph::Graph, sp: &Splicing) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |v: u64| {
-        for byte in v.to_le_bytes() {
-            h ^= byte as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    for slice in 0..sp.k() {
-        for u in g.nodes() {
-            for t in g.nodes() {
-                match sp.next_hop(slice, u, t) {
-                    Some((via, e)) => {
-                        eat(1 + via.0 as u64);
-                        eat(e.0 as u64);
-                    }
-                    None => eat(0),
-                }
-            }
-        }
-    }
-    for e in sp.failed_mask().failed_edges() {
-        eat(e.0 as u64);
-    }
-    h
-}
+///
+/// This is the canonical [`splice_core::control::fib_checksum`] — the
+/// same digest the live daemon's exit oracle and the testkit's
+/// daemon-replay differential use — re-exported so existing
+/// `BENCH_churn.json` consumers keep their import path.
+pub use splice_core::control::fib_checksum;
 
 /// Replay `schedule_len` churn events on `topology` with `k` slices at
 /// each batch size, timing only the `repair_batch` calls.

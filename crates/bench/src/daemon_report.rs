@@ -1,0 +1,305 @@
+//! Live-daemon throughput and latency, written to `BENCH_daemon.json`.
+//!
+//! `BENCH_churn.json` times the repair math in isolation — synchronous
+//! `repair_batch` calls on one thread. This report measures the shape
+//! the daemon actually ships: a [`run_event_loop`] on its own thread
+//! consuming a churn stream over the control channel, coalescing
+//! opportunistically, and publishing snapshots that live forwarding
+//! workers ([`splice_dataplane::run_live`]) pick up mid-flight. The
+//! headline numbers are sustained events/sec through the full
+//! channel → ingest → publish path, the enqueue→FIB-visible latency
+//! quantiles, and the forwarding rate sustained *under* that churn.
+//!
+//! The report is self-gating: after the run, the exact event stream is
+//! replayed through a second control plane with a different batch
+//! partition, and the measurement aborts unless both final FIB
+//! checksums are bit-identical — `divergences` in a committed
+//! `BENCH_daemon.json` is always zero, or the file does not exist.
+
+use splice_core::control::{
+    control_channel, fib_checksum, run_event_loop, ControlEvent, ControlPlane,
+};
+use splice_core::forwarding::ForwarderOptions;
+use splice_core::slices::{Splicing, SplicingConfig};
+use splice_dataplane::run_live;
+use splice_graph::EdgeMask;
+use splice_telemetry::{Histogram, JsonObject};
+use splice_testkit::{churn_schedule, to_control_event};
+use splice_topology::TopologyError;
+use splice_traffic::{FlowConfig, FlowGen};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::load_topology;
+
+/// Measured numbers for one daemon run.
+#[derive(Clone, Debug)]
+pub struct DaemonBenchReport {
+    /// Churn events pushed through the control channel.
+    pub events: usize,
+    /// `events` / event-loop wall time — the headline number.
+    pub events_per_sec: f64,
+    /// Median enqueue→FIB-visible latency.
+    pub event_visible_p50: f64,
+    /// Tail enqueue→FIB-visible latency (p99).
+    pub event_visible_p99: f64,
+    /// Worst enqueue→FIB-visible latency.
+    pub event_visible_max: f64,
+    /// Coalesced repair passes the loop ran.
+    pub repair_batches: u64,
+    /// Rebuild-from-base passes (link recoveries).
+    pub rebuilds: u64,
+    /// Snapshots published to the hub.
+    pub publishes: u64,
+    /// Epoch of the final published snapshot.
+    pub final_epoch: u64,
+    /// Retired arenas recycled instead of freshly allocated.
+    pub arenas_recycled: u64,
+    /// Packets the subscribed workers forwarded during the churn.
+    pub packets: u64,
+    /// Bursts those packets arrived in.
+    pub bursts: u64,
+    /// `packets` / run wall time — forwarding throughput under churn.
+    pub forward_pps: f64,
+    /// Most distinct epochs any single worker observed.
+    pub epochs_seen: u64,
+    /// FNV-1a digest of the deployment the event loop ended on.
+    pub fib_checksum: u64,
+    /// Digest of the replay oracle's end state (different batch
+    /// partition of the same stream). Always equals `fib_checksum` in a
+    /// committed report.
+    pub oracle_checksum: u64,
+    /// Checksum mismatches (always 0 — `measure` errors otherwise).
+    pub divergences: u64,
+}
+
+/// Run `schedule_len` churn events through a live event loop on
+/// `topology` with `k` slices, `workers` subscribed forwarding workers
+/// draining `burst`-packet bursts, and verify the end state against a
+/// batch-partition-1 replay oracle.
+pub fn measure(
+    topology: &str,
+    k: usize,
+    schedule_len: usize,
+    max_batch: usize,
+    workers: usize,
+    burst: usize,
+    seed: u64,
+) -> Result<DaemonBenchReport, TopologyError> {
+    let topo = load_topology(topology)?;
+    let g = topo.graph();
+    let base = Splicing::build(&g, &SplicingConfig::degree_based(k, 0.0, 3.0), seed);
+    let events: Vec<ControlEvent> = churn_schedule(&g, k, schedule_len, seed)
+        .iter()
+        .map(to_control_event)
+        .collect();
+
+    let latency = Arc::new(Histogram::with_scale(1e-9));
+    let cp = ControlPlane::new(g.clone(), base.clone(), max_batch.max(1));
+    let hub = Arc::clone(cp.hub());
+    let (handle, rx) = control_channel();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let loop_latency = Arc::clone(&latency);
+    let event_loop = std::thread::spawn(move || run_event_loop(cp, rx, Some(&loop_latency)));
+
+    let worker_handle = {
+        let hub = Arc::clone(&hub);
+        let stop = Arc::clone(&stop);
+        let mask = EdgeMask::all_up(g.edge_count());
+        let n = g.node_count() as u32;
+        std::thread::spawn(move || {
+            let gen = FlowGen::new(FlowConfig::new(n, k, seed));
+            run_live(
+                workers.max(1),
+                ForwarderOptions::default(),
+                &hub,
+                &mask,
+                None,
+                &stop,
+                move |shard, burst_ix, buf| {
+                    let stream = shard * (1 << 20) + (burst_ix as usize & ((1 << 20) - 1));
+                    gen.stream(stream).fill_burst(burst.max(1), buf);
+                },
+            )
+        })
+    };
+
+    let t0 = Instant::now();
+    handle.events(events.iter().cloned());
+    handle.shutdown();
+    let (cp, report) = event_loop.join().expect("daemon event loop panicked");
+    let loop_secs = t0.elapsed().as_secs_f64().max(1e-12);
+    stop.store(true, Ordering::SeqCst);
+    let shard_reports = worker_handle.join().expect("forwarding workers panicked");
+    let wall_secs = t0.elapsed().as_secs_f64().max(1e-12);
+
+    // Replay oracle: same stream, one event per repair pass. Any batch
+    // partition must land on the same deployment.
+    let mut oracle = ControlPlane::new(g.clone(), base, 1);
+    for ev in &events {
+        oracle.ingest(ev);
+    }
+    oracle.flush();
+    let daemon_sum = fib_checksum(cp.graph(), cp.current());
+    let oracle_sum = fib_checksum(oracle.graph(), oracle.current());
+    assert_eq!(
+        daemon_sum, oracle_sum,
+        "live daemon diverged from the replay oracle — refusing to report throughput"
+    );
+
+    let packets: u64 = shard_reports.iter().map(|r| r.stats.packets).sum();
+    let bursts: u64 = shard_reports.iter().map(|r| r.bursts).sum();
+    let epochs_seen = shard_reports
+        .iter()
+        .map(|r| r.epochs_seen)
+        .max()
+        .unwrap_or(0);
+    let (p50, _, p99) = latency.quantiles();
+    let stats = report.stats;
+    Ok(DaemonBenchReport {
+        events: events.len(),
+        events_per_sec: events.len() as f64 / loop_secs,
+        event_visible_p50: p50,
+        event_visible_p99: p99,
+        event_visible_max: latency.max_scaled(),
+        repair_batches: stats.repair_batches,
+        rebuilds: stats.rebuilds,
+        publishes: stats.publishes,
+        final_epoch: report.final_epoch,
+        arenas_recycled: stats.arenas_recycled,
+        packets,
+        bursts,
+        forward_pps: packets as f64 / wall_secs,
+        epochs_seen,
+        fib_checksum: daemon_sum,
+        oracle_checksum: oracle_sum,
+        divergences: 0,
+    })
+}
+
+/// Schema version stamped into every `BENCH_daemon.json`. Bump when a
+/// field is renamed, removed, or changes meaning; adding fields is
+/// compatible.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Render the report as the `BENCH_daemon.json` document.
+///
+/// Stable schema (version [`SCHEMA_VERSION`]):
+///
+/// ```json
+/// {
+///   "benchmark": "daemon",
+///   "schema_version": 1,
+///   "topology": "<name>",
+///   "seed": <u64>,
+///   "k": <usize>,
+///   "schedule_len": <usize>,
+///   "max_batch": <usize>,
+///   "workers": <usize>,
+///   ... fields as in DaemonBenchReport ...
+/// }
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn render(
+    topology: &str,
+    k: usize,
+    schedule_len: usize,
+    max_batch: usize,
+    workers: usize,
+    seed: u64,
+    r: &DaemonBenchReport,
+) -> String {
+    JsonObject::new()
+        .field_str("benchmark", "daemon")
+        .field_u64("schema_version", SCHEMA_VERSION)
+        .field_str("topology", topology)
+        .field_u64("seed", seed)
+        .field_u64("k", k as u64)
+        .field_u64("schedule_len", schedule_len as u64)
+        .field_u64("max_batch", max_batch as u64)
+        .field_u64("workers", workers as u64)
+        .field_u64("events", r.events as u64)
+        .field_f64("events_per_sec", r.events_per_sec)
+        .field_f64("event_visible_p50_seconds", r.event_visible_p50)
+        .field_f64("event_visible_p99_seconds", r.event_visible_p99)
+        .field_f64("event_visible_max_seconds", r.event_visible_max)
+        .field_u64("repair_batches", r.repair_batches)
+        .field_u64("rebuilds", r.rebuilds)
+        .field_u64("publishes", r.publishes)
+        .field_u64("final_epoch", r.final_epoch)
+        .field_u64("arenas_recycled", r.arenas_recycled)
+        .field_u64("packets_forwarded", r.packets)
+        .field_u64("bursts", r.bursts)
+        .field_f64("forward_pps", r.forward_pps)
+        .field_u64("epochs_seen", r.epochs_seen)
+        .field_u64("fib_checksum", r.fib_checksum)
+        .field_u64("oracle_checksum", r.oracle_checksum)
+        .field_u64("divergences", r.divergences)
+        .finish()
+}
+
+/// Measure on `topology` and write `BENCH_daemon.json` to `path`.
+#[allow(clippy::too_many_arguments)]
+pub fn write_daemon_report(
+    path: impl AsRef<Path>,
+    topology: &str,
+    k: usize,
+    schedule_len: usize,
+    max_batch: usize,
+    workers: usize,
+    burst: usize,
+    seed: u64,
+) -> Result<(), splice_sim::lab::LabError> {
+    let r = measure(topology, k, schedule_len, max_batch, workers, burst, seed)?;
+    let mut text = render(topology, k, schedule_len, max_batch, workers, seed, &r);
+    text.push('\n');
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, text)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_run_is_divergence_free_and_live() {
+        let r = measure("abilene", 3, 60, 8, 2, 64, 7).unwrap();
+        assert_eq!(r.events, 60);
+        assert_eq!(r.divergences, 0);
+        assert_eq!(r.fib_checksum, r.oracle_checksum);
+        assert!(r.events_per_sec > 0.0);
+        assert!(r.repair_batches > 0);
+        assert!(r.rebuilds > 0, "churn schedules include recoveries");
+        assert!(r.publishes > 0);
+        assert!(r.final_epoch > 0);
+        assert!(r.packets > 0, "workers must forward during the churn");
+        assert!(r.event_visible_p50 <= r.event_visible_p99);
+        assert!(r.event_visible_p99 <= r.event_visible_max);
+    }
+
+    #[test]
+    fn report_renders_and_writes() {
+        let r = measure("abilene", 2, 24, 4, 1, 32, 7).unwrap();
+        let json = render("abilene", 2, 24, 4, 1, 7, &r);
+        assert!(json.contains(r#""benchmark":"daemon""#));
+        assert!(json.contains(r#""schema_version":1"#));
+        assert!(json.contains(r#""events_per_sec""#));
+        assert!(json.contains(r#""divergences":0"#));
+
+        let dir = std::env::temp_dir().join("splice-bench-daemon-report");
+        let path = dir.join("BENCH_daemon.json");
+        write_daemon_report(&path, "abilene", 2, 24, 4, 1, 32, 7).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains(r#""benchmark":"daemon""#));
+        assert!(back.ends_with('\n'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

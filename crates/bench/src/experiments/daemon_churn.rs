@@ -1,0 +1,139 @@
+//! Live-daemon sustained churn: the event-driven control plane on its
+//! own thread, subscribed forwarding workers draining bursts, and a
+//! churn stream over the control channel — the deployment shape
+//! `spliced` runs, measured end to end.
+//!
+//! ```text
+//! splice-lab run daemon_churn
+//! splice-lab run daemon_churn --batch-size 4    # pin the coalescing cap
+//! ```
+//!
+//! `--trials` sets the schedule length. Where the `churn` experiment
+//! times synchronous `repair_batch` calls, this one reports the full
+//! channel → ingest → publish path (sustained events/sec, enqueue→
+//! FIB-visible latency) plus the forwarding rate sustained under the
+//! churn. The run aborts unless the daemon's final FIB is bit-identical
+//! to a differently-partitioned replay of the same stream, so the
+//! throughput numbers can never describe a diverged control plane.
+
+use crate::banner;
+use crate::daemon_report::{measure, DaemonBenchReport};
+use splice_sim::lab::{Experiment, ExperimentOutput, LabError, RunContext};
+use splice_sim::output::Artifact;
+
+/// Coalescing cap when `--batch-size` is not pinned.
+const DAEMON_MAX_BATCH: usize = 8;
+
+/// Slices for the daemon deployment.
+const DAEMON_K: usize = 5;
+
+/// Subscribed forwarding workers.
+const DAEMON_WORKERS: usize = 2;
+
+/// Packets per worker burst.
+const DAEMON_BURST: usize = 128;
+
+/// Event-loop throughput and FIB-visible latency under live churn.
+pub struct DaemonChurn;
+
+fn csv(r: &DaemonBenchReport) -> String {
+    format!(
+        "events,events_per_sec,event_visible_p50_seconds,event_visible_p99_seconds,\
+         repair_batches,rebuilds,publishes,final_epoch,arenas_recycled,\
+         packets_forwarded,forward_pps,epochs_seen,divergences,fib_checksum\n\
+         {},{:.1},{:.9},{:.9},{},{},{},{},{},{},{:.1},{},{},{}\n",
+        r.events,
+        r.events_per_sec,
+        r.event_visible_p50,
+        r.event_visible_p99,
+        r.repair_batches,
+        r.rebuilds,
+        r.publishes,
+        r.final_epoch,
+        r.arenas_recycled,
+        r.packets,
+        r.forward_pps,
+        r.epochs_seen,
+        r.divergences,
+        r.fib_checksum,
+    )
+}
+
+impl Experiment for DaemonChurn {
+    fn name(&self) -> &'static str {
+        "daemon_churn"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["daemon"]
+    }
+
+    fn describe(&self) -> &'static str {
+        "live event-loop churn: events/sec, FIB-visible latency, pps under churn"
+    }
+
+    fn default_trials(&self) -> usize {
+        200
+    }
+
+    fn run(&self, ctx: &mut RunContext<'_>) -> Result<ExperimentOutput, LabError> {
+        let schedule_len = ctx.config.trials.max(1);
+        let max_batch = ctx.config.batch_size.unwrap_or(DAEMON_MAX_BATCH).max(1);
+        banner(&format!(
+            "daemon churn — {} events on {}, k={}, max batch {}, {} worker(s)",
+            schedule_len, ctx.topology.name, DAEMON_K, max_batch, DAEMON_WORKERS
+        ));
+
+        let r = measure(
+            &ctx.topology.name,
+            DAEMON_K,
+            schedule_len,
+            max_batch,
+            DAEMON_WORKERS,
+            DAEMON_BURST,
+            ctx.config.seed,
+        )?;
+
+        let rows = vec![vec![
+            r.events.to_string(),
+            format!("{:.0}", r.events_per_sec),
+            format!("{:.1}us", r.event_visible_p50 * 1e6),
+            format!("{:.1}us", r.event_visible_p99 * 1e6),
+            format!("{:.0}", r.forward_pps),
+            r.epochs_seen.to_string(),
+            format!("{:016x}", r.fib_checksum),
+        ]];
+
+        let notes = vec![
+            format!(
+                "daemon FIB checksum {:016x} matched the replay oracle — zero divergences",
+                r.fib_checksum
+            ),
+            format!(
+                "{} event(s) coalesced into {} repair pass(es) + {} rebuild(s), \
+                 {} snapshot(s) published, {} arena(s) recycled",
+                r.events, r.repair_batches, r.rebuilds, r.publishes, r.arenas_recycled
+            ),
+        ];
+
+        Ok(ExperimentOutput {
+            artifacts: vec![
+                Artifact::table(
+                    format!("daemon_churn_{}.txt", ctx.topology.name),
+                    &[
+                        "events",
+                        "events/sec",
+                        "visible p50",
+                        "visible p99",
+                        "forward pps",
+                        "epochs seen",
+                        "fib checksum",
+                    ],
+                    rows,
+                ),
+                Artifact::text(format!("daemon_churn_{}.csv", ctx.topology.name), csv(&r)),
+            ],
+            notes,
+        })
+    }
+}

@@ -22,8 +22,9 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use splice_cli::{resolve_failures, resolve_node, resolve_topology, Flags};
+use splice_core::control::{ControlEvent, ControlPlane};
 use splice_core::prelude::*;
-use splice_core::slices::{RepairEvent, SplicingConfig};
+use splice_core::slices::SplicingConfig;
 use splice_core::strategy::StrategyKind;
 use splice_core::stretch::{per_slice_stretch, StretchStats};
 use splice_dataplane::{NetTelemetry, Packet, RouterConfig, SimNetwork};
@@ -34,8 +35,12 @@ use splice_sim::reliability::{
 };
 use splice_sim::telemetry::ExperimentTelemetry;
 use splice_sim::FailureModel;
-use splice_telemetry::{FlightRecorder, Registry, Span, TraceSink};
+use splice_telemetry::{
+    serve_with_router, AdminResponse, FlightRecorder, Registry, Router, Span, Ticker, TraceSink,
+};
 use splice_topology::Topology;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 const HELP: &str = "\
 splice — path splicing on ISP topologies
@@ -86,13 +91,17 @@ forward flags:
 
 observe flags:
   --listen ADDR                     scrape address (default 127.0.0.1:0;
-                                    the bound address is printed)
-  --duration-secs N                 how long to churn (default 30; 0 = forever)
-  --interval-ms N                   pause between churn rounds (default 200)
+                                    the bound address is printed); POST
+                                    /shutdown stops the loop gracefully
+  --duration-secs N                 how long to churn (default 30;
+                                    0 = until POST /shutdown)
+  --interval-ms N                   churn-round tick, deadline-paced
+                                    (default 200)
   --walks N                         spliced packets injected per round (default 4)
-  --batch-size N                    distinct link failures coalesced into one
-                                    repair_batch call per round (default 1 =
+  --batch-size N                    distinct link failures coalesced per
+                                    control-plane repair pass (default 1 =
                                     the single-event repair path)
+  --metrics PATH                    write the final Prometheus snapshot on exit
 
 telemetry flags (recover, reliability):
   --metrics PATH                    write a Prometheus metric snapshot
@@ -681,12 +690,15 @@ fn cmd_forward(flags: &Flags) -> Result<(), String> {
 }
 
 /// `splice observe` — a standing churn loop behind a live scrape
-/// endpoint: fail a random link, incrementally repair the slices,
-/// push a few spliced packets through the broken data plane, restore,
-/// sleep, repeat. Everything the loop does lands in one registry and
+/// endpoint: each deadline-paced tick fails random links through the
+/// daemon's [`ControlPlane`] (ingest → coalesced repair → publish),
+/// pushes a few spliced packets through the broken data plane,
+/// recovers, and repeats — the same live-repair code path `spliced`
+/// runs, driven synchronously. Everything lands in one registry and
 /// one flight recorder, so `curl <addr>/metrics` shows span-duration
 /// histograms with quantile gauges and `<addr>/snapshot` shows the
-/// most recent repairs and walk anomalies while the loop is running.
+/// most recent repairs and walk anomalies while the loop is running;
+/// `POST <addr>/shutdown` stops the loop gracefully.
 fn cmd_observe(flags: &Flags) -> Result<(), String> {
     let topo = resolve_topology(flags)?;
     let (g, splicing) = build(&topo, flags)?;
@@ -703,7 +715,18 @@ fn cmd_observe(flags: &Flags) -> Result<(), String> {
     let registry = Registry::new();
     let flight = FlightRecorder::new(1024);
     let telemetry = ExperimentTelemetry::register(&registry).with_flight(flight.clone());
-    let server = splice_telemetry::serve(listen, registry.clone(), Some(flight.clone()))
+    // Graceful stop: POST /shutdown raises the flag the churn loop
+    // checks each round, so a scripted run (or CI) can end a
+    // `--duration-secs 0` loop without killing the process.
+    let stop = Arc::new(AtomicBool::new(false));
+    let router = Router::new().route("POST", "/shutdown", {
+        let stop = Arc::clone(&stop);
+        move |_req| {
+            stop.store(true, Ordering::SeqCst);
+            AdminResponse::text("shutting down\n")
+        }
+    });
+    let server = serve_with_router(listen, registry.clone(), Some(flight.clone()), router)
         .map_err(|e| format!("cannot bind --listen {listen}: {e}"))?;
     println!(
         "observe: {} (k = {}), churn every {interval_ms} ms for {}",
@@ -741,6 +764,13 @@ fn cmd_observe(flags: &Flags) -> Result<(), String> {
     )
     .with_flight(flight.clone());
 
+    // The churn rides the daemon's control plane — the same
+    // ingest/coalesce/publish state machine `spliced` runs — with
+    // `--batch-size` as the coalescing cap, instead of hand-rolled
+    // throwaway `try_repair` calls.
+    let mut cp = ControlPlane::new(g.clone(), splicing.clone(), batch_size)
+        .with_telemetry(telemetry.spf.clone());
+
     let mut rng = StdRng::seed_from_u64(seed);
     let n = g.node_count() as u32;
     let m = g.edge_count() as u32;
@@ -748,8 +778,14 @@ fn cmd_observe(flags: &Flags) -> Result<(), String> {
         return Err("topology has no links to churn".into());
     }
     let started = std::time::Instant::now();
+    // Deadline-paced rounds: tick i fires at `start + i * interval`, so
+    // a slow round doesn't push every later round back (the old
+    // `thread::sleep(interval)` drifted by the round's own latency).
+    let mut ticker = Ticker::new(std::time::Duration::from_millis(interval_ms));
     let mut rounds = 0u64;
-    while duration_secs == 0 || started.elapsed().as_secs() < duration_secs {
+    while !stop.load(Ordering::SeqCst)
+        && (duration_secs == 0 || started.elapsed().as_secs() < duration_secs)
+    {
         {
             let _round = round_span.enter();
             // Draw `batch_size` distinct links; at 1 this is the classic
@@ -762,21 +798,10 @@ fn cmd_observe(flags: &Flags) -> Result<(), String> {
                     edges.push(e);
                 }
             }
-            let repaired = if batch_size <= 1 {
-                let event = RepairEvent::LinkFailure(edges[0]);
-                splicing
-                    .try_repair_with_telemetry(&g, &event, Some(&telemetry.spf))
-                    .map_err(|e| format!("repair failed: {e}"))?
-                    .0
-            } else {
-                let events: Vec<RepairEvent> =
-                    edges.iter().map(|&e| RepairEvent::LinkFailure(e)).collect();
-                splicing
-                    .try_repair_batch_with_telemetry(&g, &events, Some(&telemetry.spf))
-                    .map_err(|e| format!("batched repair failed: {e}"))?
-                    .0
-            };
-            debug_assert_eq!(repaired.k(), splicing.k());
+            for &edge in &edges {
+                cp.ingest(&ControlEvent::FailLink(edge));
+            }
+            cp.flush();
             for &edge in &edges {
                 net.fail_link(edge);
             }
@@ -795,19 +820,28 @@ fn cmd_observe(flags: &Flags) -> Result<(), String> {
             }
             for &edge in &edges {
                 net.restore_link(edge);
+                cp.ingest(&ControlEvent::Recover(edge));
             }
+            cp.flush();
         }
         rounds += 1;
-        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        ticker.wait();
     }
     let (p50, _, p99) = telemetry.spf.spf_repair_seconds.quantiles();
+    let stats = cp.stats();
     println!(
-        "observe: {rounds} round(s) in {:.1}s; repair p50 {p50:.6}s p99 {p99:.6}s; \
-         flight {} event(s) recorded, {} dropped",
+        "observe: {rounds} round(s) in {:.1}s ({} tick(s) missed); repair p50 {p50:.6}s \
+         p99 {p99:.6}s; {} event(s), {} publish(es); flight {} event(s) recorded, {} dropped",
         started.elapsed().as_secs_f64(),
+        ticker.missed(),
+        stats.events,
+        stats.publishes,
         flight.recorded(),
         flight.dropped()
     );
+    if let Some(path) = flags.get("metrics") {
+        write_metrics(path, &registry)?;
+    }
     server.shutdown();
     Ok(())
 }

@@ -17,6 +17,7 @@
 //! | §2 stretch metrics | [`stretch`] |
 //! | Algorithm 1's `Hash(src, dst)` default slice | [`hash`] |
 //! | §5 compressed single-counter encoding | [`header::CounterHeader`] |
+//! | §3.1.2 operationally: the control plane as a live event-driven owner | [`control`] |
 //!
 //! ## Quick example
 //!
@@ -43,6 +44,7 @@
 //! assert!(out.is_delivered());
 //! ```
 
+pub mod control;
 pub mod coverage;
 pub mod forwarding;
 pub mod hash;
@@ -56,6 +58,10 @@ pub mod stretch;
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use crate::control::{
+        control_channel, fib_checksum, run_event_loop, ControlEvent, ControlHandle, ControlMsg,
+        ControlPlane, ControlStats, EventLoopReport,
+    };
     pub use crate::forwarding::{Forwarder, ForwarderOptions, ForwardingOutcome, Trace};
     pub use crate::header::ForwardingBits;
     pub use crate::perturb::{DegreeBased, Perturbation, Uniform};

@@ -656,6 +656,29 @@ impl Splicing {
         events: &[RepairEvent],
         telemetry: Option<&SpfTelemetry>,
     ) -> Result<(Splicing, RepairStats), WeightError> {
+        self.try_repair_batch_recycling(g, events, telemetry, None)
+    }
+
+    /// [`Splicing::try_repair_batch_with_telemetry`] with an optional
+    /// recycled arena — the mutable-owner path for a long-running
+    /// control plane.
+    ///
+    /// The batch path starts every repair by cloning the current arena
+    /// (`clone_prefix`), a `k·n²` allocation per event batch. A daemon
+    /// that owns its deployment can instead hand back a *retired* arena
+    /// (a superseded snapshot no reader holds anymore): when its shape
+    /// matches it is overwritten in place ([`SpliceFib::copy_from`]) and
+    /// no allocation happens. A mismatched or absent spare falls back to
+    /// the clone — the result is bit-identical either way. A no-op batch
+    /// returns the spare unused (dropped), since the result shares this
+    /// deployment's arena.
+    pub fn try_repair_batch_recycling(
+        &self,
+        g: &Graph,
+        events: &[RepairEvent],
+        telemetry: Option<&SpfTelemetry>,
+        recycle: Option<SpliceFib>,
+    ) -> Result<(Splicing, RepairStats), WeightError> {
         // Validate the whole batch before touching anything.
         for event in events {
             if let RepairEvent::SliceReweight {
@@ -744,7 +767,13 @@ impl Splicing {
         let seed = self.seed;
         let base_weights: &[Vec<f64>] = &self.weights;
         let finals = final_weights.as_ref();
-        let mut fib = self.fib.clone_prefix(self.k);
+        let mut fib = match recycle {
+            Some(mut spare) if spare.k() == self.k && spare.n() == self.fib.n() => {
+                spare.copy_from(&self.fib);
+                spare
+            }
+            _ => self.fib.clone_prefix(self.k),
+        };
         let mut stats = RepairStats::default();
         {
             // Per-slice planes are disjoint arena views, so workers can

@@ -487,6 +487,24 @@ impl SpliceFib {
         }
     }
 
+    /// Overwrite this arena with the first `self.k` planes of `src`
+    /// without reallocating — the recycling counterpart of
+    /// [`SpliceFib::clone_prefix`] for a long-running control plane,
+    /// where retired snapshots are reused as repair scratch instead of
+    /// allocating a fresh `k·n²` arena per event batch.
+    pub fn copy_from(&mut self, src: &SpliceFib) {
+        assert_eq!(self.n, src.n, "arena shape mismatch: n differs");
+        assert!(
+            self.k <= src.k,
+            "cannot copy {} planes from an arena holding {}",
+            self.k,
+            src.k
+        );
+        let len = self.k * self.n * self.n;
+        self.next_hop.copy_from_slice(&src.next_hop[..len]);
+        self.out_edge.copy_from_slice(&src.out_edge[..len]);
+    }
+
     /// Overwrite the whole `(slice, dst)` column from a router-indexed
     /// parent array — the shape [`SpfWorkspace::parents`] produces. This
     /// is the repair path's write primitive, the column-granular
@@ -745,6 +763,30 @@ mod tests {
         assert_eq!(one.to_tables(0), arena.to_tables(0));
         let both = arena.clone_prefix(2);
         assert_eq!(both, arena);
+    }
+
+    #[test]
+    fn copy_from_recycles_an_arena_in_place() {
+        let g = diamond();
+        let mut arena = SpliceFib::empty(2, g.node_count());
+        let mut ws = SpfWorkspace::new();
+        arena.fill_slice(&g, &g.base_weights(), 0, &mut ws);
+        arena.fill_slice(&g, &[1.0, 10.0, 2.0, 2.0], 1, &mut ws);
+        // A stale retired arena of the same shape becomes a copy.
+        let mut recycled = SpliceFib::empty(2, g.node_count());
+        recycled.copy_from(&arena);
+        assert_eq!(recycled, arena);
+        // A smaller-k arena takes the prefix, like clone_prefix.
+        let mut prefix = SpliceFib::empty(1, g.node_count());
+        prefix.copy_from(&arena);
+        assert_eq!(prefix, arena.clone_prefix(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn copy_from_rejects_mismatched_n() {
+        let mut dst = SpliceFib::empty(1, 3);
+        dst.copy_from(&SpliceFib::empty(1, 4));
     }
 
     #[test]

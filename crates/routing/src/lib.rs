@@ -36,6 +36,7 @@ pub mod flooding;
 pub mod lsa;
 pub mod lsdb;
 pub mod multitopology;
+pub mod snapshot;
 pub mod spf;
 pub mod view;
 
@@ -44,4 +45,5 @@ pub use fib::{Fib, RoutingTables};
 pub use lsa::LinkStateAd;
 pub use lsdb::LinkStateDb;
 pub use multitopology::{MultiTopology, ResourceUsage};
+pub use snapshot::{SnapshotFeed, SnapshotHub, SnapshotUpdate};
 pub use view::FibCell;

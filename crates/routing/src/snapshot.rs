@@ -1,0 +1,305 @@
+//! Epoch-published FIB snapshots: the control-plane → data-plane
+//! hand-off for a long-running daemon.
+//!
+//! A [`FibCell`] answers "what is the FIB *right now*" to a caller that
+//! polls. A daemon's forwarding workers want the dual: "tell me when the
+//! FIB *changes*", without the control plane ever blocking on a slow
+//! worker. [`SnapshotHub`] layers that on top of a cell: `publish`
+//! installs a new immutable `Arc<SpliceFib>` under a monotone **epoch**
+//! and fans the `(epoch, fib)` pair out to every live subscriber over an
+//! unbounded crossbeam channel; `subscribe` returns a [`SnapshotFeed`]
+//! primed with the current snapshot.
+//!
+//! Backpressure policy: snapshots are *complete* state, not deltas, so a
+//! subscriber that falls behind loses nothing by skipping intermediate
+//! epochs. Feeds therefore drain their queue **latest-wins**
+//! ([`SnapshotFeed::refresh`]), and the hub never blocks or drops a
+//! publish — the queue holds at most a few superseded `Arc`s (two words
+//! each) until the subscriber's next drain. Disconnected subscribers
+//! (dropped feeds) are pruned on the next publish.
+//!
+//! This generalizes the batch engine's `RotatingSnapshots` test fixture:
+//! where the batch engine hands workers a fixed snapshot sequence
+//! upfront, the hub is the live-ordered version — every worker observes
+//! a (possibly subsampled) prefix-ordered view of the published epochs,
+//! and the torn-read impossibility argument of [`FibCell`] carries over
+//! unchanged because arenas are never patched after publication.
+
+use crate::arena::SpliceFib;
+use crate::view::FibCell;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One published snapshot: the arena plus the epoch it was installed
+/// under. Epochs are assigned by [`SnapshotHub::publish`] and strictly
+/// increase; epoch 0 is the snapshot the hub was created with.
+#[derive(Clone, Debug)]
+pub struct SnapshotUpdate {
+    /// Monotone publish counter (0 = initial snapshot).
+    pub epoch: u64,
+    /// The immutable FIB installed at that epoch.
+    pub fib: Arc<SpliceFib>,
+}
+
+/// Single-writer, many-subscriber snapshot publication handle.
+#[derive(Debug)]
+pub struct SnapshotHub {
+    cell: FibCell,
+    subscribers: Mutex<Vec<Sender<SnapshotUpdate>>>,
+}
+
+impl SnapshotHub {
+    /// A hub whose epoch-0 snapshot is `initial`.
+    pub fn new(initial: Arc<SpliceFib>) -> SnapshotHub {
+        SnapshotHub {
+            cell: FibCell::new(initial),
+            subscribers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current snapshot, for pollers (same contract as
+    /// [`FibCell::load`]: hold the `Arc` for a whole burst).
+    pub fn load(&self) -> Arc<SpliceFib> {
+        self.cell.load()
+    }
+
+    /// The epoch of the currently installed snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.cell.version()
+    }
+
+    /// Install `fib` as the new current snapshot and fan it out to all
+    /// live subscribers; returns the new epoch. Never blocks on a
+    /// subscriber: sends are unbounded, and dead subscribers are pruned.
+    pub fn publish(&self, fib: Arc<SpliceFib>) -> u64 {
+        let epoch = self.cell.publish(Arc::clone(&fib));
+        let mut subs = self.subscribers.lock().expect("SnapshotHub lock poisoned");
+        subs.retain(|tx| {
+            tx.send(SnapshotUpdate {
+                epoch,
+                fib: Arc::clone(&fib),
+            })
+            .is_ok()
+        });
+        epoch
+    }
+
+    /// Register a new subscriber, primed with the current snapshot.
+    ///
+    /// The feed is guaranteed gap-free from its primed epoch: the prime
+    /// is read under the subscriber lock, so any publish that the prime
+    /// missed is already queued on the channel (a publish that lands
+    /// between the cell install and the fan-out may be seen twice — once
+    /// primed, once queued — which latest-wins draining makes harmless).
+    pub fn subscribe(&self) -> SnapshotFeed {
+        let (tx, rx) = unbounded();
+        let mut subs = self.subscribers.lock().expect("SnapshotHub lock poisoned");
+        let current = SnapshotUpdate {
+            epoch: self.cell.version(),
+            fib: self.cell.load(),
+        };
+        subs.push(tx);
+        drop(subs);
+        SnapshotFeed {
+            rx,
+            current,
+            disconnected: false,
+        }
+    }
+
+    /// How many subscribers are currently registered (dead ones linger
+    /// until the next publish prunes them).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers
+            .lock()
+            .expect("SnapshotHub lock poisoned")
+            .len()
+    }
+}
+
+/// A subscriber's view of the published snapshot stream.
+///
+/// Owned by exactly one worker thread. The worker calls
+/// [`SnapshotFeed::refresh`] at burst boundaries (cheap: a non-blocking
+/// channel drain) or [`SnapshotFeed::wait_newer`] when it has nothing to
+/// do until the FIB changes.
+#[derive(Debug)]
+pub struct SnapshotFeed {
+    rx: Receiver<SnapshotUpdate>,
+    current: SnapshotUpdate,
+    disconnected: bool,
+}
+
+impl SnapshotFeed {
+    /// Drain queued publishes latest-wins and return the freshest
+    /// snapshot known to this feed.
+    pub fn refresh(&mut self) -> &SnapshotUpdate {
+        loop {
+            match self.rx.try_recv() {
+                Ok(up) => {
+                    if up.epoch >= self.current.epoch {
+                        self.current = up;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    self.disconnected = true;
+                    break;
+                }
+            }
+        }
+        &self.current
+    }
+
+    /// The freshest snapshot seen so far, without draining the queue.
+    pub fn current(&self) -> &SnapshotUpdate {
+        &self.current
+    }
+
+    /// Block until a snapshot with epoch strictly greater than `epoch`
+    /// is observed, or `timeout` passes. Returns `true` when a newer
+    /// snapshot is now current (also drains any backlog latest-wins).
+    pub fn wait_newer(&mut self, epoch: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.refresh();
+            if self.current.epoch > epoch {
+                return true;
+            }
+            if self.disconnected {
+                return false;
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            match self.rx.recv_timeout(remaining) {
+                Ok(up) => {
+                    if up.epoch >= self.current.epoch {
+                        self.current = up;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => return false,
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.disconnected = true;
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Whether the publishing hub has gone away. The current snapshot
+    /// stays valid — it is the final one.
+    pub fn is_disconnected(&self) -> bool {
+        self.disconnected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(k: usize) -> Arc<SpliceFib> {
+        Arc::new(SpliceFib::empty(k, 3))
+    }
+
+    #[test]
+    fn subscriber_is_primed_with_the_current_snapshot() {
+        let hub = SnapshotHub::new(fib(1));
+        hub.publish(fib(2));
+        let mut feed = hub.subscribe();
+        assert_eq!(feed.current().epoch, 1);
+        assert_eq!(feed.refresh().fib.k(), 2);
+    }
+
+    #[test]
+    fn publishes_fan_out_and_refresh_takes_the_latest() {
+        let hub = SnapshotHub::new(fib(1));
+        let mut feed = hub.subscribe();
+        assert_eq!(feed.current().epoch, 0);
+        for k in 2..=5 {
+            hub.publish(fib(k));
+        }
+        // Four epochs queued; a single refresh lands on the last.
+        let snap = feed.refresh();
+        assert_eq!(snap.epoch, 4);
+        assert_eq!(snap.fib.k(), 5);
+    }
+
+    #[test]
+    fn dropped_feeds_are_pruned_on_publish() {
+        let hub = SnapshotHub::new(fib(1));
+        let feed = hub.subscribe();
+        let _kept = hub.subscribe();
+        assert_eq!(hub.subscriber_count(), 2);
+        drop(feed);
+        hub.publish(fib(2));
+        assert_eq!(hub.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn wait_newer_blocks_until_a_publish_or_times_out() {
+        let hub = Arc::new(SnapshotHub::new(fib(1)));
+        let mut feed = hub.subscribe();
+        assert!(
+            !feed.wait_newer(0, Duration::from_millis(20)),
+            "no publish: must time out"
+        );
+        let publisher = {
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                hub.publish(fib(2));
+            })
+        };
+        assert!(feed.wait_newer(0, Duration::from_secs(5)));
+        assert_eq!(feed.current().epoch, 1);
+        publisher.join().unwrap();
+    }
+
+    #[test]
+    fn feed_outlives_the_hub_with_the_final_snapshot() {
+        let hub = SnapshotHub::new(fib(1));
+        let mut feed = hub.subscribe();
+        hub.publish(fib(4));
+        drop(hub);
+        assert_eq!(feed.refresh().fib.k(), 4);
+        assert!(feed.is_disconnected());
+        assert!(!feed.wait_newer(1, Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn concurrent_publish_and_subscribe_never_miss_the_latest_epoch() {
+        let hub = Arc::new(SnapshotHub::new(fib(1)));
+        let total = 200u64;
+        let publisher = {
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || {
+                for _ in 0..total {
+                    hub.publish(fib(2));
+                }
+            })
+        };
+        let subscriber = {
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || {
+                let mut max_seen = 0;
+                for _ in 0..50 {
+                    // Primed epoch is never behind the epoch the hub
+                    // reported before the subscribe.
+                    let before = hub.epoch();
+                    let mut feed = hub.subscribe();
+                    assert!(feed.current().epoch >= before);
+                    feed.wait_newer(before, Duration::from_millis(1));
+                    max_seen = max_seen.max(feed.current().epoch);
+                }
+                max_seen
+            })
+        };
+        publisher.join().unwrap();
+        let _ = subscriber.join().unwrap();
+        // After the publisher finishes, a fresh feed must be primed with
+        // the final epoch exactly.
+        assert_eq!(hub.subscribe().current().epoch, total);
+    }
+}

@@ -9,10 +9,10 @@ use crate::fib::RoutingTables;
 use crate::lsdb::LinkStateDb;
 use splice_graph::dijkstra::{all_destinations, SpfWorkspace};
 use splice_graph::{EdgeId, EdgeMask, Graph};
-use splice_telemetry::Histogram;
-// Re-exported so downstream crates (splice-core) can build flight events
-// and registries without a direct telemetry dependency.
-pub use splice_telemetry::{FlightEvent, FlightRecorder, Registry};
+// Re-exported so downstream crates (splice-core) can build flight events,
+// registries, and latency histograms without a direct telemetry
+// dependency.
+pub use splice_telemetry::{FlightEvent, FlightRecorder, Histogram, Registry};
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -50,7 +50,7 @@ pub use flight::{FlightEvent, FlightRecorder, RecordedEvent};
 pub use histogram::{Histogram, NUM_BUCKETS};
 pub use json::{JsonArray, JsonObject};
 pub use registry::Registry;
-pub use serve::{serve, MetricsServer};
+pub use serve::{serve, serve_with_router, AdminRequest, AdminResponse, MetricsServer, Router};
 pub use span::{current_span, Span, SpanGuard};
-pub use timer::Timer;
+pub use timer::{Ticker, Timer};
 pub use trace::TraceSink;

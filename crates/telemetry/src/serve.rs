@@ -10,6 +10,13 @@
 //! - `/snapshot` — one JSON object: the registry snapshot plus the
 //!   flight recorder's recent tail.
 //!
+//! [`serve_with_router`] additionally dispatches to caller-registered
+//! [`Router`] routes, which is how a daemon exposes `show`-style admin
+//! endpoints (`/show/fib`, `/events`, `/shutdown`) next to the scrape
+//! routes without this crate knowing anything about FIBs. Registered
+//! routes may accept `POST` (the request body is read up to a small
+//! cap); everything unregistered keeps the old GET-only behavior.
+//!
 //! Requests are served inline on the accept thread: a scrape is a small
 //! snapshot read, and serializing them keeps the server from ever
 //! holding more than one registry lock at a time. Slow or stuck clients
@@ -34,6 +41,111 @@ const SNAPSHOT_TAIL: usize = 256;
 /// window is abandoned.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// Largest request (head + body) a registered route will accept. Admin
+/// bodies are event specs — a few hundred bytes; anything bigger is a
+/// client bug, not a use case.
+const MAX_REQUEST: usize = 64 * 1024;
+
+/// A parsed request handed to a registered [`Router`] handler.
+#[derive(Clone, Debug)]
+pub struct AdminRequest {
+    /// HTTP method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path with any query string stripped.
+    pub path: String,
+    /// Request body (empty for GET).
+    pub body: String,
+}
+
+/// What a registered route handler returns.
+#[derive(Clone, Debug)]
+pub struct AdminResponse {
+    /// Status line tail, e.g. `200 OK`.
+    pub status: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl AdminResponse {
+    /// `200 OK` with a plain-text body.
+    pub fn text(body: impl Into<String>) -> AdminResponse {
+        AdminResponse {
+            status: "200 OK",
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// `200 OK` with a JSON body.
+    pub fn json(body: impl Into<String>) -> AdminResponse {
+        AdminResponse {
+            status: "200 OK",
+            content_type: "application/json; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// `400 Bad Request` with a plain-text reason.
+    pub fn bad_request(reason: impl Into<String>) -> AdminResponse {
+        AdminResponse {
+            status: "400 Bad Request",
+            content_type: "text/plain; charset=utf-8",
+            body: reason.into(),
+        }
+    }
+}
+
+/// A route handler: pure function of the request, shareable across the
+/// accept thread's lifetime.
+pub type AdminHandler = Arc<dyn Fn(&AdminRequest) -> AdminResponse + Send + Sync>;
+
+/// Caller-registered admin routes served next to the built-in scrape
+/// endpoints. Built-ins win on a path collision, so a router can never
+/// shadow `/metrics`, `/healthz`, or `/snapshot`.
+#[derive(Clone, Default)]
+pub struct Router {
+    routes: Vec<(String, String, AdminHandler)>,
+}
+
+impl Router {
+    /// An empty router (what plain [`serve`] uses).
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Register `handler` for exact matches of `method` + `path`.
+    pub fn route(
+        mut self,
+        method: &str,
+        path: &str,
+        handler: impl Fn(&AdminRequest) -> AdminResponse + Send + Sync + 'static,
+    ) -> Router {
+        self.routes
+            .push((method.to_string(), path.to_string(), Arc::new(handler)));
+        self
+    }
+
+    fn dispatch(&self, req: &AdminRequest) -> Option<AdminResponse> {
+        self.routes
+            .iter()
+            .find(|(m, p, _)| *m == req.method && *p == req.path)
+            .map(|(_, _, h)| h(req))
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let paths: Vec<String> = self
+            .routes
+            .iter()
+            .map(|(m, p, _)| format!("{m} {p}"))
+            .collect();
+        f.debug_struct("Router").field("routes", &paths).finish()
+    }
+}
+
 /// A running scrape endpoint. Shuts down when dropped or via
 /// [`MetricsServer::shutdown`].
 pub struct MetricsServer {
@@ -50,13 +162,25 @@ pub fn serve(
     registry: Registry,
     flight: Option<FlightRecorder>,
 ) -> std::io::Result<MetricsServer> {
+    serve_with_router(addr, registry, flight, Router::new())
+}
+
+/// [`serve`] plus caller-registered admin routes. Registered routes are
+/// consulted after the built-in scrape endpoints miss, and are the only
+/// way a non-`GET` request is ever accepted.
+pub fn serve_with_router(
+    addr: &str,
+    registry: Registry,
+    flight: Option<FlightRecorder>,
+    router: Router,
+) -> std::io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let accept_stop = Arc::clone(&stop);
     let handle = std::thread::Builder::new()
         .name("splice-observe".into())
-        .spawn(move || accept_loop(listener, registry, flight, accept_stop))?;
+        .spawn(move || accept_loop(listener, registry, flight, router, accept_stop))?;
     Ok(MetricsServer {
         addr: local,
         stop,
@@ -107,6 +231,7 @@ fn accept_loop(
     listener: TcpListener,
     registry: Registry,
     flight: Option<FlightRecorder>,
+    router: Router,
     stop: Arc<AtomicBool>,
 ) {
     for conn in listener.incoming() {
@@ -118,58 +243,115 @@ fn accept_loop(
         let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
         // Best-effort, like the trace sink: a dead client must not take
         // down the run being observed.
-        let _ = handle_request(&mut stream, &registry, flight.as_ref());
+        let _ = handle_request(&mut stream, &registry, flight.as_ref(), &router);
     }
+}
+
+/// Read one request: head always, body only when `Content-Length` says
+/// there is one (bounded by [`MAX_REQUEST`]).
+fn read_request(stream: &mut TcpStream) -> std::io::Result<(String, String, String)> {
+    let mut buf = vec![0u8; 4096];
+    let mut len = 0;
+    let mut head_end = None;
+    loop {
+        if head_end.is_none() {
+            if let Some(pos) = buf[..len].windows(4).position(|w| w == b"\r\n\r\n") {
+                head_end = Some(pos + 4);
+            }
+        }
+        if let Some(he) = head_end {
+            let head = String::from_utf8_lossy(&buf[..he]).into_owned();
+            let content_length: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (name, value) = l.split_once(':')?;
+                    name.eq_ignore_ascii_case("content-length")
+                        .then(|| value.trim().parse().ok())?
+                })
+                .unwrap_or(0)
+                .min(MAX_REQUEST);
+            if he + content_length > buf.len() {
+                buf.resize(he + content_length, 0);
+            }
+            while len < he + content_length {
+                let n = stream.read(&mut buf[len..he + content_length])?;
+                if n == 0 {
+                    break;
+                }
+                len += n;
+            }
+            let body = String::from_utf8_lossy(&buf[he..len.max(he)]).into_owned();
+            let mut parts = head.split_whitespace();
+            let method = parts.next().unwrap_or("").to_string();
+            let path = parts.next().unwrap_or("");
+            let path = path.split('?').next().unwrap_or("").to_string();
+            return Ok((method, path, body));
+        }
+        if len == buf.len() {
+            if buf.len() >= MAX_REQUEST {
+                break;
+            }
+            buf.resize((buf.len() * 2).min(MAX_REQUEST), 0);
+        }
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+    }
+    // No complete head: treat what we have as a bare request line.
+    let head = String::from_utf8_lossy(&buf[..len]).into_owned();
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or("").to_string();
+    Ok((method, path, String::new()))
 }
 
 fn handle_request(
     stream: &mut TcpStream,
     registry: &Registry,
     flight: Option<&FlightRecorder>,
+    router: &Router,
 ) -> std::io::Result<()> {
-    // Read the request head (tiny; 4 KiB is plenty for a scrape).
-    let mut buf = [0u8; 4096];
-    let mut len = 0;
-    while len < buf.len() {
-        let n = stream.read(&mut buf[len..])?;
-        if n == 0 {
-            break;
-        }
-        len += n;
-        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
-            break;
-        }
-    }
-    let head = String::from_utf8_lossy(&buf[..len]);
-    let mut parts = head.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or("");
+    let (method, path, body) = read_request(stream)?;
 
-    let (status, content_type, body) = if method != "GET" {
-        (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "only GET is served\n".to_string(),
-        )
-    } else {
-        match path {
-            "/metrics" => (
+    let built_in = if method == "GET" {
+        match path.as_str() {
+            "/metrics" => Some((
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
                 registry.render_prometheus(),
-            ),
-            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
-            "/snapshot" => (
+            )),
+            "/healthz" => Some(("200 OK", "text/plain; charset=utf-8", "ok\n".to_string())),
+            "/snapshot" => Some((
                 "200 OK",
                 "application/json; charset=utf-8",
                 snapshot_json(registry, flight),
-            ),
-            _ => (
-                "404 Not Found",
-                "text/plain; charset=utf-8",
-                format!("no route for {path}\n"),
-            ),
+            )),
+            _ => None,
+        }
+    } else {
+        None
+    };
+
+    let (status, content_type, body) = match built_in {
+        Some(triple) => triple,
+        None => {
+            let req = AdminRequest { method, path, body };
+            match router.dispatch(&req) {
+                Some(resp) => (resp.status, resp.content_type, resp.body),
+                None if req.method != "GET" => (
+                    "405 Method Not Allowed",
+                    "text/plain; charset=utf-8",
+                    "method not served on this route\n".to_string(),
+                ),
+                None => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    format!("no route for {}\n", req.path),
+                ),
+            }
         }
     };
 
@@ -278,6 +460,63 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 405"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn registered_routes_serve_get_and_post_with_body() {
+        let registry = Registry::new();
+        let hits = Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
+        let record = Arc::clone(&hits);
+        let router = Router::new()
+            .route("GET", "/show/fib", |_req| {
+                AdminResponse::json(r#"{"epoch":7}"#)
+            })
+            .route("POST", "/events", move |req| {
+                record.lock().unwrap().push(req.body.clone());
+                AdminResponse::text("accepted\n")
+            });
+        let server =
+            serve_with_router("127.0.0.1:0", registry, None, router).expect("bind ephemeral");
+        let (status, body) = get(server.local_addr(), "/show/fib");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, r#"{"epoch":7}"#);
+
+        // POST with a body lands in the handler.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let payload = "f3+w1.2.1500";
+        write!(
+            stream,
+            "POST /events HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.ends_with("accepted\n"));
+        assert_eq!(hits.lock().unwrap().as_slice(), &[payload.to_string()]);
+
+        // Wrong method on a known path is 405, not a handler call.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /show/fib HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn built_in_routes_cannot_be_shadowed() {
+        let registry = Registry::new();
+        registry.counter("shadow_total", "A counter").inc();
+        let router =
+            Router::new().route("GET", "/metrics", |_req| AdminResponse::text("shadowed!\n"));
+        let server =
+            serve_with_router("127.0.0.1:0", registry, None, router).expect("bind ephemeral");
+        let (status, body) = get(server.local_addr(), "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("shadow_total 1"), "built-in wins: {body}");
         server.shutdown();
     }
 

@@ -22,6 +22,7 @@
 //! graphs and masks from one place.
 
 pub mod check;
+pub mod daemon;
 pub mod forward_oracle;
 pub mod oracle;
 pub mod scenario;
@@ -30,6 +31,7 @@ pub mod shrink;
 pub mod strategies;
 
 pub use check::{flight_tail, replay, Divergence, ReplayOptions, ReplayReport};
+pub use daemon::{daemon_replay, to_control_event, DaemonReplayReport};
 pub use forward_oracle::{forward_oracle, ForwardOracleOptions, ForwardOracleReport};
 pub use oracle::{naive_walk, outcome_signature, OracleTables};
 pub use scenario::{derive_seed, EventSpec, PerturbationSpec, Scenario, TopologySpec};
